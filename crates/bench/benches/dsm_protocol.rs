@@ -1,0 +1,83 @@
+//! Criterion microbench for the DSM substrate: page ping-pong (ownership
+//! migration) and read-sharing throughput — the mechanism underneath
+//! DSM-mode invocation (E8) and object state access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doct_dsm::loopback::LoopbackCluster;
+use doct_dsm::DsmConfig;
+use doct_net::LatencyModel;
+
+fn bench_dsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsm_protocol");
+    g.sample_size(20);
+
+    {
+        let cluster = LoopbackCluster::new(2);
+        let seg = cluster.shared_segment(0, 4096);
+        let mut round = 0u64;
+        g.bench_function("write_pingpong_2nodes", |b| {
+            b.iter(|| {
+                let writer = (round % 2) as usize;
+                cluster
+                    .node(writer)
+                    .write_u64(seg.id, 0, round)
+                    .expect("write");
+                round += 1;
+            })
+        });
+    }
+    {
+        let cluster = LoopbackCluster::new(2);
+        let seg = cluster.shared_segment(0, 4096);
+        cluster.node(1).read(seg.id, 0, 8).expect("warm copy");
+        g.bench_function("read_shared_local_hit", |b| {
+            b.iter(|| cluster.node(1).read(seg.id, 0, 8).expect("read"))
+        });
+    }
+    {
+        let cluster = LoopbackCluster::new(4);
+        let seg = cluster.shared_segment(0, 64 * 1024);
+        let mut page = 0usize;
+        g.bench_function("first_touch_remote_page", |b| {
+            b.iter(|| {
+                // Touch a fresh page each iteration until exhausted, then
+                // wrap to re-reads (dominated by the cold misses).
+                let offset = (page % 64) * 1024;
+                page += 1;
+                cluster.node(1).read(seg.id, offset, 8).expect("read")
+            })
+        });
+    }
+    // Page-size ablation: ownership migration cost vs page size (larger
+    // pages ship more bytes per fault).
+    for page_size in [256usize, 1024, 4096, 16384] {
+        let cluster = LoopbackCluster::with_config(
+            2,
+            LatencyModel::Zero,
+            DsmConfig {
+                page_size,
+                ..DsmConfig::default()
+            },
+        );
+        let seg = cluster.shared_segment(0, page_size * 4);
+        let mut round = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new("write_pingpong_page_size", page_size),
+            &page_size,
+            |b, _| {
+                b.iter(|| {
+                    let writer = (round % 2) as usize;
+                    cluster
+                        .node(writer)
+                        .write_u64(seg.id, 0, round)
+                        .expect("write");
+                    round += 1;
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dsm);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbench for E2: one locate-and-deliver on an 8-node
+//! cluster with the tip 7 hops from the root, per strategy (paper §7.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doct_bench::workloads::{register_classes, spawn_deep_thread};
+use doct_kernel::{ClusterBuilder, KernelConfig, LocatorStrategy, SystemEvent, Value};
+use std::time::Duration;
+
+fn bench_locate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_locate_8nodes_7hops");
+    g.sample_size(20);
+    for strategy in [
+        LocatorStrategy::Broadcast,
+        LocatorStrategy::PathTrace,
+        LocatorStrategy::Multicast,
+    ] {
+        let cluster = ClusterBuilder::new(8)
+            .config(KernelConfig::with_locator(strategy))
+            .build();
+        register_classes(&cluster);
+        let handle = spawn_deep_thread(&cluster, 7).expect("deep thread");
+        std::thread::sleep(Duration::from_millis(80));
+        let tid = handle.thread();
+        g.bench_function(format!("{strategy:?}"), |b| {
+            b.iter(|| {
+                let summary = cluster
+                    .raise_from(1, SystemEvent::Timer, Value::Null, tid)
+                    .wait();
+                assert_eq!(summary.delivered, 1);
+            })
+        });
+        cluster
+            .raise_from(0, SystemEvent::Quit, Value::Null, tid)
+            .wait();
+        let _ = handle.join_timeout(Duration::from_secs(5));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_locate);
+criterion_main!(benches);

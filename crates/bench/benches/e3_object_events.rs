@@ -1,0 +1,66 @@
+//! Criterion microbench for E3: object-event execution cost under the
+//! master-handler-thread policy vs spawn-per-event (paper §4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doct_bench::workloads::register_classes;
+use doct_events::{EventFacility, HandlerDecision};
+use doct_kernel::{
+    Cluster, ClusterBuilder, KernelConfig, ObjectConfig, ObjectEventExecution, ObjectId, Value,
+};
+use doct_net::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn rig(mode: ObjectEventExecution) -> (Cluster, ObjectId, Arc<AtomicU64>) {
+    let cluster = ClusterBuilder::new(2)
+        .config(KernelConfig {
+            object_events: mode,
+            ..KernelConfig::default()
+        })
+        .build();
+    let facility = EventFacility::install(&cluster);
+    let ev = facility.register_event("POKE");
+    register_classes(&cluster);
+    let obj = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(1)))
+        .expect("create");
+    let handled = Arc::new(AtomicU64::new(0));
+    let h = Arc::clone(&handled);
+    facility
+        .on_object_event(&cluster, obj, ev, move |_c, _o, _b| {
+            h.fetch_add(1, Ordering::Relaxed);
+            HandlerDecision::Resume(Value::Null)
+        })
+        .expect("install");
+    (cluster, obj, handled)
+}
+
+fn run_batch(cluster: &Cluster, obj: ObjectId, handled: &AtomicU64, iters: u64) -> Duration {
+    let start_count = handled.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        cluster
+            .raise_from(0, doct_kernel::EventName::user("POKE"), Value::Null, obj)
+            .detach();
+    }
+    while handled.load(Ordering::Relaxed) < start_count + iters {
+        std::hint::spin_loop();
+    }
+    t0.elapsed()
+}
+
+fn bench_object_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_object_events");
+    g.sample_size(20);
+    for mode in [ObjectEventExecution::Master, ObjectEventExecution::Spawn] {
+        let (cluster, obj, handled) = rig(mode);
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter_custom(|iters| run_batch(&cluster, obj, &handled, iters))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_object_events);
+criterion_main!(benches);

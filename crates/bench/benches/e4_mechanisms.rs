@@ -1,0 +1,108 @@
+//! Criterion microbench for E4: per-operation cost of object invocation
+//! vs event notification, local and remote (paper §4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doct_bench::workloads::register_classes;
+use doct_events::{EventFacility, HandlerDecision};
+use doct_kernel::{Cluster, ObjectConfig, ObjectId, Value};
+use doct_net::NodeId;
+use std::sync::Arc;
+
+struct Rig {
+    cluster: Cluster,
+    local: ObjectId,
+    remote: ObjectId,
+}
+
+fn rig() -> Rig {
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    register_classes(&cluster);
+    let ev = facility.register_event("BENCH");
+    let local = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(0)))
+        .expect("create");
+    let remote = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(1)))
+        .expect("create");
+    for obj in [local, remote] {
+        facility
+            .on_object_event(&cluster, obj, ev.clone(), |_c, _o, _b| {
+                HandlerDecision::Resume(Value::Int(1))
+            })
+            .expect("install");
+    }
+    Rig {
+        cluster,
+        local,
+        remote,
+    }
+}
+
+/// Run `per_iter` inside one logical thread, `iters` times, returning the
+/// elapsed time (pattern for benching thread-context operations).
+fn in_thread(
+    cluster: &Cluster,
+    iters: u64,
+    per_iter: impl Fn(&mut doct_kernel::Ctx) -> Result<(), doct_kernel::KernelError>
+        + Send
+        + Sync
+        + 'static,
+) -> std::time::Duration {
+    let per_iter = Arc::new(per_iter);
+    let f = Arc::clone(&per_iter);
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                f(ctx)?;
+            }
+            Ok(Value::Int(t0.elapsed().as_nanos() as i64))
+        })
+        .expect("spawn");
+    std::time::Duration::from_nanos(
+        handle.join().expect("bench thread").as_int().unwrap_or(0) as u64
+    )
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let r = rig();
+    let mut g = c.benchmark_group("e4_mechanisms");
+    g.sample_size(20);
+
+    let local = r.local;
+    g.bench_function("invoke_local", |b| {
+        b.iter_custom(|iters| {
+            in_thread(&r.cluster, iters, move |ctx| {
+                ctx.invoke(local, "noop", Value::Null).map(|_| ())
+            })
+        })
+    });
+    let remote = r.remote;
+    g.bench_function("invoke_remote", |b| {
+        b.iter_custom(|iters| {
+            in_thread(&r.cluster, iters, move |ctx| {
+                ctx.invoke(remote, "noop", Value::Null).map(|_| ())
+            })
+        })
+    });
+    g.bench_function("raise_object_remote_oneway", |b| {
+        b.iter_custom(|iters| {
+            in_thread(&r.cluster, iters, move |ctx| {
+                ctx.raise("BENCH", Value::Null, remote).detach();
+                Ok(())
+            })
+        })
+    });
+    g.bench_function("raise_and_wait_object_remote", |b| {
+        b.iter_custom(|iters| {
+            in_thread(&r.cluster, iters, move |ctx| {
+                ctx.raise_and_wait("BENCH", Value::Null, remote).map(|_| ())
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion microbench for E5's mechanism: walking a LIFO handler chain
+//! of depth k at event delivery (paper §4.2), without the terminate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+use doct_kernel::{Cluster, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_chain_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_chain_walk");
+    g.sample_size(20);
+    for depth in [1usize, 8, 64, 256] {
+        let cluster = Arc::new(Cluster::new(1));
+        let facility = EventFacility::install(&cluster);
+        facility.register_event("WALK");
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter_custom(|iters| {
+                let cluster = Arc::clone(&cluster);
+                let handle = cluster
+                    .spawn_fn(0, move |ctx| {
+                        // Depth-1 handlers propagate; the oldest resumes.
+                        ctx.attach_handler(
+                            "WALK",
+                            AttachSpec::proc("sink", |_c, _b| HandlerDecision::Resume(Value::Null)),
+                        );
+                        for _ in 1..depth {
+                            ctx.attach_handler(
+                                "WALK",
+                                AttachSpec::proc("link", |_c, _b| HandlerDecision::Propagate),
+                            );
+                        }
+                        let me = ctx.thread_id();
+                        let t0 = Instant::now();
+                        for _ in 0..iters {
+                            ctx.raise("WALK", Value::Null, me).detach();
+                            ctx.poll_events()?;
+                        }
+                        Ok(Value::Int(t0.elapsed().as_nanos() as i64))
+                    })
+                    .expect("spawn");
+                std::time::Duration::from_nanos(
+                    handle.join().expect("walker").as_int().unwrap_or(0) as u64,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain_walk);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: group-raise fan-out cost vs group size (§5.3
+//! `raise(e, gtid)` — one locate+deliver per member).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doct_bench::workloads::spawn_sleeper_group;
+use doct_kernel::{Cluster, RaiseTarget, SystemEvent, Value};
+
+fn bench_group_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_fanout");
+    g.sample_size(20);
+    for size in [1usize, 4, 16, 64] {
+        let cluster = Cluster::new(4);
+        let (group, handles) = spawn_sleeper_group(&cluster, size).expect("group");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let summary = cluster
+                    .raise_from(
+                        0,
+                        SystemEvent::Timer,
+                        Value::Null,
+                        RaiseTarget::Group(group),
+                    )
+                    .wait();
+                assert_eq!(summary.delivered, size);
+            })
+        });
+        cluster
+            .raise_from(0, SystemEvent::Quit, Value::Null, RaiseTarget::Group(group))
+            .wait();
+        for h in handles {
+            let _ = h.join_timeout(std::time::Duration::from_secs(5));
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_fanout);
+criterion_main!(benches);

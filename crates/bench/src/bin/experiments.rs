@@ -1,0 +1,55 @@
+//! Experiment driver: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p doct-bench --release --bin experiments -- all
+//! cargo run -p doct-bench --release --bin experiments -- e2 e6
+//! ```
+
+use doct_bench::*;
+
+fn run_one(which: &str) -> Result<(), doct_kernel::KernelError> {
+    match which {
+        "e1" => e1_raise_table::table(&e1_raise_table::run()?).print(),
+        "e2" => {
+            e2_thread_location::table(&e2_thread_location::run()?).print();
+            e2_thread_location::moving_table(&e2_thread_location::run_moving()?).print();
+        }
+        "e3" => e3_master_thread::table(&e3_master_thread::run()?).print(),
+        "e4" => {
+            e4_event_vs_invocation::table(&e4_event_vs_invocation::run()?).print();
+            e4_event_vs_invocation::density_table(&e4_event_vs_invocation::run_density()?).print();
+        }
+        "e5" => e5_chain_unwind::table(&e5_chain_unwind::run()?).print(),
+        "e6" => e6_distributed_ctrl_c::table(&e6_distributed_ctrl_c::run()?).print(),
+        "e7" => {
+            let rows = e7_external_pager::run()?;
+            let copies = e7_external_pager::run_copies()?;
+            e7_external_pager::table(&rows, copies).print();
+        }
+        "e8" => e8_rpc_vs_dsm::table(&e8_rpc_vs_dsm::run()?).print(),
+        "e9" => e9_monitor_overhead::table(&e9_monitor_overhead::run()?).print(),
+        "e10" => e10_interest_lists::table(&e10_interest_lists::run()?).print(),
+        other => eprintln!("unknown experiment {other:?} (expected e1..e10 or all)"),
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        all.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for which in selected {
+        let t0 = std::time::Instant::now();
+        match run_one(which) {
+            Ok(()) => eprintln!("[{which} done in {:.1?}]", t0.elapsed()),
+            Err(e) => {
+                eprintln!("[{which} FAILED: {e}]");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! E10 — Medusa-style interest lists vs the paper's targeted handlers
+//! (paper §9 related work).
+//!
+//! Claim quantified: "Medusa's (as well as Levin's) exception reporting
+//! has the potential to cause a tight coupling within the system. This
+//! coupling is undesirable in a distributed system. Also, a lot of extra
+//! work needs to be done to maintain a 'current interest list' … and the
+//! event reporting hierarchy tree could grow out of bounds."
+//!
+//! Workload: `k` threads spread over a 4-node cluster hold interest in
+//! one shared object; an exceptional event arises in it and is reported
+//! (a) Medusa-style, as external events to every interest holder, and
+//! (b) paper-style, to the object's single installed handler. We count
+//! network messages and wall time per report.
+
+use crate::Table;
+use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision, InterestRegistry};
+use doct_kernel::{Cluster, KernelError, ObjectConfig, Value};
+use doct_net::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct InterestRow {
+    /// Reporting scheme.
+    pub scheme: &'static str,
+    /// Interest-list size (holders).
+    pub holders: usize,
+    /// Network messages per report.
+    pub messages: u64,
+    /// Wall time until every party was notified.
+    pub notify_all: Duration,
+}
+
+fn medusa(holders: usize) -> Result<InterestRow, KernelError> {
+    let cluster = Cluster::new(4);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("EXC");
+    crate::workloads::register_classes(&cluster);
+    let object = cluster.create_object(ObjectConfig::new("plain", NodeId(0)))?;
+    let registry = Arc::new(InterestRegistry::new());
+    let notified = Arc::new(AtomicU64::new(0));
+    // Interest holders: sleeper threads over the cluster, each with an
+    // EXC handler.
+    let mut parties = Vec::new();
+    for i in 0..holders {
+        let n2 = Arc::clone(&notified);
+        let handle = cluster.spawn_fn(i % 4, move |ctx| {
+            ctx.attach_handler(
+                "EXC",
+                AttachSpec::proc("external", move |_c, _b| {
+                    n2.fetch_add(1, Ordering::Relaxed);
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+            ctx.sleep(Duration::from_secs(120))?;
+            Ok(Value::Null)
+        })?;
+        registry.register(object, handle.thread());
+        parties.push(handle);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let before = cluster.net().stats().snapshot();
+    let t0 = Instant::now();
+    let reg2 = Arc::clone(&registry);
+    let n3 = Arc::clone(&notified);
+    // The event arises in the object (a thread executing there reports).
+    cluster
+        .spawn_fn(0, move |ctx| {
+            let tickets = reg2.report_external(ctx, object, "EXC", "overflow");
+            for t in tickets {
+                t.wait();
+            }
+            Ok(Value::Null)
+        })?
+        .join()?;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while (n3.load(Ordering::Relaxed) as usize) < holders {
+        assert!(Instant::now() < deadline, "external events lost");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let notify_all = t0.elapsed();
+    let delta = before.delta(&cluster.net().stats().snapshot());
+    for p in parties {
+        cluster
+            .raise_from(0, doct_kernel::SystemEvent::Quit, Value::Null, p.thread())
+            .wait();
+        let _ = p.join_timeout(Duration::from_secs(5));
+    }
+    Ok(InterestRow {
+        scheme: "Medusa interest list",
+        holders,
+        messages: delta.total_sent(),
+        notify_all,
+    })
+}
+
+fn paper_style() -> Result<InterestRow, KernelError> {
+    let cluster = Cluster::new(4);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("EXC");
+    crate::workloads::register_classes(&cluster);
+    let object = cluster.create_object(ObjectConfig::new("plain", NodeId(0)))?;
+    let notified = Arc::new(AtomicU64::new(0));
+    let n2 = Arc::clone(&notified);
+    facility.on_object_event(&cluster, object, "EXC", move |_c, _o, _b| {
+        n2.fetch_add(1, Ordering::Relaxed);
+        HandlerDecision::Resume(Value::Null)
+    })?;
+    let before = cluster.net().stats().snapshot();
+    let t0 = Instant::now();
+    // Report from a thread on another node (worst case: one Event message).
+    cluster
+        .spawn_fn(1, move |ctx| {
+            ctx.raise("EXC", "overflow", object).wait();
+            Ok(Value::Null)
+        })?
+        .join()?;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while notified.load(Ordering::Relaxed) < 1 {
+        assert!(Instant::now() < deadline, "object event lost");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let notify_all = t0.elapsed();
+    let delta = before.delta(&cluster.net().stats().snapshot());
+    Ok(InterestRow {
+        scheme: "paper: object handler",
+        holders: 1,
+        messages: delta.total_sent(),
+        notify_all,
+    })
+}
+
+/// Run the interest-list sweep plus the paper-style baseline.
+///
+/// # Errors
+///
+/// Cluster construction failures.
+pub fn run() -> Result<Vec<InterestRow>, KernelError> {
+    let mut rows = vec![paper_style()?];
+    for holders in [1usize, 4, 16, 64] {
+        rows.push(medusa(holders)?);
+    }
+    Ok(rows)
+}
+
+/// Render the table.
+pub fn table(rows: &[InterestRow]) -> Table {
+    let mut t = Table::new(
+        "E10: Medusa-style interest lists vs targeted handlers (paper §9)",
+        &["scheme", "holders", "messages/report", "notify-all latency"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.scheme.to_string(),
+            r.holders.to_string(),
+            r.messages.to_string(),
+            format!("{:.1?}", r.notify_all),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,103 @@
+//! E3 — master handler thread vs spawn-per-event (paper §4.3).
+//!
+//! Claim quantified: "a handler thread can be associated with the object
+//! to handle all events on its behalf, thus eliminating thread-creation
+//! costs."
+//!
+//! Workload: `EVENTS` no-op events raised at a passive object from
+//! another node; we time until the object's handler has run for all of
+//! them, under both execution policies.
+
+use crate::workloads::register_classes;
+use crate::Table;
+use doct_events::{EventFacility, HandlerDecision};
+use doct_kernel::{
+    ClusterBuilder, KernelConfig, KernelError, ObjectConfig, ObjectEventExecution, Value,
+};
+use doct_net::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const EVENTS: u64 = 2_000;
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct ObjectEventRow {
+    /// Execution policy.
+    pub mode: ObjectEventExecution,
+    /// Events delivered.
+    pub events: u64,
+    /// Wall time until all handlers ran.
+    pub total: Duration,
+    /// Handled events per second.
+    pub events_per_sec: f64,
+}
+
+fn one_mode(mode: ObjectEventExecution) -> Result<ObjectEventRow, KernelError> {
+    let cluster = ClusterBuilder::new(2)
+        .config(KernelConfig {
+            object_events: mode,
+            ..KernelConfig::default()
+        })
+        .build();
+    let facility = EventFacility::install(&cluster);
+    let poke = facility.register_event("POKE");
+    register_classes(&cluster);
+    let obj = cluster.create_object(ObjectConfig::new("plain", NodeId(1)))?;
+    let handled = Arc::new(AtomicU64::new(0));
+    let h2 = Arc::clone(&handled);
+    facility.on_object_event(&cluster, obj, poke.clone(), move |_c, _o, _b| {
+        h2.fetch_add(1, Ordering::Relaxed);
+        HandlerDecision::Resume(Value::Null)
+    })?;
+
+    let t0 = Instant::now();
+    for _ in 0..EVENTS {
+        cluster
+            .raise_from(0, poke.clone(), Value::Null, obj)
+            .detach();
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handled.load(Ordering::Relaxed) < EVENTS {
+        assert!(Instant::now() < deadline, "{mode:?}: object events lost");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let total = t0.elapsed();
+    Ok(ObjectEventRow {
+        mode,
+        events: EVENTS,
+        total,
+        events_per_sec: EVENTS as f64 / total.as_secs_f64(),
+    })
+}
+
+/// Run both execution policies.
+///
+/// # Errors
+///
+/// Cluster construction failures.
+pub fn run() -> Result<Vec<ObjectEventRow>, KernelError> {
+    Ok(vec![
+        one_mode(ObjectEventExecution::Spawn)?,
+        one_mode(ObjectEventExecution::Master)?,
+    ])
+}
+
+/// Render the table.
+pub fn table(rows: &[ObjectEventRow]) -> Table {
+    let mut t = Table::new(
+        "E3: object-event execution — spawn-per-event vs master handler thread (paper §4.3)",
+        &["mode", "events", "total", "events/s", "per-event"],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:?}", r.mode),
+            r.events.to_string(),
+            format!("{:.1?}", r.total),
+            format!("{:.0}", r.events_per_sec),
+            format!("{:.1?}", r.total / r.events as u32),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,234 @@
+//! E4 — event notification vs object invocation (paper §4.3).
+//!
+//! Claim quantified: "the mechanism with which the invocation is carried
+//! out may have much less overhead than object-invocations."
+//!
+//! Workload: deliver the same no-op "request" to an object `OPS` times
+//! via (a) a synchronous entry-point invocation, (b) an asynchronous
+//! object event (one-way), and (c) a synchronous object event
+//! (`raise_and_wait`). Local (same node) and remote variants.
+//!
+//! Also includes the delivery-point-density ablation for the preemption
+//! substitution documented in DESIGN.md: how the poll granularity of a
+//! busy thread affects event delivery latency.
+
+use crate::workloads::{median_micros, register_classes};
+use crate::Table;
+use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+use doct_kernel::{Cluster, KernelError, ObjectConfig, Value};
+use doct_net::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const OPS: u64 = 1_000;
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct MechanismRow {
+    /// Mechanism label.
+    pub mechanism: &'static str,
+    /// "local" or "remote".
+    pub locality: &'static str,
+    /// Median per-operation cost.
+    pub per_op: Duration,
+}
+
+fn measure(
+    cluster: &Cluster,
+    facility: &Arc<EventFacility>,
+    home: u32,
+    locality: &'static str,
+) -> Result<Vec<MechanismRow>, KernelError> {
+    let obj = cluster.create_object(ObjectConfig::new("plain", NodeId(home)))?;
+    let handled = Arc::new(AtomicU64::new(0));
+    let h2 = Arc::clone(&handled);
+    let ev = facility.register_event("E4");
+    facility.on_object_event(cluster, obj, ev.clone(), move |_c, _o, _b| {
+        h2.fetch_add(1, Ordering::Relaxed);
+        HandlerDecision::Resume(Value::Null)
+    })?;
+
+    // (a) invocation round trips.
+    let inv = cluster
+        .spawn_fn(0, move |ctx| {
+            let t0 = Instant::now();
+            for _ in 0..OPS {
+                ctx.invoke(obj, "noop", Value::Null)?;
+            }
+            Ok(Value::Int(t0.elapsed().as_micros() as i64))
+        })?
+        .join()?
+        .as_int()
+        .unwrap_or(0) as f64
+        / OPS as f64;
+
+    // (b) one-way object events (wait for all handlers at the end).
+    let ev2 = ev.clone();
+    let async_us = cluster
+        .spawn_fn(0, move |ctx| {
+            let t0 = Instant::now();
+            for _ in 0..OPS {
+                ctx.raise(ev2.clone(), Value::Null, obj).detach();
+            }
+            Ok(Value::Int(t0.elapsed().as_micros() as i64))
+        })?
+        .join()?
+        .as_int()
+        .unwrap_or(0) as f64
+        / OPS as f64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handled.load(Ordering::Relaxed) < OPS {
+        assert!(Instant::now() < deadline, "object events lost");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // (c) synchronous object events.
+    let ev3 = ev.clone();
+    let sync_us = cluster
+        .spawn_fn(0, move |ctx| {
+            let t0 = Instant::now();
+            for _ in 0..OPS {
+                ctx.raise_and_wait(ev3.clone(), Value::Null, obj)?;
+            }
+            Ok(Value::Int(t0.elapsed().as_micros() as i64))
+        })?
+        .join()?
+        .as_int()
+        .unwrap_or(0) as f64
+        / OPS as f64;
+
+    Ok(vec![
+        MechanismRow {
+            mechanism: "invocation (round trip)",
+            locality,
+            per_op: Duration::from_secs_f64(inv / 1e6),
+        },
+        MechanismRow {
+            mechanism: "object event (one-way raise)",
+            locality,
+            per_op: Duration::from_secs_f64(async_us / 1e6),
+        },
+        MechanismRow {
+            mechanism: "object event (raise_and_wait)",
+            locality,
+            per_op: Duration::from_secs_f64(sync_us / 1e6),
+        },
+    ])
+}
+
+/// Run local + remote mechanism comparison.
+///
+/// # Errors
+///
+/// Cluster construction failures.
+pub fn run() -> Result<Vec<MechanismRow>, KernelError> {
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    register_classes(&cluster);
+    let mut rows = measure(&cluster, &facility, 0, "local")?;
+    rows.extend(measure(&cluster, &facility, 1, "remote")?);
+    Ok(rows)
+}
+
+/// One row of the delivery-point-density ablation.
+#[derive(Debug, Clone)]
+pub struct DensityRow {
+    /// Compute units between polls.
+    pub units_between_polls: u64,
+    /// Median raise→handler latency.
+    pub delivery_latency: Duration,
+}
+
+/// Ablation: delivery latency vs. the busy thread's poll granularity
+/// (documents the delivery-point substitution for preemptive signals).
+/// The raiser stamps each event with a cluster-epoch timestamp; the
+/// handler measures raise→handler latency directly.
+///
+/// # Errors
+///
+/// Cluster construction failures.
+pub fn run_density() -> Result<Vec<DensityRow>, KernelError> {
+    let mut rows = Vec::new();
+    for &granularity in &[64u64, 1_024, 16_384, 262_144, 2_097_152, 16_777_216] {
+        let cluster = Cluster::new(2);
+        let facility = EventFacility::install(&cluster);
+        let ping = facility.register_event("DENSITY");
+        let epoch = Arc::new(Instant::now());
+        let latencies = Arc::new(parking_lot::Mutex::new(Vec::<f64>::new()));
+        let (lat2, epoch2) = (Arc::clone(&latencies), Arc::clone(&epoch));
+        let ping2 = ping.clone();
+        let worker = cluster.spawn_fn(1, move |ctx| {
+            ctx.attach_handler(
+                ping2,
+                AttachSpec::proc("density", move |_c, b| {
+                    let sent_ns = b.payload.as_int().unwrap_or(0) as u128;
+                    let now_ns = epoch2.elapsed().as_nanos();
+                    lat2.lock()
+                        .push(now_ns.saturating_sub(sent_ns) as f64 / 1e3);
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+            // Busy compute with the chosen poll granularity; constant
+            // total work so every run outlives the raise schedule. The
+            // handler runs at whichever delivery point follows each raise.
+            let iterations = 200_000_000 / granularity;
+            for _ in 0..iterations {
+                ctx.compute_uninterruptible(granularity);
+                ctx.poll_events()?;
+            }
+            Ok(Value::Null)
+        })?;
+        std::thread::sleep(Duration::from_millis(5));
+        for _ in 0..15 {
+            let stamp = epoch.elapsed().as_nanos() as i64;
+            cluster
+                .raise_from(0, ping.clone(), Value::Int(stamp), worker.thread())
+                .detach();
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        let _ = worker.join_timeout(Duration::from_secs(120));
+        let mut lats = latencies.lock().clone();
+        let median = if lats.is_empty() {
+            f64::NAN
+        } else {
+            median_micros(&mut lats)
+        };
+        rows.push(DensityRow {
+            units_between_polls: granularity,
+            delivery_latency: Duration::from_secs_f64(median.max(0.0) / 1e6),
+        });
+    }
+    Ok(rows)
+}
+
+/// Render the mechanism table.
+pub fn table(rows: &[MechanismRow]) -> Table {
+    let mut t = Table::new(
+        "E4: event notification vs object invocation (paper §4.3)",
+        &["mechanism", "locality", "per-op"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.mechanism.to_string(),
+            r.locality.to_string(),
+            format!("{:.1?}", r.per_op),
+        ]);
+    }
+    t
+}
+
+/// Render the density ablation table.
+pub fn density_table(rows: &[DensityRow]) -> Table {
+    let mut t = Table::new(
+        "E4b: delivery latency vs delivery-point density (substitution ablation)",
+        &["compute units between polls", "median delivery latency"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.units_between_polls.to_string(),
+            format!("{:.1?}", r.delivery_latency),
+        ]);
+    }
+    t
+}

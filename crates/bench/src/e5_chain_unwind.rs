@@ -1,0 +1,128 @@
+//! E5 — TERMINATE chain unwind with distributed locks (paper §4.2).
+//!
+//! Claim quantified: "Every time a thread locks data in an object, the
+//! unlock routine for that data is chained to the thread's TERMINATE
+//! handler. If the threads receive a TERMINATE signal, all locked data
+//! are unlocked, regardless of their location and scope."
+//!
+//! Workload: a thread acquires `k` locks round-robin from lock managers
+//! on 3 nodes, then sleeps; we raise TERMINATE and measure the time until
+//! the thread is dead, verifying every lock was released.
+
+use crate::Table;
+use doct_events::EventFacility;
+use doct_kernel::{Cluster, KernelError, SystemEvent, Value};
+use doct_net::NodeId;
+use doct_services::locks::LockManager;
+use std::time::{Duration, Instant};
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct UnwindRow {
+    /// Chained cleanup handlers (locks held).
+    pub locks: usize,
+    /// TERMINATE raise → thread dead.
+    pub unwind: Duration,
+    /// Unwind cost per lock.
+    pub per_lock: Duration,
+    /// Locks still held afterwards (must be 0).
+    pub leaked: i64,
+}
+
+fn one_depth(k: usize) -> Result<UnwindRow, KernelError> {
+    let cluster = Cluster::new(3);
+    let _facility = EventFacility::install(&cluster);
+    let managers: Vec<LockManager> = (0..3u32)
+        .map(|i| LockManager::create(&cluster, NodeId(i)))
+        .collect::<Result<_, _>>()?;
+    let ms = managers.clone();
+    let holder = cluster.spawn_fn(0, move |ctx| {
+        for i in 0..k {
+            ms[i % 3].acquire(ctx, &format!("lock-{i}"))?;
+        }
+        ctx.sleep(Duration::from_secs(120))?;
+        Ok(Value::Null)
+    })?;
+    // Wait until all locks are held.
+    let ms = managers.clone();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let held = cluster
+            .spawn_fn(1, {
+                let ms = ms.clone();
+                move |ctx| {
+                    let mut n = 0;
+                    for m in &ms {
+                        n += m.held_count(ctx)?;
+                    }
+                    Ok(Value::Int(n))
+                }
+            })?
+            .join()?
+            .as_int()
+            .unwrap_or(0);
+        if held == k as i64 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "locks never acquired");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let t0 = Instant::now();
+    cluster
+        .raise_from(2, SystemEvent::Terminate, Value::Null, holder.thread())
+        .wait();
+    let r = holder
+        .join_timeout(Duration::from_secs(60))
+        .expect("unwound");
+    let unwind = t0.elapsed();
+    assert!(matches!(r, Err(KernelError::Terminated)));
+
+    let leaked = cluster
+        .spawn_fn(1, move |ctx| {
+            let mut n = 0;
+            for m in &managers {
+                n += m.held_count(ctx)?;
+            }
+            Ok(Value::Int(n))
+        })?
+        .join()?
+        .as_int()
+        .unwrap_or(-1);
+    assert_eq!(leaked, 0, "k={k}: locks leaked");
+    Ok(UnwindRow {
+        locks: k,
+        unwind,
+        per_lock: unwind / k.max(1) as u32,
+        leaked,
+    })
+}
+
+/// Run the chain-depth sweep.
+///
+/// # Errors
+///
+/// Cluster construction failures.
+pub fn run() -> Result<Vec<UnwindRow>, KernelError> {
+    [1usize, 4, 16, 64, 256]
+        .iter()
+        .map(|&k| one_depth(k))
+        .collect()
+}
+
+/// Render the table.
+pub fn table(rows: &[UnwindRow]) -> Table {
+    let mut t = Table::new(
+        "E5: TERMINATE cleanup-chain unwind, k locks on 3 nodes (paper §4.2)",
+        &["locks (chain depth)", "unwind time", "per lock", "leaked"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.locks.to_string(),
+            format!("{:.1?}", r.unwind),
+            format!("{:.1?}", r.per_lock),
+            r.leaked.to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,139 @@
+//! E6 — the distributed ^C protocol at scale (paper §6.3).
+//!
+//! Claim quantified: the §6.3 protocol (TERMINATE → ABORT to objects +
+//! QUIT to the thread group) terminates *all* threads (including
+//! non-claimable asynchronous invocations) and notifies *all* objects,
+//! with no orphans.
+//!
+//! Workload: a root thread on a 4-node cluster spawns `t-1` asynchronous
+//! children working in objects spread over the cluster; ^C is injected;
+//! we measure time to full quiescence, total messages, and verify the
+//! orphan and cleanup counts.
+
+use crate::Table;
+use doct_events::EventFacility;
+use doct_kernel::{Cluster, KernelError, ObjectConfig, SpawnOptions, Value};
+use doct_net::NodeId;
+use doct_services::termination::{arm_ctrl_c, install_abort_cleanup, press_ctrl_c};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct CtrlCRow {
+    /// Threads in the application (root + children).
+    pub threads: usize,
+    /// Application objects.
+    pub objects: usize,
+    /// ^C → cluster quiescent.
+    pub teardown: Duration,
+    /// Total network messages during teardown.
+    pub messages: u64,
+    /// Objects whose ABORT cleanup ran.
+    pub cleaned: u64,
+    /// Orphan activations left (must be 0).
+    pub orphans: usize,
+}
+
+fn one_size(threads: usize, objects: usize) -> Result<CtrlCRow, KernelError> {
+    let cluster = Cluster::new(4);
+    let facility = EventFacility::install(&cluster);
+    crate::workloads::register_classes(&cluster);
+    let objs: Vec<_> = (0..objects)
+        .map(|i| cluster.create_object(ObjectConfig::new("plain", NodeId((i % 4) as u32))))
+        .collect::<Result<_, _>>()?;
+    let cleaned = Arc::new(AtomicU64::new(0));
+    for &o in &objs {
+        let c = Arc::clone(&cleaned);
+        install_abort_cleanup(&facility, &cluster, o, move |_ctx, _o, _b| {
+            c.fetch_add(1, Ordering::Relaxed);
+        })?;
+    }
+    let group = cluster.create_group();
+    let objs2 = objs.clone();
+    let root = cluster.spawn_fn_with(
+        0,
+        SpawnOptions {
+            group: Some(group),
+            ..Default::default()
+        },
+        move |ctx| {
+            arm_ctrl_c(ctx, objs2.clone());
+            let children: Vec<_> = (0..threads - 1)
+                .map(|i| ctx.invoke_async(objs2[i % objs2.len()], "sleepy", 120_000i64))
+                .collect();
+            ctx.sleep(Duration::from_secs(120))?;
+            for c in children {
+                let _ = c.claim();
+            }
+            Ok(Value::Null)
+        },
+    )?;
+    // Let everything get going.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while cluster.groups().member_count(group) < threads {
+        assert!(Instant::now() < deadline, "children failed to start");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let before = cluster.net().stats().snapshot();
+    let t0 = Instant::now();
+    press_ctrl_c(&cluster, 3, root.thread());
+    let quiet = cluster.await_quiescence(Duration::from_secs(30));
+    let teardown = t0.elapsed();
+    let delta = before.delta(&cluster.net().stats().snapshot());
+    let _ = root.join_timeout(Duration::from_secs(5));
+    let cleaned_deadline = Instant::now() + Duration::from_secs(10);
+    while cleaned.load(Ordering::Relaxed) < objects as u64 && Instant::now() < cleaned_deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(quiet, "t={threads}: cluster not quiescent");
+    Ok(CtrlCRow {
+        threads,
+        objects,
+        teardown,
+        messages: delta.total_sent(),
+        cleaned: cleaned.load(Ordering::Relaxed),
+        orphans: cluster.live_activations(),
+    })
+}
+
+/// Run the size sweep.
+///
+/// # Errors
+///
+/// Cluster construction failures.
+pub fn run() -> Result<Vec<CtrlCRow>, KernelError> {
+    [(2usize, 4usize), (4, 4), (8, 8), (16, 8), (32, 16)]
+        .iter()
+        .map(|&(t, o)| one_size(t, o))
+        .collect()
+}
+
+/// Render the table.
+pub fn table(rows: &[CtrlCRow]) -> Table {
+    let mut t = Table::new(
+        "E6: distributed ^C teardown, 4 nodes (paper §6.3)",
+        &[
+            "threads",
+            "objects",
+            "teardown",
+            "messages",
+            "aborts run",
+            "orphans",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.threads.to_string(),
+            r.objects.to_string(),
+            format!("{:.1?}", r.teardown),
+            r.messages.to_string(),
+            format!("{}/{}", r.cleaned, r.objects),
+            r.orphans.to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,207 @@
+//! E7 — external pager vs kernel paging (paper §6.4).
+//!
+//! Claim quantified: "Building user-level virtual memory managers
+//! (external pagers) allows applications to bypass the strict consistency
+//! imposed by the underlying sequentially consistent distributed shared
+//! memory" — at the cost of routing every fault through a user-level
+//! event handler.
+//!
+//! Workload: first-touch `PAGES` pages of a segment from a node that
+//! holds none of them, under (a) the kernel coherence protocol (pages
+//! pulled from their owner) and (b) a user-level pager server object
+//! (faults raised as VM_FAULT events). We report fault throughput and
+//! DSM message counts, plus the §6.4 concurrent-copy behaviour.
+
+use crate::Table;
+use doct_events::EventFacility;
+use doct_kernel::{Cluster, KernelError, Value};
+use doct_net::MessageClass;
+use doct_services::pager::{create_pageable_segment, PagerServer};
+use std::time::{Duration, Instant};
+
+const PAGES: usize = 256;
+const PAGE_SIZE: usize = 1024;
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct PagerRow {
+    /// Backing label.
+    pub backing: &'static str,
+    /// Pages first-touched.
+    pub pages: usize,
+    /// Total time for all first touches.
+    pub total: Duration,
+    /// Faults per second.
+    pub faults_per_sec: f64,
+    /// DSM-class messages incurred.
+    pub dsm_msgs: u64,
+    /// Event-class messages incurred.
+    pub event_msgs: u64,
+}
+
+fn kernel_backed() -> Result<PagerRow, KernelError> {
+    let cluster = Cluster::new(3);
+    let _facility = EventFacility::install(&cluster);
+    // Segment owned by node 2; node 0 first-touches every page.
+    let seg = cluster
+        .kernel(2)
+        .dsm()
+        .create_segment(PAGES * PAGE_SIZE, doct_dsm::Backing::Kernel);
+    for i in 0..2 {
+        cluster.kernel(i).dsm().attach(seg);
+    }
+    let before = cluster.net().stats().snapshot();
+    let t0 = Instant::now();
+    for p in 0..PAGES {
+        cluster
+            .kernel(0)
+            .dsm()
+            .read(seg.id, p * PAGE_SIZE, 8)
+            .map_err(KernelError::Dsm)?;
+    }
+    let total = t0.elapsed();
+    let delta = before.delta(&cluster.net().stats().snapshot());
+    Ok(PagerRow {
+        backing: "kernel DSM (owner on n2)",
+        pages: PAGES,
+        total,
+        faults_per_sec: PAGES as f64 / total.as_secs_f64(),
+        dsm_msgs: delta.sent(MessageClass::Dsm),
+        event_msgs: delta.sent(MessageClass::Event),
+    })
+}
+
+fn user_backed() -> Result<PagerRow, KernelError> {
+    let cluster = Cluster::new(3);
+    let facility = EventFacility::install(&cluster);
+    let server = PagerServer::create(
+        &cluster,
+        &facility,
+        doct_net::NodeId(2),
+        |_s, i: u32, len| vec![(i % 251) as u8; len],
+    )?;
+    for n in 0..3 {
+        server.serve_node(&cluster, n);
+    }
+    let seg = create_pageable_segment(&cluster, 0, PAGES * PAGE_SIZE);
+    let before = cluster.net().stats().snapshot();
+    let t0 = Instant::now();
+    for p in 0..PAGES {
+        cluster
+            .kernel(0)
+            .dsm()
+            .read(seg.id, p * PAGE_SIZE, 8)
+            .map_err(KernelError::Dsm)?;
+    }
+    let total = t0.elapsed();
+    let delta = before.delta(&cluster.net().stats().snapshot());
+    let stats = server.stats(&cluster)?;
+    assert_eq!(
+        stats.get("faults").and_then(Value::as_int),
+        Some(PAGES as i64),
+        "every first touch served by the user pager"
+    );
+    Ok(PagerRow {
+        backing: "user pager (server on n2)",
+        pages: PAGES,
+        total,
+        faults_per_sec: PAGES as f64 / total.as_secs_f64(),
+        dsm_msgs: delta.sent(MessageClass::Dsm),
+        event_msgs: delta.sent(MessageClass::Event),
+    })
+}
+
+/// Run both backings.
+///
+/// # Errors
+///
+/// Cluster construction failures.
+pub fn run() -> Result<Vec<PagerRow>, KernelError> {
+    Ok(vec![kernel_backed()?, user_backed()?])
+}
+
+/// The §6.4 copy/merge check: nodes 1 and 2 fault the same page; the
+/// pager supplies independent copies; writebacks merge. Returns
+/// (copies, merges).
+///
+/// # Errors
+///
+/// Cluster construction failures.
+pub fn run_copies() -> Result<(i64, i64), KernelError> {
+    let cluster = Cluster::new(3);
+    let facility = EventFacility::install(&cluster);
+    let server = PagerServer::create(&cluster, &facility, doct_net::NodeId(0), |_s, _i, len| {
+        vec![0; len]
+    })?;
+    for n in 0..3 {
+        server.serve_node(&cluster, n);
+    }
+    let seg = create_pageable_segment(&cluster, 0, PAGE_SIZE);
+    cluster
+        .kernel(1)
+        .dsm()
+        .write(seg.id, 0, &[1])
+        .map_err(KernelError::Dsm)?;
+    cluster
+        .kernel(2)
+        .dsm()
+        .write(seg.id, 0, &[2])
+        .map_err(KernelError::Dsm)?;
+    for node in [1usize, 2] {
+        let srv = server.clone();
+        let seg_id = seg.id;
+        cluster
+            .spawn_fn(node, move |ctx| {
+                let data = ctx
+                    .kernel()
+                    .dsm()
+                    .read(seg_id, 0, PAGE_SIZE)
+                    .map_err(KernelError::Dsm)?;
+                srv.writeback(ctx, seg_id, 0, data)?;
+                Ok(Value::Null)
+            })?
+            .join()?;
+    }
+    let _ = Duration::ZERO;
+    let stats = server.stats(&cluster)?;
+    let copies = stats
+        .get(&format!("copies.{}.0", seg.id.0))
+        .and_then(Value::as_int)
+        .unwrap_or(0);
+    let merges = stats.get("merges").and_then(Value::as_int).unwrap_or(0);
+    Ok((copies, merges))
+}
+
+/// Render the table.
+pub fn table(rows: &[PagerRow], copies: (i64, i64)) -> Table {
+    let mut t = Table::new(
+        "E7: first-touch fault service — kernel DSM vs user-level pager (paper §6.4)",
+        &[
+            "backing",
+            "pages",
+            "total",
+            "faults/s",
+            "dsm msgs",
+            "event msgs",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.backing.to_string(),
+            r.pages.to_string(),
+            format!("{:.1?}", r.total),
+            format!("{:.0}", r.faults_per_sec),
+            r.dsm_msgs.to_string(),
+            r.event_msgs.to_string(),
+        ]);
+    }
+    t.row(vec![
+        format!("concurrent copies of one page: {}", copies.0),
+        String::new(),
+        String::new(),
+        format!("merges: {}", copies.1),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}

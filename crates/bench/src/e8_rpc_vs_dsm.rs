@@ -1,0 +1,141 @@
+//! E8 — event semantics under RPC vs DSM invocation (paper §2, design
+//! goal 2).
+//!
+//! Claim quantified: "Ensure that the mechanism works identically
+//! regardless of whether the objects are invoked using RPC or DSM."
+//!
+//! Workload: a thread on node 0 works against a counter object homed on
+//! node 1 (`OPS` bumps), with a thread-based handler attached and `OPS/10`
+//! synchronous self-raises interleaved. The *results* (final count, sum of
+//! handler verdicts) must be identical in both modes; the *traffic mix*
+//! is expected to differ (invocation messages vs DSM page traffic) — that
+//! difference is the experiment's point.
+
+use crate::workloads::register_classes;
+use crate::Table;
+use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+use doct_kernel::{ClusterBuilder, InvocationMode, KernelConfig, KernelError, ObjectConfig, Value};
+use doct_net::{MessageClass, NodeId};
+use std::time::{Duration, Instant};
+
+const OPS: i64 = 500;
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct ModeRow {
+    /// Invocation mode.
+    pub mode: InvocationMode,
+    /// Final counter value (must match across modes).
+    pub final_count: i64,
+    /// Sum of handler verdicts (must match across modes).
+    pub verdict_sum: i64,
+    /// Invocation-class messages.
+    pub invocation_msgs: u64,
+    /// DSM-class messages.
+    pub dsm_msgs: u64,
+    /// Event-class messages.
+    pub event_msgs: u64,
+    /// Wall time.
+    pub total: Duration,
+}
+
+fn one_mode(mode: InvocationMode) -> Result<ModeRow, KernelError> {
+    let cluster = ClusterBuilder::new(2)
+        .config(KernelConfig::with_mode(mode))
+        .build();
+    let facility = EventFacility::install(&cluster);
+    let ping = facility.register_event("E8");
+    register_classes(&cluster);
+    let counter = cluster.create_object(ObjectConfig::new("counter", NodeId(1)))?;
+    let before = cluster.net().stats().snapshot();
+    let t0 = Instant::now();
+    let result = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.attach_handler(
+                ping.clone(),
+                AttachSpec::proc("double", |_c, b| {
+                    HandlerDecision::Resume(Value::Int(b.payload.as_int().unwrap_or(0) * 2))
+                }),
+            );
+            let mut verdict_sum = 0i64;
+            let mut count = 0i64;
+            for i in 0..OPS {
+                count = ctx
+                    .invoke(counter, "bump", Value::Null)?
+                    .as_int()
+                    .unwrap_or(0);
+                if i % 10 == 0 {
+                    let me = ctx.thread_id();
+                    verdict_sum += ctx
+                        .raise_and_wait(ping.clone(), i, me)?
+                        .as_int()
+                        .unwrap_or(0);
+                }
+            }
+            let mut out = Value::map();
+            out.set("count", count);
+            out.set("verdicts", verdict_sum);
+            Ok(out)
+        })?
+        .join()?;
+    let total = t0.elapsed();
+    let delta = before.delta(&cluster.net().stats().snapshot());
+    Ok(ModeRow {
+        mode,
+        final_count: result.get("count").and_then(Value::as_int).unwrap_or(-1),
+        verdict_sum: result.get("verdicts").and_then(Value::as_int).unwrap_or(-1),
+        invocation_msgs: delta.sent(MessageClass::Invocation),
+        dsm_msgs: delta.sent(MessageClass::Dsm),
+        event_msgs: delta.sent(MessageClass::Event),
+        total,
+    })
+}
+
+/// Run both modes and assert the semantic identity.
+///
+/// # Errors
+///
+/// Cluster construction failures.
+///
+/// # Panics
+///
+/// Panics if the two modes produce different application-visible results
+/// (that would falsify design goal 2).
+pub fn run() -> Result<Vec<ModeRow>, KernelError> {
+    let rpc = one_mode(InvocationMode::Rpc)?;
+    let dsm = one_mode(InvocationMode::Dsm)?;
+    assert_eq!(rpc.final_count, dsm.final_count, "semantics must match");
+    assert_eq!(rpc.verdict_sum, dsm.verdict_sum, "semantics must match");
+    assert!(rpc.invocation_msgs > 0, "RPC mode ships invocations");
+    assert_eq!(dsm.invocation_msgs, 0, "DSM mode ships no invocations");
+    assert!(dsm.dsm_msgs > rpc.dsm_msgs, "DSM mode ships pages instead");
+    Ok(vec![rpc, dsm])
+}
+
+/// Render the table.
+pub fn table(rows: &[ModeRow]) -> Table {
+    let mut t = Table::new(
+        "E8: identical event semantics under RPC and DSM invocation (paper §2 goal 2)",
+        &[
+            "mode",
+            "final count",
+            "verdict sum",
+            "invocation msgs",
+            "dsm msgs",
+            "event msgs",
+            "total",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:?}", r.mode),
+            r.final_count.to_string(),
+            r.verdict_sum.to_string(),
+            r.invocation_msgs.to_string(),
+            r.dsm_msgs.to_string(),
+            r.event_msgs.to_string(),
+            format!("{:.1?}", r.total),
+        ]);
+    }
+    t
+}

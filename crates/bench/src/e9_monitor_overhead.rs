@@ -1,0 +1,105 @@
+//! E9 — monitoring overhead vs sampling period (paper §6.2).
+//!
+//! The paper proposes sampling a thread's state on every TIMER event;
+//! the natural question it leaves open is what that costs the monitored
+//! application. Workload: a fixed compute-bound job inside an object on
+//! another node, run unmonitored (baseline) and with sampling periods
+//! from 50 ms down to 2 ms.
+
+use crate::Table;
+use doct_events::EventFacility;
+use doct_kernel::{ClassBuilder, Cluster, KernelError, ObjectConfig, Value};
+use doct_net::NodeId;
+use doct_services::monitor::MonitorServer;
+use std::time::{Duration, Instant};
+
+const COMPUTE_UNITS: i64 = 150_000_000;
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct MonitorRow {
+    /// Sampling period (None = unmonitored baseline).
+    pub period: Option<Duration>,
+    /// Job completion time.
+    pub runtime: Duration,
+    /// Slowdown vs baseline.
+    pub slowdown: f64,
+    /// Samples the server collected.
+    pub samples: usize,
+}
+
+/// Run the period sweep.
+///
+/// # Errors
+///
+/// Cluster construction failures.
+pub fn run() -> Result<Vec<MonitorRow>, KernelError> {
+    let mut rows = Vec::new();
+    let mut baseline = Duration::ZERO;
+    let periods: [Option<Duration>; 5] = [
+        None,
+        Some(Duration::from_millis(50)),
+        Some(Duration::from_millis(20)),
+        Some(Duration::from_millis(10)),
+        Some(Duration::from_millis(2)),
+    ];
+    for period in periods {
+        let cluster = Cluster::new(3);
+        let _facility = EventFacility::install(&cluster);
+        let server = MonitorServer::create(&cluster, NodeId(2))?;
+        cluster.register_class(
+            "job",
+            ClassBuilder::new("job")
+                .entry("run", |ctx, args| {
+                    ctx.compute(args.as_int().unwrap_or(0) as u64)?;
+                    Ok(Value::Null)
+                })
+                .build(),
+        );
+        let job = cluster.create_object(ObjectConfig::new("job", NodeId(1)))?;
+        let srv = server;
+        let t0 = Instant::now();
+        cluster
+            .spawn_fn(0, move |ctx| {
+                let session = period.map(|p| srv.start(ctx, p));
+                ctx.invoke(job, "run", COMPUTE_UNITS)?;
+                if let Some(s) = session {
+                    srv.stop(ctx, s);
+                }
+                Ok(Value::Null)
+            })?
+            .join()?;
+        let runtime = t0.elapsed();
+        let samples = server.samples(&cluster)?.len();
+        if period.is_none() {
+            baseline = runtime;
+        }
+        rows.push(MonitorRow {
+            period,
+            runtime,
+            slowdown: runtime.as_secs_f64() / baseline.as_secs_f64().max(f64::EPSILON),
+            samples,
+        });
+    }
+    Ok(rows)
+}
+
+/// Render the table.
+pub fn table(rows: &[MonitorRow]) -> Table {
+    let mut t = Table::new(
+        "E9: monitoring overhead vs TIMER period (paper §6.2)",
+        &["sampling period", "job runtime", "slowdown", "samples"],
+    );
+    for r in rows {
+        t.row(vec![
+            match r.period {
+                None => "off (baseline)".to_string(),
+                Some(p) => format!("{p:.0?}"),
+            },
+            format!("{:.1?}", r.runtime),
+            format!("{:.2}x", r.slowdown),
+            r.samples.to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,122 @@
+//! User-level fault handling hooks (§6.4 of the paper).
+
+use crate::PageId;
+use doct_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a fault was caused by a read or a write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Read access to an invalid page.
+    Read,
+    /// Write access to an invalid or read-only page.
+    Write,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Read => "read",
+            FaultKind::Write => "write",
+        })
+    }
+}
+
+/// Description of a fault on a pageable (user-backed) segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// The faulted page.
+    pub page: PageId,
+    /// Read or write access.
+    pub kind: FaultKind,
+    /// Node on which the fault occurred.
+    pub node: NodeId,
+    /// Bytes actually used in this page (tail pages may be short).
+    pub page_len: usize,
+}
+
+/// How a [`FaultHandler`] resolved a fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Handler supplies the page contents directly; the DSM installs them
+    /// and the faulting access proceeds.
+    Supply(Vec<u8>),
+    /// Handler could not resolve the fault; the faulting access fails with
+    /// [`crate::DsmError::UnresolvedFault`].
+    Fail,
+}
+
+/// User-level pager hook.
+///
+/// Registered per node via [`crate::DsmNode::set_fault_handler`]. Called
+/// *on the faulting thread*, which is exactly the paper's semantics: "When
+/// any thread faults at an address, the thread is suspended and the handler
+/// attached to the server is notified" — the handler may do arbitrary work
+/// (including raising events and waiting on remote parties) before
+/// returning the page.
+pub trait FaultHandler: Send + Sync {
+    /// Resolve one fault. See [`FaultOutcome`].
+    fn handle_fault(&self, fault: &FaultInfo) -> FaultOutcome;
+}
+
+/// A [`FaultHandler`] that zero-fills every page; useful as a default
+/// backing and in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroFillHandler;
+
+impl FaultHandler for ZeroFillHandler {
+    fn handle_fault(&self, fault: &FaultInfo) -> FaultOutcome {
+        FaultOutcome::Supply(vec![0; fault.page_len])
+    }
+}
+
+impl<F> FaultHandler for F
+where
+    F: Fn(&FaultInfo) -> FaultOutcome + Send + Sync,
+{
+    fn handle_fault(&self, fault: &FaultInfo) -> FaultOutcome {
+        self(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SegmentId;
+
+    fn fault() -> FaultInfo {
+        FaultInfo {
+            page: PageId {
+                segment: SegmentId::new(NodeId(0), 1),
+                index: 2,
+            },
+            kind: FaultKind::Read,
+            node: NodeId(1),
+            page_len: 128,
+        }
+    }
+
+    #[test]
+    fn zero_fill_supplies_exactly_page_len() {
+        match ZeroFillHandler.handle_fault(&fault()) {
+            FaultOutcome::Supply(data) => assert_eq!(data, vec![0; 128]),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closures_are_handlers() {
+        let h = |f: &FaultInfo| FaultOutcome::Supply(vec![f.page.index as u8; f.page_len]);
+        match h.handle_fault(&fault()) {
+            FaultOutcome::Supply(data) => assert_eq!(data[0], 2),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_kind_display() {
+        assert_eq!(FaultKind::Read.to_string(), "read");
+        assert_eq!(FaultKind::Write.to_string(), "write");
+    }
+}

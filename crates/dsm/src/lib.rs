@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # doct-dsm — distributed shared memory substrate
+//!
+//! The DO/CT environment executes object invocations over distributed
+//! shared memory (paper §2). This crate provides that substrate: a
+//! page-based, sequentially consistent DSM in the style of Li & Hudak's
+//! IVY, with a per-segment manager node, a single-writer/multiple-reader
+//! ownership protocol, and — crucial for the paper's §6.4 — *pageable user
+//! segments* whose faults are resolved by a user-level fault handler
+//! instead of the kernel protocol (the "external pager").
+//!
+//! Pieces:
+//!
+//! * [`SegmentId`], [`PageId`], [`SegmentInfo`] — naming and geometry.
+//! * [`DsmMessage`] — the coherence protocol wire format.
+//! * [`DsmNode`] — the per-node engine: segment creation/attach, `read`/
+//!   `write` with transparent fault handling, and the non-blocking
+//!   [`DsmNode::handle_message`] the host kernel drives from its node loop.
+//! * [`FaultHandler`]/[`FaultInfo`]/[`FaultOutcome`] — the hook through
+//!   which faults on pageable segments are surfaced (the event facility
+//!   turns these into `VM_FAULT` events).
+//! * [`DsmTransport`] — how protocol messages leave the node; the kernel
+//!   wraps them into its own message enum, tests use
+//!   [`loopback::LoopbackCluster`].
+//!
+//! Every protocol message is tagged [`doct_net::MessageClass::Dsm`] by the
+//! host so the RPC-vs-DSM experiment (E8) can attribute traffic.
+
+mod fault;
+mod message;
+mod node;
+mod state;
+mod types;
+
+pub mod loopback;
+
+pub use fault::{FaultHandler, FaultInfo, FaultKind, FaultOutcome, ZeroFillHandler};
+pub use message::DsmMessage;
+pub use node::{DsmError, DsmNode, DsmNodeStats, DsmTransport};
+pub use state::AccessLevel;
+pub use types::{Backing, DsmConfig, PageId, SegmentId, SegmentInfo};

@@ -1,0 +1,125 @@
+//! Coherence protocol wire format.
+
+use crate::{FaultKind, PageId, SegmentInfo};
+use doct_net::{NodeId, WireMessage};
+use serde::{Deserialize, Serialize};
+
+/// Messages of the single-writer/multiple-reader ownership protocol.
+///
+/// The protocol is manager-mediated: a faulting node asks the segment's
+/// manager, the manager serializes transactions per page and forwards to
+/// the current owner, data and acknowledgements flow directly to the
+/// faulting node, and the faulting node tells the manager when the
+/// transaction is complete.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DsmMessage {
+    /// Faulting node → manager: start a fault transaction on `page`.
+    FaultRequest {
+        /// The faulted page.
+        page: PageId,
+        /// Read or write fault.
+        kind: FaultKind,
+        /// The faulting node (transaction coordinator for replies).
+        from: NodeId,
+    },
+    /// Manager → current owner: serve `requester`.
+    ///
+    /// For a read fault the owner downgrades to a read copy and sends the
+    /// page read-only; for a write fault it sends the page with ownership
+    /// and invalidates its local copy.
+    Forward {
+        /// The page being served.
+        page: PageId,
+        /// Node the data must be sent to.
+        requester: NodeId,
+        /// Read or write fault being served.
+        kind: FaultKind,
+    },
+    /// Manager → copy holder: drop your read copy of `page` and ack to
+    /// `ack_to` (the writer waiting for exclusivity).
+    Invalidate {
+        /// Page to drop.
+        page: PageId,
+        /// Node collecting invalidation acks.
+        ack_to: NodeId,
+    },
+    /// Copy holder → writer: read copy dropped.
+    InvalidateAck {
+        /// Page that was dropped.
+        page: PageId,
+    },
+    /// Manager → faulting node: how many invalidation acks to expect
+    /// before the write may proceed (sent for write faults only).
+    WriteGrant {
+        /// Page being granted.
+        page: PageId,
+        /// Number of [`DsmMessage::InvalidateAck`]s that will arrive.
+        expected_acks: u32,
+    },
+    /// Owner → faulting node: page contents.
+    PageData {
+        /// Page carried.
+        page: PageId,
+        /// Contents (exactly the used length of the page).
+        data: Vec<u8>,
+        /// `true` if this satisfies a read fault (copy), `false` if it
+        /// carries ownership for a write fault.
+        readonly: bool,
+    },
+    /// Faulting node → manager: transaction finished; directory may commit
+    /// the new owner/copyset and start the next queued transaction.
+    FaultComplete {
+        /// Page whose transaction completed.
+        page: PageId,
+        /// The fault kind that completed.
+        kind: FaultKind,
+        /// The node that faulted (new owner if `kind` is a write).
+        from: NodeId,
+    },
+    /// Creating node → everyone: a segment now exists (the host kernel
+    /// forwards this so all nodes can attach).
+    Announce {
+        /// Geometry and policy of the new segment.
+        info: SegmentInfo,
+    },
+}
+
+impl WireMessage for DsmMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            DsmMessage::PageData { data, .. } => 64 + data.len(),
+            _ => 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SegmentId;
+
+    #[test]
+    fn page_data_wire_size_includes_payload() {
+        let msg = DsmMessage::PageData {
+            page: PageId {
+                segment: SegmentId::new(NodeId(0), 1),
+                index: 0,
+            },
+            data: vec![0; 1024],
+            readonly: true,
+        };
+        assert_eq!(msg.wire_size(), 1088);
+    }
+
+    #[test]
+    fn control_messages_are_header_sized() {
+        let msg = DsmMessage::Invalidate {
+            page: PageId {
+                segment: SegmentId::new(NodeId(0), 1),
+                index: 3,
+            },
+            ack_to: NodeId(2),
+        };
+        assert_eq!(msg.wire_size(), 64);
+    }
+}

@@ -1,0 +1,799 @@
+//! The per-node DSM engine.
+
+use crate::state::{AccessLevel, DirEntry, InFlight, LocalPage, NodeState};
+use crate::{
+    Backing, DsmConfig, DsmMessage, FaultHandler, FaultInfo, FaultKind, FaultOutcome, PageId,
+    SegmentId, SegmentInfo,
+};
+use doct_net::NodeId;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Outbound path for protocol messages. The host kernel implements this by
+/// wrapping [`DsmMessage`] into its own node-to-node message type.
+pub trait DsmTransport: Send + Sync {
+    /// Deliver `msg` to node `to`. Must not block indefinitely.
+    fn send(&self, from: NodeId, to: NodeId, msg: DsmMessage);
+}
+
+/// Errors surfaced by DSM accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsmError {
+    /// The segment has not been created or attached on this node.
+    UnknownSegment(SegmentId),
+    /// The access falls outside the segment.
+    OutOfBounds {
+        /// Segment accessed.
+        segment: SegmentId,
+        /// Byte offset of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Segment size.
+        size: usize,
+    },
+    /// A pageable segment faulted but no fault handler is registered.
+    NoFaultHandler(PageId),
+    /// The fault handler declined to resolve the fault.
+    UnresolvedFault(PageId),
+    /// The coherence protocol did not answer in time (lost messages,
+    /// partitioned cluster).
+    Timeout(PageId),
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
+            DsmError::OutOfBounds {
+                segment,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "access [{offset}..{}) out of bounds of {segment} (size {size})",
+                offset + len
+            ),
+            DsmError::NoFaultHandler(p) => write!(f, "fault on {p} with no fault handler"),
+            DsmError::UnresolvedFault(p) => write!(f, "fault handler failed to resolve {p}"),
+            DsmError::Timeout(p) => write!(f, "coherence protocol timeout on {p}"),
+        }
+    }
+}
+
+impl Error for DsmError {}
+
+/// Monotone per-node fault/traffic counters (E7's instrument).
+#[derive(Debug, Default)]
+pub struct DsmNodeStats {
+    read_faults: AtomicU64,
+    write_faults: AtomicU64,
+    user_faults: AtomicU64,
+    pages_served: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl DsmNodeStats {
+    /// Kernel-protocol read faults taken on this node.
+    pub fn read_faults(&self) -> u64 {
+        self.read_faults.load(Ordering::Relaxed)
+    }
+
+    /// Kernel-protocol write faults taken on this node.
+    pub fn write_faults(&self) -> u64 {
+        self.write_faults.load(Ordering::Relaxed)
+    }
+
+    /// Faults resolved by the user-level fault handler.
+    pub fn user_faults(&self) -> u64 {
+        self.user_faults.load(Ordering::Relaxed)
+    }
+
+    /// Pages this node served to other nodes (as owner).
+    pub fn pages_served(&self) -> u64 {
+        self.pages_served.load(Ordering::Relaxed)
+    }
+
+    /// Read copies this node dropped due to invalidations.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+}
+
+/// One node's DSM engine.
+///
+/// Thread-safe: user threads call [`DsmNode::read`]/[`DsmNode::write`]
+/// (which may block while a fault is serviced), while the host kernel's
+/// receive loop feeds inbound protocol traffic to the **non-blocking**
+/// [`DsmNode::handle_message`].
+pub struct DsmNode {
+    node: NodeId,
+    config: DsmConfig,
+    transport: Arc<dyn DsmTransport>,
+    state: Mutex<NodeState>,
+    cond: Condvar,
+    fault_handler: RwLock<Option<Arc<dyn FaultHandler>>>,
+    stats: DsmNodeStats,
+}
+
+impl fmt::Debug for DsmNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsmNode")
+            .field("node", &self.node)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DsmNode {
+    /// Create the engine for `node`, sending protocol traffic through
+    /// `transport`.
+    pub fn new(node: NodeId, config: DsmConfig, transport: Arc<dyn DsmTransport>) -> Self {
+        DsmNode {
+            node,
+            config,
+            transport,
+            state: Mutex::new(NodeState::default()),
+            cond: Condvar::new(),
+            fault_handler: RwLock::new(None),
+            stats: DsmNodeStats::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Fault/traffic counters.
+    pub fn stats(&self) -> &DsmNodeStats {
+        &self.stats
+    }
+
+    /// Register the user-level fault handler for pageable segments
+    /// (replacing any previous one).
+    pub fn set_fault_handler(&self, handler: Arc<dyn FaultHandler>) {
+        *self.fault_handler.write() = Some(handler);
+    }
+
+    /// Remove the user-level fault handler.
+    pub fn clear_fault_handler(&self) {
+        *self.fault_handler.write() = None;
+    }
+
+    /// Create a segment managed by this node. For kernel-backed segments
+    /// this node starts as owner of every (zero-filled) page.
+    ///
+    /// The caller is responsible for announcing the returned
+    /// [`SegmentInfo`] to other nodes (the host kernel broadcasts a
+    /// [`DsmMessage::Announce`]).
+    pub fn create_segment(&self, size: usize, backing: Backing) -> SegmentInfo {
+        let mut st = self.state.lock();
+        let seq = st.next_segment_seq;
+        st.next_segment_seq += 1;
+        let info = SegmentInfo {
+            id: SegmentId::new(self.node, seq),
+            manager: self.node,
+            size,
+            page_size: self.config.page_size,
+            backing,
+        };
+        st.segments.insert(info.id, info);
+        if backing == Backing::Kernel {
+            for index in 0..info.page_count() {
+                let page = PageId {
+                    segment: info.id,
+                    index,
+                };
+                st.pages
+                    .insert(page, LocalPage::owned(vec![0; info.page_len(index)]));
+                st.directory.insert(page, DirEntry::new(self.node));
+            }
+        }
+        info
+    }
+
+    /// Learn about a segment created elsewhere.
+    pub fn attach(&self, info: SegmentInfo) {
+        self.state.lock().segments.insert(info.id, info);
+    }
+
+    /// Geometry of `segment`, if known on this node.
+    pub fn segment_info(&self, segment: SegmentId) -> Option<SegmentInfo> {
+        self.state.lock().segments.get(&segment).copied()
+    }
+
+    /// Current access level this node holds on `page` (inspection for
+    /// tests and invariant checks).
+    pub fn access_level(&self, page: PageId) -> AccessLevel {
+        self.state
+            .lock()
+            .pages
+            .get(&page)
+            .map(|p| p.access)
+            .unwrap_or(AccessLevel::Invalid)
+    }
+
+    /// Manager-side directory view of `page`: `(owner, copyset)`.
+    /// `None` if this node does not manage the page.
+    pub fn directory_entry(&self, page: PageId) -> Option<(NodeId, Vec<NodeId>)> {
+        self.state
+            .lock()
+            .directory
+            .get(&page)
+            .map(|d| (d.owner, d.copyset.iter().copied().collect()))
+    }
+
+    fn info_checked(
+        &self,
+        segment: SegmentId,
+        offset: usize,
+        len: usize,
+    ) -> Result<SegmentInfo, DsmError> {
+        let st = self.state.lock();
+        let info = st
+            .segments
+            .get(&segment)
+            .copied()
+            .ok_or(DsmError::UnknownSegment(segment))?;
+        if offset + len > info.size {
+            return Err(DsmError::OutOfBounds {
+                segment,
+                offset,
+                len,
+                size: info.size,
+            });
+        }
+        Ok(info)
+    }
+
+    /// Read `len` bytes at `offset`, faulting pages in as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`DsmError::UnknownSegment`], [`DsmError::OutOfBounds`], or a fault
+    /// resolution failure.
+    pub fn read(&self, segment: SegmentId, offset: usize, len: usize) -> Result<Vec<u8>, DsmError> {
+        let info = self.info_checked(segment, offset, len)?;
+        let mut out = Vec::with_capacity(len);
+        for index in info.pages_for_range(offset, len) {
+            let page_start = index as usize * info.page_size;
+            let s = offset.max(page_start) - page_start;
+            let e = (offset + len).min(page_start + info.page_len(index)) - page_start;
+            self.with_page(&info, index, FaultKind::Read, |data| {
+                out.extend_from_slice(&data[s..e]);
+            })?;
+        }
+        Ok(out)
+    }
+
+    /// Write `data` at `offset`, acquiring page ownership as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`DsmError::UnknownSegment`], [`DsmError::OutOfBounds`], or a fault
+    /// resolution failure.
+    pub fn write(&self, segment: SegmentId, offset: usize, data: &[u8]) -> Result<(), DsmError> {
+        let info = self.info_checked(segment, offset, data.len())?;
+        let mut cursor = 0usize;
+        for index in info.pages_for_range(offset, data.len()) {
+            let page_start = index as usize * info.page_size;
+            let s = (offset + cursor).max(page_start) - page_start;
+            let e = (offset + data.len()).min(page_start + info.page_len(index)) - page_start;
+            let chunk = &data[cursor..cursor + (e - s)];
+            self.with_page(&info, index, FaultKind::Write, |page| {
+                page[s..e].copy_from_slice(chunk);
+            })?;
+            cursor += e - s;
+        }
+        Ok(())
+    }
+
+    /// Convenience: read a little-endian `u64` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DsmNode::read`].
+    pub fn read_u64(&self, segment: SegmentId, offset: usize) -> Result<u64, DsmError> {
+        let bytes = self.read(segment, offset, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Convenience: write a little-endian `u64` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DsmNode::write`].
+    pub fn write_u64(&self, segment: SegmentId, offset: usize, value: u64) -> Result<(), DsmError> {
+        self.write(segment, offset, &value.to_le_bytes())
+    }
+
+    /// Run `f` over the page's bytes with at least `kind` access, faulting
+    /// as necessary. Access check and the closure run atomically under the
+    /// node lock, so no remote invalidation can interleave.
+    fn with_page<R>(
+        &self,
+        info: &SegmentInfo,
+        index: u32,
+        kind: FaultKind,
+        f: impl FnOnce(&mut Vec<u8>) -> R,
+    ) -> Result<R, DsmError> {
+        let page = PageId {
+            segment: info.id,
+            index,
+        };
+        let mut st = self.state.lock();
+        loop {
+            let lp = st.pages.entry(page).or_insert_with(LocalPage::invalid);
+            if lp.access.satisfies(kind) {
+                let data = lp.data.as_mut().expect("valid page has data");
+                return Ok(f(data));
+            }
+            if st.inflight.contains_key(&page) {
+                // Another local thread is coordinating a fault on this
+                // page; wait for it and re-check.
+                if self
+                    .cond
+                    .wait_for(&mut st, self.config.fault_timeout)
+                    .timed_out()
+                {
+                    return Err(DsmError::Timeout(page));
+                }
+                continue;
+            }
+            match info.backing {
+                Backing::UserPager => {
+                    st.inflight.insert(page, InFlight::new(kind));
+                    drop(st);
+                    let result = self.resolve_user_fault(info, page, kind);
+                    st = self.state.lock();
+                    st.inflight.remove(&page);
+                    match result {
+                        Ok(data) => {
+                            st.pages.insert(page, LocalPage::owned(data));
+                            self.cond.notify_all();
+                            continue;
+                        }
+                        Err(e) => {
+                            self.cond.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+                Backing::Kernel => {
+                    match kind {
+                        FaultKind::Read => self.stats.read_faults.fetch_add(1, Ordering::Relaxed),
+                        FaultKind::Write => self.stats.write_faults.fetch_add(1, Ordering::Relaxed),
+                    };
+                    st.inflight.insert(page, InFlight::new(kind));
+                    drop(st);
+                    self.dispatch(
+                        info.manager,
+                        DsmMessage::FaultRequest {
+                            page,
+                            kind,
+                            from: self.node,
+                        },
+                    );
+                    st = self.state.lock();
+                    loop {
+                        let fl = st.inflight.get(&page).expect("coordinator owns inflight");
+                        if fl.is_complete() {
+                            break;
+                        }
+                        if self
+                            .cond
+                            .wait_for(&mut st, self.config.fault_timeout)
+                            .timed_out()
+                        {
+                            st.inflight.remove(&page);
+                            self.cond.notify_all();
+                            return Err(DsmError::Timeout(page));
+                        }
+                    }
+                    let fl = st.inflight.remove(&page).expect("checked above");
+                    let access = match kind {
+                        FaultKind::Read => AccessLevel::Read,
+                        FaultKind::Write => AccessLevel::Owned,
+                    };
+                    st.pages.insert(
+                        page,
+                        LocalPage {
+                            access,
+                            data: Some(fl.data.expect("complete transaction has data")),
+                        },
+                    );
+                    drop(st);
+                    self.dispatch(
+                        info.manager,
+                        DsmMessage::FaultComplete {
+                            page,
+                            kind,
+                            from: self.node,
+                        },
+                    );
+                    self.cond.notify_all();
+                    st = self.state.lock();
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn resolve_user_fault(
+        &self,
+        info: &SegmentInfo,
+        page: PageId,
+        kind: FaultKind,
+    ) -> Result<Vec<u8>, DsmError> {
+        let handler = self
+            .fault_handler
+            .read()
+            .clone()
+            .ok_or(DsmError::NoFaultHandler(page))?;
+        self.stats.user_faults.fetch_add(1, Ordering::Relaxed);
+        let fault = FaultInfo {
+            page,
+            kind,
+            node: self.node,
+            page_len: info.page_len(page.index),
+        };
+        match handler.handle_fault(&fault) {
+            FaultOutcome::Supply(mut data) => {
+                data.resize(fault.page_len, 0);
+                Ok(data)
+            }
+            FaultOutcome::Fail => Err(DsmError::UnresolvedFault(page)),
+        }
+    }
+
+    /// Send `msg` to `to`; a message to this node is handled inline.
+    fn dispatch(&self, to: NodeId, msg: DsmMessage) {
+        if to == self.node {
+            self.handle_message(msg);
+        } else {
+            self.transport.send(self.node, to, msg);
+        }
+    }
+
+    /// Feed one inbound protocol message. **Never blocks**; safe to call
+    /// from the host kernel's single receive loop.
+    pub fn handle_message(&self, msg: DsmMessage) {
+        match msg {
+            DsmMessage::Announce { info } => self.attach(info),
+            DsmMessage::FaultRequest { page, kind, from } => {
+                self.on_fault_request(page, kind, from)
+            }
+            DsmMessage::Forward {
+                page,
+                requester,
+                kind,
+            } => self.on_forward(page, requester, kind),
+            DsmMessage::Invalidate { page, ack_to } => self.on_invalidate(page, ack_to),
+            DsmMessage::InvalidateAck { page } => self.on_ack(page),
+            DsmMessage::WriteGrant {
+                page,
+                expected_acks,
+            } => self.on_grant(page, expected_acks),
+            DsmMessage::PageData { page, data, .. } => self.on_page_data(page, data),
+            DsmMessage::FaultComplete { page, kind, from } => self.on_complete(page, kind, from),
+        }
+    }
+
+    /// Manager role: serialize and start a fault transaction.
+    fn on_fault_request(&self, page: PageId, kind: FaultKind, from: NodeId) {
+        let mut actions: Vec<(NodeId, DsmMessage)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let node = self.node;
+            let dir = st
+                .directory
+                .entry(page)
+                .or_insert_with(|| DirEntry::new(node));
+            if dir.busy {
+                dir.queue.push_back((from, kind));
+                return;
+            }
+            dir.busy = true;
+            let owner = dir.owner;
+            match kind {
+                FaultKind::Read => {
+                    actions.push((
+                        owner,
+                        DsmMessage::Forward {
+                            page,
+                            requester: from,
+                            kind,
+                        },
+                    ));
+                }
+                FaultKind::Write => {
+                    let holders: Vec<NodeId> =
+                        dir.copyset.iter().copied().filter(|&n| n != from).collect();
+                    for &h in &holders {
+                        actions.push((h, DsmMessage::Invalidate { page, ack_to: from }));
+                    }
+                    actions.push((
+                        from,
+                        DsmMessage::WriteGrant {
+                            page,
+                            expected_acks: holders.len() as u32,
+                        },
+                    ));
+                    actions.push((
+                        owner,
+                        DsmMessage::Forward {
+                            page,
+                            requester: from,
+                            kind,
+                        },
+                    ));
+                }
+            }
+        }
+        for (to, msg) in actions {
+            self.dispatch(to, msg);
+        }
+    }
+
+    /// Owner role: serve page data to a requester.
+    fn on_forward(&self, page: PageId, requester: NodeId, kind: FaultKind) {
+        let mut inline: Option<DsmMessage> = None;
+        let mut action: Option<(NodeId, DsmMessage)> = None;
+        {
+            let mut st = self.state.lock();
+            let lp = st
+                .pages
+                .get_mut(&page)
+                .expect("directory names this node owner, so it must hold the page");
+            if requester == self.node {
+                // Ownership upgrade at the (former) owner: the data is
+                // already local; synthesize the PageData step.
+                let data = lp.data.clone().expect("owner holds data");
+                inline = Some(DsmMessage::PageData {
+                    page,
+                    data,
+                    readonly: kind == FaultKind::Read,
+                });
+            } else {
+                self.stats.pages_served.fetch_add(1, Ordering::Relaxed);
+                match kind {
+                    FaultKind::Read => {
+                        lp.access = AccessLevel::Read;
+                        let data = lp.data.clone().expect("owner holds data");
+                        action = Some((
+                            requester,
+                            DsmMessage::PageData {
+                                page,
+                                data,
+                                readonly: true,
+                            },
+                        ));
+                    }
+                    FaultKind::Write => {
+                        let data = lp.data.take().expect("owner holds data");
+                        lp.access = AccessLevel::Invalid;
+                        action = Some((
+                            requester,
+                            DsmMessage::PageData {
+                                page,
+                                data,
+                                readonly: false,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(msg) = inline {
+            self.handle_message(msg);
+        }
+        if let Some((to, msg)) = action {
+            self.dispatch(to, msg);
+        }
+    }
+
+    /// Copy-holder role: drop the read copy and acknowledge to the writer.
+    fn on_invalidate(&self, page: PageId, ack_to: NodeId) {
+        {
+            let mut st = self.state.lock();
+            if let Some(lp) = st.pages.get_mut(&page) {
+                lp.access = AccessLevel::Invalid;
+                lp.data = None;
+            }
+        }
+        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.dispatch(ack_to, DsmMessage::InvalidateAck { page });
+    }
+
+    fn on_ack(&self, page: PageId) {
+        let mut st = self.state.lock();
+        if let Some(fl) = st.inflight.get_mut(&page) {
+            fl.acks += 1;
+        }
+        self.cond.notify_all();
+    }
+
+    fn on_grant(&self, page: PageId, expected_acks: u32) {
+        let mut st = self.state.lock();
+        if let Some(fl) = st.inflight.get_mut(&page) {
+            fl.expected_acks = Some(expected_acks);
+        }
+        self.cond.notify_all();
+    }
+
+    fn on_page_data(&self, page: PageId, data: Vec<u8>) {
+        let mut st = self.state.lock();
+        if let Some(fl) = st.inflight.get_mut(&page) {
+            fl.data = Some(data);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Manager role: commit the directory update and start the next queued
+    /// transaction, if any.
+    fn on_complete(&self, page: PageId, kind: FaultKind, from: NodeId) {
+        let next;
+        {
+            let mut st = self.state.lock();
+            let dir = st
+                .directory
+                .get_mut(&page)
+                .expect("completion for a page this node manages");
+            match kind {
+                FaultKind::Read => {
+                    if from != dir.owner {
+                        dir.copyset.insert(from);
+                    }
+                }
+                FaultKind::Write => {
+                    dir.owner = from;
+                    dir.copyset.clear();
+                }
+            }
+            dir.busy = false;
+            next = dir.queue.pop_front();
+        }
+        if let Some((node, kind)) = next {
+            self.on_fault_request(page, kind, node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Transport that drops everything: good enough for single-node tests
+    /// where all traffic is inline.
+    struct NullTransport;
+    impl DsmTransport for NullTransport {
+        fn send(&self, _from: NodeId, _to: NodeId, _msg: DsmMessage) {
+            panic!("single-node test should never send remote messages");
+        }
+    }
+
+    fn single_node() -> DsmNode {
+        DsmNode::new(NodeId(0), DsmConfig::default(), Arc::new(NullTransport))
+    }
+
+    #[test]
+    fn create_read_write_round_trip_locally() {
+        let n = single_node();
+        let info = n.create_segment(4096, Backing::Kernel);
+        n.write(info.id, 100, b"hello dsm").unwrap();
+        assert_eq!(n.read(info.id, 100, 9).unwrap(), b"hello dsm");
+    }
+
+    #[test]
+    fn fresh_segment_reads_zero() {
+        let n = single_node();
+        let info = n.create_segment(100, Backing::Kernel);
+        assert_eq!(n.read(info.id, 0, 100).unwrap(), vec![0; 100]);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let n = single_node();
+        let info = n.create_segment(3000, Backing::Kernel);
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        // Spans the 1024 page boundary.
+        n.write(info.id, 1000, &data).unwrap();
+        assert_eq!(n.read(info.id, 1000, 200).unwrap(), data);
+    }
+
+    #[test]
+    fn u64_helpers_round_trip() {
+        let n = single_node();
+        let info = n.create_segment(64, Backing::Kernel);
+        n.write_u64(info.id, 8, 0xdead_beef_cafe).unwrap();
+        assert_eq!(n.read_u64(info.id, 8).unwrap(), 0xdead_beef_cafe);
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let n = single_node();
+        let info = n.create_segment(100, Backing::Kernel);
+        let err = n.read(info.id, 90, 20).unwrap_err();
+        assert!(matches!(err, DsmError::OutOfBounds { .. }), "{err}");
+        let err = n.write(info.id, 100, &[1]).unwrap_err();
+        assert!(matches!(err, DsmError::OutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_segment_is_rejected() {
+        let n = single_node();
+        let bogus = SegmentId::new(NodeId(3), 9);
+        assert_eq!(
+            n.read(bogus, 0, 1).unwrap_err(),
+            DsmError::UnknownSegment(bogus)
+        );
+    }
+
+    #[test]
+    fn zero_length_read_is_empty_and_faultless() {
+        let n = single_node();
+        let info = n.create_segment(100, Backing::Kernel);
+        assert_eq!(n.read(info.id, 50, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn pageable_segment_needs_a_handler() {
+        let n = single_node();
+        let info = n.create_segment(100, Backing::UserPager);
+        let err = n.read(info.id, 0, 1).unwrap_err();
+        assert!(matches!(err, DsmError::NoFaultHandler(_)), "{err}");
+    }
+
+    #[test]
+    fn pageable_segment_faults_through_handler() {
+        let n = single_node();
+        let info = n.create_segment(2048, Backing::UserPager);
+        n.set_fault_handler(Arc::new(|f: &FaultInfo| {
+            FaultOutcome::Supply(vec![f.page.index as u8 + 1; f.page_len])
+        }));
+        assert_eq!(n.read(info.id, 0, 2).unwrap(), vec![1, 1]);
+        assert_eq!(n.read(info.id, 1024, 2).unwrap(), vec![2, 2]);
+        assert_eq!(n.stats().user_faults(), 2);
+        // Second access: already installed, no new fault.
+        assert_eq!(n.read(info.id, 0, 2).unwrap(), vec![1, 1]);
+        assert_eq!(n.stats().user_faults(), 2);
+    }
+
+    #[test]
+    fn pageable_fault_failure_propagates() {
+        let n = single_node();
+        let info = n.create_segment(100, Backing::UserPager);
+        n.set_fault_handler(Arc::new(|_: &FaultInfo| FaultOutcome::Fail));
+        let err = n.read(info.id, 0, 1).unwrap_err();
+        assert!(matches!(err, DsmError::UnresolvedFault(_)), "{err}");
+    }
+
+    #[test]
+    fn handler_short_supply_is_padded() {
+        let n = single_node();
+        let info = n.create_segment(100, Backing::UserPager);
+        n.set_fault_handler(Arc::new(|_: &FaultInfo| FaultOutcome::Supply(vec![7; 3])));
+        assert_eq!(n.read(info.id, 0, 5).unwrap(), vec![7, 7, 7, 0, 0]);
+    }
+
+    #[test]
+    fn creator_owns_all_pages_initially() {
+        let n = single_node();
+        let info = n.create_segment(3000, Backing::Kernel);
+        for index in 0..info.page_count() {
+            let page = PageId {
+                segment: info.id,
+                index,
+            };
+            assert_eq!(n.access_level(page), AccessLevel::Owned);
+            let (owner, copyset) = n.directory_entry(page).unwrap();
+            assert_eq!(owner, NodeId(0));
+            assert!(copyset.is_empty());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-node page state and the manager directory.
+
+use crate::{FaultKind, PageId};
+use doct_net::NodeId;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Access level a node currently holds on a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessLevel {
+    /// No valid copy.
+    Invalid,
+    /// Read-only copy (one of possibly many).
+    Read,
+    /// Exclusive, writable copy (the single writer).
+    Owned,
+}
+
+impl AccessLevel {
+    /// Whether this level satisfies an access of `kind`.
+    pub fn satisfies(self, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::Read => self >= AccessLevel::Read,
+            FaultKind::Write => self == AccessLevel::Owned,
+        }
+    }
+}
+
+/// A page frame on one node.
+#[derive(Debug)]
+pub(crate) struct LocalPage {
+    pub access: AccessLevel,
+    /// Present iff `access != Invalid`.
+    pub data: Option<Vec<u8>>,
+}
+
+impl LocalPage {
+    pub fn invalid() -> Self {
+        LocalPage {
+            access: AccessLevel::Invalid,
+            data: None,
+        }
+    }
+
+    pub fn owned(data: Vec<u8>) -> Self {
+        LocalPage {
+            access: AccessLevel::Owned,
+            data: Some(data),
+        }
+    }
+}
+
+/// An in-flight fault transaction on the faulting node.
+#[derive(Debug)]
+pub(crate) struct InFlight {
+    pub kind: FaultKind,
+    /// Page contents received from the previous owner (None until then).
+    pub data: Option<Vec<u8>>,
+    /// For write faults: how many invalidation acks the manager promised
+    /// (None until the `WriteGrant` arrives).
+    pub expected_acks: Option<u32>,
+    /// Acks received so far.
+    pub acks: u32,
+}
+
+impl InFlight {
+    pub fn new(kind: FaultKind) -> Self {
+        InFlight {
+            kind,
+            data: None,
+            expected_acks: None,
+            acks: 0,
+        }
+    }
+
+    /// Whether the transaction has everything it needs to commit.
+    pub fn is_complete(&self) -> bool {
+        match self.kind {
+            FaultKind::Read => self.data.is_some(),
+            FaultKind::Write => {
+                self.data.is_some() && self.expected_acks.is_some_and(|e| e == self.acks)
+            }
+        }
+    }
+}
+
+/// The manager's view of one page: current owner, read-copy holders, and a
+/// queue serializing fault transactions.
+#[derive(Debug)]
+pub(crate) struct DirEntry {
+    pub owner: NodeId,
+    /// Read-copy holders, excluding the owner.
+    pub copyset: BTreeSet<NodeId>,
+    /// A transaction is in progress; new requests queue.
+    pub busy: bool,
+    pub queue: VecDeque<(NodeId, FaultKind)>,
+}
+
+impl DirEntry {
+    pub fn new(owner: NodeId) -> Self {
+        DirEntry {
+            owner,
+            copyset: BTreeSet::new(),
+            busy: false,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// All mutable DSM state of one node, behind the node's mutex.
+#[derive(Debug, Default)]
+pub(crate) struct NodeState {
+    /// Segments this node knows about (created or attached).
+    pub segments: HashMap<crate::SegmentId, crate::SegmentInfo>,
+    /// Local page frames.
+    pub pages: HashMap<PageId, LocalPage>,
+    /// Fault transactions this node is currently coordinating.
+    pub inflight: HashMap<PageId, InFlight>,
+    /// Manager directory for segments this node manages.
+    pub directory: HashMap<PageId, DirEntry>,
+    /// Per-node segment creation sequence.
+    pub next_segment_seq: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_satisfaction_matrix() {
+        assert!(!AccessLevel::Invalid.satisfies(FaultKind::Read));
+        assert!(!AccessLevel::Invalid.satisfies(FaultKind::Write));
+        assert!(AccessLevel::Read.satisfies(FaultKind::Read));
+        assert!(!AccessLevel::Read.satisfies(FaultKind::Write));
+        assert!(AccessLevel::Owned.satisfies(FaultKind::Read));
+        assert!(AccessLevel::Owned.satisfies(FaultKind::Write));
+    }
+
+    #[test]
+    fn read_transaction_completes_on_data() {
+        let mut t = InFlight::new(FaultKind::Read);
+        assert!(!t.is_complete());
+        t.data = Some(vec![1]);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn write_transaction_needs_data_grant_and_acks() {
+        let mut t = InFlight::new(FaultKind::Write);
+        t.data = Some(vec![1]);
+        assert!(!t.is_complete(), "no grant yet");
+        t.expected_acks = Some(2);
+        assert!(!t.is_complete(), "acks outstanding");
+        t.acks = 2;
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn write_transaction_with_zero_holders_completes_on_grant_and_data() {
+        let mut t = InFlight::new(FaultKind::Write);
+        t.expected_acks = Some(0);
+        assert!(!t.is_complete(), "data outstanding");
+        t.data = Some(vec![]);
+        assert!(t.is_complete());
+    }
+}

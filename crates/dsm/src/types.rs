@@ -1,0 +1,161 @@
+//! Naming, geometry, and configuration of DSM segments.
+
+use doct_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a DSM segment.
+///
+/// The high 32 bits carry the creating node, the low 32 bits a per-node
+/// sequence number, so segments can be created without global coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentId(pub u64);
+
+impl SegmentId {
+    /// Compose a segment id from its creating node and local sequence.
+    pub fn new(creator: NodeId, seq: u32) -> Self {
+        SegmentId(((creator.0 as u64) << 32) | seq as u64)
+    }
+
+    /// The node that created (and manages) this segment.
+    pub fn creator(self) -> NodeId {
+        NodeId((self.0 >> 32) as u32)
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}.{}", self.creator().0, self.0 & 0xffff_ffff)
+    }
+}
+
+/// Identity of one page within a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId {
+    /// Owning segment.
+    pub segment: SegmentId,
+    /// Zero-based page index within the segment.
+    pub index: u32,
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.segment, self.index)
+    }
+}
+
+/// Who resolves faults on a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backing {
+    /// The kernel coherence protocol: pages live with their current owner,
+    /// the manager tracks ownership, faults move pages. Sequentially
+    /// consistent (single-writer/multiple-reader).
+    Kernel,
+    /// A user-level pager (§6.4): faults are surfaced through the node's
+    /// [`crate::FaultHandler`]; the handler supplies page contents and the
+    /// kernel imposes no cross-node consistency ("bypass the strict
+    /// consistency imposed by the underlying sequentially consistent DSM").
+    UserPager,
+}
+
+/// Everything a node must know to use a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentInfo {
+    /// Segment identity.
+    pub id: SegmentId,
+    /// Manager node (directory home); equals `id.creator()`.
+    pub manager: NodeId,
+    /// Total size in bytes.
+    pub size: usize,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Fault-resolution policy.
+    pub backing: Backing,
+}
+
+impl SegmentInfo {
+    /// Number of pages in the segment (last page may be partial).
+    pub fn page_count(&self) -> u32 {
+        (self.size.div_ceil(self.page_size)) as u32
+    }
+
+    /// Bytes actually used in page `index` (the tail page may be short).
+    pub fn page_len(&self, index: u32) -> usize {
+        let start = index as usize * self.page_size;
+        self.page_size.min(self.size.saturating_sub(start))
+    }
+
+    /// The pages overlapped by `offset..offset + len`.
+    pub fn pages_for_range(&self, offset: usize, len: usize) -> std::ops::Range<u32> {
+        if len == 0 {
+            return 0..0;
+        }
+        let first = (offset / self.page_size) as u32;
+        let last = ((offset + len - 1) / self.page_size) as u32;
+        first..last + 1
+    }
+}
+
+/// Per-node DSM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsmConfig {
+    /// Page size used for newly created segments, in bytes.
+    pub page_size: usize,
+    /// How long a faulting access waits for the coherence protocol before
+    /// failing with [`crate::DsmError::Timeout`]. Only reached when
+    /// messages were lost (cut links, partitions).
+    pub fault_timeout: std::time::Duration,
+}
+
+impl Default for DsmConfig {
+    fn default() -> Self {
+        DsmConfig {
+            page_size: 1024,
+            fault_timeout: std::time::Duration::from_secs(10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_id_encodes_creator() {
+        let id = SegmentId::new(NodeId(5), 42);
+        assert_eq!(id.creator(), NodeId(5));
+        assert_eq!(id.to_string(), "seg5.42");
+    }
+
+    #[test]
+    fn page_geometry() {
+        let info = SegmentInfo {
+            id: SegmentId::new(NodeId(0), 1),
+            manager: NodeId(0),
+            size: 2500,
+            page_size: 1024,
+            backing: Backing::Kernel,
+        };
+        assert_eq!(info.page_count(), 3);
+        assert_eq!(info.page_len(0), 1024);
+        assert_eq!(info.page_len(2), 452);
+        assert_eq!(info.pages_for_range(0, 1), 0..1);
+        assert_eq!(info.pages_for_range(1023, 2), 0..2);
+        assert_eq!(info.pages_for_range(2048, 452), 2..3);
+        assert_eq!(info.pages_for_range(100, 0), 0..0);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_partial_tail() {
+        let info = SegmentInfo {
+            id: SegmentId::new(NodeId(0), 1),
+            manager: NodeId(0),
+            size: 2048,
+            page_size: 1024,
+            backing: Backing::Kernel,
+        };
+        assert_eq!(info.page_count(), 2);
+        assert_eq!(info.page_len(1), 1024);
+        assert_eq!(info.page_len(2), 0);
+    }
+}

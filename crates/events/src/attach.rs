@@ -1,0 +1,86 @@
+//! `attach_handler` / `detach_handler` as an extension trait on the
+//! kernel's [`Ctx`] — the paper's §5.2 system-call interface.
+
+use crate::facility::THREAD_REGISTRY_KEY;
+use crate::handler::AttachSpec;
+use crate::thread_registry::{Registration, ThreadRegistry};
+use doct_kernel::{Ctx, EventName};
+use std::sync::Arc;
+
+/// Thread-based handler attachment (§4.1, §5.2).
+///
+/// Implemented for [`Ctx`]; any entry point or handler body can call
+/// these. Handlers attach to the *thread* and stay active "as long as the
+/// thread is alive", wherever it executes.
+///
+/// ```
+/// use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+/// use doct_kernel::{Cluster, EventName, Value};
+///
+/// # fn main() -> Result<(), doct_kernel::KernelError> {
+/// let cluster = Cluster::new(1);
+/// let facility = EventFacility::install(&cluster);
+/// facility.register_event("NUDGE");
+/// let handle = cluster.spawn_fn(0, |ctx| {
+///     let id = ctx.attach_handler(
+///         "NUDGE",
+///         AttachSpec::proc("ack", |_ctx, _block| {
+///             HandlerDecision::Resume(Value::Str("acked".into()))
+///         }),
+///     );
+///     let me = ctx.thread_id();
+///     let verdict = ctx.raise_and_wait(EventName::user("NUDGE"), Value::Null, me)?;
+///     ctx.detach_handler(id);
+///     Ok(verdict)
+/// })?;
+/// assert_eq!(handle.join()?, Value::Str("acked".into()));
+/// # Ok(())
+/// # }
+/// ```
+pub trait CtxEvents {
+    /// Attach a handler for `event` to this thread; pushes onto the LIFO
+    /// chain if one already exists (§4.2). Returns a registration id.
+    fn attach_handler(&mut self, event: impl Into<EventName>, spec: AttachSpec) -> u64;
+
+    /// Detach a previously attached handler. Returns `true` if found.
+    fn detach_handler(&mut self, id: u64) -> bool;
+
+    /// Length of this thread's handler chain for `event`.
+    fn handler_chain_len(&self, event: &EventName) -> usize;
+}
+
+pub(crate) fn registry_of(ctx: &mut Ctx) -> Arc<ThreadRegistry> {
+    ctx.with_attributes(|attrs| {
+        if let Some(r) = attrs.extension::<ThreadRegistry>(THREAD_REGISTRY_KEY) {
+            return r;
+        }
+        let fresh = Arc::new(ThreadRegistry::new());
+        attrs.set_extension(THREAD_REGISTRY_KEY, Arc::clone(&fresh) as _);
+        fresh
+    })
+}
+
+impl CtxEvents for Ctx {
+    fn attach_handler(&mut self, event: impl Into<EventName>, spec: AttachSpec) -> u64 {
+        let id = self.kernel().next_seq();
+        let event = event.into();
+        let attached_in = self.current_object();
+        registry_of(self).attach(Registration {
+            id,
+            event,
+            spec,
+            attached_in,
+        });
+        id
+    }
+
+    fn detach_handler(&mut self, id: u64) -> bool {
+        registry_of(self).detach(id)
+    }
+
+    fn handler_chain_len(&self, event: &EventName) -> usize {
+        self.attributes()
+            .extension::<ThreadRegistry>(THREAD_REGISTRY_KEY)
+            .map_or(0, |r| r.chain_len(event))
+    }
+}

@@ -1,0 +1,174 @@
+//! The event block (§4.1, §5.1): "Information necessary to handle the
+//! event is encapsulated in a structure called an event block and is
+//! passed to the handler. The event block contains generic system
+//! information such as state of the registers, etc., for exception
+//! handling and space for user defined data structures for user events."
+
+use doct_kernel::{Ctx, EventName, ObjectId, ThreadId, Value, WireEvent};
+use doct_net::NodeId;
+
+/// Snapshot of the interrupted thread's state — the simulator's analogue
+/// of "state of the registers".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreadStateSnapshot {
+    /// Simulated program counter at delivery.
+    pub pc: u64,
+    /// Object the thread was executing in (None outside any object).
+    pub current_object: Option<ObjectId>,
+    /// Node where the delivery happened.
+    pub node: NodeId,
+    /// Invocation depth at delivery.
+    pub depth: u32,
+}
+
+/// What an event handler receives.
+#[derive(Debug, Clone)]
+pub struct EventBlock {
+    /// The (possibly chain-transformed) event name.
+    pub name: EventName,
+    /// The (possibly chain-transformed) user payload.
+    pub payload: Value,
+    /// Thread that raised the event, if any.
+    pub raiser: Option<ThreadId>,
+    /// Node where the raise happened.
+    pub raiser_node: NodeId,
+    /// Cluster-unique event instance id.
+    pub seq: u64,
+    /// Whether the raiser is blocked awaiting a resume.
+    pub sync: bool,
+    /// The thread the event interrupted (None for object-targeted events
+    /// raised from outside any thread).
+    pub target_thread: Option<ThreadId>,
+    /// Interrupted-thread state (zeroed for passive-object deliveries).
+    pub state: ThreadStateSnapshot,
+    /// The underlying wire event, kept so handlers (and the facility) can
+    /// resume the raiser.
+    wire: WireEvent,
+}
+
+impl EventBlock {
+    /// Build a block for a thread-targeted delivery interrupting `ctx`.
+    pub fn for_thread(ctx: &Ctx, wire: &WireEvent) -> Self {
+        EventBlock {
+            name: wire.name.clone(),
+            payload: wire.payload.clone(),
+            raiser: wire.raiser,
+            raiser_node: wire.raiser_node,
+            seq: wire.seq,
+            sync: wire.sync,
+            target_thread: Some(ctx.thread_id()),
+            state: ThreadStateSnapshot {
+                pc: ctx.pc(),
+                current_object: ctx.current_object(),
+                node: ctx.node_id(),
+                depth: ctx.current_depth(),
+            },
+            wire: wire.clone(),
+        }
+    }
+
+    /// Build a block for an object-targeted delivery at `node`.
+    pub fn for_object(node: NodeId, wire: &WireEvent) -> Self {
+        EventBlock {
+            name: wire.name.clone(),
+            payload: wire.payload.clone(),
+            raiser: wire.raiser,
+            raiser_node: wire.raiser_node,
+            seq: wire.seq,
+            sync: wire.sync,
+            // §6.3: the event block names the thread the event concerns —
+            // for object events that is the raiser.
+            target_thread: wire.raiser,
+            state: ThreadStateSnapshot {
+                node,
+                ..Default::default()
+            },
+            wire: wire.clone(),
+        }
+    }
+
+    /// The wire event (for resuming the raiser).
+    pub fn wire(&self) -> &WireEvent {
+        &self.wire
+    }
+
+    /// Chain transformation (§4.2): the next handler in the chain sees the
+    /// event under a new name/payload, "transformed to a form
+    /// understandable" to it.
+    pub fn transformed(&self, name: EventName, payload: Value) -> Self {
+        let mut next = self.clone();
+        next.name = name;
+        next.payload = payload;
+        next
+    }
+
+    /// Encode for passing to an entry-point handler as invocation args.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::map();
+        v.set("event", self.name.to_string());
+        v.set("payload", self.payload.clone());
+        v.set("seq", self.seq as i64);
+        v.set("sync", self.sync);
+        v.set("raiser_node", self.raiser_node.0);
+        if let Some(r) = self.raiser {
+            v.set("raiser", format!("{r}"));
+        }
+        if let Some(t) = self.target_thread {
+            v.set("target_thread", format!("{t}"));
+        }
+        v.set("pc", self.state.pc as i64);
+        v.set("node", self.state.node.0);
+        v.set("depth", self.state.depth);
+        if let Some(o) = self.state.current_object {
+            v.set("current_object", o.0 as i64);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doct_kernel::SystemEvent;
+
+    fn wire(sync: bool) -> WireEvent {
+        WireEvent {
+            name: EventName::System(SystemEvent::Timer),
+            payload: Value::Int(5),
+            raiser: Some(ThreadId::new(NodeId(1), 2)),
+            raiser_node: NodeId(1),
+            seq: 77,
+            sync,
+            attrs: None,
+        }
+    }
+
+    #[test]
+    fn object_block_carries_raiser_as_target() {
+        let b = EventBlock::for_object(NodeId(3), &wire(false));
+        assert_eq!(b.target_thread, Some(ThreadId::new(NodeId(1), 2)));
+        assert_eq!(b.state.node, NodeId(3));
+        assert_eq!(b.seq, 77);
+    }
+
+    #[test]
+    fn transformation_renames_but_keeps_identity() {
+        let b = EventBlock::for_object(NodeId(0), &wire(true));
+        let t = b.transformed(EventName::user("CLEANUP"), Value::Str("x".into()));
+        assert_eq!(t.name, EventName::user("CLEANUP"));
+        assert_eq!(t.payload, Value::Str("x".into()));
+        assert_eq!(t.seq, b.seq, "same event instance");
+        assert!(t.sync);
+        assert_eq!(t.wire().seq, b.wire().seq);
+    }
+
+    #[test]
+    fn to_value_is_self_describing() {
+        let v = EventBlock::for_object(NodeId(0), &wire(false)).to_value();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("TIMER"));
+        assert_eq!(v.get("payload").and_then(Value::as_int), Some(5));
+        assert_eq!(v.get("seq").and_then(Value::as_int), Some(77));
+        assert_eq!(v.get("sync").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("raiser").and_then(Value::as_str), Some("t1.2"));
+    }
+}

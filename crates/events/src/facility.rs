@@ -1,0 +1,364 @@
+//! The event facility: the [`doct_kernel::EventDispatcher`] that gives the
+//! kernel's delivery points the paper's semantics.
+
+use crate::handler::{AttachSpec, HandlerDecision, ObjectEventHandler};
+use crate::object_handlers::ObjectHandlerTable;
+use crate::thread_registry::ThreadRegistry;
+use crate::EventBlock;
+use doct_kernel::{
+    Cluster, Ctx, EventDispatcher, EventName, KernelError, ObjectDirectory, ObjectId, RaiseTarget,
+    RaiseTicket, SystemEvent, ThreadDisposition, Value, WireEvent,
+};
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Attribute-extension key for the per-thread handler registry.
+pub const THREAD_REGISTRY_KEY: &str = "doct-events.thread-registry";
+/// Object-record extension key for the object handler table.
+pub const OBJECT_TABLE_KEY: &str = "doct-events.object-table";
+
+/// Facility-level counters (instrument for E1/E3/E4).
+#[derive(Debug, Default)]
+pub struct FacilityStats {
+    /// Events delivered to threads.
+    pub thread_deliveries: AtomicU64,
+    /// Events delivered to objects.
+    pub object_deliveries: AtomicU64,
+    /// Handlers executed (thread- and object-based).
+    pub handlers_run: AtomicU64,
+    /// Chain steps taken (Propagate/PropagateAs).
+    pub propagations: AtomicU64,
+    /// Synchronous raisers resumed by the system default.
+    pub auto_resumes: AtomicU64,
+    /// Threads terminated by event delivery.
+    pub terminations: AtomicU64,
+    /// Deliveries that fell through to the system default.
+    pub defaults_run: AtomicU64,
+    /// Duplicate deliveries suppressed by the per-thread seen ring (a
+    /// moving thread can be found by more than one broadcast/multicast
+    /// probe — §7.1's race).
+    pub duplicates_suppressed: AtomicU64,
+}
+
+impl FacilityStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The asynchronous event handling facility (install once per cluster).
+pub struct EventFacility {
+    user_events: RwLock<HashSet<String>>,
+    stats: FacilityStats,
+}
+
+impl fmt::Debug for EventFacility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventFacility")
+            .field("user_events", &self.user_events.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for EventFacility {
+    fn default() -> Self {
+        EventFacility {
+            user_events: RwLock::new(HashSet::new()),
+            stats: FacilityStats::default(),
+        }
+    }
+}
+
+impl EventFacility {
+    /// Create a facility (not yet installed).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Create the facility and install it as every node's dispatcher.
+    pub fn install(cluster: &Cluster) -> Arc<Self> {
+        let facility = Self::new();
+        cluster.set_dispatcher(Arc::clone(&facility) as Arc<dyn EventDispatcher>);
+        facility
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &FacilityStats {
+        &self.stats
+    }
+
+    /// Register a user event name with the operating system (§3: "naming
+    /// an event involves registering the name"). Returns the name for
+    /// raising.
+    pub fn register_event(&self, name: impl Into<String>) -> EventName {
+        let name = name.into();
+        self.user_events.write().insert(name.clone());
+        EventName::User(name)
+    }
+
+    /// Whether a user event name has been registered.
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.user_events.read().contains(name)
+    }
+
+    fn ensure_registered(&self, name: &EventName) -> Result<(), KernelError> {
+        match name {
+            EventName::System(_) => Ok(()),
+            EventName::User(u) if self.is_registered(u) => Ok(()),
+            EventName::User(u) => Err(KernelError::Event(format!(
+                "user event {u:?} has not been registered"
+            ))),
+        }
+    }
+
+    /// Registration-checked `raise` (§5.3): like `Ctx::raise` but rejects
+    /// unregistered user event names.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Event`] for unregistered user events.
+    pub fn raise(
+        &self,
+        ctx: &mut Ctx,
+        name: impl Into<EventName>,
+        payload: impl Into<Value>,
+        target: impl Into<RaiseTarget>,
+    ) -> Result<RaiseTicket, KernelError> {
+        let name = name.into();
+        self.ensure_registered(&name)?;
+        Ok(ctx.raise(name, payload, target))
+    }
+
+    /// Registration-checked `raise_and_wait` (§5.3).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Event`] for unregistered user events, plus
+    /// everything `Ctx::raise_and_wait` can fail with.
+    pub fn raise_and_wait(
+        &self,
+        ctx: &mut Ctx,
+        name: impl Into<EventName>,
+        payload: impl Into<Value>,
+        target: impl Into<RaiseTarget>,
+    ) -> Result<Value, KernelError> {
+        let name = name.into();
+        self.ensure_registered(&name)?;
+        ctx.raise_and_wait(name, payload, target)
+    }
+
+    /// Install an object-based handler (§5.1's `handler void
+    /// my_delete_handler(event_block&) on { DELETE }`): done at object
+    /// initialization, persists with the object.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownObject`] if the object does not exist.
+    pub fn install_object_handler(
+        &self,
+        directory: &ObjectDirectory,
+        object: ObjectId,
+        event: impl Into<EventName>,
+        handler: Arc<dyn ObjectEventHandler>,
+    ) -> Result<(), KernelError> {
+        let record = directory
+            .get(object)
+            .ok_or(KernelError::UnknownObject(object))?;
+        let table = record
+            .extension_or_insert_with(OBJECT_TABLE_KEY, || Arc::new(ObjectHandlerTable::new()));
+        table.install(event.into(), handler);
+        Ok(())
+    }
+
+    /// Closure convenience for [`EventFacility::install_object_handler`].
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownObject`] if the object does not exist.
+    pub fn on_object_event(
+        &self,
+        cluster: &Cluster,
+        object: ObjectId,
+        event: impl Into<EventName>,
+        handler: impl Fn(&mut Ctx, ObjectId, &EventBlock) -> HandlerDecision + Send + Sync + 'static,
+    ) -> Result<(), KernelError> {
+        self.install_object_handler(cluster.directory(), object, event, Arc::new(handler))
+    }
+
+    /// Remove an object-based handler, restoring the system default.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownObject`] if the object does not exist.
+    pub fn remove_object_handler(
+        &self,
+        directory: &ObjectDirectory,
+        object: ObjectId,
+        event: &EventName,
+    ) -> Result<bool, KernelError> {
+        let record = directory
+            .get(object)
+            .ok_or(KernelError::UnknownObject(object))?;
+        Ok(record
+            .extension::<ObjectHandlerTable>(OBJECT_TABLE_KEY)
+            .is_some_and(|t| t.remove(event)))
+    }
+
+    /// Run one thread-based handler and return its decision.
+    fn run_thread_handler(
+        &self,
+        ctx: &mut Ctx,
+        spec: &AttachSpec,
+        block: &EventBlock,
+    ) -> HandlerDecision {
+        FacilityStats::bump(&self.stats.handlers_run);
+        match spec {
+            AttachSpec::Proc { handler, .. } => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handler.handle(ctx, block)
+                }));
+                outcome.unwrap_or(HandlerDecision::Propagate)
+            }
+            AttachSpec::Entry { object, entry } => {
+                // The handler is an entry point, possibly in another
+                // object on another node (buddy handler): a real
+                // "unscheduled invocation" (§7.2).
+                match ctx.invoke(*object, entry, block.to_value()) {
+                    Ok(v) => HandlerDecision::from_value(&v),
+                    Err(KernelError::Terminated) => HandlerDecision::Terminate,
+                    Err(_) => HandlerDecision::Propagate,
+                }
+            }
+        }
+    }
+
+    /// System default for an object event with no (deciding) handler.
+    fn object_default(&self, ctx: &mut Ctx, object: ObjectId, event: &WireEvent) {
+        FacilityStats::bump(&self.stats.defaults_run);
+        if event.name == EventName::System(SystemEvent::Delete) {
+            // The predefined DELETE behavior: retire the object.
+            ctx.kernel().directory().remove(object);
+        }
+    }
+}
+
+impl EventDispatcher for EventFacility {
+    fn deliver_to_thread(&self, ctx: &mut Ctx, event: WireEvent) -> ThreadDisposition {
+        // Exactly-once per event instance: duplicate probes finding a
+        // moving thread are suppressed here (the ring travels with the
+        // thread's attributes).
+        if !crate::attach::registry_of(ctx).mark_seen(event.seq) {
+            FacilityStats::bump(&self.stats.duplicates_suppressed);
+            return ThreadDisposition::Resume;
+        }
+        FacilityStats::bump(&self.stats.thread_deliveries);
+        let mut block = EventBlock::for_thread(ctx, &event);
+        let chain = ctx
+            .attributes()
+            .extension::<ThreadRegistry>(THREAD_REGISTRY_KEY)
+            .map(|r| r.chain(&event.name))
+            .unwrap_or_default();
+        for reg in &chain {
+            match self.run_thread_handler(ctx, &reg.spec, &block) {
+                HandlerDecision::Resume(verdict) => {
+                    if event.sync {
+                        ctx.resume_raiser(&event, verdict);
+                    }
+                    return ThreadDisposition::Resume;
+                }
+                HandlerDecision::Terminate => {
+                    if event.sync {
+                        ctx.resume_raiser(&event, Value::Null);
+                    }
+                    FacilityStats::bump(&self.stats.terminations);
+                    return ThreadDisposition::Terminate;
+                }
+                HandlerDecision::Propagate => {
+                    FacilityStats::bump(&self.stats.propagations);
+                }
+                HandlerDecision::PropagateAs(name, payload) => {
+                    FacilityStats::bump(&self.stats.propagations);
+                    block = block.transformed(name, payload);
+                }
+            }
+        }
+        // Chain exhausted: system default.
+        FacilityStats::bump(&self.stats.defaults_run);
+        if event.sync {
+            FacilityStats::bump(&self.stats.auto_resumes);
+            ctx.resume_raiser(&event, Value::Null);
+        }
+        match event.name {
+            EventName::System(SystemEvent::Terminate) | EventName::System(SystemEvent::Quit) => {
+                FacilityStats::bump(&self.stats.terminations);
+                ThreadDisposition::Terminate
+            }
+            _ => ThreadDisposition::Resume,
+        }
+    }
+
+    fn deliver_to_object(&self, ctx: &mut Ctx, object: ObjectId, event: WireEvent) {
+        FacilityStats::bump(&self.stats.object_deliveries);
+        let block = EventBlock::for_object(ctx.node_id(), &event);
+        let handler = ctx.kernel().directory().get(object).and_then(|rec| {
+            rec.extension_or_insert_with(OBJECT_TABLE_KEY, || Arc::new(ObjectHandlerTable::new()))
+                .get(&event.name)
+        });
+        let decision = match handler {
+            Some(h) => {
+                FacilityStats::bump(&self.stats.handlers_run);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    h.handle(ctx, object, &block)
+                }));
+                outcome.unwrap_or(HandlerDecision::Propagate)
+            }
+            None => HandlerDecision::Propagate,
+        };
+        match decision {
+            HandlerDecision::Resume(verdict) => {
+                if event.sync {
+                    ctx.resume_raiser(&event, verdict);
+                }
+            }
+            HandlerDecision::Terminate => {
+                // An object handler may decide the thread named in the
+                // event block must die (§6.3's ABORT handlers).
+                if let Some(t) = block.target_thread {
+                    ctx.raise(SystemEvent::Terminate, Value::Null, t).detach();
+                }
+                if event.sync {
+                    ctx.resume_raiser(&event, Value::Null);
+                }
+            }
+            HandlerDecision::Propagate | HandlerDecision::PropagateAs(..) => {
+                self.object_default(ctx, object, &event);
+                if event.sync {
+                    FacilityStats::bump(&self.stats.auto_resumes);
+                    ctx.resume_raiser(&event, Value::Null);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_event_registration() {
+        let f = EventFacility::new();
+        assert!(!f.is_registered("COMMIT"));
+        let name = f.register_event("COMMIT");
+        assert_eq!(name, EventName::user("COMMIT"));
+        assert!(f.is_registered("COMMIT"));
+        assert!(f.ensure_registered(&EventName::user("COMMIT")).is_ok());
+        assert!(f.ensure_registered(&EventName::user("NOPE")).is_err());
+        assert!(f
+            .ensure_registered(&EventName::System(SystemEvent::Timer))
+            .is_ok());
+    }
+}

@@ -1,0 +1,219 @@
+//! Handler kinds and decisions.
+
+use crate::EventBlock;
+use doct_kernel::{Ctx, EventName, ObjectId, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// What a handler decided about the interrupted computation.
+///
+/// "After the handler finishes executing, the suspended thread is resumed
+/// or terminated" (§3); chained handlers may instead pass the event on
+/// (§4.2), optionally transforming it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandlerDecision {
+    /// The event is handled: resume the suspended thread. For a
+    /// synchronous raise the carried value resumes the raiser (the
+    /// handler's verdict).
+    Resume(Value),
+    /// Not (fully) handled here: run the next handler in the LIFO chain,
+    /// or the system default if the chain is exhausted.
+    Propagate,
+    /// Propagate, but transform the event for the next handler — the O3 →
+    /// O2 → O1 filtering of §4.2.
+    PropagateAs(EventName, Value),
+    /// Terminate the suspended thread.
+    Terminate,
+}
+
+impl HandlerDecision {
+    /// Encode for returning from an entry-point handler.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::map();
+        match self {
+            HandlerDecision::Resume(verdict) => {
+                v.set("action", "resume");
+                v.set("verdict", verdict.clone());
+            }
+            HandlerDecision::Propagate => {
+                v.set("action", "propagate");
+            }
+            HandlerDecision::PropagateAs(name, payload) => {
+                v.set("action", "propagate_as");
+                v.set("event", name.to_string());
+                v.set("payload", payload.clone());
+            }
+            HandlerDecision::Terminate => {
+                v.set("action", "terminate");
+            }
+        }
+        v
+    }
+
+    /// Decode an entry-point handler's return value. Unrecognized shapes
+    /// (including plain non-map values) are treated as
+    /// `Resume(that value)`, so ordinary entries can serve as handlers.
+    pub fn from_value(v: &Value) -> HandlerDecision {
+        match v.get("action").and_then(Value::as_str) {
+            Some("resume") => {
+                HandlerDecision::Resume(v.get("verdict").cloned().unwrap_or(Value::Null))
+            }
+            Some("propagate") => HandlerDecision::Propagate,
+            Some("propagate_as") => {
+                let name = match v.get("event").and_then(Value::as_str) {
+                    Some(n) => EventName::user(n),
+                    None => return HandlerDecision::Propagate,
+                };
+                HandlerDecision::PropagateAs(name, v.get("payload").cloned().unwrap_or(Value::Null))
+            }
+            Some("terminate") => HandlerDecision::Terminate,
+            _ => HandlerDecision::Resume(v.clone()),
+        }
+    }
+}
+
+/// A per-thread handler procedure (the paper's "procedure defined in the
+/// per-thread area of the thread", §4.1). Runs in the context of the
+/// object the thread occupies when the event is delivered — it may
+/// examine/modify that object's state and the thread's attributes through
+/// `ctx`.
+pub trait ThreadEventHandler: Send + Sync {
+    /// Handle one delivered event.
+    fn handle(&self, ctx: &mut Ctx, block: &EventBlock) -> HandlerDecision;
+}
+
+impl<F> ThreadEventHandler for F
+where
+    F: Fn(&mut Ctx, &EventBlock) -> HandlerDecision + Send + Sync,
+{
+    fn handle(&self, ctx: &mut Ctx, block: &EventBlock) -> HandlerDecision {
+        self(ctx, block)
+    }
+}
+
+/// An object-based handler (§4.3): private to the object, runs on a
+/// kernel-provided (master or spawned) thread at the object's home node.
+pub trait ObjectEventHandler: Send + Sync {
+    /// Handle one event delivered to `object`.
+    fn handle(&self, ctx: &mut Ctx, object: ObjectId, block: &EventBlock) -> HandlerDecision;
+}
+
+impl<F> ObjectEventHandler for F
+where
+    F: Fn(&mut Ctx, ObjectId, &EventBlock) -> HandlerDecision + Send + Sync,
+{
+    fn handle(&self, ctx: &mut Ctx, object: ObjectId, block: &EventBlock) -> HandlerDecision {
+        self(ctx, object, block)
+    }
+}
+
+/// How a thread-based handler is specified at attach time (§5.2's
+/// `attach_handler` forms).
+#[derive(Clone)]
+pub enum AttachSpec {
+    /// `attach_handler(INTERRUPT, my_interrupt_handler)` — an entry point
+    /// of an object. Attached while executing in that object it is a plain
+    /// handler; naming *another* object makes it a **buddy handler**
+    /// ("my_server.fault_handler"). The entry receives the encoded
+    /// [`EventBlock`] and returns an encoded [`HandlerDecision`].
+    Entry {
+        /// Object whose entry runs the handler.
+        object: ObjectId,
+        /// Entry point name.
+        entry: String,
+    },
+    /// `attach_handler(TIMER, monitor_thread, OWN_CONTEXT)` — a compiled
+    /// procedure carried in the thread's per-thread memory, executed in
+    /// the context of the current object at delivery time.
+    Proc {
+        /// Diagnostic name.
+        name: String,
+        /// The procedure.
+        handler: Arc<dyn ThreadEventHandler>,
+    },
+}
+
+impl AttachSpec {
+    /// An entry-point handler (buddy handler when `object` is not the
+    /// current object).
+    pub fn entry(object: ObjectId, entry: impl Into<String>) -> Self {
+        AttachSpec::Entry {
+            object,
+            entry: entry.into(),
+        }
+    }
+
+    /// A per-thread procedure handler.
+    pub fn proc(
+        name: impl Into<String>,
+        handler: impl Fn(&mut Ctx, &EventBlock) -> HandlerDecision + Send + Sync + 'static,
+    ) -> Self {
+        AttachSpec::Proc {
+            name: name.into(),
+            handler: Arc::new(handler),
+        }
+    }
+
+    /// A per-thread procedure handler from a pre-built trait object.
+    pub fn proc_arc(name: impl Into<String>, handler: Arc<dyn ThreadEventHandler>) -> Self {
+        AttachSpec::Proc {
+            name: name.into(),
+            handler,
+        }
+    }
+}
+
+impl fmt::Debug for AttachSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttachSpec::Entry { object, entry } => write!(f, "Entry({object}::{entry})"),
+            AttachSpec::Proc { name, .. } => write!(f, "Proc({name})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_value_round_trip() {
+        for d in [
+            HandlerDecision::Resume(Value::Int(3)),
+            HandlerDecision::Propagate,
+            HandlerDecision::PropagateAs(EventName::user("X"), Value::Bool(true)),
+            HandlerDecision::Terminate,
+        ] {
+            assert_eq!(HandlerDecision::from_value(&d.to_value()), d, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn plain_values_decode_as_resume() {
+        assert_eq!(
+            HandlerDecision::from_value(&Value::Int(9)),
+            HandlerDecision::Resume(Value::Int(9))
+        );
+        assert_eq!(
+            HandlerDecision::from_value(&Value::Null),
+            HandlerDecision::Resume(Value::Null)
+        );
+    }
+
+    #[test]
+    fn malformed_propagate_as_degrades_to_propagate() {
+        let mut v = Value::map();
+        v.set("action", "propagate_as"); // missing event name
+        assert_eq!(HandlerDecision::from_value(&v), HandlerDecision::Propagate);
+    }
+
+    #[test]
+    fn attach_spec_debug_is_compact() {
+        let s = AttachSpec::proc("mon", |_ctx: &mut Ctx, _b: &EventBlock| {
+            HandlerDecision::Propagate
+        });
+        assert_eq!(format!("{s:?}"), "Proc(mon)");
+        let s = AttachSpec::entry(ObjectId::new(doct_net::NodeId(0), 1), "h");
+        assert_eq!(format!("{s:?}"), "Entry(obj0.1::h)");
+    }
+}

@@ -1,0 +1,140 @@
+//! Medusa/Levin-style *interest lists* — the related-work alternative the
+//! paper argues against (§9).
+//!
+//! In Medusa, "exceptions [are reported] as internal events to the
+//! process that caused it and external events to any other process that
+//! has an interest in the object in which the event arose", interest
+//! being held by possessing a capability to the object. The paper's
+//! critique: "Medusa's (as well as Levin's) exception reporting has the
+//! potential to cause a tight coupling within the system … a lot of extra
+//! work needs to be done to maintain a 'current interest list' … and the
+//! event reporting hierarchy tree could grow out of bounds."
+//!
+//! This module implements the scheme so the critique can be *measured*
+//! (experiment E10): every event arising in an object is additionally
+//! fanned out to all interest holders, and the cost grows with the
+//! interest list, where the paper's targeted handlers cost O(1).
+
+use doct_kernel::{Ctx, EventName, ObjectId, RaiseTicket, ThreadId, Value};
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Cluster-wide interest registry: which threads hold interest in which
+/// objects (the "current interest list" the paper warns about).
+#[derive(Default)]
+pub struct InterestRegistry {
+    interests: RwLock<HashMap<ObjectId, BTreeSet<ThreadId>>>,
+}
+
+impl fmt::Debug for InterestRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InterestRegistry")
+            .field("objects", &self.interests.read().len())
+            .finish()
+    }
+}
+
+impl InterestRegistry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `thread`'s interest in `object` (Medusa: "possessing the
+    /// capability to it"). Returns `true` if newly registered.
+    pub fn register(&self, object: ObjectId, thread: ThreadId) -> bool {
+        self.interests
+            .write()
+            .entry(object)
+            .or_default()
+            .insert(thread)
+    }
+
+    /// Drop `thread`'s interest in `object`.
+    pub fn drop_interest(&self, object: ObjectId, thread: ThreadId) -> bool {
+        let mut map = self.interests.write();
+        let removed = map.get_mut(&object).is_some_and(|s| s.remove(&thread));
+        if map.get(&object).is_some_and(BTreeSet::is_empty) {
+            map.remove(&object);
+        }
+        removed
+    }
+
+    /// Current interest holders for `object`.
+    pub fn interested(&self, object: ObjectId) -> Vec<ThreadId> {
+        self.interests
+            .read()
+            .get(&object)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of holders for `object`.
+    pub fn holder_count(&self, object: ObjectId) -> usize {
+        self.interests.read().get(&object).map_or(0, BTreeSet::len)
+    }
+
+    /// Report an event arising in `object` as an *external event* to
+    /// every interest holder (one targeted raise each — the fan-out whose
+    /// growth E10 measures). Returns the per-holder tickets.
+    pub fn report_external(
+        &self,
+        ctx: &mut Ctx,
+        object: ObjectId,
+        name: impl Into<EventName>,
+        payload: impl Into<Value>,
+    ) -> Vec<RaiseTicket> {
+        let name = name.into();
+        let payload = payload.into();
+        self.interested(object)
+            .into_iter()
+            .map(|t| ctx.raise(name.clone(), payload.clone(), t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doct_net::NodeId;
+
+    fn t(seq: u32) -> ThreadId {
+        ThreadId::new(NodeId(0), seq)
+    }
+
+    fn o(seq: u32) -> ObjectId {
+        ObjectId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn register_and_drop() {
+        let r = InterestRegistry::new();
+        assert!(r.register(o(1), t(1)));
+        assert!(!r.register(o(1), t(1)), "double register is a no-op");
+        assert!(r.register(o(1), t(2)));
+        assert_eq!(r.interested(o(1)), vec![t(1), t(2)]);
+        assert_eq!(r.holder_count(o(1)), 2);
+        assert!(r.drop_interest(o(1), t(1)));
+        assert!(!r.drop_interest(o(1), t(1)));
+        assert_eq!(r.holder_count(o(1)), 1);
+    }
+
+    #[test]
+    fn empty_lists_are_collected() {
+        let r = InterestRegistry::new();
+        r.register(o(1), t(1));
+        r.drop_interest(o(1), t(1));
+        assert_eq!(r.holder_count(o(1)), 0);
+        assert!(r.interests.read().is_empty(), "no stale entries");
+    }
+
+    #[test]
+    fn interests_are_per_object() {
+        let r = InterestRegistry::new();
+        r.register(o(1), t(1));
+        r.register(o(2), t(2));
+        assert_eq!(r.interested(o(1)), vec![t(1)]);
+        assert_eq!(r.interested(o(2)), vec![t(2)]);
+    }
+}

@@ -1,0 +1,91 @@
+#![warn(missing_docs)]
+//! # doct-events — the asynchronous event handling facility
+//!
+//! This crate is the paper's primary contribution: a general-purpose
+//! event notification and handling facility for the DO/CT environment,
+//! layered on the kernel primitives of [`doct_kernel`] exactly as §8
+//! prescribes ("thread creation, kernel threads, DSM and RPC invocations
+//! and thread location facilities").
+//!
+//! ## The two handler classes (§3.2, §4)
+//!
+//! * **Thread-based handlers** ([`CtxEvents::attach_handler`]) travel with
+//!   the logical thread: "once a handler has been attached to handle an
+//!   event, it remains active as long as the thread is alive", wherever
+//!   the thread executes. A handler is an entry point of the attaching
+//!   object, an entry point of *another* object (a **buddy handler**,
+//!   after Medusa), or a per-thread procedure from the thread's private
+//!   memory executed in the context of the *current* object
+//!   ([`AttachSpec`]).
+//! * **Object-based handlers** ([`EventFacility::install_object_handler`])
+//!   belong to a passive, persistent object and work with no thread
+//!   active inside it; predefined system events have default handlers on
+//!   every object (§4.3).
+//!
+//! ## Chaining (§4.2)
+//!
+//! Attaching a second handler for the same event pushes LIFO. A handler
+//! [`HandlerDecision::Propagate`]s to the next in chain — optionally
+//! transforming the event ([`HandlerDecision::PropagateAs`]), which is how
+//! events are filtered between neighbouring objects (O3 → O2 → O1). The
+//! TERMINATE chain is the distributed-lock-cleanup mechanism: every lock
+//! acquisition chains an unlock handler, and termination runs the whole
+//! chain "regardless of their location and scope".
+//!
+//! ## Raising (§5.3)
+//!
+//! `raise`/`raise_and_wait` × thread/group/object — the paper's complete
+//! addressing table — via the kernel's `Ctx::raise`/`Ctx::raise_and_wait`,
+//! or the registration-checked [`EventFacility::raise`] and
+//! [`EventFacility::raise_and_wait`].
+//!
+//! # Example
+//!
+//! ```
+//! use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+//! use doct_kernel::{Cluster, EventName, Value};
+//!
+//! # fn main() -> Result<(), doct_kernel::KernelError> {
+//! let cluster = Cluster::new(2);
+//! let facility = EventFacility::install(&cluster);
+//! facility.register_event("PING");
+//!
+//! let handle = cluster.spawn_fn(0, |ctx| {
+//!     // Per-thread handler: runs wherever the thread is when PING lands.
+//!     ctx.attach_handler(
+//!         EventName::user("PING"),
+//!         AttachSpec::proc("pong", |_ctx, block| {
+//!             HandlerDecision::Resume(Value::Str(format!("pong: {}", block.payload)))
+//!         }),
+//!     );
+//!     // Raise it at ourselves, synchronously: the handler's verdict
+//!     // resumes us.
+//!     let me = ctx.thread_id();
+//!     ctx.raise_and_wait(EventName::user("PING"), 7i64, me)
+//! })?;
+//! assert_eq!(handle.join()?, Value::Str("pong: 7".into()));
+//! # Ok(())
+//! # }
+//! ```
+
+mod attach;
+mod block;
+mod facility;
+mod handler;
+mod interest;
+mod object_handlers;
+mod thread_registry;
+
+pub use attach::CtxEvents;
+pub use block::{EventBlock, ThreadStateSnapshot};
+pub use facility::{EventFacility, FacilityStats, OBJECT_TABLE_KEY, THREAD_REGISTRY_KEY};
+pub use handler::{AttachSpec, HandlerDecision, ObjectEventHandler, ThreadEventHandler};
+pub use interest::InterestRegistry;
+pub use object_handlers::ObjectHandlerTable;
+pub use thread_registry::{Registration, ThreadRegistry};
+
+/// Commonly used facility types plus the kernel prelude.
+pub mod prelude {
+    pub use crate::{AttachSpec, CtxEvents, EventBlock, EventFacility, HandlerDecision};
+    pub use doct_kernel::prelude::*;
+}

@@ -1,0 +1,95 @@
+//! Object-based handler tables (§4.3, §5.1): installed at object
+//! initialization, private (not invocable as entry points), active as
+//! long as the object persists — even with no thread inside it.
+
+use crate::handler::ObjectEventHandler;
+use doct_kernel::EventName;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The handlers one object installed, stored as an extension on its
+/// directory record (so they persist with the object, at its home node).
+#[derive(Default)]
+pub struct ObjectHandlerTable {
+    handlers: Mutex<HashMap<EventName, Arc<dyn ObjectEventHandler>>>,
+}
+
+impl fmt::Debug for ObjectHandlerTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self.handlers.lock().keys().map(|k| k.to_string()).collect();
+        f.debug_struct("ObjectHandlerTable")
+            .field("events", &names)
+            .finish()
+    }
+}
+
+impl ObjectHandlerTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or override) the handler for `event` — "programmers can
+    /// explicitly override the default behavior by placing handlers for
+    /// events, as part of the object specification" (§5.1).
+    pub fn install(&self, event: EventName, handler: Arc<dyn ObjectEventHandler>) {
+        self.handlers.lock().insert(event, handler);
+    }
+
+    /// Remove the handler for `event`, restoring the system default.
+    pub fn remove(&self, event: &EventName) -> bool {
+        self.handlers.lock().remove(event).is_some()
+    }
+
+    /// The handler for `event`, if installed.
+    pub fn get(&self, event: &EventName) -> Option<Arc<dyn ObjectEventHandler>> {
+        self.handlers.lock().get(event).cloned()
+    }
+
+    /// Number of installed handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.lock().len()
+    }
+
+    /// Whether no handlers are installed.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventBlock, HandlerDecision};
+    use doct_kernel::{Ctx, ObjectId, SystemEvent, Value};
+
+    fn noop() -> Arc<dyn ObjectEventHandler> {
+        Arc::new(|_ctx: &mut Ctx, _o: ObjectId, _b: &EventBlock| {
+            HandlerDecision::Resume(Value::Null)
+        })
+    }
+
+    #[test]
+    fn install_get_remove() {
+        let t = ObjectHandlerTable::new();
+        let e = EventName::System(SystemEvent::Delete);
+        assert!(t.get(&e).is_none());
+        t.install(e.clone(), noop());
+        assert!(t.get(&e).is_some());
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(&e));
+        assert!(!t.remove(&e));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn install_overrides() {
+        let t = ObjectHandlerTable::new();
+        let e = EventName::user("COMMIT");
+        t.install(e.clone(), noop());
+        t.install(e.clone(), noop());
+        assert_eq!(t.len(), 1, "second install replaces the first");
+    }
+}

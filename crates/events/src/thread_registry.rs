@@ -1,0 +1,206 @@
+//! The per-thread handler registry — the "event information" added to
+//! thread attributes (§3.1). Travels with the logical thread; inherited
+//! (deep-copied) by spawned threads (§6.3).
+
+use crate::handler::AttachSpec;
+use doct_kernel::{EventName, Extension, ObjectId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// How many recently delivered event seqs the dedupe ring remembers.
+const SEEN_CAP: usize = 256;
+
+/// One attached handler.
+#[derive(Debug, Clone)]
+pub struct Registration {
+    /// Registration id (for detaching).
+    pub id: u64,
+    /// Event handled.
+    pub event: EventName,
+    /// The handler.
+    pub spec: AttachSpec,
+    /// Object the thread was executing in when it attached (None when
+    /// attached outside any object).
+    pub attached_in: Option<ObjectId>,
+}
+
+/// Per-thread LIFO handler chains plus the delivery dedupe ring, stored
+/// as a thread-attribute extension (it travels with the thread, so the
+/// ring is causally consistent with the thread's own execution).
+#[derive(Default)]
+pub struct ThreadRegistry {
+    chains: Mutex<HashMap<EventName, Vec<Registration>>>,
+    seen: Mutex<VecDeque<u64>>,
+}
+
+impl fmt::Debug for ThreadRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let chains = self.chains.lock();
+        f.debug_map()
+            .entries(chains.iter().map(|(k, v)| (k.to_string(), v.len())))
+            .finish()
+    }
+}
+
+impl ThreadRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push a handler onto the event's chain (LIFO: newest runs first).
+    pub fn attach(&self, registration: Registration) {
+        self.chains
+            .lock()
+            .entry(registration.event.clone())
+            .or_default()
+            .push(registration);
+    }
+
+    /// Remove a handler by registration id. Returns `true` if found.
+    pub fn detach(&self, id: u64) -> bool {
+        let mut chains = self.chains.lock();
+        for regs in chains.values_mut() {
+            if let Some(pos) = regs.iter().position(|r| r.id == id) {
+                regs.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The chain for `event`, newest-first (delivery order).
+    pub fn chain(&self, event: &EventName) -> Vec<Registration> {
+        self.chains
+            .lock()
+            .get(event)
+            .map(|v| v.iter().rev().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of handlers attached for `event`.
+    pub fn chain_len(&self, event: &EventName) -> usize {
+        self.chains.lock().get(event).map_or(0, |v| v.len())
+    }
+
+    /// Total attached handlers across all events.
+    pub fn len(&self) -> usize {
+        self.chains.lock().values().map(|v| v.len()).sum()
+    }
+
+    /// Whether no handlers are attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record an event instance as delivered. Returns `false` if the seq
+    /// was already seen — a duplicate delivery (broadcast/multicast probes
+    /// can both find a *moving* thread, the §7.1 race).
+    pub fn mark_seen(&self, seq: u64) -> bool {
+        let mut seen = self.seen.lock();
+        if seen.contains(&seq) {
+            return false;
+        }
+        if seen.len() >= SEEN_CAP {
+            seen.pop_front();
+        }
+        seen.push_back(seq);
+        true
+    }
+}
+
+impl Extension for ThreadRegistry {
+    /// Inheritance deep-copies the chains: a child's `attach_handler`
+    /// must not affect the parent (and vice versa), while the inherited
+    /// handlers themselves (the `Arc`'d procedures) are shared code.
+    fn clone_ext(&self) -> Arc<dyn Extension> {
+        let copy = ThreadRegistry::new();
+        *copy.chains.lock() = self.chains.lock().clone();
+        // The child is a different thread: it starts with an empty ring
+        // (its deliveries have fresh seqs anyway).
+        Arc::new(copy)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HandlerDecision;
+    use doct_kernel::SystemEvent;
+    use doct_net::NodeId;
+
+    fn reg(id: u64, event: EventName) -> Registration {
+        Registration {
+            id,
+            event,
+            spec: AttachSpec::proc(format!("h{id}"), |_ctx, _b| HandlerDecision::Propagate),
+            attached_in: Some(ObjectId::new(NodeId(0), 1)),
+        }
+    }
+
+    #[test]
+    fn chain_is_lifo() {
+        let r = ThreadRegistry::new();
+        let e = EventName::System(SystemEvent::Terminate);
+        r.attach(reg(1, e.clone()));
+        r.attach(reg(2, e.clone()));
+        r.attach(reg(3, e.clone()));
+        let ids: Vec<u64> = r.chain(&e).iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![3, 2, 1], "newest first");
+        assert_eq!(r.chain_len(&e), 3);
+    }
+
+    #[test]
+    fn detach_removes_mid_chain() {
+        let r = ThreadRegistry::new();
+        let e = EventName::user("X");
+        r.attach(reg(1, e.clone()));
+        r.attach(reg(2, e.clone()));
+        assert!(r.detach(1));
+        assert!(!r.detach(1), "second detach is a no-op");
+        let ids: Vec<u64> = r.chain(&e).iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn chains_are_per_event() {
+        let r = ThreadRegistry::new();
+        r.attach(reg(1, EventName::user("A")));
+        r.attach(reg(2, EventName::user("B")));
+        assert_eq!(r.chain(&EventName::user("A")).len(), 1);
+        assert_eq!(r.chain(&EventName::user("B")).len(), 1);
+        assert!(r.chain(&EventName::user("C")).is_empty());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn mark_seen_dedupes() {
+        let r = ThreadRegistry::new();
+        assert!(r.mark_seen(7));
+        assert!(!r.mark_seen(7), "duplicate rejected");
+        assert!(r.mark_seen(8));
+        // Ring keeps the window bounded.
+        for seq in 100..100 + super::SEEN_CAP as u64 + 10 {
+            assert!(r.mark_seen(seq));
+        }
+        assert!(r.mark_seen(7), "evicted seqs can recur (bounded memory)");
+    }
+
+    #[test]
+    fn clone_ext_isolates_child() {
+        let parent = ThreadRegistry::new();
+        parent.attach(reg(1, EventName::user("A")));
+        let child_ext = parent.clone_ext();
+        let child = child_ext.as_any().downcast_ref::<ThreadRegistry>().unwrap();
+        assert_eq!(child.len(), 1, "child inherits");
+        child.attach(reg(2, EventName::user("A")));
+        assert_eq!(child.len(), 2);
+        assert_eq!(parent.len(), 1, "parent unaffected");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property test: the LIFO chain walk matches a reference model for any
+//! sequence of handler decisions (§4.2).
+
+use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+use doct_kernel::{Cluster, EventName, KernelError, Value};
+use parking_lot::Mutex;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The decision each handler in the chain will make (oldest first).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Plan {
+    Resume,
+    Propagate,
+    Transform,
+    Terminate,
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    prop_oneof![
+        2 => Just(Plan::Propagate),
+        1 => Just(Plan::Resume),
+        1 => Just(Plan::Transform),
+        1 => Just(Plan::Terminate),
+    ]
+}
+
+/// Reference model: walk newest→oldest; stop at Resume/Terminate; count
+/// transforms applied; if the chain exhausts, the default applies
+/// (resume for a user event, thread survives).
+fn model(plans: &[Plan]) -> (Vec<usize>, bool) {
+    let mut ran = Vec::new();
+    for (i, p) in plans.iter().enumerate().rev() {
+        ran.push(i);
+        match p {
+            Plan::Resume => return (ran, false),
+            Plan::Terminate => return (ran, true),
+            Plan::Propagate | Plan::Transform => {}
+        }
+    }
+    (ran, false) // chain exhausted: default resume for user events
+}
+
+fn run_chain(plans: Vec<Plan>) -> Result<(), TestCaseError> {
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("P");
+    let ran = Arc::new(Mutex::new(Vec::<usize>::new()));
+    let observed_names = Arc::new(Mutex::new(Vec::<String>::new()));
+    let plans2 = plans.clone();
+    let (ran2, names2) = (Arc::clone(&ran), Arc::clone(&observed_names));
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            for (i, plan) in plans2.iter().copied().enumerate() {
+                let (r, n) = (Arc::clone(&ran2), Arc::clone(&names2));
+                ctx.attach_handler(
+                    "P",
+                    AttachSpec::proc(format!("h{i}"), move |_c, b| {
+                        r.lock().push(i);
+                        n.lock().push(b.name.to_string());
+                        match plan {
+                            Plan::Resume => HandlerDecision::Resume(Value::Null),
+                            Plan::Propagate => HandlerDecision::Propagate,
+                            Plan::Transform => HandlerDecision::PropagateAs(
+                                EventName::user("P"), // same chain key, new payload
+                                Value::Str("transformed".into()),
+                            ),
+                            Plan::Terminate => HandlerDecision::Terminate,
+                        }
+                    }),
+                );
+            }
+            let me = ctx.thread_id();
+            ctx.raise("P", Value::Null, me).wait();
+            ctx.poll_events()?;
+            Ok(Value::Str("survived".into()))
+        })
+        .unwrap();
+    let (expected_ran, expect_dead) = model(&plans);
+    let result = handle.join();
+    match (expect_dead, &result) {
+        (true, Err(KernelError::Terminated)) => {}
+        (false, Ok(v)) => prop_assert_eq!(v, &Value::Str("survived".into())),
+        (dead, other) => {
+            return Err(TestCaseError::fail(format!(
+                "plans {plans:?}: expected dead={dead}, got {other:?}"
+            )))
+        }
+    }
+    prop_assert_eq!(
+        &*ran.lock(),
+        &expected_ran,
+        "execution order (plans {:?})",
+        plans
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chain_walk_matches_model(plans in vec(arb_plan(), 0..8)) {
+        run_chain(plans)?;
+    }
+}

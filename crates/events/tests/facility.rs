@@ -1,0 +1,785 @@
+//! Integration tests for the event facility: the paper's §3–§5 semantics.
+
+use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+use doct_kernel::{
+    ClassBuilder, Cluster, ClusterBuilder, EventName, InvocationMode, KernelConfig, KernelError,
+    ObjectConfig, ObjectEventExecution, RaiseTarget, SpawnOptions, SystemEvent, Value,
+};
+use doct_net::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn register_basics(cluster: &Cluster) {
+    cluster.register_class(
+        "plain",
+        ClassBuilder::new("plain")
+            .entry("sleepy", |ctx, args| {
+                let ms = args.as_int().unwrap_or(100) as u64;
+                ctx.sleep(Duration::from_millis(ms))?;
+                Ok(Value::Str("woke".into()))
+            })
+            .entry("where", |ctx, _| Ok(Value::Int(ctx.node_id().0 as i64)))
+            .build(),
+    );
+}
+
+#[test]
+fn per_thread_proc_handler_runs_at_delivery() {
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("PING");
+    let hits = Arc::new(AtomicU64::new(0));
+    let hits2 = Arc::clone(&hits);
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.attach_handler(
+                "PING",
+                AttachSpec::proc("count", move |_ctx, _b| {
+                    hits2.fetch_add(1, Ordering::Relaxed);
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+            let me = ctx.thread_id();
+            ctx.raise("PING", 1i64, me).wait();
+            ctx.poll_events()?; // explicit delivery point
+            Ok(Value::Null)
+        })
+        .unwrap();
+    handle.join().unwrap();
+    assert_eq!(hits.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        facility.stats().thread_deliveries.load(Ordering::Relaxed),
+        1
+    );
+}
+
+#[test]
+fn handler_travels_with_the_thread_across_nodes() {
+    // Attach on node 0, then move into an object on node 1 and receive the
+    // event there: "these handlers remain active for the thread regardless
+    // of where the thread is currently executing" (§4.1).
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("MARK");
+    register_basics(&cluster);
+    let far = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(1)))
+        .unwrap();
+    let seen_node = Arc::new(AtomicU64::new(999));
+    let seen2 = Arc::clone(&seen_node);
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.attach_handler(
+                "MARK",
+                AttachSpec::proc("mark", move |hctx, _b| {
+                    seen2.store(hctx.node_id().0 as u64, Ordering::Relaxed);
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+            ctx.invoke(far, "sleepy", Value::Int(30_000))
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let summary = cluster
+        .raise_from(0, EventName::user("MARK"), Value::Null, handle.thread())
+        .wait();
+    assert_eq!(summary.delivered, 1, "{summary:?}");
+    // Handler ran at the thread's current location, node 1.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while seen_node.load(Ordering::Relaxed) == 999 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(seen_node.load(Ordering::Relaxed), 1);
+    cluster
+        .raise_from(0, SystemEvent::Terminate, Value::Null, handle.thread())
+        .wait();
+    let _ = handle.join_timeout(Duration::from_secs(5));
+}
+
+#[test]
+fn chaining_is_lifo_with_propagation() {
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("E");
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let (o1, o2, o3) = (order.clone(), order.clone(), order.clone());
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.attach_handler(
+                "E",
+                AttachSpec::proc("first-attached", move |_c, _b| {
+                    o1.lock().push("oldest");
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+            ctx.attach_handler(
+                "E",
+                AttachSpec::proc("second-attached", move |_c, _b| {
+                    o2.lock().push("middle");
+                    HandlerDecision::Propagate
+                }),
+            );
+            ctx.attach_handler(
+                "E",
+                AttachSpec::proc("third-attached", move |_c, _b| {
+                    o3.lock().push("newest");
+                    HandlerDecision::Propagate
+                }),
+            );
+            let me = ctx.thread_id();
+            ctx.raise("E", Value::Null, me).wait();
+            ctx.poll_events()?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    handle.join().unwrap();
+    assert_eq!(*order.lock(), vec!["newest", "middle", "oldest"]);
+    assert_eq!(facility.stats().propagations.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn resume_stops_the_chain() {
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("E");
+    let older_ran = Arc::new(AtomicU64::new(0));
+    let older2 = Arc::clone(&older_ran);
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.attach_handler(
+                "E",
+                AttachSpec::proc("older", move |_c, _b| {
+                    older2.fetch_add(1, Ordering::Relaxed);
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+            ctx.attach_handler(
+                "E",
+                AttachSpec::proc("newer", |_c, _b| HandlerDecision::Resume(Value::Null)),
+            );
+            let me = ctx.thread_id();
+            ctx.raise("E", Value::Null, me).wait();
+            ctx.poll_events()?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    handle.join().unwrap();
+    assert_eq!(
+        older_ran.load(Ordering::Relaxed),
+        0,
+        "newest handler consumed the event"
+    );
+}
+
+#[test]
+fn propagate_as_transforms_down_the_chain() {
+    // §4.2's O3→O2→O1 filtering: the outer handler sees the transformed
+    // event, not the original.
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("RAW");
+    let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let (s1, s2) = (seen.clone(), seen.clone());
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.attach_handler(
+                "RAW",
+                AttachSpec::proc("outer", move |_c, b| {
+                    s1.lock().push(format!("outer:{}:{}", b.name, b.payload));
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+            ctx.attach_handler(
+                "RAW",
+                AttachSpec::proc("inner", move |_c, b| {
+                    s2.lock().push(format!("inner:{}:{}", b.name, b.payload));
+                    HandlerDecision::PropagateAs(
+                        EventName::user("COOKED"),
+                        Value::Str("digest".into()),
+                    )
+                }),
+            );
+            let me = ctx.thread_id();
+            ctx.raise("RAW", Value::Int(42), me).wait();
+            ctx.poll_events()?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    handle.join().unwrap();
+    assert_eq!(
+        *seen.lock(),
+        vec![
+            "inner:RAW:42".to_string(),
+            "outer:COOKED:\"digest\"".to_string()
+        ]
+    );
+}
+
+#[test]
+fn buddy_handler_runs_in_central_server_object() {
+    // §4.1: "an entry point defined in another object ... quite useful in
+    // implementing monitors, debuggers, etc. where an application can
+    // specify a central server as the event handler".
+    let cluster = Cluster::new(3);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("REPORT");
+    cluster.register_class(
+        "server",
+        ClassBuilder::new("server")
+            .entry("collect", |ctx, args| {
+                ctx.with_state(|s| {
+                    let n = s.get("reports").and_then(Value::as_int).unwrap_or(0);
+                    s.set("reports", n + 1);
+                    s.set("last", args.clone());
+                })?;
+                Ok(HandlerDecision::Resume(Value::Str("logged".into())).to_value())
+            })
+            .entry("count", |ctx, _| {
+                Ok(ctx
+                    .read_state()?
+                    .get("reports")
+                    .cloned()
+                    .unwrap_or(Value::Int(0)))
+            })
+            .build(),
+    );
+    register_basics(&cluster);
+    // Central server on node 2; application thread on node 0.
+    let server = cluster
+        .create_object(ObjectConfig::new("server", NodeId(2)))
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.attach_handler("REPORT", AttachSpec::entry(server, "collect"));
+            let me = ctx.thread_id();
+            let verdict = ctx.raise_and_wait("REPORT", Value::Str("status-ok".into()), me)?;
+            Ok(verdict)
+        })
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Str("logged".into()));
+    // The server object recorded the report.
+    let count = cluster
+        .spawn(1, server, "count", Value::Null)
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(count, Value::Int(1));
+}
+
+#[test]
+fn sync_raise_gets_handler_verdict() {
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("ASK");
+    let handle = cluster
+        .spawn_fn(0, |ctx| {
+            ctx.attach_handler(
+                "ASK",
+                AttachSpec::proc("oracle", |_c, b| {
+                    let q = b.payload.as_int().unwrap_or(0);
+                    HandlerDecision::Resume(Value::Int(q * 2))
+                }),
+            );
+            let me = ctx.thread_id();
+            ctx.raise_and_wait("ASK", 21i64, me)
+        })
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Int(42));
+}
+
+#[test]
+fn div_zero_repaired_by_exception_handler() {
+    // §6.1 exception handling: the invoker supplies a handler that repairs
+    // the fault and resumes the signaling thread.
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    let _ = facility;
+    let handle = cluster
+        .spawn_fn(0, |ctx| {
+            ctx.attach_handler(
+                SystemEvent::DivZero,
+                AttachSpec::proc("repair", |_c, b| {
+                    // Repair: a/0 := numerator sign * i64::MAX? Use 0.
+                    let _ = b;
+                    HandlerDecision::Resume(Value::Int(0))
+                }),
+            );
+            Ok(Value::Int(ctx.checked_div(7, 0)?))
+        })
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Int(0));
+}
+
+#[test]
+fn terminate_runs_whole_cleanup_chain_then_kills() {
+    // §4.2: lock cleanup — every chained TERMINATE handler runs, then the
+    // thread dies.
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    let cleaned = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let (c1, c2, c3) = (cleaned.clone(), cleaned.clone(), cleaned.clone());
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            for (name, log) in [("lock-a", c1), ("lock-b", c2), ("lock-c", c3)] {
+                ctx.attach_handler(
+                    SystemEvent::Terminate,
+                    AttachSpec::proc(name, move |_c, _b| {
+                        log.lock().push(name);
+                        HandlerDecision::Propagate
+                    }),
+                );
+            }
+            ctx.sleep(Duration::from_secs(30))?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    cluster
+        .raise_from(0, SystemEvent::Terminate, Value::Null, handle.thread())
+        .wait();
+    let r = handle.join_timeout(Duration::from_secs(5)).expect("died");
+    assert!(matches!(r, Err(KernelError::Terminated)));
+    assert_eq!(
+        *cleaned.lock(),
+        vec!["lock-c", "lock-b", "lock-a"],
+        "LIFO unwind: last acquired, first released"
+    );
+    assert!(facility.stats().terminations.load(Ordering::Relaxed) >= 1);
+}
+
+#[test]
+fn handler_can_veto_termination() {
+    let cluster = Cluster::new(1);
+    let _facility = EventFacility::install(&cluster);
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.attach_handler(
+                SystemEvent::Terminate,
+                AttachSpec::proc("shield", |_c, _b| HandlerDecision::Resume(Value::Null)),
+            );
+            ctx.sleep(Duration::from_millis(300))?;
+            Ok(Value::Str("survived".into()))
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    cluster
+        .raise_from(0, SystemEvent::Terminate, Value::Null, handle.thread())
+        .wait();
+    assert_eq!(
+        handle
+            .join_timeout(Duration::from_secs(5))
+            .expect("finished")
+            .unwrap(),
+        Value::Str("survived".into())
+    );
+}
+
+#[test]
+fn object_handler_fires_on_passive_object() {
+    // §4.3: "objects should be able to handle events posted to them, even
+    // if there is no thread active inside them."
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("POKE");
+    register_basics(&cluster);
+    let obj = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(1)))
+        .unwrap();
+    let pokes = Arc::new(AtomicU64::new(0));
+    let p2 = Arc::clone(&pokes);
+    facility
+        .on_object_event(&cluster, obj, "POKE", move |_ctx, _o, b| {
+            assert_eq!(b.payload.as_int(), Some(5));
+            p2.fetch_add(1, Ordering::Relaxed);
+            HandlerDecision::Resume(Value::Null)
+        })
+        .unwrap();
+    // No thread is active in obj; raise from node 0.
+    let summary = cluster
+        .raise_from(0, EventName::user("POKE"), Value::Int(5), obj)
+        .wait();
+    assert_eq!(summary.delivered, 1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while pokes.load(Ordering::Relaxed) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(pokes.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn object_handler_works_in_both_execution_modes() {
+    for mode in [ObjectEventExecution::Master, ObjectEventExecution::Spawn] {
+        let cluster = ClusterBuilder::new(1)
+            .config(KernelConfig {
+                object_events: mode,
+                ..KernelConfig::default()
+            })
+            .build();
+        let facility = EventFacility::install(&cluster);
+        facility.register_event("POKE");
+        register_basics(&cluster);
+        let obj = cluster
+            .create_object(ObjectConfig::new("plain", NodeId(0)))
+            .unwrap();
+        let pokes = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&pokes);
+        facility
+            .on_object_event(&cluster, obj, "POKE", move |_c, _o, _b| {
+                p2.fetch_add(1, Ordering::Relaxed);
+                HandlerDecision::Resume(Value::Null)
+            })
+            .unwrap();
+        for _ in 0..10 {
+            cluster
+                .raise_from(0, EventName::user("POKE"), Value::Null, obj)
+                .wait();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pokes.load(Ordering::Relaxed) < 10 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pokes.load(Ordering::Relaxed), 10, "{mode:?}");
+    }
+}
+
+#[test]
+fn sync_object_raise_returns_handler_verdict() {
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("QUERY");
+    register_basics(&cluster);
+    let obj = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(1)))
+        .unwrap();
+    facility
+        .on_object_event(&cluster, obj, "QUERY", |_c, _o, b| {
+            HandlerDecision::Resume(Value::Int(b.payload.as_int().unwrap_or(0) + 100))
+        })
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| ctx.raise_and_wait("QUERY", 11i64, obj))
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Int(111));
+}
+
+#[test]
+fn delete_default_retires_the_object() {
+    // §5.1's DELETE example: default behavior (no handler) removes the
+    // object; an installed handler overrides it.
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    register_basics(&cluster);
+    let doomed = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(0)))
+        .unwrap();
+    cluster
+        .raise_from(0, SystemEvent::Delete, Value::Null, doomed)
+        .wait();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while cluster.directory().get(doomed).is_some() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(cluster.directory().get(doomed).is_none(), "default DELETE");
+
+    // With a veto handler the object survives.
+    let shielded = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(0)))
+        .unwrap();
+    facility
+        .on_object_event(&cluster, shielded, SystemEvent::Delete, |_c, _o, _b| {
+            HandlerDecision::Resume(Value::Str("refused".into()))
+        })
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.raise_and_wait(SystemEvent::Delete, Value::Null, shielded)
+        })
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Str("refused".into()));
+    assert!(cluster.directory().get(shielded).is_some());
+}
+
+#[test]
+fn children_inherit_the_event_registry() {
+    // §6.3: "Any subsequent thread spawned from the root thread inherits
+    // the thread attributes (including the event registry and the handler
+    // information)."
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("STOP");
+    register_basics(&cluster);
+    let far = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(1)))
+        .unwrap();
+    let child_handled = Arc::new(AtomicU64::new(0));
+    let ch2 = Arc::clone(&child_handled);
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.attach_handler(
+                "STOP",
+                AttachSpec::proc("stopper", move |_c, _b| {
+                    ch2.fetch_add(1, Ordering::Relaxed);
+                    HandlerDecision::Terminate
+                }),
+            );
+            let child = ctx.invoke_async(far, "sleepy", Value::Int(30_000));
+            // Give the child a moment to get going, then stop it via its
+            // inherited handler.
+            std::thread::sleep(Duration::from_millis(100));
+            ctx.raise("STOP", Value::Null, child.thread()).wait();
+            match child.claim() {
+                Err(KernelError::Terminated) => Ok(Value::Str("child stopped".into())),
+                other => Err(KernelError::Event(format!("unexpected: {other:?}"))),
+            }
+        })
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Str("child stopped".into()));
+    assert_eq!(child_handled.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn unregistered_user_events_are_rejected() {
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    let f2 = Arc::clone(&facility);
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            let me = ctx.thread_id();
+            match f2.raise(ctx, "NOT_REGISTERED", Value::Null, me) {
+                Err(KernelError::Event(msg)) => Ok(Value::Str(msg)),
+                other => Err(KernelError::Event(format!("expected rejection: {other:?}"))),
+            }
+        })
+        .unwrap();
+    let msg = handle.join().unwrap();
+    assert!(msg.as_str().unwrap().contains("NOT_REGISTERED"));
+}
+
+#[test]
+fn detach_removes_a_handler() {
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("E");
+    let hits = Arc::new(AtomicU64::new(0));
+    let h2 = Arc::clone(&hits);
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            let id = ctx.attach_handler(
+                "E",
+                AttachSpec::proc("h", move |_c, _b| {
+                    h2.fetch_add(1, Ordering::Relaxed);
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+            assert_eq!(ctx.handler_chain_len(&EventName::user("E")), 1);
+            assert!(ctx.detach_handler(id));
+            assert!(!ctx.detach_handler(id));
+            assert_eq!(ctx.handler_chain_len(&EventName::user("E")), 0);
+            let me = ctx.thread_id();
+            ctx.raise("E", Value::Null, me).wait();
+            ctx.poll_events()?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    handle.join().unwrap();
+    assert_eq!(
+        hits.load(Ordering::Relaxed),
+        0,
+        "detached handler never ran"
+    );
+}
+
+#[test]
+fn group_sync_raise_first_resume_wins() {
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("VOTE");
+    let group = cluster.create_group();
+    register_basics(&cluster);
+    // Two member threads, each with a VOTE handler that resumes with its
+    // node id.
+    let mut members = Vec::new();
+    for i in 0..2 {
+        let opts = SpawnOptions {
+            group: Some(group),
+            ..Default::default()
+        };
+        members.push(
+            cluster
+                .spawn_fn_with(i, opts, move |ctx| {
+                    ctx.attach_handler(
+                        "VOTE",
+                        AttachSpec::proc("voter", move |c, _b| {
+                            HandlerDecision::Resume(Value::Int(c.node_id().0 as i64))
+                        }),
+                    );
+                    ctx.sleep(Duration::from_millis(400))?;
+                    Ok(Value::Null)
+                })
+                .unwrap(),
+        );
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            ctx.raise_and_wait("VOTE", Value::Null, RaiseTarget::Group(group))
+        })
+        .unwrap();
+    let verdict = handle.join().unwrap();
+    assert!(
+        matches!(verdict, Value::Int(0) | Value::Int(1)),
+        "one member's verdict resumed the raiser: {verdict:?}"
+    );
+    for m in members {
+        m.join_timeout(Duration::from_secs(5));
+    }
+}
+
+#[test]
+fn facility_works_identically_in_dsm_mode() {
+    // Design goal 2 (§2): the mechanism works identically whether objects
+    // are invoked via RPC or DSM.
+    for mode in [InvocationMode::Rpc, InvocationMode::Dsm] {
+        let cluster = ClusterBuilder::new(2)
+            .config(KernelConfig::with_mode(mode))
+            .build();
+        let facility = EventFacility::install(&cluster);
+        facility.register_event("PING");
+        register_basics(&cluster);
+        let far = cluster
+            .create_object(ObjectConfig::new("plain", NodeId(1)))
+            .unwrap();
+        let handle = cluster
+            .spawn_fn(0, move |ctx| {
+                ctx.attach_handler(
+                    "PING",
+                    AttachSpec::proc("pong", |_c, b| {
+                        HandlerDecision::Resume(Value::Int(b.payload.as_int().unwrap_or(0) + 1))
+                    }),
+                );
+                // Do a cross-object invocation first, then sync-raise.
+                ctx.invoke(far, "where", Value::Null)?;
+                let me = ctx.thread_id();
+                ctx.raise_and_wait("PING", 9i64, me)
+            })
+            .unwrap();
+        assert_eq!(handle.join().unwrap(), Value::Int(10), "{mode:?}");
+    }
+}
+
+#[test]
+fn surrogate_thread_carries_raiser_attributes() {
+    // §6.1: "The object handler can be run using a surrogate thread (a
+    // thread that takes on the attributes of the suspended thread ...)".
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("EXC");
+    register_basics(&cluster);
+    let obj = cluster
+        .create_object(ObjectConfig::new("plain", NodeId(0)))
+        .unwrap();
+    let seen_channel = Arc::new(parking_lot::Mutex::new(String::new()));
+    let sc2 = Arc::clone(&seen_channel);
+    facility
+        .on_object_event(&cluster, obj, "EXC", move |hctx, _o, _b| {
+            // The surrogate took on the raiser's attributes: its I/O
+            // channel is visible.
+            *sc2.lock() = hctx.attributes().io_channel.clone().unwrap_or_default();
+            HandlerDecision::Resume(Value::Null)
+        })
+        .unwrap();
+    let opts = SpawnOptions {
+        io_channel: Some("tty-exc".into()),
+        ..Default::default()
+    };
+    let handle = cluster
+        .spawn_fn_with(0, opts, move |ctx| {
+            ctx.raise_and_wait("EXC", Value::Null, obj)
+        })
+        .unwrap();
+    handle.join().unwrap();
+    assert_eq!(*seen_channel.lock(), "tty-exc");
+}
+
+#[test]
+fn handler_attached_remotely_survives_return_home() {
+    // A handler attached while the thread executes in a remote object must
+    // still fire after the thread returns to its root node (the registry
+    // ships back with the attributes).
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("LATER");
+    cluster.register_class(
+        "attacher",
+        ClassBuilder::new("attacher")
+            .entry("attach_it", |ctx, _| {
+                ctx.attach_handler(
+                    "LATER",
+                    AttachSpec::proc("remote-born", |hctx, _b| {
+                        HandlerDecision::Resume(Value::Int(hctx.node_id().0 as i64))
+                    }),
+                );
+                Ok(Value::Null)
+            })
+            .build(),
+    );
+    let far = cluster
+        .create_object(ObjectConfig::new("attacher", NodeId(1)))
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            // Attach inside the remote object, then come home and raise.
+            ctx.invoke(far, "attach_it", Value::Null)?;
+            let me = ctx.thread_id();
+            ctx.raise_and_wait("LATER", Value::Null, me)
+        })
+        .unwrap();
+    // The handler runs at the thread's current location: node 0 (home).
+    assert_eq!(handle.join().unwrap(), Value::Int(0));
+    let _ = facility;
+}
+
+#[test]
+fn sync_raise_to_self_during_handler_is_masked_not_deadlocked() {
+    // A handler that raises ANOTHER event at its own thread while handling:
+    // nested delivery is masked (events stay queued), so the sync raise
+    // cannot be serviced and must time out rather than deadlock or recurse.
+    let cluster = ClusterBuilder::new(1)
+        .config(KernelConfig {
+            sync_timeout: Duration::from_millis(300),
+            ..KernelConfig::default()
+        })
+        .build();
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("OUTER");
+    facility.register_event("INNER");
+    let handle = cluster
+        .spawn_fn(0, |ctx| {
+            ctx.attach_handler(
+                "INNER",
+                AttachSpec::proc("inner", |_c, _b| {
+                    HandlerDecision::Resume(Value::Str("inner-ran".into()))
+                }),
+            );
+            ctx.attach_handler(
+                "OUTER",
+                AttachSpec::proc("outer", |hctx, _b| {
+                    let me = hctx.thread_id();
+                    // This cannot be handled while we are handling OUTER.
+                    match hctx.raise_and_wait("INNER", Value::Null, me) {
+                        Err(KernelError::Timeout(_)) => {
+                            HandlerDecision::Resume(Value::Str("masked".into()))
+                        }
+                        other => {
+                            HandlerDecision::Resume(Value::Str(format!("unexpected: {other:?}")))
+                        }
+                    }
+                }),
+            );
+            let me = ctx.thread_id();
+            ctx.raise_and_wait("OUTER", Value::Null, me)
+        })
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Str("masked".into()));
+}

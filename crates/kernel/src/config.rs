@@ -1,0 +1,125 @@
+//! Cluster-wide kernel configuration knobs, each corresponding to a design
+//! alternative discussed in the paper.
+
+use std::time::Duration;
+
+/// How object invocations cross node boundaries (paper §2 design goal:
+/// "the mechanism works identically regardless of whether the objects are
+/// invoked using RPC or DSM" — experiment E8 verifies it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvocationMode {
+    /// The logical thread moves: an invocation message carries the thread
+    /// (attributes and all) to the object's home node, which executes the
+    /// entry and replies.
+    #[default]
+    Rpc,
+    /// The data moves: the entry executes on the caller's node and the
+    /// object's state pages fault across via DSM.
+    Dsm,
+}
+
+/// How a thread is found when an event is posted to it (paper §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocatorStrategy {
+    /// "A simple solution ... broadcast the event request": probe every
+    /// node; each answers found/not-found. 2(n-1) messages.
+    Broadcast,
+    /// "Follow the path of the thread starting from its root node" using
+    /// thread-control blocks: hop along the invocation chain. ≤ hops + 1
+    /// messages.
+    #[default]
+    PathTrace,
+    /// "Threads can create a multicast group": nodes hosting the thread
+    /// join its group; delivery multicasts to current members.
+    Multicast,
+}
+
+/// How object-targeted events are executed at the home node (paper §4.3:
+/// "a handler thread can be associated with the object to handle all
+/// events on its behalf, thus eliminating thread-creation costs" —
+/// experiment E3 measures the difference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObjectEventExecution {
+    /// Spawn a fresh kernel thread per delivered event.
+    Spawn,
+    /// One long-lived master handler thread per node drains a queue.
+    #[default]
+    Master,
+}
+
+/// Kernel configuration, shared by every node of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// RPC or DSM invocations.
+    pub invocation_mode: InvocationMode,
+    /// Thread location strategy for event delivery.
+    pub locator: LocatorStrategy,
+    /// Object event execution policy.
+    pub object_events: ObjectEventExecution,
+    /// How long the raiser's node waits for a delivery receipt.
+    pub delivery_timeout: Duration,
+    /// Retries after a `not found` receipt (covers thread-movement races).
+    pub delivery_retries: u32,
+    /// How long `raise_and_wait` blocks for a handler to resume the raiser.
+    pub sync_timeout: Duration,
+    /// How long a remote invocation waits for its reply.
+    pub invoke_timeout: Duration,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            invocation_mode: InvocationMode::default(),
+            locator: LocatorStrategy::default(),
+            object_events: ObjectEventExecution::default(),
+            delivery_timeout: Duration::from_secs(5),
+            delivery_retries: 3,
+            sync_timeout: Duration::from_secs(10),
+            invoke_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Default config with the given invocation mode.
+    pub fn with_mode(mode: InvocationMode) -> Self {
+        KernelConfig {
+            invocation_mode: mode,
+            ..Self::default()
+        }
+    }
+
+    /// Default config with the given locator.
+    pub fn with_locator(locator: LocatorStrategy) -> Self {
+        KernelConfig {
+            locator,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_papers_preferred_choices() {
+        let c = KernelConfig::default();
+        assert_eq!(c.invocation_mode, InvocationMode::Rpc);
+        assert_eq!(c.locator, LocatorStrategy::PathTrace);
+        assert_eq!(c.object_events, ObjectEventExecution::Master);
+        assert!(c.delivery_retries > 0);
+    }
+
+    #[test]
+    fn builder_shortcuts() {
+        assert_eq!(
+            KernelConfig::with_mode(InvocationMode::Dsm).invocation_mode,
+            InvocationMode::Dsm
+        );
+        assert_eq!(
+            KernelConfig::with_locator(LocatorStrategy::Broadcast).locator,
+            LocatorStrategy::Broadcast
+        );
+    }
+}

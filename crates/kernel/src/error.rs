@@ -1,0 +1,137 @@
+//! The kernel's error type.
+
+use crate::{ObjectId, ThreadId};
+use doct_dsm::DsmError;
+use doct_net::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by kernel operations and object invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// The object is not registered anywhere in the cluster.
+    UnknownObject(ObjectId),
+    /// The object's class has no such entry point.
+    UnknownEntry {
+        /// Target object.
+        object: ObjectId,
+        /// Entry point name that failed to resolve.
+        entry: String,
+    },
+    /// The class name is not registered.
+    UnknownClass(String),
+    /// The thread could not be found in the cluster.
+    UnknownThread(ThreadId),
+    /// A node id out of range.
+    UnknownNode(NodeId),
+    /// The invoked entry point (or a handler it ran) failed.
+    InvocationFailed(String),
+    /// The logical thread was terminated by a `TERMINATE` event; frames
+    /// unwind with this error (running chained cleanup handlers on the
+    /// way, see the event facility).
+    Terminated,
+    /// The invocation in progress was aborted by an `ABORT` event posted
+    /// to one of the objects on the calling chain (§6.3).
+    Aborted(String),
+    /// An event-facility error (registration, routing, delivery).
+    Event(String),
+    /// Underlying DSM failure.
+    Dsm(DsmError),
+    /// An operation timed out (lost messages, dead peers).
+    Timeout(String),
+    /// Object state exceeded its DSM segment.
+    StateTooLarge {
+        /// Object whose state overflowed.
+        object: ObjectId,
+        /// Encoded size of the state.
+        need: usize,
+        /// Capacity of the state segment.
+        capacity: usize,
+    },
+    /// Malformed argument to a kernel call.
+    InvalidArgument(String),
+    /// The cluster is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnknownObject(o) => write!(f, "unknown object {o}"),
+            KernelError::UnknownEntry { object, entry } => {
+                write!(f, "object {object} has no entry point {entry:?}")
+            }
+            KernelError::UnknownClass(c) => write!(f, "unknown object class {c:?}"),
+            KernelError::UnknownThread(t) => write!(f, "unknown thread {t}"),
+            KernelError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            KernelError::InvocationFailed(msg) => write!(f, "invocation failed: {msg}"),
+            KernelError::Terminated => f.write_str("thread terminated"),
+            KernelError::Aborted(msg) => write!(f, "invocation aborted: {msg}"),
+            KernelError::Event(msg) => write!(f, "event facility error: {msg}"),
+            KernelError::Dsm(e) => write!(f, "dsm error: {e}"),
+            KernelError::Timeout(what) => write!(f, "timed out: {what}"),
+            KernelError::StateTooLarge {
+                object,
+                need,
+                capacity,
+            } => write!(
+                f,
+                "state of {object} needs {need} bytes, segment holds {capacity}"
+            ),
+            KernelError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            KernelError::ShuttingDown => f.write_str("cluster shutting down"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Dsm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DsmError> for KernelError {
+    fn from(e: DsmError) -> Self {
+        KernelError::Dsm(e)
+    }
+}
+
+impl From<crate::value::DecodeError> for KernelError {
+    fn from(e: crate::value::DecodeError) -> Self {
+        KernelError::InvocationFailed(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doct_dsm::SegmentId;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = KernelError::UnknownEntry {
+            object: ObjectId::new(NodeId(0), 1),
+            entry: "work".into(),
+        };
+        assert_eq!(e.to_string(), "object obj0.1 has no entry point \"work\"");
+        assert!(KernelError::Terminated.to_string().contains("terminated"));
+    }
+
+    #[test]
+    fn dsm_errors_convert_and_chain() {
+        let inner = DsmError::UnknownSegment(SegmentId::new(NodeId(0), 1));
+        let e: KernelError = inner.clone().into();
+        assert_eq!(e, KernelError::Dsm(inner));
+        assert!(e.source().is_some());
+        assert!(KernelError::Terminated.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

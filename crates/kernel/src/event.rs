@@ -1,0 +1,296 @@
+//! Kernel-side event plumbing: names, wire representation, routing
+//! targets, and the dispatcher hook through which the event *facility*
+//! (the `doct-events` crate) plugs its semantics into the kernel's
+//! delivery points.
+//!
+//! The split mirrors the paper's §8: the facility is layered on kernel
+//! primitives ("thread creation, kernel threads, DSM and RPC invocations
+//! and thread location facilities"); the kernel knows how to move and
+//! queue events, not what handlers do.
+
+use crate::{Ctx, ObjectId, ThreadAttributes, ThreadGroupId, ThreadId, Value};
+use doct_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Predefined events raised by the operating system (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SystemEvent {
+    /// Keyboard/console interrupt (the distributed ^C, §6.3).
+    Interrupt,
+    /// Terminate the target thread after running its cleanup chain.
+    Terminate,
+    /// Abort the invocation in progress in the target object (§6.3).
+    Abort,
+    /// Terminate immediately (the second phase of §6.3's protocol).
+    Quit,
+    /// Periodic timer tick (§6.2).
+    Timer,
+    /// One-shot alarm.
+    Alarm,
+    /// Page fault on a user-managed segment (§6.4).
+    VmFault,
+    /// Arithmetic exception.
+    DivZero,
+    /// Object deletion notification (§5.1's example).
+    Delete,
+    /// Debugger breakpoint.
+    Breakpoint,
+}
+
+impl SystemEvent {
+    /// All system events (every object has default handlers for these).
+    pub const ALL: [SystemEvent; 10] = [
+        SystemEvent::Interrupt,
+        SystemEvent::Terminate,
+        SystemEvent::Abort,
+        SystemEvent::Quit,
+        SystemEvent::Timer,
+        SystemEvent::Alarm,
+        SystemEvent::VmFault,
+        SystemEvent::DivZero,
+        SystemEvent::Delete,
+        SystemEvent::Breakpoint,
+    ];
+}
+
+impl fmt::Display for SystemEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SystemEvent::Interrupt => "INTERRUPT",
+            SystemEvent::Terminate => "TERMINATE",
+            SystemEvent::Abort => "ABORT",
+            SystemEvent::Quit => "QUIT",
+            SystemEvent::Timer => "TIMER",
+            SystemEvent::Alarm => "ALARM",
+            SystemEvent::VmFault => "VM_FAULT",
+            SystemEvent::DivZero => "DIV_ZERO",
+            SystemEvent::Delete => "DELETE",
+            SystemEvent::Breakpoint => "BREAKPOINT",
+        })
+    }
+}
+
+/// Name of an event: a predefined system event or an application-named
+/// user event ("names such as COMMIT, ABORT, SYNCHRONIZE can be
+/// registered by an application", §3).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventName {
+    /// Predefined by the operating system.
+    System(SystemEvent),
+    /// Registered by an application.
+    User(String),
+}
+
+impl EventName {
+    /// Convenience constructor for user events.
+    pub fn user(name: impl Into<String>) -> Self {
+        EventName::User(name.into())
+    }
+
+    /// Whether this is a system event.
+    pub fn is_system(&self) -> bool {
+        matches!(self, EventName::System(_))
+    }
+}
+
+impl fmt::Display for EventName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventName::System(s) => write!(f, "{s}"),
+            EventName::User(u) => write!(f, "{u}"),
+        }
+    }
+}
+
+impl From<SystemEvent> for EventName {
+    fn from(s: SystemEvent) -> Self {
+        EventName::System(s)
+    }
+}
+
+impl From<&str> for EventName {
+    fn from(s: &str) -> Self {
+        EventName::user(s)
+    }
+}
+
+/// Where an event is directed (the §5.3 addressing options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaiseTarget {
+    /// A specific thread (`raise(e, tid)`).
+    Thread(ThreadId),
+    /// Every member of a thread group (`raise(e, gtid)`).
+    Group(ThreadGroupId),
+    /// A (possibly passive) object (`raise(e, oid)`).
+    Object(ObjectId),
+}
+
+impl From<ThreadId> for RaiseTarget {
+    fn from(t: ThreadId) -> Self {
+        RaiseTarget::Thread(t)
+    }
+}
+impl From<ThreadGroupId> for RaiseTarget {
+    fn from(g: ThreadGroupId) -> Self {
+        RaiseTarget::Group(g)
+    }
+}
+impl From<ObjectId> for RaiseTarget {
+    fn from(o: ObjectId) -> Self {
+        RaiseTarget::Object(o)
+    }
+}
+
+/// An event instance in flight.
+///
+/// Not serializable: the attribute snapshot may carry per-thread handler
+/// procedures (closures); the simulated cluster ships them in-process,
+/// modelling the mapping of per-thread memory (§7.2).
+#[derive(Debug, Clone)]
+pub struct WireEvent {
+    /// Event name.
+    pub name: EventName,
+    /// User payload (appended to the event block, §5.1).
+    pub payload: Value,
+    /// Raising thread, if raised from a thread context.
+    pub raiser: Option<ThreadId>,
+    /// Node where the raise happened.
+    pub raiser_node: NodeId,
+    /// Cluster-unique event instance id (rendezvous key for synchronous
+    /// raises).
+    pub seq: u64,
+    /// True if the raiser blocked in `raise_and_wait` and must be resumed
+    /// by a handler.
+    pub sync: bool,
+    /// Snapshot of the raiser's attributes, for surrogate-thread handling
+    /// (§6.1).
+    pub attrs: Option<ThreadAttributes>,
+}
+
+impl WireEvent {
+    /// Estimated wire size for statistics.
+    pub fn wire_size(&self) -> usize {
+        96 + self.payload.wire_size()
+    }
+}
+
+/// What the kernel should do with the interrupted thread once the facility
+/// finished handling a delivered event ("the suspended thread is resumed
+/// or terminated", §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadDisposition {
+    /// Resume the thread where it was interrupted.
+    Resume,
+    /// Unwind and terminate the thread.
+    Terminate,
+}
+
+/// Final status of a raise, as observed by the raiser's node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryStatus {
+    /// Delivered; the responding node is reported.
+    Delivered(NodeId),
+    /// The target thread no longer exists (§7.2: "the sender of the event
+    /// ... needs to be notified").
+    TargetDead,
+    /// No response within the delivery timeout.
+    Timeout,
+}
+
+/// The event facility's hook into kernel delivery points.
+///
+/// `doct-events` implements this; [`DefaultDispatcher`] supplies the bare
+/// kernel defaults when no facility is installed.
+pub trait EventDispatcher: Send + Sync {
+    /// An event reached the thread currently executing under `ctx`
+    /// (invocation boundary, explicit poll, or interrupted blocking
+    /// operation). Runs handlers synchronously and returns the
+    /// disposition for the interrupted thread.
+    fn deliver_to_thread(&self, ctx: &mut Ctx, event: WireEvent) -> ThreadDisposition;
+
+    /// An event reached a (possibly passive) object. `ctx` runs on a
+    /// kernel-provided thread (master handler thread or a spawned one,
+    /// §4.3) with the raiser's attribute snapshot if one travelled.
+    fn deliver_to_object(&self, ctx: &mut Ctx, object: ObjectId, event: WireEvent);
+}
+
+/// Kernel default semantics with no facility installed: `TERMINATE` and
+/// `QUIT` terminate the thread, everything else is dropped; object events
+/// are dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultDispatcher;
+
+impl EventDispatcher for DefaultDispatcher {
+    fn deliver_to_thread(&self, ctx: &mut Ctx, event: WireEvent) -> ThreadDisposition {
+        // Never leave a synchronous raiser blocked: with no handler to
+        // resume it, the kernel default resumes with Null.
+        if event.sync {
+            ctx.resume_raiser(&event, Value::Null);
+        }
+        match event.name {
+            EventName::System(SystemEvent::Terminate) | EventName::System(SystemEvent::Quit) => {
+                ThreadDisposition::Terminate
+            }
+            _ => ThreadDisposition::Resume,
+        }
+    }
+
+    fn deliver_to_object(&self, ctx: &mut Ctx, _object: ObjectId, event: WireEvent) {
+        if event.sync {
+            ctx.resume_raiser(&event, Value::Null);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_names_display_like_the_paper() {
+        assert_eq!(
+            EventName::from(SystemEvent::VmFault).to_string(),
+            "VM_FAULT"
+        );
+        assert_eq!(EventName::user("COMMIT").to_string(), "COMMIT");
+        assert!(EventName::System(SystemEvent::Timer).is_system());
+        assert!(!EventName::user("COMMIT").is_system());
+    }
+
+    #[test]
+    fn all_system_events_have_distinct_names() {
+        let mut names: Vec<String> = SystemEvent::ALL.iter().map(|e| e.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), SystemEvent::ALL.len());
+    }
+
+    #[test]
+    fn raise_target_conversions() {
+        let t = ThreadId::new(NodeId(0), 1);
+        assert_eq!(RaiseTarget::from(t), RaiseTarget::Thread(t));
+        let o = ObjectId::new(NodeId(0), 1);
+        assert_eq!(RaiseTarget::from(o), RaiseTarget::Object(o));
+        let g = ThreadGroupId::new(NodeId(0), 1);
+        assert_eq!(RaiseTarget::from(g), RaiseTarget::Group(g));
+    }
+
+    #[test]
+    fn wire_size_scales_with_payload() {
+        let small = WireEvent {
+            name: EventName::System(SystemEvent::Timer),
+            payload: Value::Null,
+            raiser: None,
+            raiser_node: NodeId(0),
+            seq: 1,
+            sync: false,
+            attrs: None,
+        };
+        let big = WireEvent {
+            payload: Value::Bytes(vec![0; 1000]),
+            ..small.clone()
+        };
+        assert!(big.wire_size() > small.wire_size() + 900);
+    }
+}

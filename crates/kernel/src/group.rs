@@ -1,0 +1,123 @@
+//! Thread groups (paper §5.3), modelled on V-kernel process groups: an
+//! event posted to a group is sent to every member.
+//!
+//! The registry is a cluster-wide name service (like the object
+//! directory); the *event fan-out* still happens per member over the
+//! network, so group raises are charged their true communication cost.
+
+use crate::{ThreadGroupId, ThreadId};
+use doct_net::NodeId;
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Cluster-wide thread-group membership.
+#[derive(Debug, Default)]
+pub struct GroupRegistry {
+    groups: RwLock<HashMap<ThreadGroupId, BTreeSet<ThreadId>>>,
+    next_seq: AtomicU32,
+}
+
+impl GroupRegistry {
+    /// Fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a new empty group, attributed to `creator`.
+    pub fn create(&self, creator: NodeId) -> ThreadGroupId {
+        let id = ThreadGroupId::new(creator, self.next_seq.fetch_add(1, Ordering::Relaxed));
+        self.groups.write().insert(id, BTreeSet::new());
+        id
+    }
+
+    /// Add a member; creates the group if unknown (join-creates, handy for
+    /// inherited group ids). Returns `true` if newly added.
+    pub fn join(&self, group: ThreadGroupId, thread: ThreadId) -> bool {
+        self.groups.write().entry(group).or_default().insert(thread)
+    }
+
+    /// Remove a member (threads leave on exit). Returns `true` if it was a
+    /// member. Empty groups persist until [`GroupRegistry::remove_group`].
+    pub fn leave(&self, group: ThreadGroupId, thread: ThreadId) -> bool {
+        self.groups
+            .write()
+            .get_mut(&group)
+            .is_some_and(|m| m.remove(&thread))
+    }
+
+    /// Delete a group entirely.
+    pub fn remove_group(&self, group: ThreadGroupId) {
+        self.groups.write().remove(&group);
+    }
+
+    /// Current members, in id order.
+    pub fn members(&self, group: ThreadGroupId) -> Vec<ThreadId> {
+        self.groups
+            .read()
+            .get(&group)
+            .map(|m| m.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether `thread` belongs to `group`.
+    pub fn is_member(&self, group: ThreadGroupId, thread: ThreadId) -> bool {
+        self.groups
+            .read()
+            .get(&group)
+            .is_some_and(|m| m.contains(&thread))
+    }
+
+    /// Number of members (0 for unknown groups).
+    pub fn member_count(&self, group: ThreadGroupId) -> usize {
+        self.groups.read().get(&group).map_or(0, |m| m.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(seq: u32) -> ThreadId {
+        ThreadId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn create_join_leave() {
+        let r = GroupRegistry::new();
+        let g = r.create(NodeId(0));
+        assert!(r.join(g, t(1)));
+        assert!(r.join(g, t(2)));
+        assert!(!r.join(g, t(2)), "double join is a no-op");
+        assert_eq!(r.members(g), vec![t(1), t(2)]);
+        assert!(r.leave(g, t(1)));
+        assert!(!r.leave(g, t(1)));
+        assert_eq!(r.member_count(g), 1);
+    }
+
+    #[test]
+    fn distinct_groups_get_distinct_ids() {
+        let r = GroupRegistry::new();
+        let a = r.create(NodeId(0));
+        let b = r.create(NodeId(0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn join_creates_unknown_groups() {
+        let r = GroupRegistry::new();
+        let g = ThreadGroupId::new(NodeId(3), 9);
+        assert!(r.join(g, t(1)));
+        assert!(r.is_member(g, t(1)));
+    }
+
+    #[test]
+    fn remove_group_clears_membership() {
+        let r = GroupRegistry::new();
+        let g = r.create(NodeId(0));
+        r.join(g, t(1));
+        r.remove_group(g);
+        assert_eq!(r.member_count(g), 0);
+        assert!(!r.is_member(g, t(1)));
+    }
+}

@@ -1,0 +1,112 @@
+//! Identities of the DO/CT world: objects, logical threads, thread groups.
+
+use doct_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a passive, persistent object.
+///
+/// Encodes the creating node in the high bits so object creation needs no
+/// global coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Compose from creating node and a per-node sequence number.
+    pub fn new(creator: NodeId, seq: u32) -> Self {
+        ObjectId(((creator.0 as u64) << 32) | seq as u64)
+    }
+
+    /// The node on which the object was created (its home).
+    pub fn creator(self) -> NodeId {
+        NodeId((self.0 >> 32) as u32)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}.{}", self.creator().0, self.0 & 0xffff_ffff)
+    }
+}
+
+/// Identity of a logical thread.
+///
+/// The paper assumes "given the unique name of a thread, it is possible to
+/// find the root node" (§7.1) — the root node is encoded in the id, which
+/// is what makes the path-trace locator possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId {
+    /// Node on which the thread was created.
+    pub root: NodeId,
+    /// Per-root-node sequence number.
+    pub seq: u32,
+}
+
+impl ThreadId {
+    /// Compose from root node and sequence.
+    pub fn new(root: NodeId, seq: u32) -> Self {
+        ThreadId { root, seq }
+    }
+
+    /// The per-thread multicast group used by the multicast locator.
+    pub fn multicast_group(self) -> doct_net::MulticastGroupId {
+        doct_net::MulticastGroupId(((self.root.0 as u64) << 32) | self.seq as u64)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.root.0, self.seq)
+    }
+}
+
+/// Identity of a thread group (paper §5.3, after V-kernel process groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadGroupId(pub u64);
+
+impl ThreadGroupId {
+    /// Compose from creating node and a per-node sequence number.
+    pub fn new(creator: NodeId, seq: u32) -> Self {
+        ThreadGroupId(((creator.0 as u64) << 32) | seq as u64)
+    }
+}
+
+impl fmt::Display for ThreadGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grp{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_encodes_creator() {
+        let id = ObjectId::new(NodeId(3), 17);
+        assert_eq!(id.creator(), NodeId(3));
+        assert_eq!(id.to_string(), "obj3.17");
+    }
+
+    #[test]
+    fn thread_id_carries_root() {
+        let t = ThreadId::new(NodeId(2), 5);
+        assert_eq!(t.root, NodeId(2));
+        assert_eq!(t.to_string(), "t2.5");
+    }
+
+    #[test]
+    fn distinct_threads_have_distinct_multicast_groups() {
+        let a = ThreadId::new(NodeId(0), 1).multicast_group();
+        let b = ThreadId::new(NodeId(0), 2).multicast_group();
+        let c = ThreadId::new(NodeId(1), 1).multicast_group();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn group_id_display() {
+        assert_eq!(ThreadGroupId::new(NodeId(0), 4).to_string(), "grp4");
+    }
+}

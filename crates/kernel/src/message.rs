@@ -1,0 +1,186 @@
+//! Node-to-node kernel messages.
+
+use crate::{KernelError, ObjectId, ThreadAttributes, ThreadId, Value, WireEvent};
+use doct_dsm::DsmMessage;
+use doct_net::{NodeId, WireMessage};
+use std::fmt;
+
+/// Everything that flows between node kernels.
+#[derive(Clone)]
+pub enum KernelMessage {
+    /// Remote invocation request: the logical thread (attributes included)
+    /// moves to the target node to execute `entry` on `object`.
+    Invoke {
+        /// Correlates the reply.
+        call_id: u64,
+        /// Node hosting the calling frame.
+        reply_to: NodeId,
+        /// Target object (must be homed at the receiving node).
+        object: ObjectId,
+        /// Entry point name.
+        entry: String,
+        /// Invocation arguments.
+        args: Value,
+        /// The thread's travelling attribute record.
+        attrs: ThreadAttributes,
+        /// Invocation depth of the new frame.
+        depth: u32,
+    },
+    /// Remote invocation reply; carries the (possibly mutated) attributes
+    /// back to the calling frame.
+    InvokeReply {
+        /// Correlation id from the request.
+        call_id: u64,
+        /// Entry result.
+        result: Result<Value, KernelError>,
+        /// The thread's attributes after executing remotely.
+        attrs: ThreadAttributes,
+    },
+    /// Encapsulated DSM coherence traffic.
+    Dsm(DsmMessage),
+    /// Locate-and-deliver probe for a thread-targeted event (used by all
+    /// three locator strategies; they differ in who gets the probe).
+    DeliverThread {
+        /// The event being delivered.
+        event: WireEvent,
+        /// Target thread.
+        target: ThreadId,
+        /// Node that originated the delivery (gets the receipt).
+        origin: NodeId,
+        /// Correlates receipts at the origin.
+        delivery_id: u64,
+        /// Hops taken so far (path-trace statistics).
+        hops: u32,
+        /// Anchor attempt: after locate probes lost the race against a
+        /// fast-moving thread, enqueue at the thread's *root* activation
+        /// (it drains the queue at its next delivery point there) instead
+        /// of requiring the tip.
+        anchor: bool,
+    },
+    /// Receipt for a `DeliverThread` probe.
+    DeliverReceipt {
+        /// Correlation id.
+        delivery_id: u64,
+        /// Node where the event was enqueued, or `None` for "not here".
+        found: Option<NodeId>,
+    },
+    /// Event for a (possibly passive) object, routed to its home node.
+    DeliverObject {
+        /// The event.
+        event: WireEvent,
+        /// Target object.
+        object: ObjectId,
+    },
+    /// A handler resumed a synchronous raiser (paper §5.3: synchronous
+    /// send blocks "until it is explicitly resumed by a handler").
+    SyncResume {
+        /// The blocked raise's event seq.
+        seq: u64,
+        /// Target thread that is blocked (for routing to its activation).
+        raiser: ThreadId,
+        /// Verdict passed back to the raiser.
+        verdict: Value,
+    },
+    /// Orderly shutdown of the node's kernel loop.
+    Shutdown,
+}
+
+impl fmt::Debug for KernelMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelMessage::Invoke { object, entry, .. } => {
+                write!(f, "Invoke({object}::{entry})")
+            }
+            KernelMessage::InvokeReply { call_id, .. } => write!(f, "InvokeReply(#{call_id})"),
+            KernelMessage::Dsm(m) => write!(f, "Dsm({m:?})"),
+            KernelMessage::DeliverThread { event, target, .. } => {
+                write!(f, "DeliverThread({} -> {target})", event.name)
+            }
+            KernelMessage::DeliverReceipt { found, .. } => write!(f, "DeliverReceipt({found:?})"),
+            KernelMessage::DeliverObject { event, object } => {
+                write!(f, "DeliverObject({} -> {object})", event.name)
+            }
+            KernelMessage::SyncResume { seq, .. } => write!(f, "SyncResume(#{seq})"),
+            KernelMessage::Shutdown => f.write_str("Shutdown"),
+        }
+    }
+}
+
+impl WireMessage for KernelMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            KernelMessage::Invoke { args, entry, .. } => 128 + entry.len() + args.wire_size(),
+            KernelMessage::InvokeReply { result, .. } => {
+                128 + match result {
+                    Ok(v) => v.wire_size(),
+                    Err(_) => 32,
+                }
+            }
+            KernelMessage::Dsm(m) => m.wire_size(),
+            KernelMessage::DeliverThread { event, .. } => event.wire_size(),
+            KernelMessage::DeliverReceipt { .. } => 64,
+            KernelMessage::DeliverObject { event, .. } => event.wire_size(),
+            KernelMessage::SyncResume { verdict, .. } => 64 + verdict.wire_size(),
+            KernelMessage::Shutdown => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventName, SystemEvent};
+
+    #[test]
+    fn debug_is_compact() {
+        let msg = KernelMessage::DeliverReceipt {
+            delivery_id: 1,
+            found: Some(NodeId(2)),
+        };
+        assert_eq!(format!("{msg:?}"), "DeliverReceipt(Some(NodeId(2)))");
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = KernelMessage::Invoke {
+            call_id: 1,
+            reply_to: NodeId(0),
+            object: ObjectId::new(NodeId(0), 1),
+            entry: "e".into(),
+            args: Value::Null,
+            attrs: ThreadAttributes::new(ThreadId::new(NodeId(0), 1), NodeId(0)),
+            depth: 0,
+        };
+        let big = KernelMessage::Invoke {
+            call_id: 1,
+            reply_to: NodeId(0),
+            object: ObjectId::new(NodeId(0), 1),
+            entry: "e".into(),
+            args: Value::Bytes(vec![0; 500]),
+            attrs: ThreadAttributes::new(ThreadId::new(NodeId(0), 1), NodeId(0)),
+            depth: 0,
+        };
+        assert!(big.wire_size() >= small.wire_size() + 500);
+        let ev = WireEvent {
+            name: EventName::System(SystemEvent::Timer),
+            payload: Value::Null,
+            raiser: None,
+            raiser_node: NodeId(0),
+            seq: 0,
+            sync: false,
+            attrs: None,
+        };
+        assert!(
+            KernelMessage::DeliverThread {
+                event: ev,
+                target: ThreadId::new(NodeId(0), 1),
+                origin: NodeId(0),
+                delivery_id: 0,
+                hops: 0,
+                anchor: false,
+            }
+            .wire_size()
+                >= 96
+        );
+    }
+}

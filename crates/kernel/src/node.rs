@@ -1,0 +1,1187 @@
+//! The per-node kernel: mailbox loop, invocation workers, event routing
+//! (with the three §7.1 thread locators), and object-event execution
+//! (master handler thread or spawn-per-event, §4.3).
+
+use crate::activation::Activation;
+use crate::config::{KernelConfig, LocatorStrategy, ObjectEventExecution};
+use crate::tcb::{TcbTable, Trail};
+use crate::{ClassRegistry, DefaultDispatcher};
+use crate::{
+    Ctx, DeliveryStatus, EventDispatcher, EventName, GroupRegistry, KernelError, KernelMessage,
+    ObjectDirectory, ObjectId, RaiseTarget, ThreadAttributes, ThreadId, Value, WireEvent,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use doct_dsm::{DsmMessage, DsmNode, DsmTransport};
+use doct_net::{MessageClass, Network, NodeId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Simulated console/terminal output, keyed by I/O channel name. A thread
+/// carries its channel in its attributes, so output from *any* object it
+/// visits lands in the right place (paper §3.1's `foo`/`bar` example).
+#[derive(Debug, Default)]
+pub struct IoHub {
+    channels: Mutex<HashMap<String, Vec<String>>>,
+}
+
+impl IoHub {
+    /// Fresh hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a line to `channel`.
+    pub fn emit(&self, channel: &str, line: impl Into<String>) {
+        self.channels
+            .lock()
+            .entry(channel.to_string())
+            .or_default()
+            .push(line.into());
+    }
+
+    /// All lines written to `channel` so far.
+    pub fn lines(&self, channel: &str) -> Vec<String> {
+        self.channels
+            .lock()
+            .get(channel)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Per-node kernel statistics.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    /// Invocations executed on this node.
+    pub local_invocations: AtomicU64,
+    /// Invocation requests sent to other nodes.
+    pub remote_invocations: AtomicU64,
+    /// Events enqueued for threads on this node.
+    pub thread_events: AtomicU64,
+    /// Object events executed by a spawned thread.
+    pub object_events_spawned: AtomicU64,
+    /// Object events executed by the master handler thread.
+    pub object_events_master: AtomicU64,
+}
+
+/// Reply channel for one in-flight remote invocation: the entry result
+/// plus the thread's attributes coming home.
+type InvokeReplySender = Sender<(Result<Value, KernelError>, ThreadAttributes)>;
+
+struct DeliveryTracker {
+    event: WireEvent,
+    target: ThreadId,
+    outstanding: usize,
+    attempts_left: u32,
+    /// Set once the final anchor attempt has been sent.
+    anchored: bool,
+    deadline: Instant,
+    result_tx: Sender<DeliveryStatus>,
+}
+
+/// A pending receipt set for one raise; resolves to a
+/// [`DeliverySummary`].
+#[derive(Debug)]
+pub struct RaiseTicket {
+    receivers: Vec<Receiver<DeliveryStatus>>,
+    timeout: Duration,
+}
+
+/// Aggregate outcome of a raise (one entry per targeted thread; objects
+/// resolve to a single entry).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeliverySummary {
+    /// Number of recipients the event reached.
+    pub delivered: usize,
+    /// Recipients that no longer exist (§7.2 dead-target notification).
+    pub dead: usize,
+    /// Recipients whose receipt never arrived.
+    pub timed_out: usize,
+    /// Nodes where delivery happened.
+    pub nodes: Vec<NodeId>,
+}
+
+impl DeliverySummary {
+    /// True if every recipient got the event.
+    pub fn all_delivered(&self) -> bool {
+        self.dead == 0 && self.timed_out == 0
+    }
+}
+
+impl RaiseTicket {
+    /// Block until every receipt resolves and summarize.
+    pub fn wait(self) -> DeliverySummary {
+        let mut summary = DeliverySummary::default();
+        let deadline = Instant::now() + self.timeout + Duration::from_secs(1);
+        for rx in self.receivers {
+            let now = Instant::now();
+            let remaining = deadline.saturating_duration_since(now);
+            match rx.recv_timeout(remaining) {
+                Ok(DeliveryStatus::Delivered(n)) => {
+                    summary.delivered += 1;
+                    summary.nodes.push(n);
+                }
+                Ok(DeliveryStatus::TargetDead) => summary.dead += 1,
+                Ok(DeliveryStatus::Timeout) | Err(_) => summary.timed_out += 1,
+            }
+        }
+        summary
+    }
+
+    /// Fire-and-forget: drop the receipts.
+    pub fn detach(self) {}
+
+    /// Take the raw receipt receivers (one per targeted thread).
+    pub fn into_receivers(self) -> Vec<Receiver<DeliveryStatus>> {
+        self.receivers
+    }
+
+    fn immediate(status: DeliveryStatus) -> Self {
+        let (tx, rx) = bounded(1);
+        let _ = tx.send(status);
+        RaiseTicket {
+            receivers: vec![rx],
+            timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+struct KernelDsmTransport {
+    net: Arc<Network<KernelMessage>>,
+}
+
+impl DsmTransport for KernelDsmTransport {
+    fn send(&self, from: NodeId, to: NodeId, msg: DsmMessage) {
+        let _ = self
+            .net
+            .send(from, to, KernelMessage::Dsm(msg), MessageClass::Dsm);
+    }
+}
+
+/// One node of the DO/CT cluster.
+pub struct NodeKernel {
+    node: NodeId,
+    config: KernelConfig,
+    net: Arc<Network<KernelMessage>>,
+    dsm: DsmNode,
+    directory: Arc<ObjectDirectory>,
+    classes: Arc<ClassRegistry>,
+    groups: Arc<GroupRegistry>,
+    io: Arc<IoHub>,
+    dispatcher: RwLock<Arc<dyn EventDispatcher>>,
+    activations: Mutex<HashMap<ThreadId, (Arc<Activation>, u32)>>,
+    tcbs: TcbTable,
+    pending_calls: Mutex<HashMap<u64, InvokeReplySender>>,
+    deliveries: Mutex<HashMap<u64, DeliveryTracker>>,
+    next_id: AtomicU64,
+    next_thread_seq: AtomicU64,
+    next_object_seq: AtomicU64,
+    object_event_tx: Sender<(ObjectId, WireEvent)>,
+    object_event_rx: Mutex<Option<Receiver<(ObjectId, WireEvent)>>>,
+    shutdown: AtomicBool,
+    stats: KernelStats,
+    self_ref: Mutex<Option<std::sync::Weak<NodeKernel>>>,
+    timer_tx: Mutex<Option<Sender<TimerCmd>>>,
+}
+
+/// Commands for the cluster timer service (§6.2 periodic TIMER events and
+/// one-shot ALARM events).
+#[derive(Debug)]
+pub enum TimerCmd {
+    /// Register a timer for `thread`.
+    Register {
+        /// Target thread.
+        thread: ThreadId,
+        /// Timer id (for cancellation).
+        id: u64,
+        /// Firing period (or delay, for one-shot alarms).
+        period: Duration,
+        /// Payload delivered with each event.
+        payload: Value,
+        /// Event name to raise (TIMER for periodic, ALARM for one-shot).
+        event: EventName,
+        /// Fire once and unregister.
+        one_shot: bool,
+    },
+    /// Cancel one timer.
+    Cancel {
+        /// Target thread.
+        thread: ThreadId,
+        /// Timer id.
+        id: u64,
+    },
+    /// Cancel every timer of a (dead) thread.
+    CancelThread(ThreadId),
+    /// Stop the timer service.
+    Shutdown,
+}
+
+impl fmt::Debug for NodeKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeKernel")
+            .field("node", &self.node)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NodeKernel {
+    /// Construct a node kernel. The caller (the cluster builder) starts
+    /// the kernel loop and master handler thread via
+    /// [`NodeKernel::start`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: NodeId,
+        config: KernelConfig,
+        net: Arc<Network<KernelMessage>>,
+        directory: Arc<ObjectDirectory>,
+        classes: Arc<ClassRegistry>,
+        groups: Arc<GroupRegistry>,
+        io: Arc<IoHub>,
+        dsm_config: doct_dsm::DsmConfig,
+    ) -> Arc<Self> {
+        let transport = Arc::new(KernelDsmTransport {
+            net: Arc::clone(&net),
+        });
+        let (oe_tx, oe_rx) = unbounded();
+        let kernel = Arc::new(NodeKernel {
+            node,
+            config,
+            dsm: DsmNode::new(node, dsm_config, transport),
+            net,
+            directory,
+            classes,
+            groups,
+            io,
+            dispatcher: RwLock::new(Arc::new(DefaultDispatcher)),
+            activations: Mutex::new(HashMap::new()),
+            tcbs: TcbTable::new(),
+            pending_calls: Mutex::new(HashMap::new()),
+            deliveries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            next_thread_seq: AtomicU64::new(1),
+            next_object_seq: AtomicU64::new(1),
+            object_event_tx: oe_tx,
+            object_event_rx: Mutex::new(Some(oe_rx)),
+            shutdown: AtomicBool::new(false),
+            stats: KernelStats::default(),
+            self_ref: Mutex::new(None),
+            timer_tx: Mutex::new(None),
+        });
+        *kernel.self_ref.lock() = Some(Arc::downgrade(&kernel));
+        kernel
+    }
+
+    fn me(&self) -> Arc<NodeKernel> {
+        self.self_ref
+            .lock()
+            .as_ref()
+            .and_then(|w| w.upgrade())
+            .expect("kernel alive")
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// This node's DSM engine.
+    pub fn dsm(&self) -> &DsmNode {
+        &self.dsm
+    }
+
+    /// The network fabric.
+    pub fn net(&self) -> &Arc<Network<KernelMessage>> {
+        &self.net
+    }
+
+    /// Cluster object directory.
+    pub fn directory(&self) -> &Arc<ObjectDirectory> {
+        &self.directory
+    }
+
+    /// Cluster class registry.
+    pub fn classes(&self) -> &Arc<ClassRegistry> {
+        &self.classes
+    }
+
+    /// Cluster thread-group registry.
+    pub fn groups(&self) -> &Arc<GroupRegistry> {
+        &self.groups
+    }
+
+    /// Simulated console hub.
+    pub fn io(&self) -> &Arc<IoHub> {
+        &self.io
+    }
+
+    /// Kernel statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Thread-control-block table (inspection).
+    pub fn tcbs(&self) -> &TcbTable {
+        &self.tcbs
+    }
+
+    /// Install the event facility's dispatcher (all nodes usually share
+    /// one `Arc`).
+    pub fn set_dispatcher(&self, dispatcher: Arc<dyn EventDispatcher>) {
+        *self.dispatcher.write() = dispatcher;
+    }
+
+    /// Current dispatcher.
+    pub fn dispatcher(&self) -> Arc<dyn EventDispatcher> {
+        self.dispatcher.read().clone()
+    }
+
+    /// Allocate a cluster-unique id (call ids, delivery ids, event seqs).
+    pub fn next_seq(&self) -> u64 {
+        ((self.node.0 as u64) << 40) | self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate a thread id rooted at this node.
+    pub fn new_thread_id(&self) -> ThreadId {
+        ThreadId::new(
+            self.node,
+            self.next_thread_seq.fetch_add(1, Ordering::Relaxed) as u32,
+        )
+    }
+
+    /// Allocate an object id homed at this node.
+    pub fn new_object_id(&self) -> ObjectId {
+        ObjectId::new(
+            self.node,
+            self.next_object_seq.fetch_add(1, Ordering::Relaxed) as u32,
+        )
+    }
+
+    /// Ensure future object ids are allocated above `seq` (used when
+    /// importing persistent objects so ids never collide).
+    pub fn reserve_object_seq(&self, seq: u64) {
+        self.next_object_seq.fetch_max(seq + 1, Ordering::Relaxed);
+    }
+
+    /// The activation of `thread` on this node, if present.
+    pub fn activation(&self, thread: ThreadId) -> Option<Arc<Activation>> {
+        self.activations.lock().get(&thread).map(|(a, _)| a.clone())
+    }
+
+    /// Number of live activations (diagnostics; E6's orphan check).
+    pub fn activation_count(&self) -> usize {
+        self.activations.lock().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel loop
+    // ------------------------------------------------------------------
+
+    /// Start the kernel loop and (if configured) the master handler
+    /// thread. Returns the loop join handles.
+    pub fn start(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
+        let mut handles = Vec::new();
+        let rx = self
+            .net
+            .take_mailbox(self.node)
+            .expect("node mailbox taken once");
+        let k = Arc::clone(self);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("kernel-loop-{}", self.node))
+                .spawn(move || k.run_loop(rx))
+                .expect("spawn kernel loop"),
+        );
+        if self.config.object_events == ObjectEventExecution::Master {
+            let rx = self
+                .object_event_rx
+                .lock()
+                .take()
+                .expect("master queue taken once");
+            let k = Arc::clone(self);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("master-handler-{}", self.node))
+                    .spawn(move || k.run_master(rx))
+                    .expect("spawn master handler"),
+            );
+        }
+        handles
+    }
+
+    fn run_loop(self: Arc<Self>, rx: Receiver<doct_net::Envelope<KernelMessage>>) {
+        loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(env) => {
+                    if matches!(env.payload, KernelMessage::Shutdown) {
+                        self.shutdown.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    self.handle(env.payload, env.src);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    self.sweep_deliveries();
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn run_master(self: Arc<Self>, rx: Receiver<(ObjectId, WireEvent)>) {
+        loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok((object, event)) => {
+                    self.stats
+                        .object_events_master
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.run_object_event(object, event);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Ask the loop (and master thread) to exit.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    fn handle(self: &Arc<Self>, msg: KernelMessage, src: NodeId) {
+        match msg {
+            KernelMessage::Invoke {
+                call_id,
+                reply_to,
+                object,
+                entry,
+                args,
+                attrs,
+                depth,
+            } => self.handle_invoke(call_id, reply_to, object, entry, args, attrs, depth),
+            KernelMessage::InvokeReply {
+                call_id,
+                result,
+                attrs,
+            } => {
+                if let Some(tx) = self.pending_calls.lock().remove(&call_id) {
+                    let _ = tx.send((result, attrs));
+                }
+            }
+            KernelMessage::Dsm(m) => self.dsm.handle_message(m),
+            KernelMessage::DeliverThread {
+                event,
+                target,
+                origin,
+                delivery_id,
+                hops,
+                anchor,
+            } => self.handle_deliver_thread(event, target, origin, delivery_id, hops, anchor),
+            KernelMessage::DeliverReceipt { delivery_id, found } => {
+                self.handle_receipt(delivery_id, found)
+            }
+            KernelMessage::DeliverObject { event, object } => {
+                self.enqueue_object_event(object, event)
+            }
+            KernelMessage::SyncResume {
+                seq,
+                raiser,
+                verdict,
+            } => {
+                if let Some(act) = self.activation(raiser) {
+                    act.push_sync_result(seq, verdict);
+                }
+            }
+            KernelMessage::Shutdown => {}
+        }
+        let _ = src;
+    }
+
+    // ------------------------------------------------------------------
+    // Invocations
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_invoke(
+        self: &Arc<Self>,
+        call_id: u64,
+        reply_to: NodeId,
+        object: ObjectId,
+        entry: String,
+        args: Value,
+        attrs: ThreadAttributes,
+        depth: u32,
+    ) {
+        let kernel = self.me();
+        std::thread::Builder::new()
+            .name(format!("worker-{}-{}", self.node, call_id))
+            .spawn(move || {
+                let thread = attrs.thread;
+                let activation = kernel.checkin(attrs);
+                kernel.tcbs.arrive(thread, depth, Some(reply_to));
+                let result = kernel.execute_local(&activation, object, &entry, args, depth);
+                let attrs_back = activation.attributes_snapshot();
+                kernel.tcbs.leave(thread);
+                kernel.checkout(thread);
+                let _ = kernel.net.send(
+                    kernel.node,
+                    reply_to,
+                    KernelMessage::InvokeReply {
+                        call_id,
+                        result,
+                        attrs: attrs_back,
+                    },
+                    MessageClass::Invocation,
+                );
+            })
+            .expect("spawn invocation worker");
+    }
+
+    /// Register (or re-enter) the thread's activation on this node.
+    pub fn checkin(&self, attrs: ThreadAttributes) -> Arc<Activation> {
+        let thread = attrs.thread;
+        let mut acts = self.activations.lock();
+        match acts.get_mut(&thread) {
+            Some((act, sessions)) => {
+                *sessions += 1;
+                // The arriving copy is the freshest version of the
+                // travelling record.
+                act.with_attributes(|a| *a = attrs);
+                act.clone()
+            }
+            None => {
+                let act = Arc::new(Activation::new(attrs));
+                acts.insert(thread, (act.clone(), 1));
+                drop(acts);
+                self.net
+                    .multicast_registry()
+                    .join(thread.multicast_group(), self.node);
+                act
+            }
+        }
+    }
+
+    /// Drop one session; removes the activation when none remain.
+    pub fn checkout(&self, thread: ThreadId) {
+        let mut acts = self.activations.lock();
+        if let Some((_, sessions)) = acts.get_mut(&thread) {
+            *sessions -= 1;
+            if *sessions == 0 {
+                acts.remove(&thread);
+                drop(acts);
+                self.net
+                    .multicast_registry()
+                    .leave(thread.multicast_group(), self.node);
+            }
+        }
+    }
+
+    /// Execute an entry point locally: frame push, delivery points at the
+    /// boundaries, panic containment.
+    pub fn execute_local(
+        self: &Arc<Self>,
+        activation: &Arc<Activation>,
+        object: ObjectId,
+        entry: &str,
+        args: Value,
+        depth: u32,
+    ) -> Result<Value, KernelError> {
+        self.stats.local_invocations.fetch_add(1, Ordering::Relaxed);
+        let record = self
+            .directory
+            .get(object)
+            .ok_or(KernelError::UnknownObject(object))?;
+        let behavior = self
+            .classes
+            .get(&record.class)
+            .ok_or_else(|| KernelError::UnknownClass(record.class.clone()))?;
+        activation.lock().stack.push(crate::activation::Frame {
+            object,
+            entry: entry.to_string(),
+            depth,
+        });
+        let mut ctx = Ctx::new(self.me(), Arc::clone(activation));
+        // Delivery point at invocation entry.
+        let mut result = ctx.poll_events().and_then(|()| {
+            record.run_exclusive(|| {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    behavior.dispatch(&mut ctx, entry, args)
+                }));
+                match outcome {
+                    Ok(r) => r,
+                    Err(p) => Err(KernelError::InvocationFailed(panic_text(p))),
+                }
+            })
+        });
+        // Delivery point at invocation exit (even on error).
+        if let Err(e) = ctx.poll_events() {
+            result = Err(e);
+        }
+        activation.lock().stack.pop();
+        result
+    }
+
+    /// Synchronously run an invocation at a remote home node, shipping the
+    /// thread's attributes there and back.
+    pub fn call_remote(
+        &self,
+        home: NodeId,
+        object: ObjectId,
+        entry: &str,
+        args: Value,
+        attrs: ThreadAttributes,
+        depth: u32,
+    ) -> Result<(Result<Value, KernelError>, ThreadAttributes), KernelError> {
+        self.stats
+            .remote_invocations
+            .fetch_add(1, Ordering::Relaxed);
+        let call_id = self.next_seq();
+        let (tx, rx) = bounded(1);
+        self.pending_calls.lock().insert(call_id, tx);
+        let sent = self
+            .net
+            .send(
+                self.node,
+                home,
+                KernelMessage::Invoke {
+                    call_id,
+                    reply_to: self.node,
+                    object,
+                    entry: entry.to_string(),
+                    args,
+                    attrs,
+                    depth,
+                },
+                MessageClass::Invocation,
+            )
+            .map_err(|e| KernelError::InvalidArgument(e.to_string()))?;
+        if !sent.is_sent() {
+            self.pending_calls.lock().remove(&call_id);
+            return Err(KernelError::Timeout(format!(
+                "invoke {object}::{entry}: link to {home} down"
+            )));
+        }
+        match rx.recv_timeout(self.config.invoke_timeout) {
+            Ok(pair) => Ok(pair),
+            Err(_) => {
+                self.pending_calls.lock().remove(&call_id);
+                Err(KernelError::Timeout(format!(
+                    "invoke {object}::{entry} on {home}"
+                )))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Logical thread spawning
+    // ------------------------------------------------------------------
+
+    /// Run `body` as a logical thread rooted on this node. Returns the
+    /// receiver for the thread's result.
+    pub fn spawn_logical(
+        self: &Arc<Self>,
+        attrs: ThreadAttributes,
+        body: impl FnOnce(&mut Ctx) -> Result<Value, KernelError> + Send + 'static,
+    ) -> Receiver<Result<Value, KernelError>> {
+        let kernel = self.me();
+        let (tx, rx) = bounded(1);
+        let thread = attrs.thread;
+        if let Some(g) = attrs.group {
+            self.groups.join(g, thread);
+        }
+        std::thread::Builder::new()
+            .name(format!("logical-{thread}"))
+            .spawn(move || {
+                let activation = kernel.checkin(attrs);
+                kernel.tcbs.arrive(thread, 0, None);
+                let mut ctx = Ctx::new(Arc::clone(&kernel), Arc::clone(&activation));
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                let mut result = match outcome {
+                    Ok(r) => r,
+                    Err(p) => Err(KernelError::InvocationFailed(panic_text(p))),
+                };
+                // Final delivery point: run any straggler events (e.g. a
+                // TERMINATE that arrived at the very end).
+                if let Err(e) = ctx.poll_events() {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+                let group = activation.lock().attributes.group;
+                kernel.tcbs.leave(thread);
+                kernel.checkout(thread);
+                if let Some(g) = group {
+                    kernel.groups.leave(g, thread);
+                }
+                let _ = tx.send(result);
+            })
+            .expect("spawn logical thread");
+        rx
+    }
+
+    // ------------------------------------------------------------------
+    // Event routing
+    // ------------------------------------------------------------------
+
+    /// Raise an event: the kernel-level primitive behind both `raise` and
+    /// `raise_and_wait` (§5.3). Returns the receipt ticket and the event
+    /// seq (the rendezvous key for synchronous raises).
+    pub fn raise_event(
+        self: &Arc<Self>,
+        name: EventName,
+        payload: Value,
+        target: RaiseTarget,
+        sync: bool,
+        raiser: Option<&Arc<Activation>>,
+    ) -> (RaiseTicket, u64) {
+        let seq = self.next_seq();
+        let event = WireEvent {
+            name,
+            payload,
+            raiser: raiser.map(|a| a.thread),
+            raiser_node: self.node,
+            seq,
+            sync,
+            attrs: raiser.map(|a| a.attributes_snapshot()),
+        };
+        let ticket = match target {
+            RaiseTarget::Object(object) => self.raise_to_object(object, event),
+            RaiseTarget::Thread(thread) => RaiseTicket {
+                receivers: vec![self.start_thread_delivery(thread, event)],
+                timeout: self.config.delivery_timeout,
+            },
+            RaiseTarget::Group(group) => {
+                let members = self.groups.members(group);
+                let receivers = members
+                    .into_iter()
+                    .map(|t| self.start_thread_delivery(t, event.clone()))
+                    .collect();
+                RaiseTicket {
+                    receivers,
+                    timeout: self.config.delivery_timeout,
+                }
+            }
+        };
+        (ticket, seq)
+    }
+
+    fn raise_to_object(self: &Arc<Self>, object: ObjectId, event: WireEvent) -> RaiseTicket {
+        let Some(record) = self.directory.get(object) else {
+            return RaiseTicket::immediate(DeliveryStatus::TargetDead);
+        };
+        if record.home == self.node {
+            self.enqueue_object_event(object, event);
+        } else {
+            let _ = self.net.send(
+                self.node,
+                record.home,
+                KernelMessage::DeliverObject { event, object },
+                MessageClass::Event,
+            );
+        }
+        RaiseTicket::immediate(DeliveryStatus::Delivered(record.home))
+    }
+
+    /// Begin locating `thread` and delivering `event` to its tip.
+    fn start_thread_delivery(
+        self: &Arc<Self>,
+        thread: ThreadId,
+        event: WireEvent,
+    ) -> Receiver<DeliveryStatus> {
+        let (tx, rx) = bounded(1);
+        // Fast path: tip is on this node.
+        if self.tcbs.trail(thread) == Trail::TipHere {
+            if let Some(act) = self.activation(thread) {
+                self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
+                act.push_event(event);
+                let _ = tx.send(DeliveryStatus::Delivered(self.node));
+                return rx;
+            }
+        }
+        let delivery_id = self.next_seq();
+        let tracker = DeliveryTracker {
+            event,
+            target: thread,
+            outstanding: 0,
+            attempts_left: self.config.delivery_retries,
+            anchored: false,
+            deadline: Instant::now() + self.config.delivery_timeout,
+            result_tx: tx,
+        };
+        self.deliveries.lock().insert(delivery_id, tracker);
+        self.send_probes(delivery_id);
+        rx
+    }
+
+    /// Send the probe wave for a registered delivery (initial or retry).
+    fn send_probes(self: &Arc<Self>, delivery_id: u64) {
+        let (event, target) = {
+            let mut map = self.deliveries.lock();
+            let Some(t) = map.get_mut(&delivery_id) else {
+                return;
+            };
+            (t.event.clone(), t.target)
+        };
+        let msg = |hops| KernelMessage::DeliverThread {
+            event: event.clone(),
+            target,
+            origin: self.node,
+            delivery_id,
+            hops,
+            anchor: false,
+        };
+        let sent = match self.config.locator {
+            LocatorStrategy::Broadcast => self
+                .net
+                .broadcast(self.node, msg(0), MessageClass::Locate)
+                .unwrap_or(0),
+            LocatorStrategy::PathTrace => {
+                if target.root == self.node {
+                    // We are the root but the tip is not here: follow our
+                    // own trail without a network hop. One receipt will
+                    // come back (possibly inline), so account for it first.
+                    if let Some(t) = self.deliveries.lock().get_mut(&delivery_id) {
+                        t.outstanding = 1;
+                    }
+                    self.handle_deliver_thread(
+                        event.clone(),
+                        target,
+                        self.node,
+                        delivery_id,
+                        0,
+                        false,
+                    );
+                    return;
+                }
+                match self
+                    .net
+                    .send(self.node, target.root, msg(0), MessageClass::Locate)
+                {
+                    Ok(o) if o.is_sent() => 1,
+                    _ => 0,
+                }
+            }
+            LocatorStrategy::Multicast => self
+                .net
+                .multicast(
+                    self.node,
+                    target.multicast_group(),
+                    msg(0),
+                    MessageClass::Locate,
+                )
+                .unwrap_or(0),
+        };
+        let mut map = self.deliveries.lock();
+        if let Some(t) = map.get_mut(&delivery_id) {
+            if sent == 0 {
+                // Nobody to ask: the thread left no trace.
+                let _ = t.result_tx.send(DeliveryStatus::TargetDead);
+                map.remove(&delivery_id);
+            } else {
+                t.outstanding = sent;
+            }
+        }
+    }
+
+    /// A probe arrived: enqueue here, forward along the trail, or report
+    /// back "not here".
+    fn handle_deliver_thread(
+        self: &Arc<Self>,
+        event: WireEvent,
+        target: ThreadId,
+        origin: NodeId,
+        delivery_id: u64,
+        hops: u32,
+        anchor: bool,
+    ) {
+        let receipt = |found: Option<NodeId>| {
+            if origin == self.node {
+                self.handle_receipt(delivery_id, found);
+            } else {
+                let _ = self.net.send(
+                    self.node,
+                    origin,
+                    KernelMessage::DeliverReceipt { delivery_id, found },
+                    MessageClass::Locate,
+                );
+            }
+        };
+        if anchor {
+            // Sticky delivery at the root: the thread is alive here (any
+            // trail), just too fast for the probes; leave the event in its
+            // root activation, drained at its next delivery point here.
+            let alive = self.tcbs.trail(target) != Trail::Unknown;
+            if alive {
+                if let Some(act) = self.activation(target) {
+                    self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
+                    act.push_event(event);
+                    receipt(Some(self.node));
+                    return;
+                }
+            }
+            receipt(None);
+            return;
+        }
+        match self.tcbs.trail(target) {
+            Trail::TipHere => {
+                if let Some(act) = self.activation(target) {
+                    self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
+                    act.push_event(event);
+                    receipt(Some(self.node));
+                } else {
+                    receipt(None);
+                }
+            }
+            Trail::Forward(next) => {
+                if self.config.locator == LocatorStrategy::PathTrace {
+                    let _ = self.net.send(
+                        self.node,
+                        next,
+                        KernelMessage::DeliverThread {
+                            event,
+                            target,
+                            origin,
+                            delivery_id,
+                            hops: hops + 1,
+                            anchor: false,
+                        },
+                        MessageClass::Locate,
+                    );
+                } else {
+                    // Broadcast/multicast probes cover the tip directly.
+                    receipt(None);
+                }
+            }
+            Trail::Unknown => receipt(None),
+        }
+    }
+
+    fn handle_receipt(self: &Arc<Self>, delivery_id: u64, found: Option<NodeId>) {
+        let mut retry = false;
+        {
+            let mut map = self.deliveries.lock();
+            let Some(t) = map.get_mut(&delivery_id) else {
+                return;
+            };
+            match found {
+                Some(node) => {
+                    let _ = t.result_tx.send(DeliveryStatus::Delivered(node));
+                    map.remove(&delivery_id);
+                }
+                None => {
+                    t.outstanding = t.outstanding.saturating_sub(1);
+                    if t.outstanding == 0 {
+                        if t.attempts_left > 0 {
+                            t.attempts_left -= 1;
+                            retry = true;
+                        } else if !t.anchored {
+                            // Last resort: anchor the event at the root
+                            // activation of a thread too fast to pin down.
+                            t.anchored = true;
+                            t.outstanding = 1;
+                            let msg = KernelMessage::DeliverThread {
+                                event: t.event.clone(),
+                                target: t.target,
+                                origin: self.node,
+                                delivery_id,
+                                hops: 0,
+                                anchor: true,
+                            };
+                            let root = t.target.root;
+                            drop(map);
+                            if root == self.node {
+                                self.handle(msg, self.node);
+                            } else {
+                                let _ = self.net.send(self.node, root, msg, MessageClass::Locate);
+                            }
+                            return;
+                        } else {
+                            let _ = t.result_tx.send(DeliveryStatus::TargetDead);
+                            map.remove(&delivery_id);
+                        }
+                    }
+                }
+            }
+        }
+        if retry {
+            // Cover the race where the thread moved mid-probe: check the
+            // local fast path again, then resend the wave.
+            let (event, target) = {
+                let map = self.deliveries.lock();
+                match map.get(&delivery_id) {
+                    Some(t) => (t.event.clone(), t.target),
+                    None => return,
+                }
+            };
+            if self.tcbs.trail(target) == Trail::TipHere {
+                if let Some(act) = self.activation(target) {
+                    act.push_event(event);
+                    let mut map = self.deliveries.lock();
+                    if let Some(t) = map.remove(&delivery_id) {
+                        let _ = t.result_tx.send(DeliveryStatus::Delivered(self.node));
+                    }
+                    return;
+                }
+            }
+            self.send_probes(delivery_id);
+        }
+    }
+
+    fn sweep_deliveries(self: &Arc<Self>) {
+        let now = Instant::now();
+        let mut map = self.deliveries.lock();
+        map.retain(|_, t| {
+            if now >= t.deadline {
+                let _ = t.result_tx.send(DeliveryStatus::Timeout);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Resume a raiser blocked in `raise_and_wait` (facility-facing).
+    pub fn resume_sync_raiser(&self, event: &WireEvent, verdict: Value) {
+        let Some(raiser) = event.raiser else { return };
+        if event.raiser_node == self.node {
+            if let Some(act) = self.activation(raiser) {
+                act.push_sync_result(event.seq, verdict);
+            }
+        } else {
+            let _ = self.net.send(
+                self.node,
+                event.raiser_node,
+                KernelMessage::SyncResume {
+                    seq: event.seq,
+                    raiser,
+                    verdict,
+                },
+                MessageClass::Event,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Object events
+    // ------------------------------------------------------------------
+
+    fn enqueue_object_event(self: &Arc<Self>, object: ObjectId, event: WireEvent) {
+        match self.config.object_events {
+            ObjectEventExecution::Master => {
+                let _ = self.object_event_tx.send((object, event));
+            }
+            ObjectEventExecution::Spawn => {
+                self.stats
+                    .object_events_spawned
+                    .fetch_add(1, Ordering::Relaxed);
+                let kernel = self.me();
+                std::thread::Builder::new()
+                    .name(format!("objevent-{}", self.node))
+                    .spawn(move || kernel.run_object_event(object, event))
+                    .expect("spawn object event thread");
+            }
+        }
+    }
+
+    /// Execute one object-targeted event on the calling thread, under a
+    /// surrogate logical thread that takes on the raiser's attributes
+    /// (§6.1) when a snapshot travelled with the event.
+    pub fn run_object_event(self: &Arc<Self>, object: ObjectId, event: WireEvent) {
+        let surrogate_id = self.new_thread_id();
+        let attrs = match &event.attrs {
+            // Surrogate: same attribute record (extensions shared), new
+            // thread identity.
+            Some(a) => {
+                let mut copy = a.clone();
+                copy.thread = surrogate_id;
+                copy.group = None; // the surrogate is not a group member
+                copy
+            }
+            None => ThreadAttributes::new(surrogate_id, self.node),
+        };
+        let kernel = self.me();
+        let activation = kernel.checkin(attrs);
+        kernel.tcbs.arrive(surrogate_id, 0, None);
+        let dispatcher = kernel.dispatcher();
+        {
+            let mut ctx = Ctx::new(Arc::clone(&kernel), Arc::clone(&activation));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dispatcher.deliver_to_object(&mut ctx, object, event);
+            }));
+            if outcome.is_err() {
+                // A handler panicked; the object event is dropped but the
+                // kernel thread survives.
+            }
+        }
+        kernel.tcbs.leave(surrogate_id);
+        kernel.checkout(surrogate_id);
+    }
+}
+
+impl NodeKernel {
+    /// Wire the cluster timer service's command channel into this node.
+    pub fn set_timer_channel(&self, tx: Sender<TimerCmd>) {
+        *self.timer_tx.lock() = Some(tx);
+    }
+
+    /// Register a periodic TIMER for `thread` (no-op without a timer
+    /// service, e.g. in single-node unit tests).
+    pub fn register_timer(&self, thread: ThreadId, id: u64, period: Duration, payload: Value) {
+        if let Some(tx) = self.timer_tx.lock().as_ref() {
+            let _ = tx.send(TimerCmd::Register {
+                thread,
+                id,
+                period,
+                payload,
+                event: EventName::System(crate::SystemEvent::Timer),
+                one_shot: false,
+            });
+        }
+    }
+
+    /// Register a one-shot ALARM for `thread`, firing after `delay`.
+    pub fn register_alarm(&self, thread: ThreadId, id: u64, delay: Duration, payload: Value) {
+        if let Some(tx) = self.timer_tx.lock().as_ref() {
+            let _ = tx.send(TimerCmd::Register {
+                thread,
+                id,
+                period: delay,
+                payload,
+                event: EventName::System(crate::SystemEvent::Alarm),
+                one_shot: true,
+            });
+        }
+    }
+
+    /// Cancel one timer of `thread`.
+    pub fn cancel_timer(&self, thread: ThreadId, id: u64) {
+        if let Some(tx) = self.timer_tx.lock().as_ref() {
+            let _ = tx.send(TimerCmd::Cancel { thread, id });
+        }
+    }
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic in entry point".to_string()
+    }
+}

@@ -1,0 +1,432 @@
+//! Passive, persistent objects.
+//!
+//! An object is code (its *class*, replicated everywhere, as code pages
+//! would be) plus state (a [`doct_dsm`] segment homed at the creating
+//! node) plus a directory record. Objects exist without any thread in
+//! them and can be invoked by any thread, from any application (paper §2).
+
+use crate::{Ctx, KernelError, ObjectId, Value};
+use doct_dsm::SegmentInfo;
+use doct_net::NodeId;
+use parking_lot::{Mutex, RwLock};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// The code of an object class: dispatches entry-point invocations.
+///
+/// Implementations must be stateless or share-safe — per-object state
+/// belongs in the object's DSM-resident state (via
+/// [`Ctx::with_state`]), never in the behavior, or DSM-mode invocation
+/// (which executes the class code on the *caller's* node) would diverge
+/// from RPC mode.
+pub trait ObjectBehavior: Send + Sync {
+    /// Execute `entry` with `args` on behalf of the logical thread in
+    /// `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownEntry`] for unknown entries, or whatever the
+    /// entry's own logic fails with.
+    fn dispatch(&self, ctx: &mut Ctx, entry: &str, args: Value) -> Result<Value, KernelError>;
+
+    /// Entry points, for diagnostics (optional).
+    fn entries(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// The exceptional events `entry` declares it may raise — the §5.2
+    /// "entry point signatures in the object interface specify exceptional
+    /// events raised by the entry points". Default: none declared.
+    fn declared_exceptions(&self, entry: &str) -> Vec<crate::EventName> {
+        let _ = entry;
+        Vec::new()
+    }
+}
+
+type EntryFn = dyn Fn(&mut Ctx, Value) -> Result<Value, KernelError> + Send + Sync;
+
+/// Build a class from per-entry closures.
+///
+/// ```
+/// use doct_kernel::{ClassBuilder, Value};
+///
+/// let class = ClassBuilder::new("counter")
+///     .entry("bump", |ctx, _args| {
+///         ctx.with_state(|s| {
+///             let n = s.get("n").and_then(Value::as_int).unwrap_or(0);
+///             s.set("n", n + 1);
+///             Value::Int(n + 1)
+///         })
+///     })
+///     .build();
+/// assert_eq!(class.entries(), vec!["bump".to_string()]);
+/// ```
+pub struct ClassBuilder {
+    name: String,
+    entries: BTreeMap<String, Arc<EntryFn>>,
+    raises: BTreeMap<String, Vec<crate::EventName>>,
+}
+
+impl fmt::Debug for ClassBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassBuilder")
+            .field("name", &self.name)
+            .field("entries", &self.entries.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ClassBuilder {
+    /// Start building a class called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassBuilder {
+            name: name.into(),
+            entries: BTreeMap::new(),
+            raises: BTreeMap::new(),
+        }
+    }
+
+    /// Add an entry point.
+    pub fn entry(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut Ctx, Value) -> Result<Value, KernelError> + Send + Sync + 'static,
+    ) -> Self {
+        self.entries.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// Declare the exceptional events `entry` may raise (§5.2: "entry
+    /// point signatures in the object interface specify exceptional
+    /// events raised by the entry points"). Invokers use this to know
+    /// what to attach handlers for; `doct-services`' checked throw
+    /// enforces it.
+    pub fn entry_raises(mut self, entry: impl Into<String>, events: &[crate::EventName]) -> Self {
+        self.raises.insert(entry.into(), events.to_vec());
+        self
+    }
+
+    /// Finish: the result is registered with
+    /// [`crate::Cluster::register_class`].
+    pub fn build(self) -> Arc<dyn ObjectBehavior> {
+        Arc::new(FnBehavior {
+            name: self.name,
+            entries: self.entries,
+            raises: self.raises,
+        })
+    }
+}
+
+struct FnBehavior {
+    name: String,
+    entries: BTreeMap<String, Arc<EntryFn>>,
+    raises: BTreeMap<String, Vec<crate::EventName>>,
+}
+
+impl ObjectBehavior for FnBehavior {
+    fn dispatch(&self, ctx: &mut Ctx, entry: &str, args: Value) -> Result<Value, KernelError> {
+        let f = self
+            .entries
+            .get(entry)
+            .ok_or_else(|| KernelError::UnknownEntry {
+                object: ctx.current_object().unwrap_or(ObjectId(0)),
+                entry: format!("{}::{entry}", self.name),
+            })?
+            .clone();
+        f(ctx, args)
+    }
+
+    fn entries(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    fn declared_exceptions(&self, entry: &str) -> Vec<crate::EventName> {
+        self.raises.get(entry).cloned().unwrap_or_default()
+    }
+}
+
+/// Cluster-wide registry of class code (code is replicated on every node,
+/// like compiled object code in Clouds).
+#[derive(Default)]
+pub struct ClassRegistry {
+    classes: RwLock<HashMap<String, Arc<dyn ObjectBehavior>>>,
+}
+
+impl fmt::Debug for ClassRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassRegistry")
+            .field("classes", &self.classes.read().keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ClassRegistry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) the code for `name`.
+    pub fn register(&self, name: impl Into<String>, behavior: Arc<dyn ObjectBehavior>) {
+        self.classes.write().insert(name.into(), behavior);
+    }
+
+    /// Look up the code for `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn ObjectBehavior>> {
+        self.classes.read().get(name).cloned()
+    }
+}
+
+/// Configuration for creating an object.
+#[derive(Debug, Clone)]
+pub struct ObjectConfig {
+    /// Class name (must be registered).
+    pub class: String,
+    /// Home node (state segment manager; RPC invocations execute here).
+    pub home: NodeId,
+    /// Capacity of the state segment in bytes.
+    pub state_size: usize,
+    /// Initial state value.
+    pub initial_state: Value,
+    /// Serialize entry executions on this object ("objects *may* allow
+    /// concurrent execution by multiple threads", §2 — exclusive objects
+    /// do not, which is what the lock manager needs for atomicity).
+    pub exclusive: bool,
+}
+
+impl ObjectConfig {
+    /// Standard config: 64 KiB state, null initial state.
+    pub fn new(class: impl Into<String>, home: NodeId) -> Self {
+        ObjectConfig {
+            class: class.into(),
+            home,
+            state_size: 64 * 1024,
+            initial_state: Value::Null,
+            exclusive: false,
+        }
+    }
+
+    /// Set the initial state.
+    pub fn with_state(mut self, state: Value) -> Self {
+        self.initial_state = state;
+        self
+    }
+
+    /// Set the state segment capacity.
+    pub fn with_state_size(mut self, bytes: usize) -> Self {
+        self.state_size = bytes;
+        self
+    }
+
+    /// Make entry executions mutually exclusive.
+    pub fn exclusive(mut self) -> Self {
+        self.exclusive = true;
+        self
+    }
+}
+
+/// The directory record of one object.
+pub struct ObjectRecord {
+    /// Object identity.
+    pub id: ObjectId,
+    /// Class name.
+    pub class: String,
+    /// Home node.
+    pub home: NodeId,
+    /// DSM segment holding the encoded state.
+    pub state_segment: SegmentInfo,
+    /// Typed extension bag for higher layers (the event facility keeps
+    /// the object's handler table here, at most one writer at a time).
+    extensions: Mutex<BTreeMap<&'static str, Arc<dyn Any + Send + Sync>>>,
+    /// Serialize entry executions (see [`ObjectConfig::exclusive`]).
+    pub exclusive: bool,
+    run_lock: Mutex<()>,
+}
+
+impl fmt::Debug for ObjectRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectRecord")
+            .field("id", &self.id)
+            .field("class", &self.class)
+            .field("home", &self.home)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObjectRecord {
+    /// Construct a record (used by the cluster at creation time).
+    pub fn new(id: ObjectId, class: String, home: NodeId, state_segment: SegmentInfo) -> Self {
+        Self::with_exclusive(id, class, home, state_segment, false)
+    }
+
+    /// Construct a record with explicit exclusivity.
+    pub fn with_exclusive(
+        id: ObjectId,
+        class: String,
+        home: NodeId,
+        state_segment: SegmentInfo,
+        exclusive: bool,
+    ) -> Self {
+        ObjectRecord {
+            id,
+            class,
+            home,
+            state_segment,
+            extensions: Mutex::new(BTreeMap::new()),
+            exclusive,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// Hold the execution lock while `f` runs, if the object is exclusive.
+    pub fn run_exclusive<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.exclusive {
+            let _g = self.run_lock.lock();
+            f()
+        } else {
+            f()
+        }
+    }
+
+    /// Install or replace a typed extension under `key`.
+    pub fn set_extension(&self, key: &'static str, ext: Arc<dyn Any + Send + Sync>) {
+        self.extensions.lock().insert(key, ext);
+    }
+
+    /// Fetch the extension stored under `key`, downcast to `T`.
+    pub fn extension<T: Any + Send + Sync>(&self, key: &str) -> Option<Arc<T>> {
+        let ext = self.extensions.lock().get(key)?.clone();
+        ext.downcast::<T>().ok()
+    }
+
+    /// Fetch the extension under `key`, or install the one produced by
+    /// `init` if absent (atomic with respect to other callers).
+    pub fn extension_or_insert_with<T: Any + Send + Sync>(
+        &self,
+        key: &'static str,
+        init: impl FnOnce() -> Arc<T>,
+    ) -> Arc<T> {
+        let mut exts = self.extensions.lock();
+        if let Some(found) = exts.get(key).cloned().and_then(|e| e.downcast::<T>().ok()) {
+            return found;
+        }
+        let fresh = init();
+        exts.insert(key, fresh.clone());
+        fresh
+    }
+}
+
+/// Cluster-wide object directory: every node can resolve an object's home
+/// and state segment (a replicated name service; real Clouds used a
+/// distributed naming protocol, which is orthogonal to event handling).
+#[derive(Debug, Default)]
+pub struct ObjectDirectory {
+    objects: RwLock<HashMap<ObjectId, Arc<ObjectRecord>>>,
+}
+
+impl ObjectDirectory {
+    /// Fresh empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a newly created object.
+    pub fn insert(&self, record: Arc<ObjectRecord>) {
+        self.objects.write().insert(record.id, record);
+    }
+
+    /// Resolve an object.
+    pub fn get(&self, id: ObjectId) -> Option<Arc<ObjectRecord>> {
+        self.objects.read().get(&id).cloned()
+    }
+
+    /// Remove an object (DELETE semantics).
+    pub fn remove(&self, id: ObjectId) -> Option<Arc<ObjectRecord>> {
+        self.objects.write().remove(&id)
+    }
+
+    /// All object ids, for diagnostics.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self.objects.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doct_dsm::{Backing, SegmentId};
+
+    fn record(seq: u32) -> ObjectRecord {
+        let seg = SegmentInfo {
+            id: SegmentId::new(NodeId(0), seq),
+            manager: NodeId(0),
+            size: 1024,
+            page_size: 1024,
+            backing: Backing::Kernel,
+        };
+        ObjectRecord::new(ObjectId::new(NodeId(0), seq), "c".into(), NodeId(0), seg)
+    }
+
+    #[test]
+    fn directory_insert_get_remove() {
+        let d = ObjectDirectory::new();
+        let r = Arc::new(record(1));
+        let id = r.id;
+        d.insert(Arc::clone(&r));
+        assert_eq!(d.get(id).unwrap().class, "c");
+        assert_eq!(d.len(), 1);
+        assert!(d.remove(id).is_some());
+        assert!(d.get(id).is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn record_extension_round_trip() {
+        let r = record(1);
+        r.set_extension("tag", Arc::new(42u32));
+        assert_eq!(*r.extension::<u32>("tag").unwrap(), 42);
+        assert!(r.extension::<String>("tag").is_none(), "wrong type");
+        assert!(r.extension::<u32>("missing").is_none());
+    }
+
+    #[test]
+    fn extension_or_insert_initializes_once() {
+        let r = record(1);
+        let a = r.extension_or_insert_with("v", || Arc::new(Mutex::new(1u32)));
+        *a.lock() = 7;
+        let b = r.extension_or_insert_with("v", || Arc::new(Mutex::new(999u32)));
+        assert_eq!(*b.lock(), 7, "second call returns the first value");
+    }
+
+    #[test]
+    fn class_registry_round_trip() {
+        let reg = ClassRegistry::new();
+        assert!(reg.get("c").is_none());
+        reg.register("c", ClassBuilder::new("c").build());
+        assert!(reg.get("c").is_some());
+    }
+
+    #[test]
+    fn object_config_builder() {
+        let cfg = ObjectConfig::new("c", NodeId(2))
+            .with_state(Value::Int(1))
+            .with_state_size(4096);
+        assert_eq!(cfg.home, NodeId(2));
+        assert_eq!(cfg.state_size, 4096);
+        assert_eq!(cfg.initial_state, Value::Int(1));
+    }
+}

@@ -1,0 +1,171 @@
+//! Thread control blocks: the per-node breadcrumbs that make the
+//! path-trace thread locator possible (paper §7.1: "Starting with the
+//! root node, one can traverse the path of the thread, using information
+//! in the system's thread-control blocks").
+
+use crate::ThreadId;
+use doct_net::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One visit of a logical thread to a node, at a given invocation depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Invocation depth at which the thread arrived here.
+    pub depth: u32,
+    /// Node the thread came from (`None` at the root).
+    pub came_from: Option<NodeId>,
+    /// Node a deeper invocation went to, if the thread currently left from
+    /// this hop (`None` means the thread's tip is here).
+    pub went_to: Option<NodeId>,
+}
+
+/// Per-node table of thread breadcrumbs.
+///
+/// A thread that revisits a node at a deeper invocation level (A@X → B@Y →
+/// C@X) has several [`Hop`]s here; the locator always follows the deepest
+/// one.
+#[derive(Debug, Default)]
+pub struct TcbTable {
+    hops: Mutex<HashMap<ThreadId, Vec<Hop>>>,
+}
+
+/// Where the locator should go next from this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trail {
+    /// The thread's tip is active on this node.
+    TipHere,
+    /// The thread continued to this node.
+    Forward(NodeId),
+    /// This node has no record of the thread.
+    Unknown,
+}
+
+impl TcbTable {
+    /// Fresh empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the thread arriving at this node at `depth`.
+    pub fn arrive(&self, thread: ThreadId, depth: u32, came_from: Option<NodeId>) {
+        self.hops.lock().entry(thread).or_default().push(Hop {
+            depth,
+            came_from,
+            went_to: None,
+        });
+    }
+
+    /// Record the thread's deepest local hop sending an invocation to
+    /// `next` (the tip leaves this node).
+    pub fn depart(&self, thread: ThreadId, next: NodeId) {
+        let mut hops = self.hops.lock();
+        if let Some(h) = hops.get_mut(&thread).and_then(|v| v.last_mut()) {
+            h.went_to = Some(next);
+        }
+    }
+
+    /// Record the invocation sent from here returning (the tip is back).
+    pub fn returned(&self, thread: ThreadId) {
+        let mut hops = self.hops.lock();
+        if let Some(h) = hops.get_mut(&thread).and_then(|v| v.last_mut()) {
+            h.went_to = None;
+        }
+    }
+
+    /// Record the thread's deepest hop leaving this node for good (its
+    /// local invocation finished). Returns `true` if no hops remain.
+    pub fn leave(&self, thread: ThreadId) -> bool {
+        let mut hops = self.hops.lock();
+        let empty = if let Some(v) = hops.get_mut(&thread) {
+            v.pop();
+            v.is_empty()
+        } else {
+            true
+        };
+        if empty {
+            hops.remove(&thread);
+        }
+        empty
+    }
+
+    /// Where is the thread, as far as this node knows?
+    pub fn trail(&self, thread: ThreadId) -> Trail {
+        let hops = self.hops.lock();
+        match hops.get(&thread).and_then(|v| v.last()) {
+            None => Trail::Unknown,
+            Some(h) => match h.went_to {
+                None => Trail::TipHere,
+                Some(n) => Trail::Forward(n),
+            },
+        }
+    }
+
+    /// Number of threads with breadcrumbs on this node.
+    pub fn len(&self) -> usize {
+        self.hops.lock().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hops.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> ThreadId {
+        ThreadId::new(NodeId(0), 1)
+    }
+
+    #[test]
+    fn tip_tracking_through_a_remote_call() {
+        let x = TcbTable::new();
+        x.arrive(t(), 0, None);
+        assert_eq!(x.trail(t()), Trail::TipHere);
+        x.depart(t(), NodeId(1));
+        assert_eq!(x.trail(t()), Trail::Forward(NodeId(1)));
+        x.returned(t());
+        assert_eq!(x.trail(t()), Trail::TipHere);
+        assert!(x.leave(t()));
+        assert_eq!(x.trail(t()), Trail::Unknown);
+    }
+
+    #[test]
+    fn revisit_tracks_the_deepest_hop() {
+        // Thread root at X (depth 0), goes to Y, comes back to X at depth 2.
+        let x = TcbTable::new();
+        x.arrive(t(), 0, None);
+        x.depart(t(), NodeId(1));
+        x.arrive(t(), 2, Some(NodeId(1)));
+        // Deepest hop wins: tip is here even though depth 0 points away.
+        assert_eq!(x.trail(t()), Trail::TipHere);
+        // Depth-2 invocation finishes; trail follows depth 0 again.
+        assert!(!x.leave(t()));
+        assert_eq!(x.trail(t()), Trail::Forward(NodeId(1)));
+        x.returned(t());
+        assert!(x.leave(t()));
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn unknown_thread_has_no_trail() {
+        let x = TcbTable::new();
+        assert_eq!(x.trail(t()), Trail::Unknown);
+        assert!(x.leave(t()), "leaving an unknown thread is a no-op");
+    }
+
+    #[test]
+    fn depart_targets_deepest_hop_only() {
+        let x = TcbTable::new();
+        x.arrive(t(), 0, None);
+        x.depart(t(), NodeId(1));
+        x.arrive(t(), 2, Some(NodeId(1)));
+        x.depart(t(), NodeId(3));
+        assert_eq!(x.trail(t()), Trail::Forward(NodeId(3)));
+        x.returned(t());
+        assert_eq!(x.trail(t()), Trail::TipHere);
+    }
+}

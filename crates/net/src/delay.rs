@@ -1,0 +1,191 @@
+//! Delay line: a background thread that holds messages for their sampled
+//! latency and then forwards them to the destination mailbox, so senders
+//! never sleep.
+
+use crate::Envelope;
+use crossbeam::channel::Sender;
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+struct Queued<M> {
+    due: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+// Ordering by (due, seq) keeps FIFO among equal deadlines.
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct Shared<M> {
+    heap: Mutex<HeapState<M>>,
+    cond: Condvar,
+}
+
+struct HeapState<M> {
+    queue: BinaryHeap<Reverse<Queued<M>>>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+/// Background delivery of delayed messages.
+pub(crate) struct DelayLine<M: Send + 'static> {
+    shared: Arc<Shared<M>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl<M: Send + 'static> DelayLine<M> {
+    /// Spawn the delay-line worker; `outlets[i]` is node `i`'s mailbox.
+    pub(crate) fn new(outlets: Vec<Sender<Envelope<M>>>) -> Self {
+        let shared = Arc::new(Shared {
+            heap: Mutex::new(HeapState {
+                queue: BinaryHeap::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("doct-net-delay".into())
+            .spawn(move || Self::run(worker_shared, outlets))
+            .expect("spawn delay-line thread");
+        DelayLine {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueue `env` for delivery at `due`.
+    pub(crate) fn schedule(&self, env: Envelope<M>, due: Instant) {
+        let mut state = self.shared.heap.lock();
+        if state.shutdown {
+            return;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.queue.push(Reverse(Queued { due, seq, env }));
+        self.shared.cond.notify_one();
+    }
+
+    fn run(shared: Arc<Shared<M>>, outlets: Vec<Sender<Envelope<M>>>) {
+        let mut state = shared.heap.lock();
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            match state.queue.peek() {
+                None => {
+                    shared.cond.wait(&mut state);
+                }
+                Some(Reverse(q)) if q.due > now => {
+                    let due = q.due;
+                    shared.cond.wait_until(&mut state, due);
+                }
+                Some(_) => {
+                    let Reverse(q) = state.queue.pop().expect("peeked element exists");
+                    // Drop the lock during the send; the mailbox may apply
+                    // backpressure if bounded in the future.
+                    drop(state);
+                    if let Some(tx) = outlets.get(q.env.dst.index()) {
+                        let _ = tx.send(q.env);
+                    }
+                    state = shared.heap.lock();
+                }
+            }
+        }
+    }
+}
+
+impl<M: Send + 'static> Drop for DelayLine<M> {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.heap.lock();
+            state.shutdown = true;
+            self.shared.cond.notify_all();
+        }
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MessageClass, NodeId};
+    use crossbeam::channel::unbounded;
+    use std::time::Duration;
+
+    fn env(payload: u32) -> Envelope<u32> {
+        Envelope {
+            src: NodeId(0),
+            dst: NodeId(0),
+            class: MessageClass::Data,
+            payload,
+        }
+    }
+
+    #[test]
+    fn delivers_after_deadline() {
+        let (tx, rx) = unbounded();
+        let line = DelayLine::new(vec![tx]);
+        let start = Instant::now();
+        line.schedule(env(1), start + Duration::from_millis(20));
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.payload, 1);
+        assert!(start.elapsed() >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn delivers_in_deadline_order_not_submit_order() {
+        let (tx, rx) = unbounded();
+        let line = DelayLine::new(vec![tx]);
+        let now = Instant::now();
+        line.schedule(env(2), now + Duration::from_millis(40));
+        line.schedule(env(1), now + Duration::from_millis(10));
+        let a = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!((a.payload, b.payload), (1, 2));
+    }
+
+    #[test]
+    fn equal_deadlines_keep_fifo() {
+        let (tx, rx) = unbounded();
+        let line = DelayLine::new(vec![tx]);
+        let due = Instant::now() + Duration::from_millis(5);
+        for i in 0..10 {
+            line.schedule(env(i), due);
+        }
+        for i in 0..10 {
+            let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(got.payload, i);
+        }
+    }
+
+    #[test]
+    fn drop_shuts_worker_down() {
+        let (tx, _rx) = unbounded::<Envelope<u32>>();
+        let line = DelayLine::new(vec![tx]);
+        drop(line); // must not hang
+    }
+}

@@ -1,0 +1,120 @@
+//! Message envelopes and classification.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse classification of traffic, used by [`crate::NetStats`] so the
+/// experiments can attribute communication cost to a mechanism (e.g. how
+/// many messages thread *location* cost versus event *delivery*, E2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// Application/object invocation traffic (requests and replies).
+    Invocation,
+    /// DSM coherence traffic (page requests, transfers, invalidations).
+    Dsm,
+    /// Event raise/delivery traffic.
+    Event,
+    /// Thread-location traffic (broadcast probes, path-trace hops,
+    /// multicast queries).
+    Locate,
+    /// Kernel housekeeping (TCB updates, group membership, timers).
+    Control,
+    /// Anything else.
+    Data,
+}
+
+impl MessageClass {
+    /// All classes, in display order. Handy for stats tables.
+    pub const ALL: [MessageClass; 6] = [
+        MessageClass::Invocation,
+        MessageClass::Dsm,
+        MessageClass::Event,
+        MessageClass::Locate,
+        MessageClass::Control,
+        MessageClass::Data,
+    ];
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageClass::Invocation => "invocation",
+            MessageClass::Dsm => "dsm",
+            MessageClass::Event => "event",
+            MessageClass::Locate => "locate",
+            MessageClass::Control => "control",
+            MessageClass::Data => "data",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Implemented by payload types that want accurate byte accounting.
+///
+/// The default estimate charges a fixed header; override
+/// [`WireMessage::wire_size`] to include payload bytes (the kernel does).
+pub trait WireMessage {
+    /// Estimated size of this message on the (simulated) wire, in bytes.
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+impl WireMessage for String {
+    fn wire_size(&self) -> usize {
+        64 + self.len()
+    }
+}
+
+impl WireMessage for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        64 + self.len()
+    }
+}
+
+impl WireMessage for u64 {}
+impl WireMessage for () {}
+
+/// A message in flight: payload plus source/destination/class metadata.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Traffic class for statistics.
+    pub class: MessageClass,
+    /// The payload.
+    pub payload: M,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_display_names_are_stable() {
+        let names: Vec<String> = MessageClass::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            names,
+            ["invocation", "dsm", "event", "locate", "control", "data"]
+        );
+    }
+
+    #[test]
+    fn default_wire_size_is_header_only() {
+        assert_eq!(7u64.wire_size(), 64);
+        assert_eq!(().wire_size(), 64);
+    }
+
+    #[test]
+    fn string_wire_size_includes_payload() {
+        assert_eq!("abcd".to_string().wire_size(), 68);
+    }
+
+    #[test]
+    fn vec_wire_size_includes_payload() {
+        assert_eq!(vec![0u8; 100].wire_size(), 164);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-message latency models.
+
+use rand::Rng;
+use std::time::Duration;
+
+/// How long a message spends "on the wire".
+///
+/// The 1993 paper's cost arguments are about *message counts*, not absolute
+/// latency, so experiments default to [`LatencyModel::Zero`]; the jittered
+/// models exist to shake out ordering assumptions in tests and to make the
+/// latency columns of E2/E6 meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyModel {
+    /// Immediate delivery (still asynchronous: the message crosses a queue).
+    #[default]
+    Zero,
+    /// Every message takes exactly this long.
+    Fixed(Duration),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: Duration,
+        /// Upper bound (inclusive).
+        max: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// A fixed latency of `micros` microseconds.
+    pub fn fixed_micros(micros: u64) -> Self {
+        LatencyModel::Fixed(Duration::from_micros(micros))
+    }
+
+    /// Uniform latency between `min_micros` and `max_micros` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_micros > max_micros`.
+    pub fn uniform_micros(min_micros: u64, max_micros: u64) -> Self {
+        assert!(
+            min_micros <= max_micros,
+            "uniform latency requires min <= max"
+        );
+        LatencyModel::Uniform {
+            min: Duration::from_micros(min_micros),
+            max: Duration::from_micros(max_micros),
+        }
+    }
+
+    /// Sample a delay for one message.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        match *self {
+            LatencyModel::Zero => Duration::ZERO,
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                if min == max {
+                    min
+                } else {
+                    let span = (max - min).as_nanos() as u64;
+                    min + Duration::from_nanos(rng.gen_range(0..=span))
+                }
+            }
+        }
+    }
+
+    /// True if every sample is zero, letting the fabric skip the delay line.
+    pub fn is_zero(&self) -> bool {
+        match *self {
+            LatencyModel::Zero => true,
+            LatencyModel::Fixed(d) => d.is_zero(),
+            LatencyModel::Uniform { max, .. } => max.is_zero(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::mock::StepRng;
+
+    #[test]
+    fn zero_model_samples_zero() {
+        let mut rng = StepRng::new(0, 1);
+        assert_eq!(LatencyModel::Zero.sample(&mut rng), Duration::ZERO);
+        assert!(LatencyModel::Zero.is_zero());
+    }
+
+    #[test]
+    fn fixed_model_samples_constant() {
+        let mut rng = StepRng::new(0, 1);
+        let m = LatencyModel::fixed_micros(250);
+        assert_eq!(m.sample(&mut rng), Duration::from_micros(250));
+        assert!(!m.is_zero());
+    }
+
+    #[test]
+    fn uniform_model_stays_in_bounds() {
+        let mut rng = rand::thread_rng();
+        let m = LatencyModel::uniform_micros(10, 50);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= Duration::from_micros(10) && d <= Duration::from_micros(50));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_is_fixed() {
+        let mut rng = rand::thread_rng();
+        let m = LatencyModel::uniform_micros(7, 7);
+        assert_eq!(m.sample(&mut rng), Duration::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = LatencyModel::uniform_micros(9, 3);
+    }
+
+    #[test]
+    fn zero_duration_fixed_counts_as_zero() {
+        assert!(LatencyModel::Fixed(Duration::ZERO).is_zero());
+        assert!(LatencyModel::uniform_micros(0, 0).is_zero());
+    }
+}

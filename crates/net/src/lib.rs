@@ -1,0 +1,95 @@
+#![warn(missing_docs)]
+//! # doct-net — simulated cluster network substrate
+//!
+//! The DO/CT environment of the paper runs on a cluster of machines
+//! connected by a local-area network. This crate simulates that cluster
+//! in-process so the layers above it (DSM, kernel, event facility) exchange
+//! real asynchronous messages with configurable latency, while every send is
+//! observable for the communication-cost experiments (DESIGN.md §4, E2/E6).
+//!
+//! The pieces:
+//!
+//! * [`NodeId`] — identity of a simulated machine.
+//! * [`Network`] — the fabric: per-node mailboxes, unicast
+//!   [`Network::send`], [`Network::broadcast`], and
+//!   [`Network::multicast`] over multicast groups (§7.1 of the paper
+//!   proposes multicast groups for thread location).
+//! * [`LatencyModel`] — zero, fixed, or jittered per-message delay,
+//!   implemented by a delay-line thread so senders never block.
+//! * [`NetStats`] — atomic counters (messages/bytes, per
+//!   [`MessageClass`]) that benches reset and read.
+//! * Partition control — links can be cut ([`Network::set_link`],
+//!   [`Network::isolate`]) to inject failures.
+//!
+//! # Example
+//!
+//! ```
+//! use doct_net::{Network, NodeId, LatencyModel, MessageClass};
+//!
+//! let net: Network<String> = Network::new(3, LatencyModel::Zero);
+//! let rx = net.take_mailbox(NodeId(1)).unwrap();
+//! net.send(NodeId(0), NodeId(1), "hello".to_string(), MessageClass::Data);
+//! let env = rx.recv().unwrap();
+//! assert_eq!(env.payload, "hello");
+//! assert_eq!(net.stats().sent(MessageClass::Data), 1);
+//! ```
+
+mod delay;
+mod envelope;
+mod latency;
+mod multicast;
+mod network;
+mod stats;
+
+pub use envelope::{Envelope, MessageClass, WireMessage};
+pub use latency::LatencyModel;
+pub use multicast::{MulticastGroupId, MulticastRegistry};
+pub use network::{Network, NetworkError, SendOutcome};
+pub use stats::{NetStats, StatsSnapshot};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a simulated machine ("node") in the cluster.
+///
+/// Node ids are dense indices `0..n` assigned by [`Network::new`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+    }
+
+    #[test]
+    fn node_id_ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+    }
+}

@@ -1,0 +1,135 @@
+//! Multicast group membership.
+//!
+//! §7.1 of the paper: "On systems supporting multicast communication,
+//! application's threads can create a multicast group. When a thread leaves
+//! the current node and starts executing in another, the thread-management
+//! system can join the multicast group." The registry here is that
+//! membership service; [`crate::Network::multicast`] fans a message out to
+//! the current members.
+
+use crate::NodeId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Identity of a multicast group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MulticastGroupId(pub u64);
+
+impl fmt::Display for MulticastGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mg{}", self.0)
+    }
+}
+
+/// Tracks which nodes belong to which multicast group.
+///
+/// Membership is a set of *nodes*: if three threads of a group run on one
+/// node, the node appears once and one copy of each multicast message is
+/// delivered there (as real IP multicast would).
+#[derive(Debug, Default)]
+pub struct MulticastRegistry {
+    groups: RwLock<HashMap<MulticastGroupId, BTreeSet<NodeId>>>,
+}
+
+impl MulticastRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `node` to `group`, creating the group if needed.
+    /// Returns `true` if the node was not already a member.
+    pub fn join(&self, group: MulticastGroupId, node: NodeId) -> bool {
+        self.groups.write().entry(group).or_default().insert(node)
+    }
+
+    /// Remove `node` from `group`. Empty groups are garbage-collected.
+    /// Returns `true` if the node was a member.
+    pub fn leave(&self, group: MulticastGroupId, node: NodeId) -> bool {
+        let mut groups = self.groups.write();
+        if let Some(members) = groups.get_mut(&group) {
+            let removed = members.remove(&node);
+            if members.is_empty() {
+                groups.remove(&group);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Current members of `group`, in node order.
+    pub fn members(&self, group: MulticastGroupId) -> Vec<NodeId> {
+        self.groups
+            .read()
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether `node` belongs to `group`.
+    pub fn is_member(&self, group: MulticastGroupId, node: NodeId) -> bool {
+        self.groups
+            .read()
+            .get(&group)
+            .is_some_and(|s| s.contains(&node))
+    }
+
+    /// Number of live (non-empty) groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leave_round_trip() {
+        let r = MulticastRegistry::new();
+        let g = MulticastGroupId(1);
+        assert!(r.join(g, NodeId(0)));
+        assert!(r.join(g, NodeId(2)));
+        assert!(!r.join(g, NodeId(2)), "second join is a no-op");
+        assert_eq!(r.members(g), vec![NodeId(0), NodeId(2)]);
+        assert!(r.leave(g, NodeId(0)));
+        assert!(!r.leave(g, NodeId(0)), "second leave is a no-op");
+        assert_eq!(r.members(g), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_groups_are_collected() {
+        let r = MulticastRegistry::new();
+        let g = MulticastGroupId(9);
+        r.join(g, NodeId(1));
+        assert_eq!(r.group_count(), 1);
+        r.leave(g, NodeId(1));
+        assert_eq!(r.group_count(), 0);
+        assert!(r.members(g).is_empty());
+    }
+
+    #[test]
+    fn membership_query() {
+        let r = MulticastRegistry::new();
+        let g = MulticastGroupId(3);
+        assert!(!r.is_member(g, NodeId(0)));
+        r.join(g, NodeId(0));
+        assert!(r.is_member(g, NodeId(0)));
+        assert!(!r.is_member(g, NodeId(1)));
+    }
+
+    #[test]
+    fn one_node_many_threads_is_single_membership() {
+        // Two logical threads on the same node join; one leave removes the
+        // node — mirroring a per-node membership service.
+        let r = MulticastRegistry::new();
+        let g = MulticastGroupId(4);
+        assert!(r.join(g, NodeId(5)));
+        assert!(!r.join(g, NodeId(5)));
+        assert!(r.leave(g, NodeId(5)));
+        assert!(r.members(g).is_empty());
+    }
+}

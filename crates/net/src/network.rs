@@ -1,0 +1,567 @@
+//! The network fabric connecting simulated nodes.
+
+use crate::delay::DelayLine;
+use crate::{
+    Envelope, LatencyModel, MessageClass, MulticastGroupId, MulticastRegistry, NetStats, NodeId,
+    WireMessage,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors reported by fabric operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The referenced node id is outside `0..node_count`.
+    UnknownNode(NodeId),
+    /// The node's mailbox was already taken by an earlier call.
+    MailboxTaken(NodeId),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetworkError::MailboxTaken(n) => write!(f, "mailbox of {n} already taken"),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// What happened to a single message handed to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Queued for delivery (immediately or via the delay line).
+    Sent,
+    /// Dropped because the link between the two nodes is cut.
+    DroppedLink,
+    /// Dropped because the destination mailbox receiver no longer exists.
+    DroppedDeadNode,
+}
+
+impl SendOutcome {
+    /// True if the message was queued for delivery.
+    pub fn is_sent(self) -> bool {
+        self == SendOutcome::Sent
+    }
+}
+
+/// The simulated cluster fabric.
+///
+/// Creates `n` nodes with unbounded mailboxes. The kernel takes each node's
+/// receiving end once via [`Network::take_mailbox`]; everyone holding the
+/// `Network` (usually via `Arc`) may send.
+///
+/// Local sends (`src == dst`) still traverse the mailbox — the kernel
+/// short-circuits truly local work itself, so any message reaching the
+/// fabric represents real communication and is counted by [`NetStats`].
+pub struct Network<M: Send + 'static> {
+    senders: Vec<Sender<Envelope<M>>>,
+    mailboxes: Mutex<Vec<Option<Receiver<Envelope<M>>>>>,
+    latency: LatencyModel,
+    delay: Option<DelayLine<M>>,
+    stats: Arc<NetStats>,
+    multicast: MulticastRegistry,
+    /// `links[a][b] == false` means messages a→b are dropped.
+    links: RwLock<Vec<Vec<bool>>>,
+}
+
+impl<M: Send + 'static> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.senders.len())
+            .field("latency", &self.latency)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: WireMessage + Send + 'static> Network<M> {
+    /// Create a fabric of `nodes` nodes with the given latency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize, latency: LatencyModel) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        let mut senders = Vec::with_capacity(nodes);
+        let mut receivers = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let delay = if latency.is_zero() {
+            None
+        } else {
+            Some(DelayLine::new(senders.clone()))
+        };
+        Network {
+            senders,
+            mailboxes: Mutex::new(receivers),
+            latency,
+            delay,
+            stats: Arc::new(NetStats::new()),
+            multicast: MulticastRegistry::new(),
+            links: RwLock::new(vec![vec![true; nodes]; nodes]),
+        }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// All node ids, `n0..`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.senders.len() as u32).map(NodeId)
+    }
+
+    /// Shared statistics counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// A clonable handle to the statistics counters.
+    pub fn stats_handle(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Multicast group membership service.
+    pub fn multicast_registry(&self) -> &MulticastRegistry {
+        &self.multicast
+    }
+
+    /// Take node `node`'s mailbox receiver. Each mailbox can be taken once.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] if `node` is out of range,
+    /// [`NetworkError::MailboxTaken`] if already taken.
+    pub fn take_mailbox(&self, node: NodeId) -> Result<Receiver<Envelope<M>>, NetworkError> {
+        let mut boxes = self.mailboxes.lock();
+        let slot = boxes
+            .get_mut(node.index())
+            .ok_or(NetworkError::UnknownNode(node))?;
+        slot.take().ok_or(NetworkError::MailboxTaken(node))
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), NetworkError> {
+        if node.index() < self.senders.len() {
+            Ok(())
+        } else {
+            Err(NetworkError::UnknownNode(node))
+        }
+    }
+
+    /// Send one message from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] if either endpoint is out of range.
+    pub fn send(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload: M,
+        class: MessageClass,
+    ) -> Result<SendOutcome, NetworkError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if !self.links.read()[src.index()][dst.index()] {
+            self.stats.record_drop();
+            return Ok(SendOutcome::DroppedLink);
+        }
+        self.stats.record_send(class, payload.wire_size());
+        let env = Envelope {
+            src,
+            dst,
+            class,
+            payload,
+        };
+        match &self.delay {
+            None => match self.senders[dst.index()].send(env) {
+                Ok(()) => Ok(SendOutcome::Sent),
+                Err(_) => {
+                    self.stats.record_drop();
+                    Ok(SendOutcome::DroppedDeadNode)
+                }
+            },
+            Some(line) => {
+                let delay = self.latency.sample(&mut rand::thread_rng());
+                line.schedule(env, Instant::now() + delay);
+                Ok(SendOutcome::Sent)
+            }
+        }
+    }
+}
+
+impl<M: WireMessage + Clone + Send + 'static> Network<M> {
+    /// Send `payload` to every node except `src`.
+    ///
+    /// This is the "communication intensive and wasteful" option of §7.1;
+    /// it costs `n - 1` messages, all counted in `class`, plus one broadcast
+    /// operation in the stats.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] if `src` is out of range.
+    pub fn broadcast(
+        &self,
+        src: NodeId,
+        payload: M,
+        class: MessageClass,
+    ) -> Result<usize, NetworkError> {
+        self.check_node(src)?;
+        self.stats.record_broadcast();
+        let mut delivered = 0;
+        for dst in self.nodes() {
+            if dst == src {
+                continue;
+            }
+            if self.send(src, dst, payload.clone(), class)?.is_sent() {
+                delivered += 1;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Send `payload` to every current member node of `group` except `src`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] if `src` is out of range.
+    pub fn multicast(
+        &self,
+        src: NodeId,
+        group: MulticastGroupId,
+        payload: M,
+        class: MessageClass,
+    ) -> Result<usize, NetworkError> {
+        self.check_node(src)?;
+        self.stats.record_multicast();
+        let mut delivered = 0;
+        for dst in self.multicast.members(group) {
+            if dst == src {
+                continue;
+            }
+            if self.send(src, dst, payload.clone(), class)?.is_sent() {
+                delivered += 1;
+            }
+        }
+        Ok(delivered)
+    }
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Set the (symmetric) link between `a` and `b` up or down.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] if either endpoint is out of range.
+    pub fn set_link(&self, a: NodeId, b: NodeId, up: bool) -> Result<(), NetworkError> {
+        let n = self.senders.len();
+        if a.index() >= n {
+            return Err(NetworkError::UnknownNode(a));
+        }
+        if b.index() >= n {
+            return Err(NetworkError::UnknownNode(b));
+        }
+        let mut links = self.links.write();
+        links[a.index()][b.index()] = up;
+        links[b.index()][a.index()] = up;
+        Ok(())
+    }
+
+    /// Cut every link between `island` and the rest of the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] if any listed node is out of range.
+    pub fn isolate(&self, island: &[NodeId]) -> Result<(), NetworkError> {
+        let n = self.senders.len();
+        for &node in island {
+            if node.index() >= n {
+                return Err(NetworkError::UnknownNode(node));
+            }
+        }
+        let mut links = self.links.write();
+        for a in 0..n {
+            for b in 0..n {
+                let a_in = island.iter().any(|x| x.index() == a);
+                let b_in = island.iter().any(|x| x.index() == b);
+                if a_in != b_in {
+                    links[a][b] = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restore every link.
+    pub fn heal(&self) {
+        let mut links = self.links.write();
+        for row in links.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = true;
+            }
+        }
+    }
+
+    /// Whether messages can currently flow from `a` to `b`.
+    pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.links
+            .read()
+            .get(a.index())
+            .and_then(|row| row.get(b.index()))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn net(n: usize) -> Network<String> {
+        Network::new(n, LatencyModel::Zero)
+    }
+
+    #[test]
+    fn unicast_delivers_payload_and_metadata() {
+        let net = net(2);
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        net.send(NodeId(0), NodeId(1), "x".into(), MessageClass::Event)
+            .unwrap();
+        let env = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.src, NodeId(0));
+        assert_eq!(env.dst, NodeId(1));
+        assert_eq!(env.class, MessageClass::Event);
+        assert_eq!(env.payload, "x");
+    }
+
+    #[test]
+    fn mailbox_can_only_be_taken_once() {
+        let net = net(1);
+        assert!(net.take_mailbox(NodeId(0)).is_ok());
+        assert_eq!(
+            net.take_mailbox(NodeId(0)).unwrap_err(),
+            NetworkError::MailboxTaken(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn unknown_nodes_are_rejected() {
+        let net = net(2);
+        assert_eq!(
+            net.send(NodeId(0), NodeId(9), "x".into(), MessageClass::Data)
+                .unwrap_err(),
+            NetworkError::UnknownNode(NodeId(9))
+        );
+        assert_eq!(
+            net.take_mailbox(NodeId(9)).unwrap_err(),
+            NetworkError::UnknownNode(NodeId(9))
+        );
+        assert!(net.set_link(NodeId(0), NodeId(9), false).is_err());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let net = net(4);
+        let boxes: Vec<_> = (0..4)
+            .map(|i| net.take_mailbox(NodeId(i)).unwrap())
+            .collect();
+        let delivered = net
+            .broadcast(NodeId(2), "b".into(), MessageClass::Locate)
+            .unwrap();
+        assert_eq!(delivered, 3);
+        for (i, rx) in boxes.iter().enumerate() {
+            if i == 2 {
+                assert!(rx.try_recv().is_err(), "sender must not hear broadcast");
+            } else {
+                assert_eq!(
+                    rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+                    "b"
+                );
+            }
+        }
+        assert_eq!(net.stats().broadcasts(), 1);
+        assert_eq!(net.stats().sent(MessageClass::Locate), 3);
+    }
+
+    #[test]
+    fn multicast_reaches_current_members_only() {
+        let net = net(4);
+        let g = MulticastGroupId(1);
+        net.multicast_registry().join(g, NodeId(1));
+        net.multicast_registry().join(g, NodeId(3));
+        let rx1 = net.take_mailbox(NodeId(1)).unwrap();
+        let rx2 = net.take_mailbox(NodeId(2)).unwrap();
+        let rx3 = net.take_mailbox(NodeId(3)).unwrap();
+        let delivered = net
+            .multicast(NodeId(0), g, "m".into(), MessageClass::Locate)
+            .unwrap();
+        assert_eq!(delivered, 2);
+        assert!(rx1.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(rx3.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(rx2.try_recv().is_err());
+        assert_eq!(net.stats().multicasts(), 1);
+    }
+
+    #[test]
+    fn multicast_skips_the_sender_node() {
+        let net = net(2);
+        let g = MulticastGroupId(7);
+        net.multicast_registry().join(g, NodeId(0));
+        net.multicast_registry().join(g, NodeId(1));
+        let rx0 = net.take_mailbox(NodeId(0)).unwrap();
+        let delivered = net
+            .multicast(NodeId(0), g, "m".into(), MessageClass::Locate)
+            .unwrap();
+        assert_eq!(delivered, 1);
+        assert!(rx0.try_recv().is_err());
+    }
+
+    #[test]
+    fn cut_link_drops_messages_and_counts_them() {
+        let net = net(2);
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        net.set_link(NodeId(0), NodeId(1), false).unwrap();
+        let outcome = net
+            .send(NodeId(0), NodeId(1), "x".into(), MessageClass::Data)
+            .unwrap();
+        assert_eq!(outcome, SendOutcome::DroppedLink);
+        assert!(rx.try_recv().is_err());
+        assert_eq!(net.stats().dropped(), 1);
+        assert_eq!(net.stats().total_sent(), 0, "drops are not sends");
+        net.heal();
+        assert!(net
+            .send(NodeId(0), NodeId(1), "x".into(), MessageClass::Data)
+            .unwrap()
+            .is_sent());
+        assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn isolate_cuts_cross_island_links_both_ways() {
+        let net = net(4);
+        net.isolate(&[NodeId(0), NodeId(1)]).unwrap();
+        assert!(net.link_up(NodeId(0), NodeId(1)));
+        assert!(net.link_up(NodeId(2), NodeId(3)));
+        assert!(!net.link_up(NodeId(0), NodeId(2)));
+        assert!(!net.link_up(NodeId(3), NodeId(1)));
+        net.heal();
+        assert!(net.link_up(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn latency_model_delays_delivery() {
+        let net: Network<String> = Network::new(2, LatencyModel::fixed_micros(20_000));
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        let t0 = std::time::Instant::now();
+        net.send(NodeId(0), NodeId(1), "slow".into(), MessageClass::Data)
+            .unwrap();
+        let env = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.payload, "slow");
+        assert!(t0.elapsed() >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn send_to_dead_node_reports_drop() {
+        let net = net(2);
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        drop(rx);
+        let outcome = net
+            .send(NodeId(0), NodeId(1), "x".into(), MessageClass::Data)
+            .unwrap();
+        assert_eq!(outcome, SendOutcome::DroppedDeadNode);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_is_rejected() {
+        let _ = Network::<String>::new(0, LatencyModel::Zero);
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn many_concurrent_senders_lose_nothing() {
+        const SENDERS: usize = 8;
+        const PER_SENDER: usize = 500;
+        let net: Arc<Network<u64>> = Arc::new(Network::new(2, LatencyModel::Zero));
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        let mut joins = Vec::new();
+        for s in 0..SENDERS {
+            let net = Arc::clone(&net);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..PER_SENDER {
+                    net.send(
+                        NodeId(0),
+                        NodeId(1),
+                        (s * PER_SENDER + i) as u64,
+                        MessageClass::Data,
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut got = Vec::with_capacity(SENDERS * PER_SENDER);
+        for _ in 0..SENDERS * PER_SENDER {
+            got.push(rx.recv_timeout(Duration::from_secs(5)).unwrap().payload);
+        }
+        got.sort_unstable();
+        let expected: Vec<u64> = (0..(SENDERS * PER_SENDER) as u64).collect();
+        assert_eq!(got, expected, "every message delivered exactly once");
+        assert_eq!(
+            net.stats().sent(MessageClass::Data) as usize,
+            SENDERS * PER_SENDER
+        );
+    }
+
+    #[test]
+    fn jittered_latency_still_delivers_everything() {
+        let net: Arc<Network<u64>> =
+            Arc::new(Network::new(2, LatencyModel::uniform_micros(10, 500)));
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        for i in 0..200u64 {
+            net.send(NodeId(0), NodeId(1), i, MessageClass::Data)
+                .unwrap();
+        }
+        let mut got: Vec<u64> = (0..200)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap().payload)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fixed_latency_preserves_fifo_per_link() {
+        let net: Arc<Network<u64>> = Arc::new(Network::new(2, LatencyModel::fixed_micros(200)));
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        for i in 0..100u64 {
+            net.send(NodeId(0), NodeId(1), i, MessageClass::Data)
+                .unwrap();
+        }
+        let got: Vec<u64> = (0..100)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap().payload)
+            .collect();
+        assert_eq!(
+            got,
+            (0..100).collect::<Vec<u64>>(),
+            "constant delay keeps order"
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Network statistics: the measurement instrument for the communication
+//! cost experiments.
+
+use crate::MessageClass;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn class_slot(class: MessageClass) -> usize {
+    match class {
+        MessageClass::Invocation => 0,
+        MessageClass::Dsm => 1,
+        MessageClass::Event => 2,
+        MessageClass::Locate => 3,
+        MessageClass::Control => 4,
+        MessageClass::Data => 5,
+    }
+}
+
+/// Atomic counters shared by every sender on a [`crate::Network`].
+///
+/// All counters are monotonically increasing; use [`NetStats::snapshot`]
+/// before and after the region of interest and subtract, or
+/// [`NetStats::reset`] between runs (benches do the latter).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    sent: [AtomicU64; 6],
+    bytes: [AtomicU64; 6],
+    broadcasts: AtomicU64,
+    multicasts: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl NetStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_send(&self, class: MessageClass, bytes: usize) {
+        let i = class_slot(class);
+        self.sent[i].fetch_add(1, Ordering::Relaxed);
+        self.bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_broadcast(&self) {
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_multicast(&self) {
+        self.multicasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages sent in `class` since construction or the last reset.
+    pub fn sent(&self, class: MessageClass) -> u64 {
+        self.sent[class_slot(class)].load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent in `class` since construction or the last reset.
+    pub fn bytes(&self, class: MessageClass) -> u64 {
+        self.bytes[class_slot(class)].load(Ordering::Relaxed)
+    }
+
+    /// Total messages across all classes.
+    pub fn total_sent(&self) -> u64 {
+        MessageClass::ALL.iter().map(|&c| self.sent(c)).sum()
+    }
+
+    /// Total bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        MessageClass::ALL.iter().map(|&c| self.bytes(c)).sum()
+    }
+
+    /// Broadcast operations performed (each also counts its per-node sends).
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts.load(Ordering::Relaxed)
+    }
+
+    /// Multicast operations performed (each also counts its per-node sends).
+    pub fn multicasts(&self) -> u64 {
+        self.multicasts.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped by cut links or partitions.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        for i in 0..6 {
+            self.sent[i].store(0, Ordering::Relaxed);
+            self.bytes[i].store(0, Ordering::Relaxed);
+        }
+        self.broadcasts.store(0, Ordering::Relaxed);
+        self.multicasts.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sent: MessageClass::ALL.map(|c| self.sent(c)),
+            bytes: MessageClass::ALL.map(|c| self.bytes(c)),
+            broadcasts: self.broadcasts(),
+            multicasts: self.multicasts(),
+            dropped: self.dropped(),
+        }
+    }
+}
+
+/// Plain-data copy of [`NetStats`] counters; subtract two snapshots to get
+/// the traffic of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    sent: [u64; 6],
+    bytes: [u64; 6],
+    broadcasts: u64,
+    multicasts: u64,
+    dropped: u64,
+}
+
+impl StatsSnapshot {
+    /// Messages sent in `class`.
+    pub fn sent(&self, class: MessageClass) -> u64 {
+        self.sent[class_slot(class)]
+    }
+
+    /// Bytes sent in `class`.
+    pub fn bytes(&self, class: MessageClass) -> u64 {
+        self.bytes[class_slot(class)]
+    }
+
+    /// Total messages across all classes.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Broadcast operations.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Multicast operations.
+    pub fn multicasts(&self) -> u64 {
+        self.multicasts
+    }
+
+    /// Dropped messages.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Traffic between this snapshot (earlier) and `later`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `later` is not component-wise `>= self`
+    /// (snapshots are from monotone counters unless `reset` intervened).
+    pub fn delta(&self, later: &StatsSnapshot) -> StatsSnapshot {
+        let mut out = StatsSnapshot::default();
+        for i in 0..6 {
+            debug_assert!(later.sent[i] >= self.sent[i], "non-monotone snapshot");
+            out.sent[i] = later.sent[i] - self.sent[i];
+            out.bytes[i] = later.bytes[i] - self.bytes[i];
+        }
+        out.broadcasts = later.broadcasts - self.broadcasts;
+        out.multicasts = later.multicasts - self.multicasts;
+        out.dropped = later.dropped - self.dropped;
+        out
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msgs={} bytes={}", self.total_sent(), self.total_bytes())?;
+        for c in MessageClass::ALL {
+            if self.sent(c) > 0 {
+                write!(f, " {}={}", c, self.sent(c))?;
+            }
+        }
+        if self.dropped > 0 {
+            write!(f, " dropped={}", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_class() {
+        let s = NetStats::new();
+        s.record_send(MessageClass::Event, 100);
+        s.record_send(MessageClass::Event, 50);
+        s.record_send(MessageClass::Dsm, 4096);
+        assert_eq!(s.sent(MessageClass::Event), 2);
+        assert_eq!(s.bytes(MessageClass::Event), 150);
+        assert_eq!(s.sent(MessageClass::Dsm), 1);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.total_bytes(), 4246);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = NetStats::new();
+        s.record_send(MessageClass::Locate, 64);
+        s.record_broadcast();
+        s.record_drop();
+        s.reset();
+        assert_eq!(s.total_sent(), 0);
+        assert_eq!(s.broadcasts(), 0);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_region() {
+        let s = NetStats::new();
+        s.record_send(MessageClass::Control, 64);
+        let before = s.snapshot();
+        s.record_send(MessageClass::Locate, 64);
+        s.record_send(MessageClass::Locate, 64);
+        s.record_multicast();
+        let after = s.snapshot();
+        let d = before.delta(&after);
+        assert_eq!(d.sent(MessageClass::Locate), 2);
+        assert_eq!(d.sent(MessageClass::Control), 0);
+        assert_eq!(d.multicasts(), 1);
+    }
+
+    #[test]
+    fn display_lists_only_nonzero_classes() {
+        let s = NetStats::new();
+        s.record_send(MessageClass::Event, 10);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("event=1"), "got: {text}");
+        assert!(!text.contains("dsm="), "got: {text}");
+    }
+}

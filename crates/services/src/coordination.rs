@@ -1,0 +1,300 @@
+//! Group coordination over user events — the paper's §3 example made
+//! concrete: "names such as COMMIT, ABORT, SYNCHRONIZE, can be registered
+//! by an application and raised later to communicate with its group
+//! members", and §1's motivation of threads that "asynchronously notify
+//! each other of partial results".
+//!
+//! Two primitives:
+//!
+//! * [`Barrier`] — a SYNCHRONIZE point: members arrive at a coordinator
+//!   object; the last arrival raises SYNCHRONIZE to the whole thread
+//!   group, releasing everyone (event notification as the wake mechanism,
+//!   not polling).
+//! * [`Vote`] — a two-phase commit vote: the coordinator raises PREPARE
+//!   *synchronously* at every member (each member's handler is its vote),
+//!   then announces COMMIT or ABORT to the group asynchronously.
+
+use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+use doct_kernel::{
+    ClassBuilder, Cluster, Ctx, KernelError, ObjectConfig, ObjectId, RaiseTarget, ThreadGroupId,
+    Value,
+};
+use doct_net::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Event name for barrier release.
+pub const SYNCHRONIZE: &str = "SYNCHRONIZE";
+/// Event name for the vote request.
+pub const PREPARE: &str = "PREPARE";
+/// Event name for a successful outcome announcement.
+pub const COMMIT: &str = "COMMIT";
+/// Event name for a failed outcome announcement.
+pub const ABORT_VOTE: &str = "ABORT_VOTE";
+
+/// Class name of the barrier coordinator object.
+pub const BARRIER_CLASS: &str = "doct.barrier";
+
+/// A reusable distributed barrier for a thread group.
+///
+/// State lives in an exclusive coordinator object; the *release* travels
+/// as a SYNCHRONIZE event raised to the group by the last arriver.
+///
+/// ```
+/// use doct_events::EventFacility;
+/// use doct_kernel::{Cluster, SpawnOptions, Value};
+/// use doct_net::NodeId;
+/// use doct_services::coordination::Barrier;
+///
+/// # fn main() -> Result<(), doct_kernel::KernelError> {
+/// let cluster = Cluster::new(2);
+/// let facility = EventFacility::install(&cluster);
+/// let group = cluster.create_group();
+/// let barrier = Barrier::create(&cluster, &facility, NodeId(0), group, 2)?;
+/// let workers: Vec<_> = (0..2)
+///     .map(|i| {
+///         let opts = SpawnOptions { group: Some(group), ..Default::default() };
+///         cluster.spawn_fn_with(i, opts, move |ctx| {
+///             barrier.wait(ctx)?; // nobody passes until both arrive
+///             Ok(Value::Null)
+///         })
+///     })
+///     .collect::<Result<_, _>>()?;
+/// for w in workers {
+///     w.join()?;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Barrier {
+    object: ObjectId,
+    group: ThreadGroupId,
+    parties: usize,
+}
+
+impl Barrier {
+    /// Register the coordinator class (idempotent).
+    pub fn register_class(cluster: &Cluster) {
+        cluster.register_class(
+            BARRIER_CLASS,
+            ClassBuilder::new(BARRIER_CLASS)
+                .entry("arrive", |ctx, args| {
+                    let parties = args.as_int().unwrap_or(1);
+                    ctx.with_state(|s| {
+                        if s.is_null() {
+                            *s = Value::map();
+                        }
+                        let arrived = s.get("arrived").and_then(Value::as_int).unwrap_or(0) + 1;
+                        let generation = s.get("generation").and_then(Value::as_int).unwrap_or(0);
+                        let mut out = Value::map();
+                        if arrived >= parties {
+                            s.set("arrived", 0i64);
+                            s.set("generation", generation + 1);
+                            out.set("releaser", true);
+                            out.set("generation", generation + 1);
+                        } else {
+                            s.set("arrived", arrived);
+                            out.set("releaser", false);
+                            // The generation this waiter must outlive.
+                            out.set("generation", generation);
+                        }
+                        out
+                    })
+                })
+                .build(),
+        );
+    }
+
+    /// Create a barrier for `parties` members of `group`, coordinated by
+    /// an object at `home`. Registers the SYNCHRONIZE event.
+    ///
+    /// # Errors
+    ///
+    /// Object-creation failures.
+    pub fn create(
+        cluster: &Cluster,
+        facility: &EventFacility,
+        home: NodeId,
+        group: ThreadGroupId,
+        parties: usize,
+    ) -> Result<Barrier, KernelError> {
+        Self::register_class(cluster);
+        facility.register_event(SYNCHRONIZE);
+        let object = cluster.create_object(
+            ObjectConfig::new(BARRIER_CLASS, home)
+                .with_state(Value::map())
+                .exclusive(),
+        )?;
+        Ok(Barrier {
+            object,
+            group,
+            parties,
+        })
+    }
+
+    /// Wait at the barrier: arrive at the coordinator, then block (event-
+    /// responsively) until some member's SYNCHRONIZE releases the group.
+    /// The last arriver performs the release and does not wait.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Terminated`] if terminated while waiting;
+    /// [`KernelError::Timeout`] if the barrier never fills (default 30 s).
+    pub fn wait(&self, ctx: &mut Ctx) -> Result<(), KernelError> {
+        // Releases are generation-tagged so a stale SYNCHRONIZE from a
+        // previous round cannot release a waiter of a later round.
+        let max_seen = Arc::new(AtomicU64::new(0));
+        let m2 = Arc::clone(&max_seen);
+        let handler = ctx.attach_handler(
+            SYNCHRONIZE,
+            AttachSpec::proc("barrier-release", move |_c, b| {
+                let gen = b.payload.as_int().unwrap_or(0).max(0) as u64;
+                m2.fetch_max(gen, Ordering::Relaxed);
+                HandlerDecision::Resume(Value::Null)
+            }),
+        );
+        let result = (|| {
+            let outcome = ctx.invoke(self.object, "arrive", self.parties)?;
+            let releaser = outcome
+                .get("releaser")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            let generation = outcome
+                .get("generation")
+                .and_then(Value::as_int)
+                .unwrap_or(0)
+                .max(0) as u64;
+            if releaser {
+                ctx.raise(
+                    SYNCHRONIZE,
+                    generation as i64,
+                    RaiseTarget::Group(self.group),
+                )
+                .wait();
+                return Ok(());
+            }
+            // Wait for any release with generation > the one we arrived in.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while max_seen.load(Ordering::Relaxed) <= generation {
+                if Instant::now() >= deadline {
+                    return Err(KernelError::Timeout("barrier".to_string()));
+                }
+                ctx.sleep(Duration::from_millis(1))?;
+            }
+            Ok(())
+        })();
+        ctx.detach_handler(handler);
+        result
+    }
+}
+
+/// Outcome of a [`Vote`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoteOutcome {
+    /// Every member voted yes; COMMIT was announced.
+    Committed,
+    /// At least one member voted no (or was unreachable); ABORT_VOTE was
+    /// announced.
+    Aborted,
+}
+
+/// Two-phase voting over synchronous events (§3's COMMIT/ABORT example).
+#[derive(Debug, Clone, Copy)]
+pub struct Vote {
+    group: ThreadGroupId,
+}
+
+impl Vote {
+    /// Set up voting for `group`: registers PREPARE/COMMIT/ABORT_VOTE.
+    pub fn new(facility: &EventFacility, group: ThreadGroupId) -> Vote {
+        facility.register_event(PREPARE);
+        facility.register_event(COMMIT);
+        facility.register_event(ABORT_VOTE);
+        Vote { group }
+    }
+
+    /// Member side: attach this thread's voting handler. `decide` sees the
+    /// proposal payload and returns the vote.
+    pub fn participate(
+        &self,
+        ctx: &mut Ctx,
+        decide: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> u64 {
+        ctx.attach_handler(
+            PREPARE,
+            AttachSpec::proc("voter", move |_c, b| {
+                HandlerDecision::Resume(Value::Bool(decide(&b.payload)))
+            }),
+        )
+    }
+
+    /// Coordinator side: run one vote on `proposal`. Phase 1 raises
+    /// PREPARE *synchronously at each member individually* (their handler
+    /// verdicts are the ballots); phase 2 announces the outcome to the
+    /// whole group asynchronously.
+    ///
+    /// # Errors
+    ///
+    /// Raise failures; unreachable members count as "no" votes rather
+    /// than erroring.
+    pub fn run(
+        &self,
+        ctx: &mut Ctx,
+        proposal: impl Into<Value>,
+    ) -> Result<VoteOutcome, KernelError> {
+        let proposal = proposal.into();
+        let me = ctx.thread_id();
+        let members: Vec<_> = ctx
+            .kernel()
+            .groups()
+            .members(self.group)
+            .into_iter()
+            .filter(|&t| t != me)
+            .collect();
+        let mut yes = 0usize;
+        for member in &members {
+            match ctx.raise_and_wait(PREPARE, proposal.clone(), *member) {
+                Ok(v) if v.as_bool() == Some(true) => yes += 1,
+                Ok(_) => {}
+                Err(KernelError::Terminated) => return Err(KernelError::Terminated),
+                Err(_) => {} // unreachable member: counts as no
+            }
+        }
+        let outcome = if yes == members.len() {
+            ctx.raise(COMMIT, proposal, RaiseTarget::Group(self.group))
+                .wait();
+            VoteOutcome::Committed
+        } else {
+            ctx.raise(ABORT_VOTE, proposal, RaiseTarget::Group(self.group))
+                .wait();
+            VoteOutcome::Aborted
+        };
+        Ok(outcome)
+    }
+
+    /// Member side: attach handlers recording announced outcomes into the
+    /// returned flag pair `(committed, aborted)` counters.
+    pub fn track_outcomes(&self, ctx: &mut Ctx) -> (Arc<AtomicU64>, Arc<AtomicU64>) {
+        let committed = Arc::new(AtomicU64::new(0));
+        let aborted = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&committed);
+        ctx.attach_handler(
+            COMMIT,
+            AttachSpec::proc("commit-track", move |_c, _b| {
+                c2.fetch_add(1, Ordering::Relaxed);
+                HandlerDecision::Resume(Value::Null)
+            }),
+        );
+        let a2 = Arc::clone(&aborted);
+        ctx.attach_handler(
+            ABORT_VOTE,
+            AttachSpec::proc("abort-track", move |_c, _b| {
+                a2.fetch_add(1, Ordering::Relaxed);
+                HandlerDecision::Resume(Value::Null)
+            }),
+        );
+        (committed, aborted)
+    }
+}

@@ -1,0 +1,309 @@
+//! A distributed debugger (paper §4.1).
+//!
+//! "An extension to this scheme is one where the handler is an entry
+//! point defined in another object. These kinds of handlers are known as
+//! 'buddy handlers' … This is quite useful in implementing monitors,
+//! debuggers, etc. where an application can specify a central server as
+//! the event handler for events posted to its threads."
+//!
+//! The debugger is exactly that central server: debugged threads attach a
+//! BREAKPOINT buddy handler pointing at the debugger object's `on_break`
+//! entry. Hitting a breakpoint raises BREAKPOINT synchronously at the
+//! thread itself; the facility routes it to the buddy handler, which runs
+//! *as an unscheduled invocation of the debugged thread* in the debugger
+//! object — it records the hit (thread, label, pc, node, current object)
+//! and applies the operator's policy: continue, pause until resumed, or
+//! terminate the thread.
+
+use doct_events::{AttachSpec, CtxEvents, HandlerDecision};
+use doct_kernel::{
+    ClassBuilder, Cluster, Ctx, KernelError, ObjectConfig, ObjectId, SystemEvent, ThreadId, Value,
+};
+use doct_net::NodeId;
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Serializes read-modify-write of debugger state across entries. The
+/// debugger object cannot be `exclusive()` — a thread paused inside
+/// `on_break` must not block the `resume` entry.
+static STATE_RMW: Mutex<()> = Mutex::new(());
+
+/// Class name of the debugger server object.
+pub const DEBUGGER_CLASS: &str = "doct.debugger";
+
+/// How the debugger reacts to a breakpoint with a given label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakAction {
+    /// Record the hit and let the thread continue (default).
+    Continue,
+    /// Suspend the thread until [`Debugger::resume`] is called for it.
+    Pause,
+    /// Terminate the thread.
+    Terminate,
+}
+
+impl BreakAction {
+    fn as_str(self) -> &'static str {
+        match self {
+            BreakAction::Continue => "continue",
+            BreakAction::Pause => "pause",
+            BreakAction::Terminate => "terminate",
+        }
+    }
+}
+
+/// One recorded breakpoint hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakpointHit {
+    /// The debugged thread.
+    pub thread: String,
+    /// Breakpoint label.
+    pub label: String,
+    /// Node the thread was on.
+    pub node: u32,
+    /// Simulated program counter.
+    pub pc: i64,
+    /// Object the thread was executing in.
+    pub object: Option<i64>,
+}
+
+/// The central debugger server.
+#[derive(Debug, Clone, Copy)]
+pub struct Debugger {
+    object: ObjectId,
+}
+
+impl Debugger {
+    /// Register the debugger class (idempotent).
+    pub fn register_class(cluster: &Cluster) {
+        cluster.register_class(
+            DEBUGGER_CLASS,
+            ClassBuilder::new(DEBUGGER_CLASS)
+                .entry("on_break", |ctx, block| {
+                    // `block` is the encoded EventBlock of the BREAKPOINT.
+                    let label = block
+                        .get("payload")
+                        .and_then(|p| p.get("label"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    let thread = block
+                        .get("target_thread")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    // Record the hit and read the label's policy.
+                    let _rmw = STATE_RMW.lock();
+                    let action = ctx.with_state(|s| {
+                        if s.is_null() {
+                            *s = Value::map();
+                        }
+                        let mut hit = Value::map();
+                        hit.set("thread", thread.as_str());
+                        hit.set("label", label.as_str());
+                        hit.set("node", block.get("node").cloned().unwrap_or(Value::Int(-1)));
+                        hit.set("pc", block.get("pc").cloned().unwrap_or(Value::Int(0)));
+                        if let Some(o) = block.get("current_object") {
+                            hit.set("object", o.clone());
+                        }
+                        let m = s.as_map_mut().expect("debugger state is a map");
+                        if let Value::List(hits) = m
+                            .entry("hits".to_string())
+                            .or_insert_with(|| Value::List(vec![]))
+                        {
+                            hits.push(hit);
+                        }
+                        m.get(&format!("policy.{label}"))
+                            .and_then(Value::as_str)
+                            .unwrap_or("continue")
+                            .to_string()
+                    })?;
+                    drop(_rmw);
+                    match action.as_str() {
+                        "terminate" => Ok(HandlerDecision::Terminate.to_value()),
+                        "pause" => {
+                            // Suspend until the operator resumes us (or a
+                            // 30 s safety valve).
+                            let resume_key = format!("resume.{thread}");
+                            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                            loop {
+                                // Read-only probe; take the RMW lock only
+                                // to consume the flag.
+                                let flagged = ctx.read_state()?.get(&resume_key).is_some();
+                                if flagged {
+                                    let _rmw = STATE_RMW.lock();
+                                    ctx.with_state(|s| {
+                                        if let Some(m) = s.as_map_mut() {
+                                            m.remove(&resume_key);
+                                        }
+                                    })?;
+                                    break;
+                                }
+                                if std::time::Instant::now() >= deadline {
+                                    break;
+                                }
+                                ctx.sleep(Duration::from_millis(2))?;
+                            }
+                            Ok(HandlerDecision::Resume(Value::Str("resumed".into())).to_value())
+                        }
+                        _ => Ok(HandlerDecision::Resume(Value::Str("continued".into())).to_value()),
+                    }
+                })
+                .entry("set_policy", |ctx, args| {
+                    let label = args.get("label").and_then(Value::as_str).unwrap_or("?");
+                    let action = args
+                        .get("action")
+                        .and_then(Value::as_str)
+                        .unwrap_or("continue")
+                        .to_string();
+                    let key = format!("policy.{label}");
+                    let _rmw = STATE_RMW.lock();
+                    ctx.with_state(|s| {
+                        if s.is_null() {
+                            *s = Value::map();
+                        }
+                        s.set(key.clone(), action.clone());
+                    })?;
+                    Ok(Value::Null)
+                })
+                .entry("resume", |ctx, args| {
+                    let thread = args.as_str().unwrap_or("?");
+                    let key = format!("resume.{thread}");
+                    let _rmw = STATE_RMW.lock();
+                    ctx.with_state(|s| {
+                        if s.is_null() {
+                            *s = Value::map();
+                        }
+                        s.set(key.clone(), true);
+                    })?;
+                    Ok(Value::Null)
+                })
+                .entry("hits", |ctx, _| {
+                    Ok(ctx
+                        .read_state()?
+                        .get("hits")
+                        .cloned()
+                        .unwrap_or(Value::List(vec![])))
+                })
+                .build(),
+        );
+    }
+
+    /// Create the debugger server at `home`.
+    ///
+    /// # Errors
+    ///
+    /// Object-creation failures.
+    pub fn create(cluster: &Cluster, home: NodeId) -> Result<Debugger, KernelError> {
+        Self::register_class(cluster);
+        // Deliberately NOT exclusive: a paused thread sits inside
+        // `on_break` while `resume` must still run.
+        let object = cluster.create_object(
+            ObjectConfig::new(DEBUGGER_CLASS, home)
+                .with_state(Value::map())
+                .with_state_size(1 << 20),
+        )?;
+        Ok(Debugger { object })
+    }
+
+    /// The debugger server object.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Attach this debugger to the calling thread: a BREAKPOINT buddy
+    /// handler pointing at the server. Returns the registration id.
+    pub fn attach(&self, ctx: &mut Ctx) -> u64 {
+        ctx.attach_handler(
+            SystemEvent::Breakpoint,
+            AttachSpec::entry(self.object, "on_break"),
+        )
+    }
+
+    /// Hit a breakpoint: raises BREAKPOINT synchronously at the calling
+    /// thread; the debugger's policy decides whether it continues, pauses,
+    /// or dies.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Terminated`] if the policy is
+    /// [`BreakAction::Terminate`]; raise failures otherwise.
+    pub fn breakpoint(ctx: &mut Ctx, label: &str) -> Result<Value, KernelError> {
+        let mut payload = Value::map();
+        payload.set("label", label);
+        let me = ctx.thread_id();
+        ctx.raise_and_wait(SystemEvent::Breakpoint, payload, me)
+    }
+
+    /// Set the policy for breakpoints labelled `label`.
+    ///
+    /// # Errors
+    ///
+    /// Spawn/invocation failures.
+    pub fn set_policy(
+        &self,
+        cluster: &Cluster,
+        label: &str,
+        action: BreakAction,
+    ) -> Result<(), KernelError> {
+        let mut args = Value::map();
+        args.set("label", label);
+        args.set("action", action.as_str());
+        let obj = self.object;
+        cluster
+            .spawn(obj.creator().index(), obj, "set_policy", args)?
+            .join()?;
+        Ok(())
+    }
+
+    /// Resume a thread paused at a breakpoint.
+    ///
+    /// # Errors
+    ///
+    /// Spawn/invocation failures.
+    pub fn resume(&self, cluster: &Cluster, thread: ThreadId) -> Result<(), KernelError> {
+        let obj = self.object;
+        cluster
+            .spawn(
+                obj.creator().index(),
+                obj,
+                "resume",
+                Value::Str(format!("{thread}")),
+            )?
+            .join()?;
+        Ok(())
+    }
+
+    /// All recorded breakpoint hits.
+    ///
+    /// # Errors
+    ///
+    /// Spawn/invocation failures.
+    pub fn hits(&self, cluster: &Cluster) -> Result<Vec<BreakpointHit>, KernelError> {
+        let obj = self.object;
+        let raw = cluster
+            .spawn(obj.creator().index(), obj, "hits", Value::Null)?
+            .join()?;
+        let mut out = Vec::new();
+        if let Value::List(list) = raw {
+            for v in list {
+                out.push(BreakpointHit {
+                    thread: v
+                        .get("thread")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    label: v
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    node: v.get("node").and_then(Value::as_int).unwrap_or(-1) as u32,
+                    pc: v.get("pc").and_then(Value::as_int).unwrap_or(0),
+                    object: v.get("object").and_then(Value::as_int),
+                });
+            }
+        }
+        Ok(out)
+    }
+}

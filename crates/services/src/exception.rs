@@ -1,0 +1,163 @@
+//! Structured exception handling over thread-based handlers (§6.1).
+//!
+//! "In the DO/CT paradigm, when an object invokes another, the invoker
+//! supplies a handler for exceptional events that the invoked object
+//! cannot handle. The handler performs any corrective action (if
+//! possible) and resumes (or terminates) the signaling thread."
+//!
+//! [`with_exception_handler`] is the invoker-side scope: attach a handler,
+//! run the protected body, detach. [`throw`] is the callee-side raise: a
+//! synchronous event at the thread itself; the verdict of whichever
+//! handler in the dynamic chain catches it becomes `throw`'s return
+//! value — uncaught exceptions fail the invocation.
+
+use doct_events::{AttachSpec, CtxEvents, EventBlock, HandlerDecision};
+use doct_kernel::{Ctx, EventName, KernelError, Value};
+use std::sync::Arc;
+
+/// How an exception scope reacts (the invoker's "corrective action").
+pub type ExceptionHandler = dyn Fn(&mut Ctx, &EventBlock) -> HandlerDecision + Send + Sync;
+
+/// Run `body` with an exception handler attached for `event`.
+///
+/// The handler participates in the normal LIFO chain: a nested scope's
+/// handler runs first; `HandlerDecision::Propagate` defers outward —
+/// Ada-style dynamic propagation (§4.2), Levin-style dominance (§3.1).
+/// The handler is detached when the scope exits, even on failure.
+///
+/// # Errors
+///
+/// Whatever `body` fails with.
+pub fn with_exception_handler<R>(
+    ctx: &mut Ctx,
+    event: impl Into<EventName>,
+    handler: impl Fn(&mut Ctx, &EventBlock) -> HandlerDecision + Send + Sync + 'static,
+    body: impl FnOnce(&mut Ctx) -> Result<R, KernelError>,
+) -> Result<R, KernelError> {
+    let event = event.into();
+    let id = ctx.attach_handler(
+        event.clone(),
+        AttachSpec::proc_arc(format!("exception:{event}"), Arc::new(handler)),
+    );
+    let result = body(ctx);
+    ctx.detach_handler(id);
+    result
+}
+
+/// Raise an exception from object code: a synchronous event at the
+/// current thread. Returns the catching handler's verdict.
+///
+/// # Errors
+///
+/// [`KernelError::InvocationFailed`] if no handler in the chain caught it
+/// (every handler propagated and the system default resumed with `Null`),
+/// [`KernelError::Terminated`] if a handler decided to kill the thread.
+pub fn throw(
+    ctx: &mut Ctx,
+    event: impl Into<EventName>,
+    payload: impl Into<Value>,
+) -> Result<Value, KernelError> {
+    let event = event.into();
+    let me = ctx.thread_id();
+    let verdict = ctx.raise_and_wait(event.clone(), payload, me)?;
+    if verdict.is_null() {
+        Err(KernelError::InvocationFailed(format!(
+            "uncaught exception {event}"
+        )))
+    } else {
+        Ok(verdict)
+    }
+}
+
+/// Signature-checked [`throw`] (§5.2): fails immediately if the current
+/// entry point did not declare `event` in its interface
+/// ([`doct_kernel::ClassBuilder::entry_raises`]) — the linguistic
+/// restraint the paper suggests layering over the general mechanism.
+///
+/// # Errors
+///
+/// [`KernelError::Event`] if the event is undeclared for this entry;
+/// otherwise as [`throw`].
+pub fn throw_declared(
+    ctx: &mut Ctx,
+    event: impl Into<EventName>,
+    payload: impl Into<Value>,
+) -> Result<Value, KernelError> {
+    let event = event.into();
+    if !ctx.declared_exceptions().contains(&event) {
+        return Err(KernelError::Event(format!(
+            "entry {:?} of {:?} does not declare exception {event} in its signature",
+            ctx.current_entry().unwrap_or_default(),
+            ctx.current_object()
+                .map(|o| o.to_string())
+                .unwrap_or_default(),
+        )));
+    }
+    throw(ctx, event, payload)
+}
+
+/// Invoke an entry with exception handlers scoped to exactly this call —
+/// the §5.2 pattern "calling object attaches handlers to these exceptional
+/// events at the point of invocation; scope of the handler is restricted
+/// to its immediate caller".
+///
+/// # Errors
+///
+/// Whatever the invocation fails with.
+pub fn invoke_protected(
+    ctx: &mut Ctx,
+    object: doct_kernel::ObjectId,
+    entry: &str,
+    args: impl Into<Value>,
+    handlers: Vec<(EventName, Arc<dyn doct_events::ThreadEventHandler>)>,
+) -> Result<Value, KernelError> {
+    use doct_events::AttachSpec;
+    let ids: Vec<u64> = handlers
+        .into_iter()
+        .map(|(event, h)| {
+            ctx.attach_handler(
+                event.clone(),
+                AttachSpec::proc_arc(format!("protected:{event}"), h),
+            )
+        })
+        .collect();
+    let result = ctx.invoke(object, entry, args);
+    for id in ids {
+        ctx.detach_handler(id);
+    }
+    result
+}
+
+/// A verdict wrapper so handlers can legitimately answer "null-like"
+/// values: wraps in a map `{caught: true, value}`.
+pub fn caught(value: impl Into<Value>) -> HandlerDecision {
+    let mut v = Value::map();
+    v.set("caught", true);
+    v.set("value", value.into());
+    HandlerDecision::Resume(v)
+}
+
+/// Unwrap a [`caught`] verdict.
+pub fn caught_value(verdict: &Value) -> Option<&Value> {
+    if verdict.get("caught").and_then(Value::as_bool) == Some(true) {
+        verdict.get("value")
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caught_round_trip() {
+        let d = caught(7i64);
+        let HandlerDecision::Resume(v) = d else {
+            panic!("caught() must resume");
+        };
+        assert_eq!(caught_value(&v), Some(&Value::Int(7)));
+        assert_eq!(caught_value(&Value::Int(7)), None);
+        assert_eq!(caught_value(&Value::Null), None);
+    }
+}

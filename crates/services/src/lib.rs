@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # doct-services — applications of the event handling facility
+//!
+//! The paper's §6 demonstrates the facility by building four distributed
+//! services on top of it; this crate is those services, as a library:
+//!
+//! * [`exception`] — structured exception handling (§6.1): objects take
+//!   generic corrective action, invokers supply handlers that repair and
+//!   resume (or terminate) the signaling thread, and unhandled exceptions
+//!   escalate up the dynamic chain (dominance, after Levin).
+//! * [`monitor`] — distributed liveliness monitoring (§6.2): a periodic
+//!   TIMER event chases the thread across nodes; a per-thread-memory
+//!   handler samples the thread state *in the current object's context*
+//!   and reports to a central monitor server object.
+//! * [`termination`] — the "distributed ^C problem" (§6.3): TERMINATE at
+//!   the root thread fans out ABORT to every object on the application's
+//!   calling chain and QUIT to the whole thread group, leaving no orphans.
+//! * [`locks`] — distributed lock management (§4.2, §1): every acquire
+//!   chains an unlock handler onto the thread's TERMINATE chain, so an
+//!   aborted computation releases everything it held, "regardless of
+//!   their location and scope".
+//! * [`coordination`] — group coordination over the paper's §3
+//!   COMMIT/ABORT/SYNCHRONIZE user events: distributed barriers and
+//!   two-phase voting.
+//! * [`debugger`] — a distributed debugger (§4.1): BREAKPOINT events
+//!   routed to a central server via buddy handlers; the operator's policy
+//!   continues, pauses, or terminates the debugged thread.
+//! * [`pager`] — user-level virtual memory management (§6.4): pageable
+//!   segments whose VM_FAULT events are served by a pager server object
+//!   (a buddy handler), including copy-on-concurrent-fault and merge.
+
+pub mod coordination;
+pub mod debugger;
+pub mod exception;
+pub mod locks;
+pub mod monitor;
+pub mod pager;
+pub mod termination;
+
+/// Commonly used service types plus the facility prelude.
+pub mod prelude {
+    pub use crate::coordination::{Barrier, Vote, VoteOutcome};
+    pub use crate::debugger::{BreakAction, Debugger};
+    pub use crate::exception::{throw, with_exception_handler};
+    pub use crate::locks::LockManager;
+    pub use crate::monitor::MonitorServer;
+    pub use crate::pager::PagerServer;
+    pub use crate::termination::{arm_ctrl_c, install_abort_cleanup, press_ctrl_c};
+    pub use doct_events::prelude::*;
+}

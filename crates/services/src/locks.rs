@@ -1,0 +1,267 @@
+//! Distributed lock management with unlock-on-TERMINATE chaining.
+//!
+//! §4.2: "Chaining of handlers is very useful in distributed lock
+//! management. Every time a thread locks data in an object, the unlock
+//! routine for that data is chained to the thread's TERMINATE handler. If
+//! the threads receive a TERMINATE signal, all locked data are unlocked,
+//! regardless of their location and scope." §1 motivates the same with
+//! "the problem of unlocking shared data items in the case of the
+//! abnormal termination of a distributed computation".
+
+use doct_events::{AttachSpec, CtxEvents, HandlerDecision};
+use doct_kernel::{
+    ClassBuilder, Cluster, Ctx, KernelError, ObjectConfig, ObjectId, SystemEvent, Value,
+};
+use doct_net::NodeId;
+use std::time::Duration;
+
+/// Class name of the lock manager object.
+pub const LOCK_MANAGER_CLASS: &str = "doct.lock-manager";
+
+/// A named distributed lock held by this thread; releasing (or dying)
+/// gives it up.
+#[derive(Debug)]
+pub struct HeldLock {
+    manager: ObjectId,
+    name: String,
+    cleanup_registration: u64,
+}
+
+impl HeldLock {
+    /// The lock's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Client and factory for the distributed lock manager object.
+///
+/// The manager is an *exclusive* passive object: its entries serialize, so
+/// acquire/release are atomic. Locks may live on any node; the chained
+/// TERMINATE cleanup releases them from wherever the dying thread happens
+/// to be.
+///
+/// ```
+/// use doct_events::EventFacility;
+/// use doct_kernel::{Cluster, Value};
+/// use doct_net::NodeId;
+/// use doct_services::locks::LockManager;
+///
+/// # fn main() -> Result<(), doct_kernel::KernelError> {
+/// let cluster = Cluster::new(2);
+/// let _facility = EventFacility::install(&cluster);
+/// let manager = LockManager::create(&cluster, NodeId(1))?;
+/// let handle = cluster.spawn_fn(0, move |ctx| {
+///     let lock = manager.acquire(ctx, "inventory")?;
+///     // ... critical section; dying here would auto-release ...
+///     manager.release(ctx, lock)?;
+///     Ok(Value::Null)
+/// })?;
+/// handle.join()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LockManager {
+    object: ObjectId,
+}
+
+impl LockManager {
+    /// Register the lock-manager class on `cluster` (idempotent).
+    pub fn register_class(cluster: &Cluster) {
+        cluster.register_class(
+            LOCK_MANAGER_CLASS,
+            ClassBuilder::new(LOCK_MANAGER_CLASS)
+                .entry("acquire", |ctx, args| {
+                    let name = args
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| KernelError::InvalidArgument("acquire needs a name".into()))?
+                        .to_string();
+                    let me = args
+                        .get("thread")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    ctx.with_state(|s| {
+                        if s.is_null() {
+                            *s = Value::map();
+                        }
+                        let locks = s.as_map_mut().expect("lock state is a map");
+                        match locks.get(&name) {
+                            None => {
+                                locks.insert(name.clone(), Value::Str(me));
+                                Value::Bool(true)
+                            }
+                            Some(Value::Str(holder)) if *holder == me => Value::Bool(true),
+                            Some(_) => Value::Bool(false),
+                        }
+                    })
+                })
+                .entry("release", |ctx, args| {
+                    let name = args
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| KernelError::InvalidArgument("release needs a name".into()))?
+                        .to_string();
+                    let me = args
+                        .get("thread")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    ctx.with_state(|s| {
+                        let Some(locks) = s.as_map_mut() else {
+                            return Value::Bool(false);
+                        };
+                        match locks.get(&name) {
+                            Some(Value::Str(holder)) if *holder == me => {
+                                locks.remove(&name);
+                                Value::Bool(true)
+                            }
+                            _ => Value::Bool(false),
+                        }
+                    })
+                })
+                .entry("holder", |ctx, args| {
+                    let name = args.as_str().unwrap_or_default().to_string();
+                    Ok(ctx.read_state()?.get(&name).cloned().unwrap_or(Value::Null))
+                })
+                .entry("held_count", |ctx, _| {
+                    Ok(Value::Int(
+                        ctx.read_state()?.as_map().map_or(0, |m| m.len()) as i64,
+                    ))
+                })
+                .build(),
+        );
+    }
+
+    /// Create a lock manager object homed at `home`.
+    ///
+    /// # Errors
+    ///
+    /// Object-creation failures ([`KernelError::UnknownNode`], DSM).
+    pub fn create(cluster: &Cluster, home: NodeId) -> Result<LockManager, KernelError> {
+        Self::register_class(cluster);
+        let object = cluster.create_object(
+            ObjectConfig::new(LOCK_MANAGER_CLASS, home)
+                .with_state(Value::map())
+                .exclusive(),
+        )?;
+        Ok(LockManager { object })
+    }
+
+    /// Wrap an existing lock-manager object.
+    pub fn from_object(object: ObjectId) -> LockManager {
+        LockManager { object }
+    }
+
+    /// The underlying object.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Acquire `name`, blocking (with event-responsive backoff) until
+    /// granted. Chains the unlock routine onto the calling thread's
+    /// TERMINATE handler (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Terminated`] if the thread is terminated while
+    /// waiting; invocation failures otherwise.
+    pub fn acquire(&self, ctx: &mut Ctx, name: &str) -> Result<HeldLock, KernelError> {
+        let mut args = Value::map();
+        args.set("name", name);
+        args.set("thread", format!("{}", ctx.thread_id()));
+        loop {
+            let granted = ctx.invoke(self.object, "acquire", args.clone())?;
+            if granted.as_bool() == Some(true) {
+                break;
+            }
+            ctx.sleep(Duration::from_millis(2))?;
+        }
+        // Chain the unlock routine to the thread's TERMINATE handler.
+        let manager = self.object;
+        let args_cleanup = args.clone();
+        let cleanup_registration = ctx.attach_handler(
+            SystemEvent::Terminate,
+            AttachSpec::proc(format!("unlock:{name}"), move |hctx, _block| {
+                let _ = hctx.invoke(manager, "release", args_cleanup.clone());
+                // Cleanup handlers pass the TERMINATE on so the rest of
+                // the chain (other locks, outer scopes) runs too.
+                HandlerDecision::Propagate
+            }),
+        );
+        Ok(HeldLock {
+            manager: self.object,
+            name: name.to_string(),
+            cleanup_registration,
+        })
+    }
+
+    /// Try to acquire without blocking. On success the unlock routine is
+    /// chained exactly as in [`LockManager::acquire`].
+    ///
+    /// # Errors
+    ///
+    /// Invocation failures.
+    pub fn try_acquire(&self, ctx: &mut Ctx, name: &str) -> Result<Option<HeldLock>, KernelError> {
+        let mut args = Value::map();
+        args.set("name", name);
+        args.set("thread", format!("{}", ctx.thread_id()));
+        let granted = ctx.invoke(self.object, "acquire", args)?;
+        if granted.as_bool() != Some(true) {
+            return Ok(None);
+        }
+        let manager = self.object;
+        let mut args_cleanup = Value::map();
+        args_cleanup.set("name", name);
+        args_cleanup.set("thread", format!("{}", ctx.thread_id()));
+        let cleanup_registration = ctx.attach_handler(
+            SystemEvent::Terminate,
+            AttachSpec::proc(format!("unlock:{name}"), move |hctx, _block| {
+                let _ = hctx.invoke(manager, "release", args_cleanup.clone());
+                HandlerDecision::Propagate
+            }),
+        );
+        Ok(Some(HeldLock {
+            manager: self.object,
+            name: name.to_string(),
+            cleanup_registration,
+        }))
+    }
+
+    /// Release a held lock and unchain its cleanup handler.
+    ///
+    /// # Errors
+    ///
+    /// Invocation failures.
+    pub fn release(&self, ctx: &mut Ctx, lock: HeldLock) -> Result<(), KernelError> {
+        let mut args = Value::map();
+        args.set("name", lock.name.as_str());
+        args.set("thread", format!("{}", ctx.thread_id()));
+        ctx.invoke(lock.manager, "release", args)?;
+        ctx.detach_handler(lock.cleanup_registration);
+        Ok(())
+    }
+
+    /// Current holder of `name` (`Null` if free), queried from any thread.
+    ///
+    /// # Errors
+    ///
+    /// Invocation failures.
+    pub fn holder(&self, ctx: &mut Ctx, name: &str) -> Result<Value, KernelError> {
+        ctx.invoke(self.object, "holder", name)
+    }
+
+    /// Number of currently held locks.
+    ///
+    /// # Errors
+    ///
+    /// Invocation failures.
+    pub fn held_count(&self, ctx: &mut Ctx) -> Result<i64, KernelError> {
+        Ok(ctx
+            .invoke(self.object, "held_count", Value::Null)?
+            .as_int()
+            .unwrap_or(0))
+    }
+}

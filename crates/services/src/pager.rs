@@ -1,0 +1,296 @@
+//! User-level virtual memory management (§6.4).
+//!
+//! "The basic strategy is that the applications will tag regions of
+//! memory as pageable, request VM_FAULT events and designate a server as
+//! the handler for VM_FAULT events (buddy handler). When any thread
+//! faults at an address, the thread is suspended and the handler attached
+//! to the server is notified. The handler code then supplies a page to
+//! satisfy the fault. If another thread faults on the same memory, the
+//! server can supply a copy of the page, and later merge the pages."
+//!
+//! Mechanics here: a pageable segment ([`create_pageable_segment`]) has
+//! [`doct_dsm::Backing::UserPager`]; its faults reach the per-node
+//! [`doct_dsm::FaultHandler`] installed by [`PagerServer::serve_node`],
+//! which raises a VM_FAULT event at the pager server *object* and blocks
+//! the faulting thread on a rendezvous until the server's object-based
+//! handler supplies ("installs") the page.
+
+use doct_dsm::{Backing, FaultHandler, FaultInfo, FaultOutcome, SegmentId, SegmentInfo};
+use doct_events::{EventFacility, HandlerDecision};
+use doct_kernel::{
+    ClassBuilder, Cluster, Ctx, KernelError, NodeKernel, ObjectConfig, ObjectId, RaiseTarget,
+    SystemEvent, Value,
+};
+use doct_net::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Class name of the pager server object.
+pub const PAGER_CLASS: &str = "doct.pager";
+
+/// Produces page contents on demand — the user-level paging policy.
+pub trait PageSource: Send + Sync {
+    /// Supply the contents for `(segment, page_index)` with `len` bytes.
+    fn page(&self, segment: SegmentId, index: u32, len: usize) -> Vec<u8>;
+}
+
+impl<F> PageSource for F
+where
+    F: Fn(SegmentId, u32, usize) -> Vec<u8> + Send + Sync,
+{
+    fn page(&self, segment: SegmentId, index: u32, len: usize) -> Vec<u8> {
+        self(segment, index, len)
+    }
+}
+
+/// Rendezvous between faulting threads and the pager server's handler —
+/// the operating system's "install a user supplied page to back a
+/// virtual address" primitive.
+#[derive(Default)]
+struct Rendezvous {
+    pending: Mutex<HashMap<u64, crossbeam::channel::Sender<Vec<u8>>>>,
+}
+
+impl Rendezvous {
+    fn register(&self, fault_id: u64) -> crossbeam::channel::Receiver<Vec<u8>> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.pending.lock().insert(fault_id, tx);
+        rx
+    }
+
+    fn install(&self, fault_id: u64, data: Vec<u8>) -> bool {
+        if let Some(tx) = self.pending.lock().remove(&fault_id) {
+            tx.send(data).is_ok()
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-node fault handler: suspends the faulting thread, notifies the
+/// pager server via a VM_FAULT event, waits for the install.
+struct UserPagerFaultHandler {
+    kernel: Arc<NodeKernel>,
+    server: ObjectId,
+    rendezvous: Arc<Rendezvous>,
+    timeout: Duration,
+}
+
+impl FaultHandler for UserPagerFaultHandler {
+    fn handle_fault(&self, fault: &FaultInfo) -> FaultOutcome {
+        let fault_id = self.kernel.next_seq();
+        let rx = self.rendezvous.register(fault_id);
+        let mut payload = Value::map();
+        payload.set("fault_id", fault_id as i64);
+        payload.set("segment", fault.page.segment.0 as i64);
+        payload.set("index", fault.page.index);
+        payload.set("len", fault.page_len);
+        payload.set("node", fault.node.0);
+        payload.set("kind", fault.kind.to_string());
+        let (ticket, _seq) = self.kernel.raise_event(
+            SystemEvent::VmFault.into(),
+            payload,
+            RaiseTarget::Object(self.server),
+            false,
+            None,
+        );
+        ticket.detach();
+        match rx.recv_timeout(self.timeout) {
+            Ok(data) => FaultOutcome::Supply(data),
+            Err(_) => {
+                self.rendezvous.pending.lock().remove(&fault_id);
+                FaultOutcome::Fail
+            }
+        }
+    }
+}
+
+/// The user-level pager server: a passive object whose VM_FAULT handler
+/// supplies pages, counts copies, and merges write-backs.
+#[derive(Clone)]
+pub struct PagerServer {
+    object: ObjectId,
+    rendezvous: Arc<Rendezvous>,
+    source: Arc<dyn PageSource>,
+}
+
+impl std::fmt::Debug for PagerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagerServer")
+            .field("object", &self.object)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PagerServer {
+    /// Create the pager server object at `home` with the given paging
+    /// policy, and install its VM_FAULT object handler.
+    ///
+    /// # Errors
+    ///
+    /// Object-creation failures.
+    pub fn create(
+        cluster: &Cluster,
+        facility: &EventFacility,
+        home: NodeId,
+        source: impl PageSource + 'static,
+    ) -> Result<PagerServer, KernelError> {
+        cluster.register_class(
+            PAGER_CLASS,
+            ClassBuilder::new(PAGER_CLASS)
+                .entry("stats", |ctx, _| ctx.read_state())
+                .entry("writeback", |ctx, args| {
+                    // Merge: record the written-back page under its id;
+                    // last merge wins per byte range (simple union model).
+                    let key = format!(
+                        "merged.{}.{}",
+                        args.get("segment").and_then(Value::as_int).unwrap_or(0),
+                        args.get("index").and_then(Value::as_int).unwrap_or(0)
+                    );
+                    let data = args.get("data").cloned().unwrap_or(Value::Null);
+                    ctx.with_state(|s| {
+                        if s.is_null() {
+                            *s = Value::map();
+                        }
+                        s.set(key.clone(), data.clone());
+                        let merges = s.get("merges").and_then(Value::as_int).unwrap_or(0);
+                        s.set("merges", merges + 1);
+                    })?;
+                    Ok(Value::Bool(true))
+                })
+                .build(),
+        );
+        let object = cluster.create_object(
+            ObjectConfig::new(PAGER_CLASS, home)
+                .with_state(Value::map())
+                .with_state_size(1 << 20)
+                .exclusive(),
+        )?;
+        let server = PagerServer {
+            object,
+            rendezvous: Arc::new(Rendezvous::default()),
+            source: Arc::new(source),
+        };
+        let rendezvous = Arc::clone(&server.rendezvous);
+        let source = Arc::clone(&server.source);
+        facility.on_object_event(
+            cluster,
+            object,
+            SystemEvent::VmFault,
+            move |ctx, obj, block| {
+                let fault_id = block
+                    .payload
+                    .get("fault_id")
+                    .and_then(Value::as_int)
+                    .unwrap_or(0) as u64;
+                let segment = SegmentId(
+                    block
+                        .payload
+                        .get("segment")
+                        .and_then(Value::as_int)
+                        .unwrap_or(0) as u64,
+                );
+                let index = block
+                    .payload
+                    .get("index")
+                    .and_then(Value::as_int)
+                    .unwrap_or(0) as u32;
+                let len = block
+                    .payload
+                    .get("len")
+                    .and_then(Value::as_int)
+                    .unwrap_or(0) as usize;
+                // Count copies outstanding per page (two threads faulting the
+                // same page each get a copy, §6.4).
+                let page_key = format!("copies.{}.{index}", segment.0);
+                let _ = ctx.write_state_of(obj, &{
+                    let mut s = ctx.read_state_of(obj).unwrap_or_else(|_| Value::map());
+                    if s.is_null() {
+                        s = Value::map();
+                    }
+                    let n = s.get(&page_key).and_then(Value::as_int).unwrap_or(0);
+                    s.set(page_key.clone(), n + 1);
+                    let f = s.get("faults").and_then(Value::as_int).unwrap_or(0);
+                    s.set("faults", f + 1);
+                    s
+                });
+                let data = source.page(segment, index, len);
+                rendezvous.install(fault_id, data);
+                HandlerDecision::Resume(Value::Null)
+            },
+        )?;
+        Ok(server)
+    }
+
+    /// The pager server object.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Install this pager as node `node`'s user-level fault handler
+    /// ("designate a server as the handler for VM_FAULT events").
+    pub fn serve_node(&self, cluster: &Cluster, node: usize) {
+        let kernel = Arc::clone(cluster.kernel(node));
+        let handler = UserPagerFaultHandler {
+            kernel: Arc::clone(&kernel),
+            server: self.object,
+            rendezvous: Arc::clone(&self.rendezvous),
+            timeout: Duration::from_secs(10),
+        };
+        kernel.dsm().set_fault_handler(Arc::new(handler));
+    }
+
+    /// Pager statistics: total faults served, copies per page, merges.
+    ///
+    /// # Errors
+    ///
+    /// Invocation failures reading server state.
+    pub fn stats(&self, cluster: &Cluster) -> Result<Value, KernelError> {
+        cluster
+            .spawn(
+                self.object.creator().index(),
+                self.object,
+                "stats",
+                Value::Null,
+            )?
+            .join()
+    }
+
+    /// Write a modified page copy back to the server for merging (§6.4's
+    /// "later merge the pages").
+    ///
+    /// # Errors
+    ///
+    /// Invocation failures.
+    pub fn writeback(
+        &self,
+        ctx: &mut Ctx,
+        segment: SegmentId,
+        index: u32,
+        data: Vec<u8>,
+    ) -> Result<(), KernelError> {
+        let mut args = Value::map();
+        args.set("segment", segment.0 as i64);
+        args.set("index", index);
+        args.set("data", data);
+        ctx.invoke(self.object, "writeback", args)?;
+        Ok(())
+    }
+}
+
+/// Tag a region of memory as pageable (§6.4): a user-backed segment
+/// created at `node` and attached on every node.
+pub fn create_pageable_segment(cluster: &Cluster, node: usize, size: usize) -> SegmentInfo {
+    let info = cluster
+        .kernel(node)
+        .dsm()
+        .create_segment(size, Backing::UserPager);
+    for i in 0..cluster.node_count() {
+        if i != node {
+            cluster.kernel(i).dsm().attach(info);
+        }
+    }
+    info
+}

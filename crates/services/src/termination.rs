@@ -1,0 +1,108 @@
+//! The distributed ^C problem (§6.3).
+//!
+//! "Though the problem may appear trivial, it isn't." The objects an
+//! application uses may be shared with unrelated applications, the
+//! threads to hunt down include asynchronously spawned children, and the
+//! objects to notify include passive ones along the calling chain. The
+//! paper's protocol:
+//!
+//! * every application object registers an object-based handler for
+//!   ABORT, performing its cleanup ([`install_abort_cleanup`]);
+//! * the root thread attaches a TERMINATE handler ([`arm_ctrl_c`]); any
+//!   thread spawned from it inherits the registration;
+//! * when ^C raises TERMINATE anywhere, the handler aborts the top-level
+//!   invocation by raising ABORT to every object on the chain and QUIT to
+//!   the whole thread group; the QUIT handler simply terminates each
+//!   thread.
+
+use doct_events::{AttachSpec, CtxEvents, EventBlock, EventFacility, HandlerDecision};
+use doct_kernel::{Cluster, Ctx, KernelError, ObjectId, RaiseTarget, SystemEvent, Value};
+use std::sync::Arc;
+
+/// Install an ABORT object handler that runs `cleanup` and acknowledges.
+/// All of an application's objects should register one (§6.3: "all
+/// objects should register an object-based handler for the predefined
+/// event ABORT").
+///
+/// # Errors
+///
+/// [`doct_kernel::KernelError::UnknownObject`] if the object is unknown.
+pub fn install_abort_cleanup(
+    facility: &EventFacility,
+    cluster: &Cluster,
+    object: ObjectId,
+    cleanup: impl Fn(&mut Ctx, ObjectId, &EventBlock) + Send + Sync + 'static,
+) -> Result<(), KernelError> {
+    facility.on_object_event(
+        cluster,
+        object,
+        SystemEvent::Abort,
+        move |ctx, obj, block| {
+            cleanup(ctx, obj, block);
+            HandlerDecision::Resume(Value::Str("aborted".into()))
+        },
+    )
+}
+
+/// Arm the calling (root) thread for clean distributed termination.
+///
+/// Attaches the TERMINATE handler that, when triggered anywhere the
+/// thread happens to be:
+///
+/// 1. raises ABORT to every object in `app_objects` (the application's
+///    objects, §6.3's "root object … to the objects where the threads are
+///    currently active"),
+/// 2. raises QUIT to the thread's group (hunting down every member,
+///    including asynchronously spawned children, which inherited their
+///    registrations from this thread),
+/// 3. terminates the root thread itself.
+///
+/// Returns the handler registration id.
+pub fn arm_ctrl_c(ctx: &mut Ctx, app_objects: Vec<ObjectId>) -> u64 {
+    let objects = Arc::new(app_objects);
+    ctx.attach_handler(
+        SystemEvent::Terminate,
+        AttachSpec::proc("distributed-ctrl-c", move |hctx, block| {
+            // 1. Notify every application object so it can clean up
+            //    (close I/O channels, release resources).
+            let mut info = Value::map();
+            if let Some(t) = block.target_thread {
+                info.set("thread", format!("{t}"));
+            }
+            for &obj in objects.iter() {
+                hctx.raise(SystemEvent::Abort, info.clone(), obj).detach();
+            }
+            // 2. Hunt down the whole thread group.
+            if let Some(group) = hctx.attributes().group {
+                hctx.raise(SystemEvent::Quit, Value::Null, RaiseTarget::Group(group))
+                    .detach();
+            }
+            // 3. Die. (QUIT's default behavior terminates the members;
+            //    the root terminates through this decision.)
+            HandlerDecision::Terminate
+        }),
+    )
+}
+
+/// Simulate the user typing ^C at the controlling terminal: raise
+/// TERMINATE at the application's root thread from `console_node`.
+///
+/// The root's armed handler fans out ABORT and QUIT. Note that a *single*
+/// QUIT wave can miss a member that is moving between nodes at that
+/// instant (the §7.1 race); for busy groups prefer
+/// `doct_kernel::Cluster::terminate_group`, which re-raises until the
+/// group drains.
+pub fn press_ctrl_c(
+    cluster: &Cluster,
+    console_node: usize,
+    root_thread: doct_kernel::ThreadId,
+) -> doct_kernel::DeliverySummary {
+    cluster
+        .raise_from(
+            console_node,
+            SystemEvent::Terminate,
+            Value::Null,
+            root_thread,
+        )
+        .wait()
+}

@@ -1,0 +1,130 @@
+//! Integration tests for the distributed debugger (§4.1 buddy handlers).
+
+use doct_events::EventFacility;
+use doct_kernel::{ClassBuilder, Cluster, KernelError, ObjectConfig, Value};
+use doct_net::NodeId;
+use doct_services::debugger::{BreakAction, Debugger};
+use std::time::Duration;
+
+fn debugged_cluster() -> (Cluster, Debugger) {
+    let cluster = Cluster::new(3);
+    let _facility = EventFacility::install(&cluster);
+    let debugger = Debugger::create(&cluster, NodeId(2)).unwrap();
+    cluster.register_class(
+        "prog",
+        ClassBuilder::new("prog")
+            .entry("step", |ctx, args| {
+                ctx.compute(1_000)?;
+                Debugger::breakpoint(ctx, args.as_str().unwrap_or("step"))?;
+                ctx.compute(1_000)?;
+                Ok(Value::Int(ctx.pc() as i64))
+            })
+            .build(),
+    );
+    (cluster, debugger)
+}
+
+#[test]
+fn continue_policy_records_and_proceeds() {
+    let (cluster, debugger) = debugged_cluster();
+    let prog = cluster
+        .create_object(ObjectConfig::new("prog", NodeId(1)))
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            debugger.attach(ctx);
+            ctx.invoke(prog, "step", "checkpoint-a")
+        })
+        .unwrap();
+    let pc = handle.join().unwrap();
+    assert!(pc.as_int().unwrap() >= 2_000, "program ran to completion");
+    let hits = debugger.hits(&cluster).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].label, "checkpoint-a");
+    assert_eq!(hits[0].node, 1, "hit recorded at the thread's location");
+    assert!(hits[0].pc >= 1_000, "pc sampled at the breakpoint");
+    assert_eq!(hits[0].object, Some(prog.0 as i64));
+}
+
+#[test]
+fn terminate_policy_kills_the_debugged_thread() {
+    let (cluster, debugger) = debugged_cluster();
+    debugger
+        .set_policy(&cluster, "fatal", BreakAction::Terminate)
+        .unwrap();
+    let prog = cluster
+        .create_object(ObjectConfig::new("prog", NodeId(1)))
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            debugger.attach(ctx);
+            ctx.invoke(prog, "step", "fatal")
+        })
+        .unwrap();
+    let r = handle.join_timeout(Duration::from_secs(10)).expect("died");
+    assert!(matches!(r, Err(KernelError::Terminated)), "{r:?}");
+}
+
+#[test]
+fn pause_policy_suspends_until_resumed() {
+    let (cluster, debugger) = debugged_cluster();
+    debugger
+        .set_policy(&cluster, "hold", BreakAction::Pause)
+        .unwrap();
+    let prog = cluster
+        .create_object(ObjectConfig::new("prog", NodeId(1)))
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            debugger.attach(ctx);
+            ctx.invoke(prog, "step", "hold")
+        })
+        .unwrap();
+    let thread = handle.thread();
+    // The thread must be stuck at the breakpoint.
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(!handle.is_finished(), "thread paused at breakpoint");
+    // Operator resumes it.
+    debugger.resume(&cluster, thread).unwrap();
+    let r = handle
+        .join_timeout(Duration::from_secs(10))
+        .expect("resumed");
+    assert!(r.is_ok(), "{r:?}");
+}
+
+#[test]
+fn unattached_threads_hit_the_default_and_fail() {
+    // Without the buddy handler, BREAKPOINT falls to the system default
+    // (resume with Null) — the breakpoint is a no-op that returns Null.
+    let (cluster, _debugger) = debugged_cluster();
+    let handle = cluster
+        .spawn_fn(0, |ctx| Debugger::breakpoint(ctx, "nowhere"))
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Null);
+}
+
+#[test]
+fn multiple_threads_share_one_debugger() {
+    let (cluster, debugger) = debugged_cluster();
+    let prog = cluster
+        .create_object(ObjectConfig::new("prog", NodeId(1)))
+        .unwrap();
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            cluster
+                .spawn_fn(i, move |ctx| {
+                    debugger.attach(ctx);
+                    ctx.invoke(prog, "step", format!("t{i}"))
+                })
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let hits = debugger.hits(&cluster).unwrap();
+    assert_eq!(hits.len(), 3);
+    let mut labels: Vec<String> = hits.iter().map(|h| h.label.clone()).collect();
+    labels.sort();
+    assert_eq!(labels, vec!["t0", "t1", "t2"]);
+}

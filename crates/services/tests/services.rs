@@ -1,0 +1,660 @@
+//! Integration tests for the §6 applications.
+
+use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+use doct_kernel::{ClassBuilder, Cluster, KernelError, ObjectConfig, SpawnOptions, Value};
+use doct_net::NodeId;
+use doct_services::exception::{caught, caught_value, throw, with_exception_handler};
+use doct_services::locks::LockManager;
+use doct_services::monitor::MonitorServer;
+use doct_services::pager::{create_pageable_segment, PagerServer};
+use doct_services::termination::{arm_ctrl_c, install_abort_cleanup, press_ctrl_c};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// §6.1 exception handling
+// ---------------------------------------------------------------------
+
+#[test]
+fn invoker_handler_repairs_a_remote_exception() {
+    // The invoked object raises an exception it cannot handle; the
+    // invoker's handler repairs it and resumes the signaling thread.
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("OVERFLOW");
+    cluster.register_class(
+        "math",
+        ClassBuilder::new("math")
+            .entry("add_capped", |ctx, args| {
+                let a = args.get("a").and_then(Value::as_int).unwrap_or(0);
+                let b = args.get("b").and_then(Value::as_int).unwrap_or(0);
+                match a.checked_add(b) {
+                    Some(sum) if sum <= 100 => Ok(Value::Int(sum)),
+                    _ => {
+                        // Exceptional: ask the dynamic chain for a repair.
+                        let verdict = throw(ctx, "OVERFLOW", args.clone())?;
+                        Ok(caught_value(&verdict).cloned().unwrap_or(Value::Null))
+                    }
+                }
+            })
+            .build(),
+    );
+    let math = cluster
+        .create_object(ObjectConfig::new("math", NodeId(1)))
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            with_exception_handler(
+                ctx,
+                "OVERFLOW",
+                |_hctx, _block| caught(100i64), // repair: clamp
+                |ctx| {
+                    let mut args = Value::map();
+                    args.set("a", 70i64);
+                    args.set("b", 50i64);
+                    ctx.invoke(math, "add_capped", args)
+                },
+            )
+        })
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Int(100));
+}
+
+#[test]
+fn uncaught_exception_fails_the_invocation() {
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("BAD");
+    let handle = cluster
+        .spawn_fn(0, |ctx| throw(ctx, "BAD", Value::Null))
+        .unwrap();
+    match handle.join() {
+        Err(KernelError::InvocationFailed(msg)) => assert!(msg.contains("BAD"), "{msg}"),
+        other => panic!("expected uncaught exception, got {other:?}"),
+    }
+}
+
+#[test]
+fn dominance_escalates_to_the_outer_scope() {
+    // Inner scope propagates (cannot repair); the outer scope's handler —
+    // higher in the dynamic chain — dominates (§3.1).
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("HARD");
+    let handle = cluster
+        .spawn_fn(0, |ctx| {
+            with_exception_handler(
+                ctx,
+                "HARD",
+                |_h, _b| caught("outer fixed it"),
+                |ctx| {
+                    with_exception_handler(
+                        ctx,
+                        "HARD",
+                        |_h, _b| HandlerDecision::Propagate, // inner defers
+                        |ctx| throw(ctx, "HARD", Value::Null),
+                    )
+                },
+            )
+        })
+        .unwrap();
+    let verdict = handle.join().unwrap();
+    assert_eq!(
+        caught_value(&verdict),
+        Some(&Value::Str("outer fixed it".into()))
+    );
+}
+
+#[test]
+fn scope_exit_detaches_the_handler() {
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("E");
+    let handle = cluster
+        .spawn_fn(0, |ctx| {
+            with_exception_handler(ctx, "E", |_h, _b| caught(1i64), |_ctx| Ok(Value::Null))?;
+            // Outside the scope, the exception is uncaught again.
+            match throw(ctx, "E", Value::Null) {
+                Err(KernelError::InvocationFailed(_)) => Ok(Value::Str("detached".into())),
+                other => panic!("handler leaked past its scope: {other:?}"),
+            }
+        })
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Str("detached".into()));
+}
+
+// ---------------------------------------------------------------------
+// §4.2 distributed locks
+// ---------------------------------------------------------------------
+
+#[test]
+fn lock_round_trip_and_contention() {
+    let cluster = Cluster::new(2);
+    let _facility = EventFacility::install(&cluster);
+    let manager = LockManager::create(&cluster, NodeId(1)).unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            let lock = manager.acquire(ctx, "shared-data")?;
+            assert!(manager.holder(ctx, "shared-data")?.as_str().is_some());
+            assert!(
+                manager.try_acquire(ctx, "shared-data")?.is_some(),
+                "re-entrant"
+            );
+            assert_eq!(manager.held_count(ctx)?, 1);
+            manager.release(ctx, lock)?;
+            assert!(manager.holder(ctx, "shared-data")?.is_null());
+            Ok(Value::Null)
+        })
+        .unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn contended_lock_excludes_the_other_thread() {
+    let cluster = Cluster::new(2);
+    let _facility = EventFacility::install(&cluster);
+    let manager = LockManager::create(&cluster, NodeId(0)).unwrap();
+    let holder = cluster
+        .spawn_fn(0, move |ctx| {
+            let _lock = manager.acquire(ctx, "L")?;
+            ctx.sleep(Duration::from_millis(200))?;
+            Ok(Value::Null) // lock never explicitly released; thread ends
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let contender = cluster
+        .spawn_fn(1, move |ctx| {
+            Ok(Value::Bool(manager.try_acquire(ctx, "L")?.is_some()))
+        })
+        .unwrap();
+    assert_eq!(contender.join().unwrap(), Value::Bool(false));
+    holder.join().unwrap();
+}
+
+#[test]
+fn terminate_releases_every_lock_everywhere() {
+    // The paper's flagship chaining example: a thread holds locks in
+    // objects on different nodes; TERMINATE must release them all.
+    let cluster = Cluster::new(3);
+    let _facility = EventFacility::install(&cluster);
+    let m0 = LockManager::create(&cluster, NodeId(0)).unwrap();
+    let m1 = LockManager::create(&cluster, NodeId(1)).unwrap();
+    let m2 = LockManager::create(&cluster, NodeId(2)).unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            let _a = m0.acquire(ctx, "alpha")?;
+            let _b = m1.acquire(ctx, "beta")?;
+            let _c = m2.acquire(ctx, "gamma")?;
+            ctx.sleep(Duration::from_secs(30))?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // Sanity: all three held.
+    let check = cluster
+        .spawn_fn(1, move |ctx| {
+            Ok(Value::Int(
+                m0.held_count(ctx)? + m1.held_count(ctx)? + m2.held_count(ctx)?,
+            ))
+        })
+        .unwrap();
+    assert_eq!(check.join().unwrap(), Value::Int(3));
+    // ^C the thread.
+    cluster
+        .raise_from(
+            2,
+            doct_kernel::SystemEvent::Terminate,
+            Value::Null,
+            handle.thread(),
+        )
+        .wait();
+    let r = handle.join_timeout(Duration::from_secs(5)).expect("died");
+    assert!(matches!(r, Err(KernelError::Terminated)));
+    // All locks released, regardless of location.
+    let check = cluster
+        .spawn_fn(1, move |ctx| {
+            Ok(Value::Int(
+                m0.held_count(ctx)? + m1.held_count(ctx)? + m2.held_count(ctx)?,
+            ))
+        })
+        .unwrap();
+    assert_eq!(check.join().unwrap(), Value::Int(0), "cleanup chain ran");
+}
+
+#[test]
+fn release_unchains_the_cleanup_handler() {
+    let cluster = Cluster::new(1);
+    let _facility = EventFacility::install(&cluster);
+    let manager = LockManager::create(&cluster, NodeId(0)).unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            use doct_events::CtxEvents;
+            let terminate = doct_kernel::EventName::System(doct_kernel::SystemEvent::Terminate);
+            let lock = manager.acquire(ctx, "L")?;
+            assert_eq!(ctx.handler_chain_len(&terminate), 1);
+            manager.release(ctx, lock)?;
+            assert_eq!(ctx.handler_chain_len(&terminate), 0, "unchained");
+            Ok(Value::Null)
+        })
+        .unwrap();
+    handle.join().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// §6.2 distributed monitoring
+// ---------------------------------------------------------------------
+
+#[test]
+fn monitor_samples_a_remote_compute_thread() {
+    let cluster = Cluster::new(3);
+    let _facility = EventFacility::install(&cluster);
+    let server = MonitorServer::create(&cluster, NodeId(2)).unwrap();
+    cluster.register_class(
+        "cruncher",
+        ClassBuilder::new("cruncher")
+            .entry("crunch", |ctx, args| {
+                // Long-running compute phase *inside this object*: the
+                // TIMER events must chase the thread here.
+                let rounds = args.as_int().unwrap_or(10);
+                for _ in 0..rounds {
+                    ctx.compute(10_000)?;
+                    ctx.sleep(Duration::from_millis(5))?;
+                }
+                Ok(Value::Int(ctx.pc() as i64))
+            })
+            .build(),
+    );
+    let worker_obj = cluster
+        .create_object(ObjectConfig::new("cruncher", NodeId(1)))
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            let session = server.start(ctx, Duration::from_millis(10));
+            ctx.invoke(worker_obj, "crunch", Value::Int(60))?;
+            server.stop(ctx, session);
+            Ok(Value::Null)
+        })
+        .unwrap();
+    handle.join().unwrap();
+    let samples = server.samples(&cluster).unwrap();
+    assert!(
+        samples.len() >= 3,
+        "expected several samples, got {}",
+        samples.len()
+    );
+    // Samples were taken while the thread executed inside the object on
+    // node 1, with the program counter advancing.
+    let at_work: Vec<_> = samples.iter().filter(|s| s.node == 1).collect();
+    assert!(
+        at_work.len() >= 2,
+        "sampled at the thread's location: {samples:?}"
+    );
+    assert!(
+        at_work.iter().any(|s| s.pc > 0),
+        "pc sampled mid-computation: {at_work:?}"
+    );
+    assert!(
+        at_work
+            .iter()
+            .any(|s| s.object == Some(worker_obj.0 as i64)),
+        "current object recorded: {at_work:?}"
+    );
+    let pcs: Vec<i64> = at_work.iter().map(|s| s.pc).collect();
+    let mut sorted = pcs.clone();
+    sorted.sort();
+    assert_eq!(pcs, sorted, "pc advances monotonically: {pcs:?}");
+}
+
+// ---------------------------------------------------------------------
+// §6.3 the distributed ^C problem
+// ---------------------------------------------------------------------
+
+#[test]
+fn distributed_ctrl_c_terminates_everything_and_cleans_objects() {
+    let cluster = Cluster::new(4);
+    let facility = EventFacility::install(&cluster);
+    cluster.register_class(
+        "app",
+        ClassBuilder::new("app")
+            .entry("work", |ctx, _| {
+                ctx.sleep(Duration::from_secs(30))?;
+                Ok(Value::Null)
+            })
+            .build(),
+    );
+    // Application objects spread over the cluster.
+    let objects: Vec<_> = (0..4)
+        .map(|i| {
+            cluster
+                .create_object(ObjectConfig::new("app", NodeId(i)))
+                .unwrap()
+        })
+        .collect();
+    let aborted = Arc::new(AtomicU64::new(0));
+    for &obj in &objects {
+        let aborted = Arc::clone(&aborted);
+        install_abort_cleanup(&facility, &cluster, obj, move |_ctx, _obj, _block| {
+            aborted.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+    }
+    let group = cluster.create_group();
+    let objs = objects.clone();
+    let root = cluster
+        .spawn_fn_with(
+            0,
+            SpawnOptions {
+                group: Some(group),
+                ..Default::default()
+            },
+            move |ctx| {
+                arm_ctrl_c(ctx, objs.clone());
+                // Spawn async children working in remote objects; they
+                // inherit group and event registry.
+                let c1 = ctx.invoke_async(objs[1], "work", Value::Null);
+                let c2 = ctx.invoke_async(objs[2], "work", Value::Null);
+                let _nonclaimable = ctx.invoke_async(objs[3], "work", Value::Null);
+                let _ = (c1.thread(), c2.thread());
+                ctx.sleep(Duration::from_secs(30))?;
+                let _ = c1.claim();
+                let _ = c2.claim();
+                Ok(Value::Null)
+            },
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(cluster.groups().member_count(group), 4, "root + 3 children");
+    // ^C.
+    let summary = press_ctrl_c(&cluster, 3, root.thread());
+    assert_eq!(summary.delivered, 1, "{summary:?}");
+    let r = root
+        .join_timeout(Duration::from_secs(10))
+        .expect("root died");
+    assert!(matches!(r, Err(KernelError::Terminated)), "{r:?}");
+    // No orphans: every thread (children included) exits.
+    assert!(
+        cluster.await_quiescence(Duration::from_secs(10)),
+        "orphan threads remain: {}",
+        cluster.live_activations()
+    );
+    assert_eq!(cluster.groups().member_count(group), 0);
+    // Every object got its ABORT cleanup.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while aborted.load(Ordering::Relaxed) < 4 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(aborted.load(Ordering::Relaxed), 4, "all objects notified");
+}
+
+// ---------------------------------------------------------------------
+// §6.4 user-level virtual memory
+// ---------------------------------------------------------------------
+
+#[test]
+fn pager_server_satisfies_faults_from_other_nodes() {
+    let cluster = Cluster::new(3);
+    let facility = EventFacility::install(&cluster);
+    // Pattern pager: page k is filled with byte k+1.
+    let server = PagerServer::create(&cluster, &facility, NodeId(2), |_seg, idx: u32, len| {
+        vec![(idx + 1) as u8; len]
+    })
+    .unwrap();
+    for n in 0..3 {
+        server.serve_node(&cluster, n);
+    }
+    let seg = create_pageable_segment(&cluster, 0, 4096);
+    // Threads on nodes 0 and 1 read different pages; the pager on node 2
+    // supplies them.
+    assert_eq!(
+        cluster.kernel(0).dsm().read(seg.id, 0, 2).unwrap(),
+        vec![1, 1]
+    );
+    assert_eq!(
+        cluster.kernel(1).dsm().read(seg.id, 1024, 2).unwrap(),
+        vec![2, 2]
+    );
+    // Second read: cached locally, no new fault.
+    let stats = server.stats(&cluster).unwrap();
+    let faults_before = stats.get("faults").and_then(Value::as_int).unwrap_or(0);
+    assert_eq!(
+        cluster.kernel(0).dsm().read(seg.id, 0, 2).unwrap(),
+        vec![1, 1]
+    );
+    let stats = server.stats(&cluster).unwrap();
+    assert_eq!(
+        stats.get("faults").and_then(Value::as_int).unwrap_or(0),
+        faults_before
+    );
+}
+
+#[test]
+fn concurrent_faulters_get_copies_and_merge() {
+    let cluster = Cluster::new(3);
+    let facility = EventFacility::install(&cluster);
+    let server =
+        PagerServer::create(&cluster, &facility, NodeId(0), |_s, _i, len| vec![0; len]).unwrap();
+    for n in 0..3 {
+        server.serve_node(&cluster, n);
+    }
+    let seg = create_pageable_segment(&cluster, 0, 1024);
+    // Nodes 1 and 2 both fault page 0: each gets its own copy ("the
+    // server can supply a copy of the page").
+    cluster.kernel(1).dsm().write(seg.id, 0, &[11]).unwrap();
+    cluster.kernel(2).dsm().write(seg.id, 0, &[22]).unwrap();
+    let stats = server.stats(&cluster).unwrap();
+    let copies = stats
+        .get(&format!("copies.{}.0", seg.id.0))
+        .and_then(Value::as_int)
+        .unwrap_or(0);
+    assert_eq!(copies, 2, "two copies outstanding: {stats:?}");
+    // Divergence is real (pageable memory bypasses strict consistency).
+    assert_eq!(
+        cluster.kernel(1).dsm().read(seg.id, 0, 1).unwrap(),
+        vec![11]
+    );
+    assert_eq!(
+        cluster.kernel(2).dsm().read(seg.id, 0, 1).unwrap(),
+        vec![22]
+    );
+    // Merge: both write back; the server records the merges.
+    let srv1 = server.clone();
+    let seg_id = seg.id;
+    let wb = cluster
+        .spawn_fn(1, move |ctx| {
+            let data = ctx
+                .kernel()
+                .dsm()
+                .read(seg_id, 0, 1024)
+                .map_err(KernelError::Dsm)?;
+            srv1.writeback(ctx, seg_id, 0, data)?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    wb.join().unwrap();
+    let srv2 = server.clone();
+    let wb = cluster
+        .spawn_fn(2, move |ctx| {
+            let data = ctx
+                .kernel()
+                .dsm()
+                .read(seg_id, 0, 1024)
+                .map_err(KernelError::Dsm)?;
+            srv2.writeback(ctx, seg_id, 0, data)?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    wb.join().unwrap();
+    let stats = server.stats(&cluster).unwrap();
+    assert_eq!(stats.get("merges").and_then(Value::as_int), Some(2));
+    let merged = stats.get(&format!("merged.{}.0", seg.id.0)).unwrap();
+    assert_eq!(merged.as_bytes().map(|b| b[0]), Some(22), "last merge wins");
+}
+
+#[test]
+fn unserved_node_fails_faults() {
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    let server =
+        PagerServer::create(&cluster, &facility, NodeId(0), |_s, _i, len| vec![7; len]).unwrap();
+    server.serve_node(&cluster, 0);
+    // Node 1 has no fault handler installed.
+    let seg = create_pageable_segment(&cluster, 0, 1024);
+    assert!(cluster.kernel(1).dsm().read(seg.id, 0, 1).is_err());
+    assert_eq!(cluster.kernel(0).dsm().read(seg.id, 0, 1).unwrap(), vec![7]);
+}
+
+#[test]
+fn declared_exceptions_gate_checked_throws() {
+    use doct_services::exception::throw_declared;
+    let cluster = Cluster::new(1);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("OVERFLOW");
+    facility.register_event("UNDECLARED");
+    cluster.register_class(
+        "sig",
+        ClassBuilder::new("sig")
+            .entry("risky", |ctx, _| {
+                // Declared: allowed to reach the handler chain.
+                match throw_declared(ctx, "OVERFLOW", Value::Null) {
+                    Err(KernelError::InvocationFailed(_)) => {} // uncaught is fine here
+                    other => panic!("declared throw misbehaved: {other:?}"),
+                }
+                // Undeclared: rejected before any raise happens.
+                match throw_declared(ctx, "UNDECLARED", Value::Null) {
+                    Err(KernelError::Event(msg)) => {
+                        assert!(msg.contains("does not declare"), "{msg}");
+                    }
+                    other => panic!("undeclared throw must be rejected: {other:?}"),
+                }
+                Ok(Value::Str("checked".into()))
+            })
+            .entry_raises("risky", &[doct_kernel::EventName::user("OVERFLOW")])
+            .build(),
+    );
+    let obj = cluster
+        .create_object(ObjectConfig::new("sig", NodeId(0)))
+        .unwrap();
+    let r = cluster.spawn(0, obj, "risky", Value::Null).unwrap().join();
+    assert_eq!(r.unwrap(), Value::Str("checked".into()));
+}
+
+#[test]
+fn invoke_protected_scopes_handlers_to_one_call() {
+    use doct_services::exception::{invoke_protected, throw};
+    use std::sync::Arc as StdArc;
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("GLITCH");
+    cluster.register_class(
+        "flaky",
+        ClassBuilder::new("flaky")
+            .entry("work", |ctx, _| {
+                let verdict = throw(ctx, "GLITCH", Value::Null)?;
+                Ok(verdict)
+            })
+            .build(),
+    );
+    let obj = cluster
+        .create_object(ObjectConfig::new("flaky", NodeId(1)))
+        .unwrap();
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            // Protected call: handler catches the GLITCH.
+            let repaired = invoke_protected(
+                ctx,
+                obj,
+                "work",
+                Value::Null,
+                vec![(
+                    doct_kernel::EventName::user("GLITCH"),
+                    StdArc::new(|_c: &mut doct_kernel::Ctx, _b: &doct_events::EventBlock| {
+                        HandlerDecision::Resume(Value::Str("patched".into()))
+                    }) as StdArc<dyn doct_events::ThreadEventHandler>,
+                )],
+            )?;
+            assert_eq!(repaired, Value::Str("patched".into()));
+            // Unprotected call right after: the handler is gone, so the
+            // exception is uncaught and the invocation fails.
+            match ctx.invoke(obj, "work", Value::Null) {
+                Err(KernelError::InvocationFailed(msg)) => {
+                    assert!(msg.contains("GLITCH"), "{msg}");
+                    Ok(Value::Str("scoped".into()))
+                }
+                other => panic!("handler escaped its scope: {other:?}"),
+            }
+        })
+        .unwrap();
+    assert_eq!(handle.join().unwrap(), Value::Str("scoped".into()));
+}
+
+#[test]
+fn object_handler_escalates_to_thread_handler() {
+    // The full §6.1 flow: "When an exception is raised for any thread, the
+    // object's handler gets called and if necessary, a further exception
+    // may be raised by the object handler, to be handled by the thread
+    // handler." The object takes generic corrective action (logging) and
+    // escalates the repair decision to the raiser's own handler chain.
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("FAULT");
+    facility.register_event("NEEDS_REPAIR");
+    cluster.register_class(
+        "risky",
+        ClassBuilder::new("risky")
+            .entry("work", |ctx, _| {
+                // Raise the exception AT THE OBJECT first (the object gets
+                // the initial say).
+                let me_obj = ctx.current_object().unwrap();
+                let verdict = ctx.raise_and_wait("FAULT", 7i64, me_obj)?;
+                Ok(verdict)
+            })
+            .build(),
+    );
+    let obj = cluster
+        .create_object(ObjectConfig::new("risky", NodeId(1)))
+        .unwrap();
+    let log = Arc::new(parking_lot::Mutex::new(Vec::<String>::new()));
+    let log2 = Arc::clone(&log);
+    // Object-based handler: generic corrective action, then escalate to
+    // the signaling thread's handler chain and relay its verdict.
+    facility
+        .on_object_event(&cluster, obj, "FAULT", move |hctx, _o, block| {
+            log2.lock().push("object handler ran".into());
+            let Some(raiser) = block.raiser else {
+                return HandlerDecision::Resume(Value::Str("no raiser".into()));
+            };
+            match hctx.raise_and_wait("NEEDS_REPAIR", block.payload.clone(), raiser) {
+                Ok(verdict) => HandlerDecision::Resume(verdict),
+                Err(_) => HandlerDecision::Resume(Value::Str("unrepaired".into())),
+            }
+        })
+        .unwrap();
+    let log3 = Arc::clone(&log);
+    let handle = cluster
+        .spawn_fn(0, move |ctx| {
+            // Thread-based handler: the invoker-supplied repair.
+            ctx.attach_handler(
+                "NEEDS_REPAIR",
+                AttachSpec::proc("repair", move |_c, b| {
+                    log3.lock().push("thread handler ran".into());
+                    HandlerDecision::Resume(Value::Int(b.payload.as_int().unwrap_or(0) * 100))
+                }),
+            );
+            ctx.invoke(obj, "work", Value::Null)
+        })
+        .unwrap();
+    assert_eq!(
+        handle.join().unwrap(),
+        Value::Int(700),
+        "repair round-tripped"
+    );
+    assert_eq!(
+        *log.lock(),
+        vec![
+            "object handler ran".to_string(),
+            "thread handler ran".to_string()
+        ],
+        "object first, then dominance escalation to the thread"
+    );
+}

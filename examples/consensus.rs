@@ -1,0 +1,110 @@
+//! Group coordination with the paper's §3 user events: worker threads
+//! proceed in barrier-separated phases (SYNCHRONIZE) and decide whether
+//! to apply their combined result with a two-phase vote
+//! (PREPARE → COMMIT / ABORT).
+//!
+//! Run with: `cargo run --example consensus`
+
+use doct::prelude::*;
+use doct::services::coordination::{Barrier, Vote, VoteOutcome};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const WORKERS: usize = 3;
+
+fn main() -> Result<(), KernelError> {
+    let cluster = Cluster::new(4);
+    let facility = EventFacility::install(&cluster);
+    let group = cluster.create_group();
+    // Everyone (workers + coordinator) synchronizes at this barrier.
+    let barrier = Barrier::create(&cluster, &facility, NodeId(0), group, WORKERS + 1)?;
+    let vote = Vote::new(&facility, group);
+
+    // Shared results object.
+    cluster.register_class(
+        "results",
+        ClassBuilder::new("results")
+            .entry("put", |ctx, args| {
+                ctx.with_state(|s| {
+                    let total = s.get("total").and_then(Value::as_int).unwrap_or(0)
+                        + args.as_int().unwrap_or(0);
+                    s.set("total", total);
+                    Value::Int(total)
+                })
+            })
+            .entry("total", |ctx, _| {
+                Ok(ctx
+                    .read_state()?
+                    .get("total")
+                    .cloned()
+                    .unwrap_or(Value::Int(0)))
+            })
+            .build(),
+    );
+    let results = cluster.create_object(
+        ObjectConfig::new("results", NodeId(3))
+            .with_state(Value::map())
+            .exclusive(),
+    )?;
+
+    let mut workers = Vec::new();
+    for w in 0..WORKERS {
+        let opts = SpawnOptions {
+            group: Some(group),
+            ..Default::default()
+        };
+        workers.push(cluster.spawn_fn_with(w, opts, move |ctx| {
+            // Each worker votes yes only if the combined total looks sane.
+            vote.participate(ctx, |proposal| {
+                proposal.get("total").and_then(Value::as_int).unwrap_or(0) < 1000
+            });
+            let (committed, aborted) = vote.track_outcomes(ctx);
+
+            // Phase 1: compute a partial result.
+            ctx.compute(10_000)?;
+            let partial = (w as i64 + 1) * 100;
+            ctx.invoke(results, "put", partial)?;
+            println!("worker {w}: contributed {partial}");
+            barrier.wait(ctx)?; // everyone's partials are in
+
+            // Phase 2: wait for the coordinator's announcement.
+            ctx.sleep(Duration::from_millis(300))?;
+            Ok(Value::List(vec![
+                Value::Int(committed.load(Ordering::Relaxed) as i64),
+                Value::Int(aborted.load(Ordering::Relaxed) as i64),
+            ]))
+        })?);
+    }
+
+    // The coordinator joins the barrier, reads the combined result, and
+    // runs the vote.
+    let opts = SpawnOptions {
+        group: Some(group),
+        ..Default::default()
+    };
+    let coordinator = cluster.spawn_fn_with(3, opts, move |ctx| {
+        barrier.wait(ctx)?; // all partials are in
+        let total = ctx.invoke(results, "total", Value::Null)?;
+        println!("coordinator: combined total = {total}");
+        let mut proposal = Value::map();
+        proposal.set("total", total);
+        match vote.run(ctx, proposal)? {
+            VoteOutcome::Committed => Ok(Value::Str("committed".into())),
+            VoteOutcome::Aborted => Ok(Value::Str("aborted".into())),
+        }
+    })?;
+
+    let outcome = coordinator.join()?;
+    println!("vote outcome: {outcome}");
+    assert_eq!(outcome, Value::Str("committed".into()), "600 < 1000");
+    for (w, h) in workers.into_iter().enumerate() {
+        let seen = h.join()?;
+        println!("worker {w} saw announcements {seen}");
+        assert_eq!(
+            seen,
+            Value::List(vec![Value::Int(1), Value::Int(0)]),
+            "every worker saw exactly one COMMIT"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! A distributed debugger session (§4.1's buddy-handler application):
+//! a program running across the cluster hits breakpoints that are routed
+//! to a central debugger server, which records the thread's state and
+//! applies the operator's policy — continue, pause-until-resume, or kill.
+//!
+//! Run with: `cargo run --example debugger`
+
+use doct::prelude::*;
+use std::time::Duration;
+
+fn main() -> Result<(), KernelError> {
+    let cluster = Cluster::new(3);
+    let _facility = EventFacility::install(&cluster);
+    let debugger = Debugger::create(&cluster, NodeId(2))?;
+
+    cluster.register_class(
+        "phases",
+        ClassBuilder::new("phases")
+            .entry("run", |ctx, _| {
+                ctx.compute(5_000)?;
+                Debugger::breakpoint(ctx, "after-init")?;
+                ctx.compute(5_000)?;
+                Debugger::breakpoint(ctx, "before-commit")?;
+                ctx.compute(5_000)?;
+                Ok(Value::Str("committed".into()))
+            })
+            .build(),
+    );
+    let prog = cluster.create_object(ObjectConfig::new("phases", NodeId(1)))?;
+
+    // Operator policy: pause the program before it commits.
+    debugger.set_policy(&cluster, "before-commit", BreakAction::Pause)?;
+
+    let handle = cluster.spawn_fn(0, move |ctx| {
+        debugger.attach(ctx);
+        ctx.invoke(prog, "run", Value::Null)
+    })?;
+    let thread = handle.thread();
+
+    // The program reaches "before-commit" and stops there.
+    std::thread::sleep(Duration::from_millis(300));
+    println!("breakpoint hits so far:");
+    for hit in debugger.hits(&cluster)? {
+        println!(
+            "  {} at {:?} on n{} (pc={}, object={:?})",
+            hit.thread, hit.label, hit.node, hit.pc, hit.object
+        );
+    }
+    assert!(!handle.is_finished(), "program paused at before-commit");
+    println!("program is paused at 'before-commit'; operator inspects, then resumes…");
+
+    debugger.resume(&cluster, thread)?;
+    let result = handle.join()?;
+    println!("program finished: {result}");
+    assert_eq!(result, Value::Str("committed".into()));
+    Ok(())
+}

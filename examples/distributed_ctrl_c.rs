@@ -1,0 +1,97 @@
+//! The distributed ^C problem (§6.3): cleanly terminating an application
+//! whose threads and objects span the cluster, without orphaning
+//! asynchronously spawned children and while letting every object clean
+//! up — even objects shared with unrelated applications.
+//!
+//! Run with: `cargo run --example distributed_ctrl_c`
+
+use doct::prelude::*;
+use std::time::Duration;
+
+fn main() -> Result<(), KernelError> {
+    let cluster = Cluster::new(4);
+    let facility = EventFacility::install(&cluster);
+
+    cluster.register_class(
+        "service",
+        ClassBuilder::new("service")
+            .entry("serve", |ctx, args| {
+                ctx.emit(format!("serving on {}", ctx.node_id()));
+                ctx.sleep(Duration::from_millis(args.as_int().unwrap_or(60_000) as u64))?;
+                Ok(Value::Null)
+            })
+            .build(),
+    );
+
+    // The application's objects, spread over the cluster.
+    let objects: Vec<ObjectId> = (0..4)
+        .map(|i| cluster.create_object(ObjectConfig::new("service", NodeId(i))))
+        .collect::<Result<_, _>>()?;
+
+    // Every object registers its ABORT cleanup (close I/O, release
+    // resources…).
+    for &obj in &objects {
+        install_abort_cleanup(&facility, &cluster, obj, move |ctx, obj, _block| {
+            ctx.emit(format!("object {obj}: cleaning up (ABORT)"));
+            println!("object {obj}: ABORT cleanup ran");
+        })?;
+    }
+
+    // The application: a root thread in a group, spawning asynchronous
+    // children that work inside remote objects.
+    let group = cluster.create_group();
+    let objs = objects.clone();
+    let root = cluster.spawn_fn_with(
+        0,
+        SpawnOptions {
+            group: Some(group),
+            io_channel: Some("console".into()),
+            ..Default::default()
+        },
+        move |ctx| {
+            // Arm the §6.3 protocol on the root thread.
+            arm_ctrl_c(ctx, objs.clone());
+            // Children inherit the group and the armed event registry.
+            let kids: Vec<_> = objs[1..]
+                .iter()
+                .map(|&o| ctx.invoke_async(o, "serve", 60_000i64))
+                .collect();
+            println!(
+                "root {} started {} children; group has {} threads",
+                ctx.thread_id(),
+                kids.len(),
+                3 + 1
+            );
+            ctx.invoke(objs[0], "serve", 60_000i64)?;
+            for k in kids {
+                let _ = k.claim();
+            }
+            Ok(Value::Null)
+        },
+    )?;
+
+    std::thread::sleep(Duration::from_millis(300));
+    println!(
+        "before ^C: {} live activations, {} group members",
+        cluster.live_activations(),
+        cluster.groups().member_count(group)
+    );
+
+    // The user hits ^C at the console attached to node 3.
+    println!("^C pressed");
+    let summary = press_ctrl_c(&cluster, 3, root.thread());
+    println!("TERMINATE delivered: {summary:?}");
+
+    match root.join_timeout(Duration::from_secs(10)) {
+        Some(Err(KernelError::Terminated)) => println!("root terminated cleanly"),
+        other => println!("unexpected root outcome: {other:?}"),
+    }
+    let quiet = cluster.await_quiescence(Duration::from_secs(10));
+    println!(
+        "after ^C: quiescent={quiet}, live activations={}, group members={}",
+        cluster.live_activations(),
+        cluster.groups().member_count(group)
+    );
+    assert!(quiet, "no orphan threads may remain");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! A user-level virtual memory manager (§6.4): pageable segments whose
+//! faults are served by a pager server object through VM_FAULT events,
+//! bypassing the kernel's sequentially consistent DSM.
+//!
+//! Here the pager materializes a virtual "matrix" lazily: page k holds
+//! the k-th row, computed on demand. Threads on different nodes touch
+//! rows; each fault suspends the toucher and is satisfied by the server.
+//!
+//! Run with: `cargo run --example external_pager`
+
+use doct::prelude::*;
+use doct::services::pager::create_pageable_segment;
+
+fn main() -> Result<(), KernelError> {
+    let cluster = Cluster::new(3);
+    let facility = EventFacility::install(&cluster);
+
+    // The paging policy: row r is filled with (r * 3 + column) % 251.
+    let server = PagerServer::create(&cluster, &facility, NodeId(2), |_seg, row: u32, len| {
+        (0..len)
+            .map(|col| ((row as usize * 3 + col) % 251) as u8)
+            .collect()
+    })?;
+    for n in 0..cluster.node_count() {
+        server.serve_node(&cluster, n);
+    }
+
+    // Tag a 16-page region as pageable.
+    let seg = create_pageable_segment(&cluster, 0, 16 * 1024);
+    println!("pageable segment {} created (16 pages)", seg.id);
+
+    // Touch rows from two different nodes.
+    for (node, rows) in [(0usize, [0u32, 1, 2, 3]), (1usize, [4u32, 5, 6, 7])] {
+        for row in rows {
+            let offset = row as usize * 1024;
+            let data = cluster
+                .kernel(node)
+                .dsm()
+                .read(seg.id, offset, 8)
+                .map_err(KernelError::Dsm)?;
+            println!("node n{node} row {row}: {data:?}");
+            assert_eq!(data[0] as u32, (row * 3) % 251);
+        }
+    }
+
+    let stats = server.stats(&cluster)?;
+    println!("pager stats: {stats}");
+    let faults = stats.get("faults").and_then(Value::as_int).unwrap_or(0);
+    assert_eq!(faults, 8, "one fault per first touch");
+
+    // Re-reads hit the locally installed pages: no new faults.
+    cluster
+        .kernel(0)
+        .dsm()
+        .read(seg.id, 0, 8)
+        .map_err(KernelError::Dsm)?;
+    let stats = server.stats(&cluster)?;
+    assert_eq!(stats.get("faults").and_then(Value::as_int), Some(8));
+    println!("re-read served from the installed page (no new fault)");
+    Ok(())
+}

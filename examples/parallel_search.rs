@@ -1,0 +1,89 @@
+//! Parallel search with asynchronous notification of partial results —
+//! the paper's §1 motivating technique: "starting up multiple processes
+//! (or threads) to perform a task (concurrently) and then asynchronously
+//! notify each other of partial results obtained (unexpected discoveries,
+//! quicker heuristic searches, etc.)".
+//!
+//! Worker threads on every node search slices of a key space; the first
+//! to find the needle raises FOUND to the whole thread group, and the
+//! others cut their searches short.
+//!
+//! Run with: `cargo run --example parallel_search`
+
+use doct::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const NODES: usize = 4;
+const SPACE: i64 = 4_000_000;
+const NEEDLE: i64 = 2_345_678; // lives in worker 2's slice
+
+fn main() -> Result<(), KernelError> {
+    let cluster = Cluster::new(NODES);
+    let facility = EventFacility::install(&cluster);
+    let found = facility.register_event("FOUND");
+    let group = cluster.create_group();
+
+    let mut handles = Vec::new();
+    for w in 0..NODES {
+        let found = found.clone();
+        let opts = SpawnOptions {
+            group: Some(group),
+            ..Default::default()
+        };
+        handles.push(cluster.spawn_fn_with(w, opts, move |ctx| {
+            // A flag flipped by the FOUND handler; checked between chunks.
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop_flag = Arc::clone(&stop);
+            ctx.attach_handler(
+                found.clone(),
+                AttachSpec::proc("stop-searching", move |hctx, block| {
+                    println!(
+                        "worker on {} told: found at {} — stopping",
+                        hctx.node_id(),
+                        block.payload
+                    );
+                    stop_flag.store(true, Ordering::Relaxed);
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+
+            let slice = SPACE / NODES as i64;
+            let (lo, hi) = (w as i64 * slice, (w as i64 + 1) * slice);
+            let mut scanned = 0i64;
+            for candidate in lo..hi {
+                if candidate == NEEDLE {
+                    println!("worker on n{w} FOUND the needle at {candidate}");
+                    // Tell everyone (including ourselves — harmless).
+                    ctx.raise(found.clone(), candidate, RaiseTarget::Group(group))
+                        .wait();
+                    return Ok(Value::Int(scanned));
+                }
+                scanned += 1;
+                if scanned % 10_000 == 0 {
+                    ctx.poll_events()?; // delivery point
+                    if stop.load(Ordering::Relaxed) {
+                        return Ok(Value::Int(scanned));
+                    }
+                }
+            }
+            Ok(Value::Int(scanned))
+        })?);
+    }
+
+    let mut total_scanned = 0i64;
+    for (w, h) in handles.into_iter().enumerate() {
+        let scanned = h.join()?.as_int().unwrap_or(0);
+        println!("worker {w} scanned {scanned} keys");
+        total_scanned += scanned;
+    }
+    println!(
+        "total scanned: {total_scanned} of {SPACE} ({}% saved by notification)",
+        100 - 100 * total_scanned / SPACE
+    );
+    assert!(
+        total_scanned < SPACE,
+        "early stopping must save work: {total_scanned}"
+    );
+    Ok(())
+}

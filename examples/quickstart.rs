@@ -1,0 +1,70 @@
+//! Quickstart: a 3-node DO/CT cluster, one shared object, thread-based
+//! and object-based event handling in ~60 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use doct::prelude::*;
+
+fn main() -> Result<(), KernelError> {
+    // A simulated 3-node cluster with the event facility installed.
+    let cluster = Cluster::new(3);
+    let facility = EventFacility::install(&cluster);
+    let progress = facility.register_event("PROGRESS");
+
+    // An object class: code is replicated; per-object state lives in DSM.
+    cluster.register_class(
+        "accumulator",
+        ClassBuilder::new("accumulator")
+            .entry("add", |ctx, args| {
+                ctx.with_state(|s| {
+                    let total = s.get("total").and_then(Value::as_int).unwrap_or(0)
+                        + args.as_int().unwrap_or(0);
+                    s.set("total", total);
+                    Value::Int(total)
+                })
+            })
+            .build(),
+    );
+
+    // The object lives on node 2; we will invoke it from node 0 — the
+    // logical thread crosses the machine boundary.
+    let acc = cluster.create_object(ObjectConfig::new("accumulator", NodeId(2)))?;
+
+    // Object-based handler: fires even though no thread is inside `acc`.
+    facility.on_object_event(&cluster, acc, progress.clone(), |_ctx, obj, block| {
+        println!("[object {obj}] PROGRESS event: {}", block.payload);
+        HandlerDecision::Resume(Value::Null)
+    })?;
+
+    let progress2 = progress.clone();
+    let handle = cluster.spawn_fn(0, move |ctx| {
+        // Thread-based handler: travels with this thread everywhere.
+        ctx.attach_handler(
+            progress2.clone(),
+            AttachSpec::proc("echo", |hctx, block| {
+                println!(
+                    "[thread {} on {}] PROGRESS: {}",
+                    hctx.thread_id(),
+                    hctx.node_id(),
+                    block.payload
+                );
+                HandlerDecision::Resume(Value::Null)
+            }),
+        );
+        let mut total = Value::Null;
+        for i in 1..=5i64 {
+            total = ctx.invoke(acc, "add", i)?;
+            // Notify ourselves (asynchronously) and the object.
+            let me = ctx.thread_id();
+            ctx.raise(progress2.clone(), total.clone(), me).wait();
+            ctx.raise(progress2.clone(), total.clone(), acc).wait();
+            ctx.poll_events()?;
+        }
+        Ok(total)
+    })?;
+
+    let total = handle.join()?;
+    println!("final total: {total}");
+    assert_eq!(total, Value::Int(15));
+    Ok(())
+}

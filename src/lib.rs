@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! # doct — Distributed-Object/Concurrent-Thread event handling
+//!
+//! Umbrella crate for the reproduction of *"Asynchronous Event Handling in
+//! Distributed Object-Based Systems"* (Menon, Dasgupta, LeBlanc; ICDCS 1993).
+//!
+//! The paper proposes a general-purpose asynchronous event facility for
+//! passive, persistent distributed objects shared by logical threads that
+//! span machine boundaries. This workspace rebuilds the whole stack:
+//!
+//! * [`net`] — simulated cluster network (nodes, latency, multicast, stats),
+//! * [`dsm`] — page-based sequentially consistent distributed shared memory,
+//! * [`kernel`] — the DO/CT kernel: objects, logical threads, RPC/DSM
+//!   invocations, thread attributes and thread location,
+//! * [`events`] — the paper's contribution: thread-based and object-based
+//!   handlers, chaining, `raise`/`raise_and_wait`,
+//! * [`services`] — the paper's §6 applications: exception handling,
+//!   distributed monitoring, distributed ^C, lock management, external
+//!   pagers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use doct::prelude::*;
+//!
+//! # fn main() -> Result<(), KernelError> {
+//! // A 2-node simulated cluster running the DO/CT kernel + the event
+//! // facility.
+//! let cluster = Cluster::new(2);
+//! let facility = EventFacility::install(&cluster);
+//! facility.register_event("PING");
+//!
+//! let handle = cluster.spawn_fn(0, |ctx| {
+//!     ctx.attach_handler(
+//!         EventName::user("PING"),
+//!         AttachSpec::proc("pong", |_ctx, block| {
+//!             HandlerDecision::Resume(block.payload.clone())
+//!         }),
+//!     );
+//!     let me = ctx.thread_id();
+//!     ctx.raise_and_wait(EventName::user("PING"), 41i64, me)
+//! })?;
+//! assert_eq!(handle.join()?, Value::Int(41));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use doct_dsm as dsm;
+pub use doct_events as events;
+pub use doct_kernel as kernel;
+pub use doct_net as net;
+pub use doct_services as services;
+
+/// Commonly used types, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use doct_net::{LatencyModel, NetStats, NodeId};
+    pub use doct_services::prelude::*;
+}

@@ -1,0 +1,106 @@
+//! Property tests for the DSM substrate: a random single-threaded script
+//! of reads/writes issued from random nodes must behave exactly like one
+//! flat byte array (sequential consistency is trivially testable for a
+//! sequential program — the protocol must not lose or corrupt data while
+//! pages migrate).
+
+use doct::dsm::loopback::LoopbackCluster;
+use doct::dsm::{AccessLevel, PageId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write {
+        node: usize,
+        offset: usize,
+        data: Vec<u8>,
+    },
+    Read {
+        node: usize,
+        offset: usize,
+        len: usize,
+    },
+}
+
+fn arb_op(nodes: usize, seg_size: usize) -> impl Strategy<Value = Op> {
+    let w =
+        (0..nodes, 0..seg_size, vec(any::<u8>(), 1..32)).prop_map(move |(node, offset, data)| {
+            let offset = offset.min(seg_size - 1);
+            let len = data.len().min(seg_size - offset);
+            Op::Write {
+                node,
+                offset,
+                data: data[..len].to_vec(),
+            }
+        });
+    let r = (0..nodes, 0..seg_size, 1usize..32).prop_map(move |(node, offset, len)| {
+        let offset = offset.min(seg_size - 1);
+        Op::Read {
+            node,
+            offset,
+            len: len.min(seg_size - offset),
+        }
+    });
+    prop_oneof![w, r]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_script_matches_flat_memory(ops in vec(arb_op(3, 3000), 1..60)) {
+        const SEG: usize = 3000;
+        let cluster = LoopbackCluster::new(3);
+        let seg = cluster.shared_segment(0, SEG);
+        let mut oracle = vec![0u8; SEG];
+        for op in &ops {
+            match op {
+                Op::Write { node, offset, data } => {
+                    cluster.node(*node).write(seg.id, *offset, data).expect("write");
+                    oracle[*offset..*offset + data.len()].copy_from_slice(data);
+                }
+                Op::Read { node, offset, len } => {
+                    let got = cluster.node(*node).read(seg.id, *offset, *len).expect("read");
+                    prop_assert_eq!(&got[..], &oracle[*offset..*offset + *len],
+                        "read at {} len {} from n{}", offset, len, node);
+                }
+            }
+        }
+        // Final full scan from every node agrees with the oracle.
+        for n in 0..3 {
+            let got = cluster.node(n).read(seg.id, 0, SEG).expect("scan");
+            prop_assert_eq!(&got[..], &oracle[..], "final scan from n{}", n);
+        }
+    }
+
+    #[test]
+    fn swmr_invariant_holds_after_any_script(ops in vec(arb_op(3, 2048), 1..40)) {
+        // After the script, every page has at most one Owned holder, and
+        // if a page has an Owned holder no other node holds Read.
+        let cluster = LoopbackCluster::new(3);
+        let seg = cluster.shared_segment(0, 2048);
+        for op in &ops {
+            match op {
+                Op::Write { node, offset, data } => {
+                    cluster.node(*node).write(seg.id, *offset, data).expect("write");
+                }
+                Op::Read { node, offset, len } => {
+                    cluster.node(*node).read(seg.id, *offset, *len).expect("read");
+                }
+            }
+        }
+        for index in 0..seg.page_count() {
+            let page = PageId { segment: seg.id, index };
+            let levels: Vec<AccessLevel> =
+                (0..3).map(|n| cluster.node(n).access_level(page)).collect();
+            let owners = levels.iter().filter(|&&l| l == AccessLevel::Owned).count();
+            let readers = levels.iter().filter(|&&l| l == AccessLevel::Read).count();
+            prop_assert!(owners <= 1, "page {}: {} owners", index, owners);
+            if owners == 1 {
+                prop_assert_eq!(readers, 0,
+                    "page {}: owner plus {} readers", index, readers);
+            }
+        }
+    }
+}

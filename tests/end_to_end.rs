@@ -1,0 +1,148 @@
+//! End-to-end scenario: every §6 application running together in one
+//! cluster — a distributed application holding locks, being monitored,
+//! backing memory with a user-level pager, and finally ^C'd cleanly.
+
+use doct::prelude::*;
+use doct::services::pager::create_pageable_segment;
+use doct_events::EventFacility;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn full_application_lifecycle() {
+    let cluster = Cluster::new(4);
+    let facility = EventFacility::install(&cluster);
+
+    // --- infrastructure services -------------------------------------
+    let locks = LockManager::create(&cluster, NodeId(1)).unwrap();
+    let monitor = MonitorServer::create(&cluster, NodeId(3)).unwrap();
+    let pager = PagerServer::create(&cluster, &facility, NodeId(2), |_s, i: u32, len| {
+        vec![i as u8; len]
+    })
+    .unwrap();
+    for n in 0..4 {
+        pager.serve_node(&cluster, n);
+    }
+    let seg = create_pageable_segment(&cluster, 0, 8 * 1024);
+
+    // --- application objects ------------------------------------------
+    cluster.register_class(
+        "worker-obj",
+        ClassBuilder::new("worker-obj")
+            .entry("churn", |ctx, args| {
+                let rounds = args.as_int().unwrap_or(10);
+                for _ in 0..rounds {
+                    ctx.compute(2_000)?;
+                    ctx.sleep(Duration::from_millis(2))?;
+                }
+                Ok(Value::Null)
+            })
+            .build(),
+    );
+    let app_objects: Vec<ObjectId> = (0..4)
+        .map(|i| {
+            cluster
+                .create_object(ObjectConfig::new("worker-obj", NodeId(i)))
+                .unwrap()
+        })
+        .collect();
+    let aborted = Arc::new(AtomicU64::new(0));
+    for &o in &app_objects {
+        let a = Arc::clone(&aborted);
+        install_abort_cleanup(&facility, &cluster, o, move |_c, _o, _b| {
+            a.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+    }
+
+    // --- the application ------------------------------------------------
+    let group = cluster.create_group();
+    let objs = app_objects.clone();
+    let seg_id = seg.id;
+    let root = cluster
+        .spawn_fn_with(
+            0,
+            SpawnOptions {
+                group: Some(group),
+                io_channel: Some("app-console".into()),
+                ..Default::default()
+            },
+            move |ctx| {
+                arm_ctrl_c(ctx, objs.clone());
+                let session = monitor.start(ctx, Duration::from_millis(10));
+                // Hold locks (their cleanup chains onto TERMINATE).
+                let _a = locks.acquire(ctx, "db")?;
+                let _b = locks.acquire(ctx, "journal")?;
+                // Touch pageable memory (faults via the user pager).
+                let data = ctx
+                    .kernel()
+                    .dsm()
+                    .read(seg_id, 0, 16)
+                    .map_err(KernelError::Dsm)?;
+                ctx.emit(format!("page 0 starts with {:?}", &data[..4]));
+                // Children doing work in remote objects.
+                let kids: Vec<_> = objs
+                    .iter()
+                    .map(|&o| ctx.invoke_async(o, "churn", 10_000i64))
+                    .collect();
+                // Root churns too; monitored the whole time.
+                ctx.invoke(objs[1], "churn", 10_000i64)?;
+                for k in kids {
+                    let _ = k.claim();
+                }
+                monitor.stop(ctx, session);
+                Ok(Value::Null)
+            },
+        )
+        .unwrap();
+
+    // Let the app run, monitored and locked.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(cluster.groups().member_count(group), 5, "root + 4 children");
+    let held = cluster
+        .spawn_fn(2, move |ctx| Ok(Value::Int(locks.held_count(ctx)?)))
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(held, Value::Int(2), "both locks held");
+
+    // ^C the whole thing.
+    let summary = press_ctrl_c(&cluster, 3, root.thread());
+    assert_eq!(summary.delivered, 1, "{summary:?}");
+    let r = root
+        .join_timeout(Duration::from_secs(10))
+        .expect("root died");
+    assert!(matches!(r, Err(KernelError::Terminated)), "{r:?}");
+    assert!(
+        cluster.await_quiescence(Duration::from_secs(10)),
+        "no orphans"
+    );
+
+    // Locks released by the TERMINATE chain.
+    let held = cluster
+        .spawn_fn(2, move |ctx| Ok(Value::Int(locks.held_count(ctx)?)))
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(held, Value::Int(0), "locks released by cleanup chain");
+
+    // Objects all aborted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while aborted.load(Ordering::Relaxed) < 4 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(aborted.load(Ordering::Relaxed), 4);
+
+    // Monitor collected samples from the application's lifetime.
+    let samples = monitor.samples(&cluster).unwrap();
+    assert!(!samples.is_empty(), "monitoring ran");
+
+    // Pager served the faults.
+    let stats = pager.stats(&cluster).unwrap();
+    assert!(stats.get("faults").and_then(Value::as_int).unwrap_or(0) >= 1);
+
+    // Application console got its output.
+    let lines = cluster.io().lines("app-console");
+    assert!(!lines.is_empty(), "console output followed the thread");
+}

@@ -1,0 +1,174 @@
+//! The conformance grid: the facility's core semantics must hold under
+//! every combination of locator strategy, invocation mode, and
+//! object-event execution policy — design goal 2 of the paper (§2)
+//! generalized to every kernel configuration axis.
+
+use doct::prelude::*;
+use doct_events::EventFacility;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn configs() -> Vec<KernelConfig> {
+    let mut out = Vec::new();
+    for locator in [
+        LocatorStrategy::Broadcast,
+        LocatorStrategy::PathTrace,
+        LocatorStrategy::Multicast,
+    ] {
+        for mode in [InvocationMode::Rpc, InvocationMode::Dsm] {
+            for obj in [ObjectEventExecution::Master, ObjectEventExecution::Spawn] {
+                out.push(KernelConfig {
+                    locator,
+                    invocation_mode: mode,
+                    object_events: obj,
+                    ..KernelConfig::default()
+                });
+            }
+        }
+    }
+    out
+}
+
+fn build(config: KernelConfig) -> (Cluster, Arc<EventFacility>) {
+    let cluster = Cluster::builder(3).config(config).build();
+    let facility = EventFacility::install(&cluster);
+    cluster.register_class(
+        "plain",
+        ClassBuilder::new("plain")
+            .entry("sleepy", |ctx, args| {
+                ctx.sleep(Duration::from_millis(args.as_int().unwrap_or(50) as u64))?;
+                Ok(Value::Null)
+            })
+            .entry("where", |ctx, _| Ok(Value::Int(ctx.node_id().0 as i64)))
+            .build(),
+    );
+    (cluster, facility)
+}
+
+#[test]
+fn sync_raise_verdict_is_mode_independent() {
+    for config in configs() {
+        let (cluster, facility) = build(config);
+        facility.register_event("ASK");
+        let obj = cluster
+            .create_object(ObjectConfig::new("plain", NodeId(2)))
+            .unwrap();
+        let handle = cluster
+            .spawn_fn(0, move |ctx| {
+                ctx.attach_handler(
+                    "ASK",
+                    AttachSpec::proc("oracle", |_c, b| {
+                        HandlerDecision::Resume(Value::Int(b.payload.as_int().unwrap_or(0) * 3))
+                    }),
+                );
+                // Move into a remote object first; semantics must be
+                // identical regardless of where the thread is.
+                ctx.invoke(obj, "where", Value::Null)?;
+                let me = ctx.thread_id();
+                ctx.raise_and_wait("ASK", 14i64, me)
+            })
+            .unwrap();
+        assert_eq!(handle.join().unwrap(), Value::Int(42), "{config:?}");
+    }
+}
+
+#[test]
+fn terminate_mid_remote_sleep_works_everywhere() {
+    for config in configs() {
+        let (cluster, _facility) = build(config);
+        let obj = cluster
+            .create_object(ObjectConfig::new("plain", NodeId(1)))
+            .unwrap();
+        let handle = cluster.spawn(0, obj, "sleepy", Value::Int(30_000)).unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        let summary = cluster
+            .raise_from(2, SystemEvent::Terminate, Value::Null, handle.thread())
+            .wait();
+        assert_eq!(summary.delivered, 1, "{config:?}: {summary:?}");
+        let r = handle
+            .join_timeout(Duration::from_secs(10))
+            .unwrap_or_else(|| panic!("{config:?}: thread stuck"));
+        assert!(
+            matches!(r, Err(KernelError::Terminated)),
+            "{config:?}: {r:?}"
+        );
+        assert!(
+            cluster.await_quiescence(Duration::from_secs(10)),
+            "{config:?}: orphans"
+        );
+    }
+}
+
+#[test]
+fn object_events_fire_everywhere() {
+    for config in configs() {
+        let (cluster, facility) = build(config);
+        let poke = facility.register_event("POKE");
+        let obj = cluster
+            .create_object(ObjectConfig::new("plain", NodeId(1)))
+            .unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        facility
+            .on_object_event(&cluster, obj, poke.clone(), move |_c, _o, _b| {
+                h.fetch_add(1, Ordering::Relaxed);
+                HandlerDecision::Resume(Value::Null)
+            })
+            .unwrap();
+        for _ in 0..5 {
+            cluster.raise_from(0, poke.clone(), Value::Null, obj).wait();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hits.load(Ordering::Relaxed) < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 5, "{config:?}");
+    }
+}
+
+#[test]
+fn stationary_thread_delivery_is_exactly_once() {
+    // For a stationary target every locator must deliver each event
+    // exactly once (moving targets may see duplicates under broadcast —
+    // the §7.1 imprecision; see DESIGN.md).
+    for config in configs() {
+        let (cluster, facility) = build(config);
+        facility.register_event("TICK");
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let target = cluster
+            .spawn_fn(1, move |ctx| {
+                ctx.attach_handler(
+                    "TICK",
+                    AttachSpec::proc("count", move |_c, _b| {
+                        h.fetch_add(1, Ordering::Relaxed);
+                        HandlerDecision::Resume(Value::Null)
+                    }),
+                );
+                ctx.sleep(Duration::from_secs(60))?;
+                Ok(Value::Null)
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        for _ in 0..20 {
+            let s = cluster
+                .raise_from(2, EventName::user("TICK"), Value::Null, target.thread())
+                .wait();
+            assert_eq!(s.delivered, 1, "{config:?}");
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hits.load(Ordering::Relaxed) < 20 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            20,
+            "{config:?}: not exactly-once"
+        );
+        cluster
+            .raise_from(0, SystemEvent::Quit, Value::Null, target.thread())
+            .wait();
+        let _ = target.join_timeout(Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property test: for any invocation-chain shape and any locator
+//! strategy, an event raised at a (stationary-tip) thread is delivered
+//! exactly once, at the node actually hosting the tip.
+
+use doct::prelude::*;
+use doct_events::EventFacility;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_case(strategy: LocatorStrategy, homes: Vec<u32>, raiser: usize) {
+    let nodes = 4usize;
+    let cluster = Cluster::builder(nodes)
+        .config(KernelConfig::with_locator(strategy))
+        .build();
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("PROBE");
+    cluster.register_class(
+        "deep",
+        ClassBuilder::new("deep")
+            .entry("go", |ctx, args| {
+                let list = args.as_list().unwrap_or(&[]).to_vec();
+                match list.split_first() {
+                    None => {
+                        ctx.sleep(Duration::from_secs(60))?;
+                        Ok(Value::Null)
+                    }
+                    Some((head, rest)) => {
+                        let next = ObjectId(head.as_int().unwrap_or(0) as u64);
+                        ctx.invoke(next, "go", Value::List(rest.to_vec()))
+                    }
+                }
+            })
+            .build(),
+    );
+    let chain: Vec<ObjectId> = homes
+        .iter()
+        .map(|&h| {
+            cluster
+                .create_object(ObjectConfig::new("deep", NodeId(h % nodes as u32)))
+                .expect("create")
+        })
+        .collect();
+    let tip_node = homes.last().map(|&h| h % nodes as u32).unwrap_or(0);
+
+    let hits = Arc::new(AtomicU64::new(0));
+    let h2 = Arc::clone(&hits);
+    let opts = SpawnOptions::default();
+    let handle = cluster
+        .spawn_fn_with(0, opts, move |ctx| {
+            ctx.attach_handler(
+                "PROBE",
+                AttachSpec::proc("hit", move |_c, _b| {
+                    h2.fetch_add(1, Ordering::Relaxed);
+                    HandlerDecision::Resume(Value::Null)
+                }),
+            );
+            match chain.split_first() {
+                None => {
+                    ctx.sleep(Duration::from_secs(60))?;
+                    Ok(Value::Null)
+                }
+                Some((first, rest)) => {
+                    let args = Value::List(rest.iter().map(|o| Value::Int(o.0 as i64)).collect());
+                    ctx.invoke(*first, "go", args)
+                }
+            }
+        })
+        .expect("spawn");
+    // Wait until the tip has settled into its sleep.
+    std::thread::sleep(Duration::from_millis(60));
+
+    let summary = cluster
+        .raise_from(
+            raiser % nodes,
+            EventName::user("PROBE"),
+            Value::Null,
+            handle.thread(),
+        )
+        .wait();
+    assert_eq!(summary.delivered, 1, "{strategy:?} homes={homes:?}");
+    assert_eq!(
+        summary.nodes,
+        vec![NodeId(tip_node)],
+        "{strategy:?}: delivered at the tip"
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while hits.load(Ordering::Relaxed) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(
+        hits.load(Ordering::Relaxed),
+        1,
+        "{strategy:?}: exactly once"
+    );
+    cluster
+        .raise_from(0, SystemEvent::Quit, Value::Null, handle.thread())
+        .wait();
+    let _ = handle.join_timeout(Duration::from_secs(5));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_chain_any_strategy_delivers_exactly_once(
+        homes in vec(0u32..4, 0..6),
+        strategy_pick in 0usize..3,
+        raiser in 0usize..4,
+    ) {
+        let strategy = [
+            LocatorStrategy::Broadcast,
+            LocatorStrategy::PathTrace,
+            LocatorStrategy::Multicast,
+        ][strategy_pick];
+        run_case(strategy, homes, raiser);
+    }
+}

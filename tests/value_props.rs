@@ -1,0 +1,61 @@
+//! Property tests for the `Value` codec used for invocation arguments and
+//! DSM-resident object state.
+
+use doct::kernel::Value;
+use proptest::collection::{btree_map, vec};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Totally ordered floats only (NaN breaks PartialEq round-trips,
+        // and the codec is allowed to require that).
+        (-1e15f64..1e15).prop_map(Value::Float),
+        ".{0,40}".prop_map(Value::Str),
+        vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            vec(inner.clone(), 0..8).prop_map(Value::List),
+            btree_map("[a-z]{1,8}", inner, 0..8).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trips(v in arb_value()) {
+        let bytes = v.encode();
+        let back = Value::decode(&bytes).expect("decode");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn wire_size_bounds_encoded_size(v in arb_value()) {
+        // wire_size is an estimate; it must be at least the scalar payload
+        // size and never absurdly smaller than the encoding.
+        let enc = v.encode();
+        prop_assert!(v.wire_size() + 16 >= enc.len() / 2,
+            "wire_size {} vs encoded {}", v.wire_size(), enc.len());
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(v in arb_value(), cut in 0usize..100) {
+        let bytes = v.encode();
+        if cut < bytes.len() {
+            // Truncated input must error (not panic); prefix-decoding can
+            // only succeed for the empty-trailing case which truncation
+            // excludes.
+            prop_assert!(Value::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = Value::decode(&bytes);
+    }
+}
