@@ -3,7 +3,12 @@
 //! ```text
 //! cargo run -p doct-bench --release --bin experiments -- all
 //! cargo run -p doct-bench --release --bin experiments -- e2 e6
+//! cargo run -p doct-bench --release --bin experiments -- --telemetry all
 //! ```
+//!
+//! With `--telemetry`, each experiment is followed by the JSON telemetry
+//! snapshot(s) its clusters recorded (metrics plus the newest trace
+//! records); without it a one-line summary per snapshot is printed.
 
 use doct_bench::*;
 
@@ -34,8 +39,23 @@ fn run_one(which: &str) -> Result<(), doct_kernel::KernelError> {
     Ok(())
 }
 
+/// Print what the experiment's clusters recorded: full JSON documents
+/// with `--telemetry`, a one-line digest per snapshot otherwise.
+fn emit_telemetry(full_json: bool) {
+    for (label, json) in telemetry_out::drain() {
+        if full_json {
+            println!("{json}");
+        } else {
+            eprintln!("[telemetry {label}: {} bytes of JSON; re-run with --telemetry to print]",
+                json.len());
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let full_json = args.iter().any(|a| a == "--telemetry");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--telemetry").collect();
     let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()
@@ -45,7 +65,10 @@ fn main() {
     for which in selected {
         let t0 = std::time::Instant::now();
         match run_one(which) {
-            Ok(()) => eprintln!("[{which} done in {:.1?}]", t0.elapsed()),
+            Ok(()) => {
+                emit_telemetry(full_json);
+                eprintln!("[{which} done in {:.1?}]", t0.elapsed());
+            }
             Err(e) => {
                 eprintln!("[{which} FAILED: {e}]");
                 std::process::exit(1);

@@ -90,6 +90,7 @@ fn medusa(holders: usize) -> Result<InterestRow, KernelError> {
             .wait();
         let _ = p.join_timeout(Duration::from_secs(5));
     }
+    crate::telemetry_out::record("e10.medusa", &cluster);
     Ok(InterestRow {
         scheme: "Medusa interest list",
         holders,
@@ -126,6 +127,7 @@ fn paper_style() -> Result<InterestRow, KernelError> {
     }
     let notify_all = t0.elapsed();
     let delta = before.delta(&cluster.net().stats().snapshot());
+    crate::telemetry_out::record("e10.paper", &cluster);
     Ok(InterestRow {
         scheme: "paper: object handler",
         holders: 1,

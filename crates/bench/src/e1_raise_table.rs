@@ -185,6 +185,7 @@ pub fn run() -> Result<Vec<RaiseRow>, KernelError> {
     cluster
         .raise_from(0, doct_kernel::SystemEvent::Quit, Value::Null, tid)
         .wait();
+    crate::telemetry_out::record("e1", &cluster);
     Ok(rows)
 }
 

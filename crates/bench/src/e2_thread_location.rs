@@ -78,6 +78,7 @@ fn one_config(
         .raise_from(0, SystemEvent::Quit, Value::Null, handle.thread())
         .wait();
     let _ = handle.join_timeout(Duration::from_secs(5));
+    crate::telemetry_out::record("e2", &cluster);
     Ok(LocateRow {
         strategy,
         nodes,
@@ -225,6 +226,7 @@ pub fn run_moving() -> Result<Vec<MovingRow>, KernelError> {
             }
             stop.store(true, Ordering::Relaxed);
             let _ = mover.join_timeout(Duration::from_secs(10));
+            crate::telemetry_out::record("e2.moving", &cluster);
             rows.push(MovingRow {
                 strategy,
                 dwell: Duration::from_millis(dwell_ms as u64),

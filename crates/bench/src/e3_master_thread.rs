@@ -64,6 +64,7 @@ fn one_mode(mode: ObjectEventExecution) -> Result<ObjectEventRow, KernelError> {
         std::thread::sleep(Duration::from_micros(200));
     }
     let total = t0.elapsed();
+    crate::telemetry_out::record("e3", &cluster);
     Ok(ObjectEventRow {
         mode,
         events: EVENTS,

@@ -128,6 +128,7 @@ pub fn run() -> Result<Vec<MechanismRow>, KernelError> {
     register_classes(&cluster);
     let mut rows = measure(&cluster, &facility, 0, "local")?;
     rows.extend(measure(&cluster, &facility, 1, "remote")?);
+    crate::telemetry_out::record("e4", &cluster);
     Ok(rows)
 }
 
@@ -188,6 +189,7 @@ pub fn run_density() -> Result<Vec<DensityRow>, KernelError> {
             std::thread::sleep(Duration::from_millis(3));
         }
         let _ = worker.join_timeout(Duration::from_secs(120));
+        crate::telemetry_out::record("e4.density", &cluster);
         let mut lats = latencies.lock().clone();
         let median = if lats.is_empty() {
             f64::NAN

@@ -90,6 +90,7 @@ fn one_depth(k: usize) -> Result<UnwindRow, KernelError> {
         .as_int()
         .unwrap_or(-1);
     assert_eq!(leaked, 0, "k={k}: locks leaked");
+    crate::telemetry_out::record("e5", &cluster);
     Ok(UnwindRow {
         locks: k,
         unwind,

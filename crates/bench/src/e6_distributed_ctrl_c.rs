@@ -90,6 +90,7 @@ fn one_size(threads: usize, objects: usize) -> Result<CtrlCRow, KernelError> {
         std::thread::sleep(Duration::from_millis(5));
     }
     assert!(quiet, "t={threads}: cluster not quiescent");
+    crate::telemetry_out::record("e6", &cluster);
     Ok(CtrlCRow {
         threads,
         objects,

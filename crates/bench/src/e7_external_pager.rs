@@ -61,6 +61,7 @@ fn kernel_backed() -> Result<PagerRow, KernelError> {
     }
     let total = t0.elapsed();
     let delta = before.delta(&cluster.net().stats().snapshot());
+    crate::telemetry_out::record("e7.kernel", &cluster);
     Ok(PagerRow {
         backing: "kernel DSM (owner on n2)",
         pages: PAGES,
@@ -101,6 +102,7 @@ fn user_backed() -> Result<PagerRow, KernelError> {
         Some(PAGES as i64),
         "every first touch served by the user pager"
     );
+    crate::telemetry_out::record("e7.pager", &cluster);
     Ok(PagerRow {
         backing: "user pager (server on n2)",
         pages: PAGES,
@@ -169,6 +171,7 @@ pub fn run_copies() -> Result<(i64, i64), KernelError> {
         .and_then(Value::as_int)
         .unwrap_or(0);
     let merges = stats.get("merges").and_then(Value::as_int).unwrap_or(0);
+    crate::telemetry_out::record("e7.copies", &cluster);
     Ok((copies, merges))
 }
 

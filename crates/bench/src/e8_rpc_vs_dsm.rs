@@ -80,6 +80,13 @@ fn one_mode(mode: InvocationMode) -> Result<ModeRow, KernelError> {
         .join()?;
     let total = t0.elapsed();
     let delta = before.delta(&cluster.net().stats().snapshot());
+    crate::telemetry_out::record(
+        match mode {
+            InvocationMode::Rpc => "e8.rpc",
+            InvocationMode::Dsm => "e8.dsm",
+        },
+        &cluster,
+    );
     Ok(ModeRow {
         mode,
         final_count: result.get("count").and_then(Value::as_int).unwrap_or(-1),

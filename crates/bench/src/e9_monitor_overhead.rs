@@ -71,6 +71,7 @@ pub fn run() -> Result<Vec<MonitorRow>, KernelError> {
             .join()?;
         let runtime = t0.elapsed();
         let samples = server.samples(&cluster)?.len();
+        crate::telemetry_out::record("e9", &cluster);
         if period.is_none() {
             baseline = runtime;
         }

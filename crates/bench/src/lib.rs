@@ -30,6 +30,7 @@ pub mod e8_rpc_vs_dsm;
 pub mod e9_monitor_overhead;
 
 mod table;
+pub mod telemetry_out;
 pub mod workloads;
 
 pub use table::Table;

@@ -1,0 +1,58 @@
+//! Per-experiment telemetry collection for the `experiments` binary.
+//!
+//! Experiments build their clusters locally inside `run()`, so the binary
+//! cannot reach the cluster's [`doct_telemetry::Telemetry`] hub after the
+//! fact. Instead each experiment calls [`record`] just before its cluster
+//! is torn down; the binary [`drain`]s and prints the accumulated JSON
+//! snapshots after the experiment finishes.
+
+use doct_kernel::Cluster;
+use parking_lot::Mutex;
+
+/// Newest trace records kept per snapshot; the full 65 536-slot ring
+/// would emit megabytes of JSON per experiment.
+pub const MAX_TRACES_PER_SNAPSHOT: usize = 200;
+
+static SNAPSHOTS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Capture a labelled, trace-capped JSON telemetry snapshot of `cluster`.
+/// Call at the end of an experiment `run()` (or per-case helper), before
+/// the cluster drops. Re-recording a label replaces the earlier snapshot,
+/// so sweep experiments that build one cluster per case end up with a
+/// single document — the final, most loaded case.
+pub fn record(label: &str, cluster: &Cluster) {
+    let json = cluster
+        .telemetry()
+        .snapshot_json_capped(label, MAX_TRACES_PER_SNAPSHOT);
+    let mut snapshots = SNAPSHOTS.lock();
+    snapshots.retain(|(l, _)| l != label);
+    snapshots.push((label.to_string(), json));
+}
+
+/// Take every snapshot recorded since the last drain, oldest first.
+pub fn drain() -> Vec<(String, String)> {
+    std::mem::take(&mut *SNAPSHOTS.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_drain_round_trips() {
+        let cluster = Cluster::new(1);
+        cluster.telemetry().counter("unit.test").add(5);
+        record("unit", &cluster);
+        cluster.telemetry().counter("unit.test").add(2);
+        record("unit", &cluster); // replaces the first snapshot
+        let snaps = drain();
+        let matching: Vec<_> = snaps.iter().filter(|(l, _)| l == "unit").collect();
+        assert_eq!(matching.len(), 1, "same label keeps only newest snapshot");
+        assert!(
+            matching[0].1.contains("\"unit.test\":7"),
+            "snapshot carries latest metrics"
+        );
+        // Drained: a second drain of this label yields nothing new.
+        assert!(drain().iter().all(|(l, _)| l != "unit"));
+    }
+}

@@ -9,7 +9,7 @@ use doct_net::NodeId;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Outbound path for protocol messages. The host kernel implements this by
@@ -68,16 +68,33 @@ impl fmt::Display for DsmError {
 impl Error for DsmError {}
 
 /// Monotone per-node fault/traffic counters (E7's instrument).
+///
+/// Backed by telemetry [`doct_telemetry::Counter`] handles; built with
+/// [`DsmNodeStats::bound`] they share storage with the registry's
+/// node-qualified `dsm.n<id>.*` series, so coherence activity appears in
+/// cluster metric snapshots while these accessors stay per-node.
 #[derive(Debug, Default)]
 pub struct DsmNodeStats {
-    read_faults: AtomicU64,
-    write_faults: AtomicU64,
-    user_faults: AtomicU64,
-    pages_served: AtomicU64,
-    invalidations: AtomicU64,
+    read_faults: doct_telemetry::Counter,
+    write_faults: doct_telemetry::Counter,
+    user_faults: doct_telemetry::Counter,
+    pages_served: doct_telemetry::Counter,
+    invalidations: doct_telemetry::Counter,
 }
 
 impl DsmNodeStats {
+    /// Counters sharing storage with the registry's `dsm.n<id>.*` series.
+    pub fn bound(registry: &doct_telemetry::Registry, node: NodeId) -> Self {
+        let c = |what: &str| registry.counter(&format!("dsm.n{}.{what}", node.0));
+        DsmNodeStats {
+            read_faults: c("read_faults"),
+            write_faults: c("write_faults"),
+            user_faults: c("user_faults"),
+            pages_served: c("pages_served"),
+            invalidations: c("invalidations"),
+        }
+    }
+
     /// Kernel-protocol read faults taken on this node.
     pub fn read_faults(&self) -> u64 {
         self.read_faults.load(Ordering::Relaxed)
@@ -133,6 +150,17 @@ impl DsmNode {
     /// Create the engine for `node`, sending protocol traffic through
     /// `transport`.
     pub fn new(node: NodeId, config: DsmConfig, transport: Arc<dyn DsmTransport>) -> Self {
+        Self::with_stats(node, config, transport, DsmNodeStats::default())
+    }
+
+    /// [`DsmNode::new`] with counters bound to a telemetry registry (see
+    /// [`DsmNodeStats::bound`]).
+    pub fn with_stats(
+        node: NodeId,
+        config: DsmConfig,
+        transport: Arc<dyn DsmTransport>,
+        stats: DsmNodeStats,
+    ) -> Self {
         DsmNode {
             node,
             config,
@@ -140,7 +168,7 @@ impl DsmNode {
             state: Mutex::new(NodeState::default()),
             cond: Condvar::new(),
             fault_handler: RwLock::new(None),
-            stats: DsmNodeStats::default(),
+            stats,
         }
     }
 

@@ -42,6 +42,13 @@ pub trait CtxEvents {
     /// chain if one already exists (§4.2). Returns a registration id.
     fn attach_handler(&mut self, event: impl Into<EventName>, spec: AttachSpec) -> u64;
 
+    /// Attach a §4.2 resource-cleanup handler (e.g. an unlock routine).
+    /// Identical to [`CtxEvents::attach_handler`] except the handler is
+    /// also run — for side effects only, its decision ignored — when the
+    /// thread is hard-killed by QUIT, so cleanup survives unmaskable
+    /// termination.
+    fn attach_cleanup_handler(&mut self, event: impl Into<EventName>, spec: AttachSpec) -> u64;
+
     /// Detach a previously attached handler. Returns `true` if found.
     fn detach_handler(&mut self, id: u64) -> bool;
 
@@ -60,18 +67,26 @@ pub(crate) fn registry_of(ctx: &mut Ctx) -> Arc<ThreadRegistry> {
     })
 }
 
+fn attach_with(ctx: &mut Ctx, event: EventName, spec: AttachSpec, cleanup: bool) -> u64 {
+    let id = ctx.kernel().next_seq();
+    let attached_in = ctx.current_object();
+    registry_of(ctx).attach(Registration {
+        id,
+        event,
+        spec,
+        attached_in,
+        cleanup,
+    });
+    id
+}
+
 impl CtxEvents for Ctx {
     fn attach_handler(&mut self, event: impl Into<EventName>, spec: AttachSpec) -> u64 {
-        let id = self.kernel().next_seq();
-        let event = event.into();
-        let attached_in = self.current_object();
-        registry_of(self).attach(Registration {
-            id,
-            event,
-            spec,
-            attached_in,
-        });
-        id
+        attach_with(self, event.into(), spec, false)
+    }
+
+    fn attach_cleanup_handler(&mut self, event: impl Into<EventName>, spec: AttachSpec) -> u64 {
+        attach_with(self, event.into(), spec, true)
     }
 
     fn detach_handler(&mut self, id: u64) -> bool {

@@ -139,6 +139,7 @@ mod tests {
             raiser_node: NodeId(1),
             seq: 77,
             sync,
+            t_raise_ns: 0,
             attrs: None,
         }
     }

@@ -9,10 +9,10 @@ use doct_kernel::{
     Cluster, Ctx, EventDispatcher, EventName, KernelError, ObjectDirectory, ObjectId, RaiseTarget,
     RaiseTicket, SystemEvent, ThreadDisposition, Value, WireEvent,
 };
+use doct_telemetry::{Counter, RaiseVariant, Registry, Stage, Telemetry};
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Attribute-extension key for the per-thread handler registry.
@@ -21,31 +21,51 @@ pub const THREAD_REGISTRY_KEY: &str = "doct-events.thread-registry";
 pub const OBJECT_TABLE_KEY: &str = "doct-events.object-table";
 
 /// Facility-level counters (instrument for E1/E3/E4).
+///
+/// Fields are telemetry [`Counter`] handles sharing storage with the
+/// `facility.*` series of the facility's registry, so the same numbers
+/// appear in metric snapshots. `Counter` mirrors the `AtomicU64` surface
+/// (`load`, `fetch_add`), so existing readers compile unchanged.
 #[derive(Debug, Default)]
 pub struct FacilityStats {
     /// Events delivered to threads.
-    pub thread_deliveries: AtomicU64,
+    pub thread_deliveries: Counter,
     /// Events delivered to objects.
-    pub object_deliveries: AtomicU64,
+    pub object_deliveries: Counter,
     /// Handlers executed (thread- and object-based).
-    pub handlers_run: AtomicU64,
+    pub handlers_run: Counter,
     /// Chain steps taken (Propagate/PropagateAs).
-    pub propagations: AtomicU64,
+    pub propagations: Counter,
     /// Synchronous raisers resumed by the system default.
-    pub auto_resumes: AtomicU64,
+    pub auto_resumes: Counter,
     /// Threads terminated by event delivery.
-    pub terminations: AtomicU64,
+    pub terminations: Counter,
     /// Deliveries that fell through to the system default.
-    pub defaults_run: AtomicU64,
+    pub defaults_run: Counter,
     /// Duplicate deliveries suppressed by the per-thread seen ring (a
     /// moving thread can be found by more than one broadcast/multicast
     /// probe — §7.1's race).
-    pub duplicates_suppressed: AtomicU64,
+    pub duplicates_suppressed: Counter,
 }
 
 impl FacilityStats {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Counters that share storage with the registry's `facility.*`
+    /// series.
+    pub fn bound(registry: &Registry) -> Self {
+        FacilityStats {
+            thread_deliveries: registry.counter("facility.thread_deliveries"),
+            object_deliveries: registry.counter("facility.object_deliveries"),
+            handlers_run: registry.counter("facility.handlers_run"),
+            propagations: registry.counter("facility.propagations"),
+            auto_resumes: registry.counter("facility.auto_resumes"),
+            terminations: registry.counter("facility.terminations"),
+            defaults_run: registry.counter("facility.defaults_run"),
+            duplicates_suppressed: registry.counter("facility.duplicates_suppressed"),
+        }
+    }
+
+    fn bump(counter: &Counter) {
+        counter.inc();
     }
 }
 
@@ -53,6 +73,7 @@ impl FacilityStats {
 pub struct EventFacility {
     user_events: RwLock<HashSet<String>>,
     stats: FacilityStats,
+    telemetry: Arc<Telemetry>,
 }
 
 impl fmt::Debug for EventFacility {
@@ -65,22 +86,37 @@ impl fmt::Debug for EventFacility {
 
 impl Default for EventFacility {
     fn default() -> Self {
+        let telemetry = Telemetry::shared();
         EventFacility {
             user_events: RwLock::new(HashSet::new()),
-            stats: FacilityStats::default(),
+            stats: FacilityStats::bound(telemetry.registry()),
+            telemetry,
         }
     }
 }
 
 impl EventFacility {
-    /// Create a facility (not yet installed).
+    /// Create a facility (not yet installed) with its own private
+    /// telemetry hub.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
 
-    /// Create the facility and install it as every node's dispatcher.
+    /// Create a facility whose counters and traces land in `telemetry`
+    /// (typically a cluster's shared hub).
+    pub fn with_telemetry(telemetry: Arc<Telemetry>) -> Arc<Self> {
+        Arc::new(EventFacility {
+            user_events: RwLock::new(HashSet::new()),
+            stats: FacilityStats::bound(telemetry.registry()),
+            telemetry,
+        })
+    }
+
+    /// Create the facility and install it as every node's dispatcher. The
+    /// facility shares the cluster's telemetry hub, so its counters and
+    /// chain-walk traces join the kernel's in one snapshot.
     pub fn install(cluster: &Cluster) -> Arc<Self> {
-        let facility = Self::new();
+        let facility = Self::with_telemetry(Arc::clone(cluster.telemetry()));
         cluster.set_dispatcher(Arc::clone(&facility) as Arc<dyn EventDispatcher>);
         facility
     }
@@ -88,6 +124,11 @@ impl EventFacility {
     /// Counters.
     pub fn stats(&self) -> &FacilityStats {
         &self.stats
+    }
+
+    /// The telemetry hub this facility records into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Register a user event name with the operating system (§3: "naming
@@ -235,6 +276,37 @@ impl EventFacility {
         }
     }
 
+    /// Deliver QUIT: unmaskable termination with §4.2 cleanup.
+    ///
+    /// QUIT is the second phase of §6.3's protocol — no handler decision
+    /// can rescue the thread, so the disposition is always `Terminate`,
+    /// and ordinary handlers (including §6.3's ctrl-c protocol handler,
+    /// which the children inherit) do NOT run: "the QUIT handler simply
+    /// terminates each thread". But §4.2's guarantee ("If the threads
+    /// receive a TERMINATE signal, all locked data are unlocked,
+    /// regardless of their location and scope") must hold even under a
+    /// hard kill — so the registrations on the TERMINATE chain that were
+    /// attached as *cleanup* handlers still run here, for their side
+    /// effects only, before the thread dies. Without this, a thread QUIT
+    /// inside a critical section would leak its locks forever.
+    fn deliver_quit(&self, ctx: &mut Ctx, event: &WireEvent) -> ThreadDisposition {
+        let block = EventBlock::for_thread(ctx, event);
+        let cleanup = ctx
+            .attributes()
+            .extension::<ThreadRegistry>(THREAD_REGISTRY_KEY)
+            .map(|r| r.chain(&EventName::System(SystemEvent::Terminate)))
+            .unwrap_or_default();
+        for reg in cleanup.iter().filter(|r| r.cleanup) {
+            // Side effects only: a Resume cannot cancel a QUIT.
+            let _ = self.run_thread_handler(ctx, &reg.spec, &block);
+        }
+        if event.sync {
+            ctx.resume_raiser(event, Value::Null);
+        }
+        FacilityStats::bump(&self.stats.terminations);
+        ThreadDisposition::Terminate
+    }
+
     /// System default for an object event with no (deciding) handler.
     fn object_default(&self, ctx: &mut Ctx, object: ObjectId, event: &WireEvent) {
         FacilityStats::bump(&self.stats.defaults_run);
@@ -255,6 +327,15 @@ impl EventDispatcher for EventFacility {
             return ThreadDisposition::Resume;
         }
         FacilityStats::bump(&self.stats.thread_deliveries);
+        self.telemetry.trace(
+            event.seq,
+            Stage::ChainWalk,
+            u64::from(ctx.node_id().0),
+            RaiseVariant::None,
+        );
+        if event.name == EventName::System(SystemEvent::Quit) {
+            return self.deliver_quit(ctx, &event);
+        }
         let mut block = EventBlock::for_thread(ctx, &event);
         let chain = ctx
             .attributes()
@@ -302,6 +383,12 @@ impl EventDispatcher for EventFacility {
 
     fn deliver_to_object(&self, ctx: &mut Ctx, object: ObjectId, event: WireEvent) {
         FacilityStats::bump(&self.stats.object_deliveries);
+        self.telemetry.trace(
+            event.seq,
+            Stage::ChainWalk,
+            u64::from(ctx.node_id().0),
+            RaiseVariant::None,
+        );
         let block = EventBlock::for_object(ctx.node_id(), &event);
         let handler = ctx.kernel().directory().get(object).and_then(|rec| {
             rec.extension_or_insert_with(OBJECT_TABLE_KEY, || Arc::new(ObjectHandlerTable::new()))

@@ -24,6 +24,12 @@ pub struct Registration {
     /// Object the thread was executing in when it attached (None when
     /// attached outside any object).
     pub attached_in: Option<ObjectId>,
+    /// §4.2 resource-cleanup handler (e.g. an unlock routine): also runs,
+    /// for side effects only, when the thread is hard-killed by QUIT.
+    /// Ordinary handlers — including §6.3's ctrl-c protocol handler —
+    /// never run on QUIT ("the QUIT handler simply terminates each
+    /// thread").
+    pub cleanup: bool,
 }
 
 /// Per-thread LIFO handler chains plus the delivery dedupe ring, stored
@@ -141,6 +147,7 @@ mod tests {
             event,
             spec: AttachSpec::proc(format!("h{id}"), |_ctx, _b| HandlerDecision::Propagate),
             attached_in: Some(ObjectId::new(NodeId(0), 1)),
+            cleanup: false,
         }
     }
 

@@ -252,6 +252,7 @@ mod tests {
             raiser_node: NodeId(0),
             seq,
             sync: false,
+            t_raise_ns: 0,
             attrs: None,
         }
     }

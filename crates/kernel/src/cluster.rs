@@ -9,7 +9,8 @@ use crate::{
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use doct_dsm::Backing;
-use doct_net::{LatencyModel, MessageClass, Network, NodeId};
+use doct_net::{LatencyModel, MessageClass, NetStats, Network, NodeId};
+use doct_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -129,7 +130,12 @@ impl ClusterBuilder {
 
     /// Build and start the cluster.
     pub fn build(self) -> Cluster {
-        let net = Arc::new(Network::new(self.nodes, self.latency));
+        let telemetry = Telemetry::shared();
+        let net = Arc::new(Network::with_stats(
+            self.nodes,
+            self.latency,
+            Arc::new(NetStats::bound(telemetry.registry())),
+        ));
         let directory = Arc::new(ObjectDirectory::new());
         let classes = Arc::new(ClassRegistry::new());
         let groups = Arc::new(GroupRegistry::new());
@@ -146,6 +152,7 @@ impl ClusterBuilder {
                 Arc::clone(&groups),
                 Arc::clone(&io),
                 self.dsm,
+                Arc::clone(&telemetry),
             );
             joins.extend(k.start());
             kernels.push(k);
@@ -169,6 +176,7 @@ impl ClusterBuilder {
             groups,
             io,
             config: self.config,
+            telemetry,
             timer_tx,
             joins: parking_lot::Mutex::new(joins),
         }
@@ -184,6 +192,7 @@ pub struct Cluster {
     groups: Arc<GroupRegistry>,
     io: Arc<IoHub>,
     config: KernelConfig,
+    telemetry: Arc<Telemetry>,
     timer_tx: Sender<TimerCmd>,
     joins: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -245,6 +254,12 @@ impl Cluster {
     /// The cluster configuration.
     pub fn config(&self) -> &KernelConfig {
         &self.config
+    }
+
+    /// The cluster-shared telemetry hub: metrics registry plus the event
+    /// lifecycle trace ring (every node writes to the same instance).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Install the event facility's dispatcher on every node.

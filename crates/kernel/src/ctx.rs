@@ -174,6 +174,7 @@ impl Ctx {
     pub fn poll_events(&mut self) -> Result<(), KernelError> {
         self.activation.check_live()?;
         while let Some(event) = self.activation.take_event() {
+            let seq = event.seq;
             self.activation.lock().handling = true;
             let disposition = {
                 let _guard = HandlingGuard {
@@ -182,6 +183,14 @@ impl Ctx {
                 let dispatcher = self.kernel.dispatcher();
                 dispatcher.deliver_to_thread(self, event)
             };
+            // Handler chain done, disposition decided: the unwind/ack
+            // stage of the event's lifecycle.
+            self.kernel.telemetry().trace(
+                seq,
+                doct_telemetry::Stage::Unwind,
+                u64::from(self.kernel.node_id().0),
+                doct_telemetry::RaiseVariant::None,
+            );
             if disposition == ThreadDisposition::Terminate {
                 self.activation.mark_terminated();
                 return Err(KernelError::Terminated);

@@ -22,7 +22,11 @@ pub enum SystemEvent {
     Terminate,
     /// Abort the invocation in progress in the target object (§6.3).
     Abort,
-    /// Terminate immediately (the second phase of §6.3's protocol).
+    /// Terminate unconditionally (the second phase of §6.3's protocol):
+    /// no handler decision can rescue the thread and ordinary handlers do
+    /// not run, though the facility still runs cleanup-marked TERMINATE
+    /// handlers for their side effects so §4.2's unlock-on-death
+    /// guarantee survives a hard kill.
     Quit,
     /// Periodic timer tick (§6.2).
     Timer,
@@ -163,6 +167,10 @@ pub struct WireEvent {
     /// True if the raiser blocked in `raise_and_wait` and must be resumed
     /// by a handler.
     pub sync: bool,
+    /// Telemetry timestamp of the raise (ns since the cluster telemetry
+    /// epoch); the delivery point subtracts it from "now" for the
+    /// raise-to-deliver latency histogram.
+    pub t_raise_ns: u64,
     /// Snapshot of the raiser's attributes, for surrogate-thread handling
     /// (§6.1).
     pub attrs: Option<ThreadAttributes>,
@@ -285,6 +293,7 @@ mod tests {
             raiser_node: NodeId(0),
             seq: 1,
             sync: false,
+            t_raise_ns: 0,
             attrs: None,
         };
         let big = WireEvent {

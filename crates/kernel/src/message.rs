@@ -168,6 +168,7 @@ mod tests {
             raiser_node: NodeId(0),
             seq: 0,
             sync: false,
+            t_raise_ns: 0,
             attrs: None,
         };
         assert!(

@@ -13,6 +13,7 @@ use crate::{
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use doct_dsm::{DsmMessage, DsmNode, DsmTransport};
 use doct_net::{MessageClass, Network, NodeId};
+use doct_telemetry::{RaiseVariant, Stage, Telemetry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
@@ -184,6 +185,7 @@ pub struct NodeKernel {
     object_event_rx: Mutex<Option<Receiver<(ObjectId, WireEvent)>>>,
     shutdown: AtomicBool,
     stats: KernelStats,
+    telemetry: Arc<Telemetry>,
     self_ref: Mutex<Option<std::sync::Weak<NodeKernel>>>,
     timer_tx: Mutex<Option<Sender<TimerCmd>>>,
 }
@@ -242,6 +244,7 @@ impl NodeKernel {
         groups: Arc<GroupRegistry>,
         io: Arc<IoHub>,
         dsm_config: doct_dsm::DsmConfig,
+        telemetry: Arc<Telemetry>,
     ) -> Arc<Self> {
         let transport = Arc::new(KernelDsmTransport {
             net: Arc::clone(&net),
@@ -250,7 +253,12 @@ impl NodeKernel {
         let kernel = Arc::new(NodeKernel {
             node,
             config,
-            dsm: DsmNode::new(node, dsm_config, transport),
+            dsm: DsmNode::with_stats(
+                node,
+                dsm_config,
+                transport,
+                doct_dsm::DsmNodeStats::bound(telemetry.registry(), node),
+            ),
             net,
             directory,
             classes,
@@ -268,6 +276,7 @@ impl NodeKernel {
             object_event_rx: Mutex::new(Some(oe_rx)),
             shutdown: AtomicBool::new(false),
             stats: KernelStats::default(),
+            telemetry,
             self_ref: Mutex::new(None),
             timer_tx: Mutex::new(None),
         });
@@ -326,6 +335,26 @@ impl NodeKernel {
     /// Kernel statistics.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+
+    /// The cluster-shared telemetry hub (metrics + lifecycle traces).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Record one lifecycle stage of event `seq` on this node.
+    fn trace(&self, seq: u64, stage: Stage) {
+        self.telemetry
+            .trace(seq, stage, u64::from(self.node.0), RaiseVariant::None);
+    }
+
+    /// Trace + measure acceptance of a thread-targeted event at this
+    /// node's delivery point (raise-to-deliver latency).
+    fn record_thread_delivery(&self, event: &WireEvent) {
+        self.trace(event.seq, Stage::Deliver);
+        self.telemetry
+            .histogram("event.deliver_latency_ns")
+            .record_ns(self.telemetry.now_ns().saturating_sub(event.t_raise_ns));
     }
 
     /// Thread-control-block table (inspection).
@@ -750,6 +779,17 @@ impl NodeKernel {
         raiser: Option<&Arc<Activation>>,
     ) -> (RaiseTicket, u64) {
         let seq = self.next_seq();
+        let variant = match (&target, sync) {
+            (RaiseTarget::Thread(_), false) => RaiseVariant::ThreadAsync,
+            (RaiseTarget::Thread(_), true) => RaiseVariant::ThreadSync,
+            (RaiseTarget::Group(_), false) => RaiseVariant::GroupAsync,
+            (RaiseTarget::Group(_), true) => RaiseVariant::GroupSync,
+            (RaiseTarget::Object(_), false) => RaiseVariant::ObjectAsync,
+            (RaiseTarget::Object(_), true) => RaiseVariant::ObjectSync,
+        };
+        self.telemetry
+            .trace(seq, Stage::Raise, u64::from(self.node.0), variant);
+        self.telemetry.counter("event.raises").inc();
         let event = WireEvent {
             name,
             payload,
@@ -757,16 +797,26 @@ impl NodeKernel {
             raiser_node: self.node,
             seq,
             sync,
+            t_raise_ns: self.telemetry.now_ns(),
             attrs: raiser.map(|a| a.attributes_snapshot()),
         };
         let ticket = match target {
-            RaiseTarget::Object(object) => self.raise_to_object(object, event),
-            RaiseTarget::Thread(thread) => RaiseTicket {
-                receivers: vec![self.start_thread_delivery(thread, event)],
-                timeout: self.config.delivery_timeout,
-            },
+            RaiseTarget::Object(object) => {
+                self.telemetry.counter("delivery.requested").inc();
+                self.raise_to_object(object, event)
+            }
+            RaiseTarget::Thread(thread) => {
+                self.telemetry.counter("delivery.requested").inc();
+                RaiseTicket {
+                    receivers: vec![self.start_thread_delivery(thread, event)],
+                    timeout: self.config.delivery_timeout,
+                }
+            }
             RaiseTarget::Group(group) => {
                 let members = self.groups.members(group);
+                self.telemetry
+                    .counter("delivery.requested")
+                    .add(members.len() as u64);
                 let receivers = members
                     .into_iter()
                     .map(|t| self.start_thread_delivery(t, event.clone()))
@@ -782,11 +832,14 @@ impl NodeKernel {
 
     fn raise_to_object(self: &Arc<Self>, object: ObjectId, event: WireEvent) -> RaiseTicket {
         let Some(record) = self.directory.get(object) else {
+            self.telemetry.counter("delivery.dead").inc();
             return RaiseTicket::immediate(DeliveryStatus::TargetDead);
         };
+        self.trace(event.seq, Stage::Route);
         if record.home == self.node {
             self.enqueue_object_event(object, event);
         } else {
+            self.trace(event.seq, Stage::Send);
             let _ = self.net.send(
                 self.node,
                 record.home,
@@ -794,6 +847,7 @@ impl NodeKernel {
                 MessageClass::Event,
             );
         }
+        self.telemetry.counter("delivery.delivered").inc();
         RaiseTicket::immediate(DeliveryStatus::Delivered(record.home))
     }
 
@@ -804,11 +858,14 @@ impl NodeKernel {
         event: WireEvent,
     ) -> Receiver<DeliveryStatus> {
         let (tx, rx) = bounded(1);
+        self.trace(event.seq, Stage::Route);
         // Fast path: tip is on this node.
         if self.tcbs.trail(thread) == Trail::TipHere {
             if let Some(act) = self.activation(thread) {
                 self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
+                self.record_thread_delivery(&event);
                 act.push_event(event);
+                self.telemetry.counter("delivery.delivered").inc();
                 let _ = tx.send(DeliveryStatus::Delivered(self.node));
                 return rx;
             }
@@ -845,6 +902,7 @@ impl NodeKernel {
             hops,
             anchor: false,
         };
+        self.trace(event.seq, Stage::Send);
         let sent = match self.config.locator {
             LocatorStrategy::Broadcast => self
                 .net
@@ -890,6 +948,7 @@ impl NodeKernel {
         if let Some(t) = map.get_mut(&delivery_id) {
             if sent == 0 {
                 // Nobody to ask: the thread left no trace.
+                self.telemetry.counter("delivery.dead").inc();
                 let _ = t.result_tx.send(DeliveryStatus::TargetDead);
                 map.remove(&delivery_id);
             } else {
@@ -929,6 +988,7 @@ impl NodeKernel {
             if alive {
                 if let Some(act) = self.activation(target) {
                     self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
+                    self.record_thread_delivery(&event);
                     act.push_event(event);
                     receipt(Some(self.node));
                     return;
@@ -941,6 +1001,7 @@ impl NodeKernel {
             Trail::TipHere => {
                 if let Some(act) = self.activation(target) {
                     self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
+                    self.record_thread_delivery(&event);
                     act.push_event(event);
                     receipt(Some(self.node));
                 } else {
@@ -949,6 +1010,7 @@ impl NodeKernel {
             }
             Trail::Forward(next) => {
                 if self.config.locator == LocatorStrategy::PathTrace {
+                    self.trace(event.seq, Stage::Send);
                     let _ = self.net.send(
                         self.node,
                         next,
@@ -980,6 +1042,7 @@ impl NodeKernel {
             };
             match found {
                 Some(node) => {
+                    self.telemetry.counter("delivery.delivered").inc();
                     let _ = t.result_tx.send(DeliveryStatus::Delivered(node));
                     map.remove(&delivery_id);
                 }
@@ -1011,6 +1074,7 @@ impl NodeKernel {
                             }
                             return;
                         } else {
+                            self.telemetry.counter("delivery.dead").inc();
                             let _ = t.result_tx.send(DeliveryStatus::TargetDead);
                             map.remove(&delivery_id);
                         }
@@ -1030,9 +1094,11 @@ impl NodeKernel {
             };
             if self.tcbs.trail(target) == Trail::TipHere {
                 if let Some(act) = self.activation(target) {
+                    self.record_thread_delivery(&event);
                     act.push_event(event);
                     let mut map = self.deliveries.lock();
                     if let Some(t) = map.remove(&delivery_id) {
+                        self.telemetry.counter("delivery.delivered").inc();
                         let _ = t.result_tx.send(DeliveryStatus::Delivered(self.node));
                     }
                     return;
@@ -1047,6 +1113,7 @@ impl NodeKernel {
         let mut map = self.deliveries.lock();
         map.retain(|_, t| {
             if now >= t.deadline {
+                self.telemetry.counter("delivery.timeout").inc();
                 let _ = t.result_tx.send(DeliveryStatus::Timeout);
                 false
             } else {
@@ -1057,6 +1124,7 @@ impl NodeKernel {
 
     /// Resume a raiser blocked in `raise_and_wait` (facility-facing).
     pub fn resume_sync_raiser(&self, event: &WireEvent, verdict: Value) {
+        self.trace(event.seq, Stage::Unwind);
         let Some(raiser) = event.raiser else { return };
         if event.raiser_node == self.node {
             if let Some(act) = self.activation(raiser) {
@@ -1102,6 +1170,10 @@ impl NodeKernel {
     /// surrogate logical thread that takes on the raiser's attributes
     /// (§6.1) when a snapshot travelled with the event.
     pub fn run_object_event(self: &Arc<Self>, object: ObjectId, event: WireEvent) {
+        self.trace(event.seq, Stage::Deliver);
+        self.telemetry
+            .histogram("event.deliver_latency_ns")
+            .record_ns(self.telemetry.now_ns().saturating_sub(event.t_raise_ns));
         let surrogate_id = self.new_thread_id();
         let attrs = match &event.attrs {
             // Surrogate: same attribute record (extensions shared), new

@@ -86,6 +86,17 @@ impl<M: WireMessage + Send + 'static> Network<M> {
     ///
     /// Panics if `nodes == 0`.
     pub fn new(nodes: usize, latency: LatencyModel) -> Self {
+        Self::with_stats(nodes, latency, Arc::new(NetStats::new()))
+    }
+
+    /// Create a fabric whose counters live in `stats` (typically
+    /// [`NetStats::bound`] to a telemetry registry, so network traffic
+    /// shows up in metric snapshots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn with_stats(nodes: usize, latency: LatencyModel, stats: Arc<NetStats>) -> Self {
         assert!(nodes > 0, "a cluster needs at least one node");
         let mut senders = Vec::with_capacity(nodes);
         let mut receivers = Vec::with_capacity(nodes);
@@ -104,7 +115,7 @@ impl<M: WireMessage + Send + 'static> Network<M> {
             mailboxes: Mutex::new(receivers),
             latency,
             delay,
-            stats: Arc::new(NetStats::new()),
+            stats,
             multicast: MulticastRegistry::new(),
             links: RwLock::new(vec![vec![true; nodes]; nodes]),
         }

@@ -2,8 +2,8 @@
 //! cost experiments.
 
 use crate::MessageClass;
+use doct_telemetry::{Counter, Registry};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 fn class_slot(class: MessageClass) -> usize {
     match class {
@@ -16,52 +16,80 @@ fn class_slot(class: MessageClass) -> usize {
     }
 }
 
-/// Atomic counters shared by every sender on a [`crate::Network`].
+fn class_name(class: MessageClass) -> &'static str {
+    match class {
+        MessageClass::Invocation => "invocation",
+        MessageClass::Dsm => "dsm",
+        MessageClass::Event => "event",
+        MessageClass::Locate => "locate",
+        MessageClass::Control => "control",
+        MessageClass::Data => "data",
+    }
+}
+
+/// Counters shared by every sender on a [`crate::Network`].
 ///
-/// All counters are monotonically increasing; use [`NetStats::snapshot`]
-/// before and after the region of interest and subtract, or
-/// [`NetStats::reset`] between runs (benches do the latter).
+/// Backed by telemetry [`Counter`] handles; a stats block built with
+/// [`NetStats::bound`] shares storage with the named series in a
+/// [`Registry`] (`net.sent.<class>`, `net.bytes.<class>`, …), so metric
+/// snapshots and these accessors always agree. All counters are
+/// monotonically increasing; use [`NetStats::snapshot`] before and after
+/// the region of interest and subtract, or [`NetStats::reset`] between
+/// runs (benches do the latter).
 #[derive(Debug, Default)]
 pub struct NetStats {
-    sent: [AtomicU64; 6],
-    bytes: [AtomicU64; 6],
-    broadcasts: AtomicU64,
-    multicasts: AtomicU64,
-    dropped: AtomicU64,
+    sent: [Counter; 6],
+    bytes: [Counter; 6],
+    broadcasts: Counter,
+    multicasts: Counter,
+    dropped: Counter,
 }
 
 impl NetStats {
-    /// New zeroed counters.
+    /// New zeroed counters, not attached to any registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Counters that share storage with the registry's named series.
+    pub fn bound(registry: &Registry) -> Self {
+        NetStats {
+            sent: MessageClass::ALL
+                .map(|c| registry.counter(&format!("net.sent.{}", class_name(c)))),
+            bytes: MessageClass::ALL
+                .map(|c| registry.counter(&format!("net.bytes.{}", class_name(c)))),
+            broadcasts: registry.counter("net.broadcasts"),
+            multicasts: registry.counter("net.multicasts"),
+            dropped: registry.counter("net.dropped"),
+        }
+    }
+
     pub(crate) fn record_send(&self, class: MessageClass, bytes: usize) {
         let i = class_slot(class);
-        self.sent[i].fetch_add(1, Ordering::Relaxed);
-        self.bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.sent[i].inc();
+        self.bytes[i].add(bytes as u64);
     }
 
     pub(crate) fn record_broadcast(&self) {
-        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+        self.broadcasts.inc();
     }
 
     pub(crate) fn record_multicast(&self) {
-        self.multicasts.fetch_add(1, Ordering::Relaxed);
+        self.multicasts.inc();
     }
 
     pub(crate) fn record_drop(&self) {
-        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.dropped.inc();
     }
 
     /// Messages sent in `class` since construction or the last reset.
     pub fn sent(&self, class: MessageClass) -> u64 {
-        self.sent[class_slot(class)].load(Ordering::Relaxed)
+        self.sent[class_slot(class)].get()
     }
 
     /// Bytes sent in `class` since construction or the last reset.
     pub fn bytes(&self, class: MessageClass) -> u64 {
-        self.bytes[class_slot(class)].load(Ordering::Relaxed)
+        self.bytes[class_slot(class)].get()
     }
 
     /// Total messages across all classes.
@@ -76,28 +104,28 @@ impl NetStats {
 
     /// Broadcast operations performed (each also counts its per-node sends).
     pub fn broadcasts(&self) -> u64 {
-        self.broadcasts.load(Ordering::Relaxed)
+        self.broadcasts.get()
     }
 
     /// Multicast operations performed (each also counts its per-node sends).
     pub fn multicasts(&self) -> u64 {
-        self.multicasts.load(Ordering::Relaxed)
+        self.multicasts.get()
     }
 
     /// Messages dropped by cut links or partitions.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.get()
     }
 
     /// Zero all counters.
     pub fn reset(&self) {
         for i in 0..6 {
-            self.sent[i].store(0, Ordering::Relaxed);
-            self.bytes[i].store(0, Ordering::Relaxed);
+            self.sent[i].reset();
+            self.bytes[i].reset();
         }
-        self.broadcasts.store(0, Ordering::Relaxed);
-        self.multicasts.store(0, Ordering::Relaxed);
-        self.dropped.store(0, Ordering::Relaxed);
+        self.broadcasts.reset();
+        self.multicasts.reset();
+        self.dropped.reset();
     }
 
     /// A point-in-time copy of all counters.
@@ -236,6 +264,21 @@ mod tests {
         assert_eq!(d.sent(MessageClass::Locate), 2);
         assert_eq!(d.sent(MessageClass::Control), 0);
         assert_eq!(d.multicasts(), 1);
+    }
+
+    #[test]
+    fn bound_stats_share_storage_with_registry() {
+        let registry = Registry::new();
+        let s = NetStats::bound(&registry);
+        s.record_send(MessageClass::Event, 100);
+        s.record_broadcast();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["net.sent.event"], 1);
+        assert_eq!(snap.counters["net.bytes.event"], 100);
+        assert_eq!(snap.counters["net.broadcasts"], 1);
+        // The registry handle and the stats block are the same series.
+        registry.counter("net.sent.event").inc();
+        assert_eq!(s.sent(MessageClass::Event), 2);
     }
 
     #[test]

@@ -59,12 +59,20 @@ pub fn throw(
 ) -> Result<Value, KernelError> {
     let event = event.into();
     let me = ctx.thread_id();
+    ctx.kernel()
+        .telemetry()
+        .counter("services.exceptions.thrown")
+        .inc();
     let verdict = ctx.raise_and_wait(event.clone(), payload, me)?;
     if verdict.is_null() {
         Err(KernelError::InvocationFailed(format!(
             "uncaught exception {event}"
         )))
     } else {
+        ctx.kernel()
+            .telemetry()
+            .counter("services.exceptions.caught")
+            .inc();
         Ok(verdict)
     }
 }

@@ -172,17 +172,16 @@ impl LockManager {
         let mut args = Value::map();
         args.set("name", name);
         args.set("thread", format!("{}", ctx.thread_id()));
-        loop {
-            let granted = ctx.invoke(self.object, "acquire", args.clone())?;
-            if granted.as_bool() == Some(true) {
-                break;
-            }
-            ctx.sleep(Duration::from_millis(2))?;
-        }
-        // Chain the unlock routine to the thread's TERMINATE handler.
+        // Chain the unlock routine BEFORE requesting the grant: the
+        // invoke below ends at a delivery point, so a TERMINATE arriving
+        // just after the manager commits the grant would otherwise kill
+        // this thread with the lock held and no cleanup chained. Running
+        // the handler without a grant is harmless — the manager's release
+        // entry is a no-op unless this thread is the holder. The cleanup
+        // attachment also runs on a hard QUIT kill.
         let manager = self.object;
         let args_cleanup = args.clone();
-        let cleanup_registration = ctx.attach_handler(
+        let cleanup_registration = ctx.attach_cleanup_handler(
             SystemEvent::Terminate,
             AttachSpec::proc(format!("unlock:{name}"), move |hctx, _block| {
                 let _ = hctx.invoke(manager, "release", args_cleanup.clone());
@@ -191,6 +190,30 @@ impl LockManager {
                 HandlerDecision::Propagate
             }),
         );
+        let step = |ctx: &mut Ctx| -> Result<bool, KernelError> {
+            let granted = ctx.invoke(self.object, "acquire", args.clone())?;
+            if granted.as_bool() == Some(true) {
+                return Ok(true);
+            }
+            ctx.sleep(Duration::from_millis(2))?;
+            Ok(false)
+        };
+        loop {
+            match step(ctx) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => {
+                    // Not granted (or already cleaned up by the chained
+                    // handler on TERMINATE) — don't leave it attached.
+                    ctx.detach_handler(cleanup_registration);
+                    return Err(e);
+                }
+            }
+        }
+        ctx.kernel()
+            .telemetry()
+            .counter("services.locks.acquired")
+            .inc();
         Ok(HeldLock {
             manager: self.object,
             name: name.to_string(),
@@ -208,21 +231,27 @@ impl LockManager {
         let mut args = Value::map();
         args.set("name", name);
         args.set("thread", format!("{}", ctx.thread_id()));
-        let granted = ctx.invoke(self.object, "acquire", args)?;
-        if granted.as_bool() != Some(true) {
-            return Ok(None);
-        }
+        // Attach the cleanup chain before the grant, as in `acquire`.
         let manager = self.object;
-        let mut args_cleanup = Value::map();
-        args_cleanup.set("name", name);
-        args_cleanup.set("thread", format!("{}", ctx.thread_id()));
-        let cleanup_registration = ctx.attach_handler(
+        let args_cleanup = args.clone();
+        let cleanup_registration = ctx.attach_cleanup_handler(
             SystemEvent::Terminate,
             AttachSpec::proc(format!("unlock:{name}"), move |hctx, _block| {
                 let _ = hctx.invoke(manager, "release", args_cleanup.clone());
                 HandlerDecision::Propagate
             }),
         );
+        let granted = match ctx.invoke(self.object, "acquire", args) {
+            Ok(v) => v,
+            Err(e) => {
+                ctx.detach_handler(cleanup_registration);
+                return Err(e);
+            }
+        };
+        if granted.as_bool() != Some(true) {
+            ctx.detach_handler(cleanup_registration);
+            return Ok(None);
+        }
         Ok(Some(HeldLock {
             manager: self.object,
             name: name.to_string(),
@@ -241,6 +270,10 @@ impl LockManager {
         args.set("thread", format!("{}", ctx.thread_id()));
         ctx.invoke(lock.manager, "release", args)?;
         ctx.detach_handler(lock.cleanup_registration);
+        ctx.kernel()
+            .telemetry()
+            .counter("services.locks.released")
+            .inc();
         Ok(())
     }
 

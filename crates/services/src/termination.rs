@@ -97,6 +97,7 @@ pub fn press_ctrl_c(
     console_node: usize,
     root_thread: doct_kernel::ThreadId,
 ) -> doct_kernel::DeliverySummary {
+    cluster.telemetry().counter("services.ctrl_c.pressed").inc();
     cluster
         .raise_from(
             console_node,

@@ -1,0 +1,128 @@
+//! Minimal hand-rolled JSON writer for telemetry snapshots.
+//!
+//! The workspace has no serialization dependency, and the snapshot shape
+//! is small and fixed, so the exporter writes JSON directly. Output is
+//! deterministic: metric maps are `BTreeMap`s and traces are in arrival
+//! order.
+
+use crate::registry::{bucket_bound_ns, MetricsSnapshot};
+use crate::trace::TraceEvent;
+use std::fmt::Write;
+
+/// Escape `s` as JSON string contents (no surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_key(out: &mut String, key: &str) {
+    out.push('"');
+    escape_into(out, key);
+    out.push_str("\":");
+}
+
+/// Render a full telemetry snapshot:
+/// `{"label":…,"counters":{…},"gauges":{…},"histograms":{…},"traces":[…]}`.
+pub fn snapshot_to_json(label: &str, metrics: &MetricsSnapshot, traces: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+
+    push_key(&mut out, "label");
+    out.push('"');
+    escape_into(&mut out, label);
+    out.push_str("\",");
+
+    push_key(&mut out, "counters");
+    out.push('{');
+    for (i, (k, v)) in metrics.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_key(&mut out, k);
+        let _ = write!(out, "{v}");
+    }
+    out.push_str("},");
+
+    push_key(&mut out, "gauges");
+    out.push('{');
+    for (i, (k, v)) in metrics.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_key(&mut out, k);
+        let _ = write!(out, "{v}");
+    }
+    out.push_str("},");
+
+    push_key(&mut out, "histograms");
+    out.push('{');
+    for (i, (k, h)) in metrics.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_key(&mut out, k);
+        out.push('{');
+        push_key(&mut out, "count");
+        let _ = write!(out, "{},", h.count);
+        push_key(&mut out, "sum_ns");
+        let _ = write!(out, "{},", h.sum_ns);
+        push_key(&mut out, "max_ns");
+        let _ = write!(out, "{},", h.max_ns);
+        push_key(&mut out, "bucket_bounds_ns");
+        out.push('[');
+        for (j, _) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            if j + 1 == h.buckets.len() {
+                // The trailing overflow bucket has no finite bound.
+                out.push_str("null");
+            } else {
+                let _ = write!(out, "{}", bucket_bound_ns(j));
+            }
+        }
+        out.push_str("],");
+        push_key(&mut out, "buckets");
+        out.push('[');
+        for (j, b) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("},");
+
+    push_key(&mut out, "traces");
+    out.push('[');
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"t_ns\":{},\"node\":{},\"stage\":\"{}\",\"variant\":\"{}\"}}",
+            t.seq,
+            t.t_ns,
+            t.node,
+            t.stage.name(),
+            t.variant.name()
+        );
+    }
+    out.push(']');
+
+    out.push('}');
+    out
+}

@@ -1,0 +1,210 @@
+//! Unified telemetry for the DO/CT reproduction.
+//!
+//! One [`Telemetry`] instance is shared by every node of a simulated
+//! cluster and offers two complementary views of the system:
+//!
+//! * a **metrics registry** ([`Registry`]) of named atomic counters,
+//!   gauges, and fixed-bucket latency histograms — cheap enough to update
+//!   on every operation;
+//! * a **trace ring** ([`TraceRing`]) recording the full lifecycle of
+//!   event raises (`raise` → route/locate → network send → deliver →
+//!   handler-chain walk → unwind/ack) with monotonic timestamps, node
+//!   ids, and the §5.3 addressing/blocking variant.
+//!
+//! Timestamps are nanoseconds since the instance's creation, taken from a
+//! single shared [`Instant`] epoch, so records written by different
+//! threads (simulated nodes) are directly comparable.
+//!
+//! [`Telemetry::snapshot_json`] renders both views as one JSON document;
+//! the experiments binary emits it per experiment.
+
+mod json;
+mod registry;
+mod trace;
+
+pub use registry::{
+    bucket_bound_ns, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    HISTOGRAM_BUCKETS,
+};
+pub use trace::{RaiseVariant, Stage, TraceEvent, TraceRing};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default number of trace records retained; old records are overwritten.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Shared telemetry hub: metrics registry + trace ring + time epoch.
+#[derive(Debug)]
+pub struct Telemetry {
+    epoch: Instant,
+    registry: Registry,
+    ring: TraceRing,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Hub with the default trace capacity.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Hub retaining the most recent `capacity` trace records.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Telemetry {
+            epoch: Instant::now(),
+            registry: Registry::new(),
+            ring: TraceRing::new(capacity),
+        }
+    }
+
+    /// Hub wrapped for sharing across nodes/threads.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Nanoseconds since this hub was created (monotonic).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Counter handle (shorthand for `registry().counter(name)`).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Gauge handle (shorthand for `registry().gauge(name)`).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Histogram handle (shorthand for `registry().histogram(name)`).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(name)
+    }
+
+    /// Record lifecycle stage `stage` of event `seq` on `node`,
+    /// timestamped now. Use [`RaiseVariant::None`] for non-raise stages.
+    pub fn trace(&self, seq: u64, stage: Stage, node: u64, variant: RaiseVariant) {
+        self.ring.push(TraceEvent {
+            seq,
+            t_ns: self.now_ns(),
+            node,
+            stage,
+            variant,
+        });
+    }
+
+    /// The raw trace ring.
+    pub fn ring(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// Surviving trace records, oldest first.
+    pub fn traces(&self) -> Vec<TraceEvent> {
+        self.ring.snapshot()
+    }
+
+    /// Surviving trace records for event `seq`, oldest first.
+    pub fn traces_for(&self, seq: u64) -> Vec<TraceEvent> {
+        self.ring.snapshot_for(seq)
+    }
+
+    /// Copy of every registered metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Full snapshot (metrics + traces) as a JSON document labelled
+    /// `label`.
+    pub fn snapshot_json(&self, label: &str) -> String {
+        json::snapshot_to_json(label, &self.metrics(), &self.traces())
+    }
+
+    /// [`Telemetry::snapshot_json`] keeping only the newest `max_traces`
+    /// trace records (all metrics are always included). Long experiment
+    /// runs use this so the emitted document stays reviewable.
+    pub fn snapshot_json_capped(&self, label: &str, max_traces: usize) -> String {
+        let traces = self.traces();
+        let start = traces.len().saturating_sub(max_traces);
+        json::snapshot_to_json(label, &self.metrics(), &traces[start..])
+    }
+
+    /// Zero all metrics and drop all trace records.
+    pub fn reset(&self) {
+        self.registry.reset();
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let t = Telemetry::new();
+        let a = t.now_ns();
+        let b = t.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn trace_records_round_trip() {
+        let t = Telemetry::new();
+        t.trace(7, Stage::Raise, 0, RaiseVariant::ThreadSync);
+        t.trace(7, Stage::Deliver, 2, RaiseVariant::None);
+        t.trace(8, Stage::Raise, 1, RaiseVariant::GroupAsync);
+        let for_7 = t.traces_for(7);
+        assert_eq!(for_7.len(), 2);
+        assert_eq!(for_7[0].stage, Stage::Raise);
+        assert_eq!(for_7[0].variant, RaiseVariant::ThreadSync);
+        assert_eq!(for_7[1].stage, Stage::Deliver);
+        assert_eq!(for_7[1].node, 2);
+        assert!(for_7[0].t_ns <= for_7[1].t_ns);
+        assert_eq!(t.traces().len(), 3);
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let t = Telemetry::new();
+        t.counter("raises").add(3);
+        t.gauge("in_flight").set(-2);
+        t.histogram("latency").record_ns(1_500);
+        t.trace(1, Stage::Raise, 0, RaiseVariant::ObjectAsync);
+        let json = t.snapshot_json("unit \"test\"");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"label\":\"unit \\\"test\\\"\""));
+        assert!(json.contains("\"raises\":3"));
+        assert!(json.contains("\"in_flight\":-2"));
+        assert!(json.contains("\"stage\":\"raise\""));
+        assert!(json.contains("\"variant\":\"object_async\""));
+        // Balanced braces/brackets (no nesting errors).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn reset_clears_metrics_and_traces() {
+        let t = Telemetry::new();
+        t.counter("c").inc();
+        t.trace(1, Stage::Raise, 0, RaiseVariant::ThreadAsync);
+        t.reset();
+        assert_eq!(t.counter("c").get(), 0);
+        assert!(t.traces().is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! Lock-light metrics: named counters, gauges, and fixed-bucket latency
+//! histograms.
+//!
+//! Handles are cheap `Arc`-backed clones; every update is a single atomic
+//! RMW on the hot path. The registry's interior lock is touched only at
+//! registration and snapshot time, never per-increment.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Monotonically increasing event count.
+///
+/// Deliberately mirrors the `AtomicU64` surface (`load`, `fetch_add`) so
+/// struct fields previously typed `AtomicU64` can become `Counter` without
+/// disturbing call sites.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// New counter starting at zero, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value.
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.0.load(order)
+    }
+
+    /// Add `n`, returning the previous value. Wraps on overflow, exactly
+    /// like `AtomicU64::fetch_add`.
+    pub fn fetch_add(&self, n: u64, order: Ordering) -> u64 {
+        self.0.fetch_add(n, order)
+    }
+
+    /// Add one (relaxed).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` (relaxed).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Set the value back to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Instantaneous signed level (queue depths, in-flight totals).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// New gauge at zero, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Set the level back to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of value buckets (a final overflow bucket is stored separately).
+pub const HISTOGRAM_BUCKETS: usize = 20;
+
+/// Upper bound (inclusive) of bucket `i` in nanoseconds: 1µs · 2^i.
+/// Bucket 0 is `<= 1µs`, bucket 19 is `<= ~524ms`; anything slower lands
+/// in the overflow bucket.
+pub fn bucket_bound_ns(i: usize) -> u64 {
+    1_000u64 << i
+}
+
+/// Fixed-bucket latency histogram with power-of-two bucket bounds.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// New empty histogram, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let inner = &*self.0;
+        match (0..HISTOGRAM_BUCKETS).find(|&i| ns <= bucket_bound_ns(i)) {
+            Some(idx) => inner.buckets[idx].fetch_add(1, Ordering::Relaxed),
+            None => inner.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        inner.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record one observation of `d`.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.0.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Per-bucket counts: `HISTOGRAM_BUCKETS` value buckets followed by
+    /// the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let inner = &*self.0;
+        let mut out: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        out.push(inner.overflow.load(Ordering::Relaxed));
+        out
+    }
+
+    /// Upper bound of the smallest bucket holding the `p`-quantile
+    /// (`0.0..=1.0`), or `max_ns` for observations past the last bound.
+    pub fn quantile_bound_ns(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bound_ns(i);
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Clear all buckets and aggregates.
+    pub fn reset(&self) {
+        let inner = &*self.0;
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        inner.overflow.store(0, Ordering::Relaxed);
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum_ns.store(0, Ordering::Relaxed);
+        inner.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Value buckets then overflow; see [`Histogram::bucket_counts`].
+    pub buckets: Vec<u64>,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations (ns).
+    pub sum_ns: u64,
+    /// Largest observation (ns).
+    pub max_ns: u64,
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Name → metric directory. Handles registered under the same name share
+/// storage, so any component can look up a metric by name and observe the
+/// same series.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<RegistryInner>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter handle for `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.read().counters.get(name) {
+            return c.clone();
+        }
+        self.inner
+            .write()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Gauge handle for `name`, creating it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            return g.clone();
+        }
+        self.inner
+            .write()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Histogram handle for `name`, creating it empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.read().histograms.get(name) {
+            return h.clone();
+        }
+        self.inner
+            .write()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Copy every metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.read();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            buckets: v.bucket_counts(),
+                            count: v.count(),
+                            sum_ns: v.sum_ns(),
+                            max_ns: v.max_ns(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Zero every registered metric (handles stay valid).
+    pub fn reset(&self) {
+        let inner = self.inner.read();
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for g in inner.gauges.values() {
+            g.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}

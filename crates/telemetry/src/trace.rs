@@ -1,0 +1,187 @@
+//! Structured trace ring for the event raise lifecycle.
+//!
+//! Every stage an event passes through — raise, route/locate, network
+//! send, delivery, handler-chain walk, unwind/ack — appends one
+//! [`TraceEvent`] carrying the event's cluster-unique sequence number, the
+//! node acting, a monotonic timestamp, and (at raise time) the §5.3
+//! addressing/blocking variant. The ring has fixed capacity and
+//! overwrites the oldest records; writers claim a slot with one atomic
+//! fetch-add and then take only that slot's own lock, so tracing stays
+//! cheap under heavy multi-thread load.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lifecycle stage of an event raise, in causal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// `raise`/`raise_and_wait` called on the source node.
+    Raise,
+    /// Target resolution: locate probes sent or local routing decided.
+    Route,
+    /// Delivery message handed to the network substrate.
+    Send,
+    /// Event accepted at the target node's delivery point.
+    Deliver,
+    /// Handler chain walked on the recipient thread/object.
+    ChainWalk,
+    /// Final disposition: resume/terminate decided, sync raiser acked.
+    Unwind,
+}
+
+impl Stage {
+    /// Stable lowercase name used in JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Raise => "raise",
+            Stage::Route => "route",
+            Stage::Send => "send",
+            Stage::Deliver => "deliver",
+            Stage::ChainWalk => "chain_walk",
+            Stage::Unwind => "unwind",
+        }
+    }
+
+    /// Causal position (Raise = 0 .. Unwind = 5).
+    pub fn order(self) -> u8 {
+        self as u8
+    }
+}
+
+/// The six raise variants of the paper's §5.3 table: three addressing
+/// modes × blocking (`raise_and_wait`) or non-blocking (`raise`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaiseVariant {
+    /// Not a raise record, or variant unknown at this stage.
+    None,
+    /// `raise(thread)`.
+    ThreadAsync,
+    /// `raise_and_wait(thread)`.
+    ThreadSync,
+    /// `raise(group)`.
+    GroupAsync,
+    /// `raise_and_wait(group)`.
+    GroupSync,
+    /// `raise(object)`.
+    ObjectAsync,
+    /// `raise_and_wait(object)`.
+    ObjectSync,
+}
+
+impl RaiseVariant {
+    /// Stable lowercase name used in JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RaiseVariant::None => "none",
+            RaiseVariant::ThreadAsync => "thread_async",
+            RaiseVariant::ThreadSync => "thread_sync",
+            RaiseVariant::GroupAsync => "group_async",
+            RaiseVariant::GroupSync => "group_sync",
+            RaiseVariant::ObjectAsync => "object_async",
+            RaiseVariant::ObjectSync => "object_sync",
+        }
+    }
+
+    /// True for the blocking (`raise_and_wait`) variants.
+    pub fn is_sync(self) -> bool {
+        matches!(
+            self,
+            RaiseVariant::ThreadSync | RaiseVariant::GroupSync | RaiseVariant::ObjectSync
+        )
+    }
+}
+
+/// One record in the trace ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cluster-unique sequence number of the raised event.
+    pub seq: u64,
+    /// Nanoseconds since the owning `Telemetry`'s epoch (monotonic and
+    /// comparable across threads and simulated nodes).
+    pub t_ns: u64,
+    /// Node on which this stage executed.
+    pub node: u64,
+    /// Lifecycle stage.
+    pub stage: Stage,
+    /// §5.3 variant; meaningful on `Raise` records, `None` elsewhere.
+    pub variant: RaiseVariant,
+}
+
+struct Slot {
+    // (arrival index, event); arrival index orders records globally and
+    // disambiguates slot reuse after wraparound.
+    cell: Mutex<Option<(u64, TraceEvent)>>,
+}
+
+/// Fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl TraceRing {
+    /// Ring holding the most recent `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    cell: Mutex::new(None),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed (including ones since overwritten).
+    pub fn total_recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Append a record, overwriting the oldest once full.
+    pub fn push(&self, ev: TraceEvent) {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx % self.slots.len() as u64) as usize];
+        *slot.cell.lock() = Some((idx, ev));
+    }
+
+    /// Surviving records, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut with_idx: Vec<(u64, TraceEvent)> = self
+            .slots
+            .iter()
+            .filter_map(|s| *s.cell.lock())
+            .collect();
+        with_idx.sort_unstable_by_key(|(i, _)| *i);
+        with_idx.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Surviving records for one event sequence number, oldest first.
+    pub fn snapshot_for(&self, seq: u64) -> Vec<TraceEvent> {
+        self.snapshot()
+            .into_iter()
+            .filter(|ev| ev.seq == seq)
+            .collect()
+    }
+
+    /// Discard every record (total_recorded keeps counting up).
+    pub fn clear(&self) {
+        for s in self.slots.iter() {
+            *s.cell.lock() = None;
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity())
+            .field("total_recorded", &self.total_recorded())
+            .finish()
+    }
+}

@@ -1,0 +1,151 @@
+//! Telemetry correctness: histogram bucketing, counter overflow/reset,
+//! trace-ring wraparound, and a multi-thread increment hammer.
+
+use doct_telemetry::{
+    bucket_bound_ns, Counter, Histogram, RaiseVariant, Stage, Telemetry, TraceEvent, TraceRing,
+    HISTOGRAM_BUCKETS,
+};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn histogram_buckets_values_at_and_around_bounds() {
+    let h = Histogram::new();
+    // Exactly at each bound → that bucket; one past → next bucket.
+    for i in 0..HISTOGRAM_BUCKETS {
+        h.record_ns(bucket_bound_ns(i));
+    }
+    let counts = h.bucket_counts();
+    for (i, &c) in counts.iter().take(HISTOGRAM_BUCKETS).enumerate() {
+        assert_eq!(c, 1, "bound of bucket {i} must land in bucket {i}");
+    }
+    assert_eq!(counts[HISTOGRAM_BUCKETS], 0, "no overflow yet");
+
+    h.reset();
+    h.record_ns(0); // below every bound → bucket 0
+    h.record_ns(bucket_bound_ns(0) + 1); // just past bucket 0 → bucket 1
+    h.record_ns(bucket_bound_ns(HISTOGRAM_BUCKETS - 1) + 1); // past last → overflow
+    h.record_ns(u64::MAX); // far past last → overflow
+    let counts = h.bucket_counts();
+    assert_eq!(counts[0], 1);
+    assert_eq!(counts[1], 1);
+    assert_eq!(counts[HISTOGRAM_BUCKETS], 2);
+    assert_eq!(h.count(), 3 + 1);
+    assert_eq!(h.max_ns(), u64::MAX);
+}
+
+#[test]
+fn histogram_aggregates_and_quantiles() {
+    let h = Histogram::new();
+    for _ in 0..90 {
+        h.record_ns(500); // bucket 0 (<= 1µs)
+    }
+    for _ in 0..10 {
+        h.record_ns(3_000); // bucket 2 (<= 4µs)
+    }
+    assert_eq!(h.count(), 100);
+    assert_eq!(h.sum_ns(), 90 * 500 + 10 * 3_000);
+    assert_eq!(h.mean_ns(), (90 * 500 + 10 * 3_000) / 100);
+    assert_eq!(h.quantile_bound_ns(0.5), bucket_bound_ns(0));
+    assert_eq!(h.quantile_bound_ns(0.99), bucket_bound_ns(2));
+    assert_eq!(h.quantile_bound_ns(1.0), bucket_bound_ns(2));
+}
+
+#[test]
+fn counter_wraps_on_overflow_and_resets() {
+    let c = Counter::new();
+    c.fetch_add(u64::MAX, Ordering::Relaxed);
+    assert_eq!(c.get(), u64::MAX);
+    // AtomicU64 semantics: adding past MAX wraps.
+    let prev = c.fetch_add(2, Ordering::Relaxed);
+    assert_eq!(prev, u64::MAX);
+    assert_eq!(c.get(), 1);
+    c.reset();
+    assert_eq!(c.load(Ordering::Relaxed), 0);
+    c.inc();
+    assert_eq!(c.get(), 1, "counter usable again after reset");
+}
+
+#[test]
+fn trace_ring_wraparound_keeps_newest_in_order() {
+    let ring = TraceRing::new(8);
+    for seq in 0..20u64 {
+        ring.push(TraceEvent {
+            seq,
+            t_ns: seq * 10,
+            node: 0,
+            stage: Stage::Raise,
+            variant: RaiseVariant::ThreadAsync,
+        });
+    }
+    assert_eq!(ring.total_recorded(), 20);
+    let got = ring.snapshot();
+    assert_eq!(got.len(), 8, "capacity bounds survivors");
+    let seqs: Vec<u64> = got.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, (12..20).collect::<Vec<_>>(), "newest 8, oldest first");
+}
+
+#[test]
+fn eight_thread_hammer_loses_no_increments() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let tel = Arc::new(Telemetry::with_trace_capacity(1024));
+    let counter = tel.counter("hammer.count");
+    let gauge = tel.gauge("hammer.level");
+    let hist = tel.histogram("hammer.lat");
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let tel = Arc::clone(&tel);
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            let hist = hist.clone();
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(if i % 2 == 0 { 1 } else { -1 });
+                    hist.record_ns(i % 10_000);
+                    if i % 64 == 0 {
+                        tel.trace(t as u64, Stage::Deliver, t as u64, RaiseVariant::None);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let expected = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), expected, "no lost counter increments");
+    assert_eq!(gauge.get(), 0, "balanced gauge updates cancel exactly");
+    assert_eq!(hist.count(), expected, "no lost histogram observations");
+    assert_eq!(
+        hist.bucket_counts().iter().sum::<u64>(),
+        expected,
+        "every observation landed in exactly one bucket"
+    );
+    let traced = THREADS as u64 * PER_THREAD.div_ceil(64);
+    assert_eq!(tel.ring().total_recorded(), traced);
+    assert_eq!(
+        tel.traces().len(),
+        1024.min(traced as usize),
+        "ring holds min(capacity, total)"
+    );
+}
+
+#[test]
+fn registry_snapshot_reflects_named_handles() {
+    let tel = Telemetry::new();
+    // Two handles to the same name share storage.
+    let a = tel.counter("shared");
+    let b = tel.counter("shared");
+    a.add(2);
+    b.add(3);
+    let snap = tel.metrics();
+    assert_eq!(snap.counters.get("shared"), Some(&5));
+    tel.registry().reset();
+    assert_eq!(a.get(), 0);
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel` is provided: a multi-producer multi-consumer
+//! channel built on `Mutex` + `Condvar` with the same observable semantics
+//! as crossbeam's for the operations this workspace uses — cloneable
+//! senders *and* receivers, buffered messages still deliverable after all
+//! senders drop, `send` failing once every receiver is gone.
+
+pub mod channel;

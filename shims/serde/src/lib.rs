@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` on
+//! wire-facing types — nothing calls `serialize`/`deserialize` or bounds
+//! a generic on these traits. This shim supplies marker traits plus
+//! no-op derive macros so those annotations compile unchanged.
+
+/// Marker trait; see crate docs. The paired derive emits no impl, and
+/// nothing in the workspace requires one.
+pub trait Serialize {}
+
+/// Marker trait; see crate docs.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace annotates wire-facing types with serde derives to keep
+//! them serialization-ready, but never actually serializes (transport is
+//! in-process channels). These derives accept the annotation and emit
+//! nothing, so the types build without the real `serde` machinery.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and its `#[serde(...)]` helper
+/// attribute) and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and its `#[serde(...)]` helper
+/// attribute) and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

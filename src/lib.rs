@@ -50,9 +50,11 @@ pub use doct_events as events;
 pub use doct_kernel as kernel;
 pub use doct_net as net;
 pub use doct_services as services;
+pub use doct_telemetry as telemetry;
 
 /// Commonly used types, re-exported for examples and downstream users.
 pub mod prelude {
     pub use doct_net::{LatencyModel, NetStats, NodeId};
     pub use doct_services::prelude::*;
+    pub use doct_telemetry::{RaiseVariant, Stage, Telemetry, TraceEvent};
 }

@@ -1,13 +1,14 @@
-//! Property tests for the DSM substrate: a random single-threaded script
-//! of reads/writes issued from random nodes must behave exactly like one
-//! flat byte array (sequential consistency is trivially testable for a
-//! sequential program — the protocol must not lose or corrupt data while
-//! pages migrate).
+//! Randomized tests for the DSM substrate: a random single-threaded
+//! script of reads/writes issued from random nodes must behave exactly
+//! like one flat byte array (sequential consistency is trivially testable
+//! for a sequential program — the protocol must not lose or corrupt data
+//! while pages migrate). Scripts come from a fixed seed, so every run
+//! replays the same corpus.
 
 use doct::dsm::loopback::LoopbackCluster;
 use doct::dsm::{AccessLevel, PageId};
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -23,34 +24,35 @@ enum Op {
     },
 }
 
-fn arb_op(nodes: usize, seg_size: usize) -> impl Strategy<Value = Op> {
-    let w =
-        (0..nodes, 0..seg_size, vec(any::<u8>(), 1..32)).prop_map(move |(node, offset, data)| {
-            let offset = offset.min(seg_size - 1);
-            let len = data.len().min(seg_size - offset);
-            Op::Write {
-                node,
-                offset,
-                data: data[..len].to_vec(),
-            }
-        });
-    let r = (0..nodes, 0..seg_size, 1usize..32).prop_map(move |(node, offset, len)| {
-        let offset = offset.min(seg_size - 1);
+fn arb_op(rng: &mut StdRng, nodes: usize, seg_size: usize) -> Op {
+    let node = rng.gen_range(0..nodes);
+    let offset = rng.gen_range(0..seg_size);
+    if rng.gen_range(0..2u32) == 0 {
+        let want = rng.gen_range(1..32usize);
+        let len = want.min(seg_size - offset).max(1);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+        Op::Write { node, offset, data }
+    } else {
+        let want = rng.gen_range(1..32usize);
         Op::Read {
             node,
             offset,
-            len: len.min(seg_size - offset),
+            len: want.min(seg_size - offset).max(1),
         }
-    });
-    prop_oneof![w, r]
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_script(rng: &mut StdRng, nodes: usize, seg_size: usize, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| arb_op(rng, nodes, seg_size)).collect()
+}
 
-    #[test]
-    fn random_script_matches_flat_memory(ops in vec(arb_op(3, 3000), 1..60)) {
-        const SEG: usize = 3000;
+#[test]
+fn random_script_matches_flat_memory() {
+    const SEG: usize = 3000;
+    let mut rng = StdRng::seed_from_u64(0xD5A0_0001);
+    for case in 0..48 {
+        let ops = arb_script(&mut rng, 3, SEG, 60);
         let cluster = LoopbackCluster::new(3);
         let seg = cluster.shared_segment(0, SEG);
         let mut oracle = vec![0u8; SEG];
@@ -62,24 +64,32 @@ proptest! {
                 }
                 Op::Read { node, offset, len } => {
                     let got = cluster.node(*node).read(seg.id, *offset, *len).expect("read");
-                    prop_assert_eq!(&got[..], &oracle[*offset..*offset + *len],
-                        "read at {} len {} from n{}", offset, len, node);
+                    assert_eq!(
+                        &got[..],
+                        &oracle[*offset..*offset + *len],
+                        "case {case}: read at {offset} len {len} from n{node}"
+                    );
                 }
             }
         }
         // Final full scan from every node agrees with the oracle.
         for n in 0..3 {
             let got = cluster.node(n).read(seg.id, 0, SEG).expect("scan");
-            prop_assert_eq!(&got[..], &oracle[..], "final scan from n{}", n);
+            assert_eq!(&got[..], &oracle[..], "case {case}: final scan from n{n}");
         }
     }
+}
 
-    #[test]
-    fn swmr_invariant_holds_after_any_script(ops in vec(arb_op(3, 2048), 1..40)) {
+#[test]
+fn swmr_invariant_holds_after_any_script() {
+    const SEG: usize = 2048;
+    let mut rng = StdRng::seed_from_u64(0xD5A0_0002);
+    for case in 0..48 {
         // After the script, every page has at most one Owned holder, and
         // if a page has an Owned holder no other node holds Read.
+        let ops = arb_script(&mut rng, 3, SEG, 40);
         let cluster = LoopbackCluster::new(3);
-        let seg = cluster.shared_segment(0, 2048);
+        let seg = cluster.shared_segment(0, SEG);
         for op in &ops {
             match op {
                 Op::Write { node, offset, data } => {
@@ -96,10 +106,12 @@ proptest! {
                 (0..3).map(|n| cluster.node(n).access_level(page)).collect();
             let owners = levels.iter().filter(|&&l| l == AccessLevel::Owned).count();
             let readers = levels.iter().filter(|&&l| l == AccessLevel::Read).count();
-            prop_assert!(owners <= 1, "page {}: {} owners", index, owners);
+            assert!(owners <= 1, "case {case}: page {index}: {owners} owners");
             if owners == 1 {
-                prop_assert_eq!(readers, 0,
-                    "page {}: owner plus {} readers", index, readers);
+                assert_eq!(
+                    readers, 0,
+                    "case {case}: page {index}: owner plus {readers} readers"
+                );
             }
         }
     }

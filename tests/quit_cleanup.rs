@@ -1,0 +1,65 @@
+//! QUIT (§6.3 second phase) must be unmaskable AND still honor §4.2's
+//! unlock-on-death guarantee: a thread hard-killed inside its critical
+//! section runs its TERMINATE-chained cleanup handlers before dying, so
+//! no lock leaks. This is the deterministic core of the race the
+//! hard-termination soak exercises statistically: a QUIT landing at any
+//! delivery point while a lock is held used to leak it forever.
+
+use doct::prelude::*;
+use doct_events::EventFacility;
+use std::time::Duration;
+
+#[test]
+fn quit_while_holding_a_lock_releases_it() {
+    let cluster = Cluster::new(2);
+    let _facility = EventFacility::install(&cluster);
+    let locks = LockManager::create(&cluster, NodeId(1)).unwrap();
+    let h = cluster
+        .spawn_fn(0, move |ctx| {
+            let _lock = locks.acquire(ctx, "hot")?;
+            // Park inside the critical section; the sleep is a delivery
+            // point, so the QUIT below lands while the lock is held.
+            ctx.sleep(Duration::from_secs(60))?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    cluster
+        .raise_from(1, SystemEvent::Quit, Value::Null, h.thread())
+        .wait();
+    let r = h.join_timeout(Duration::from_secs(10)).expect("dead");
+    assert!(matches!(r, Err(KernelError::Terminated)), "{r:?}");
+    let held = cluster
+        .spawn_fn(1, move |ctx| Ok(Value::Int(locks.held_count(ctx)?)))
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(held, Value::Int(0), "QUIT must release held locks");
+}
+
+#[test]
+fn quit_cannot_be_masked_by_a_resume_handler() {
+    // A TERMINATE handler that Resumes can rescue the thread from
+    // TERMINATE — but on QUIT it runs for side effects only and the
+    // thread dies regardless.
+    let cluster = Cluster::new(1);
+    let _facility = EventFacility::install(&cluster);
+    let h = cluster
+        .spawn_fn(0, move |ctx| {
+            use doct_events::{AttachSpec, CtxEvents, HandlerDecision};
+            ctx.attach_handler(
+                SystemEvent::Terminate,
+                AttachSpec::proc("shield", |_c, _b| HandlerDecision::Resume(Value::Null)),
+            );
+            loop {
+                ctx.sleep(Duration::from_millis(5))?;
+            }
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    cluster
+        .raise_from(0, SystemEvent::Quit, Value::Null, h.thread())
+        .wait();
+    let r = h.join_timeout(Duration::from_secs(10)).expect("dead");
+    assert!(matches!(r, Err(KernelError::Terminated)), "{r:?}");
+}

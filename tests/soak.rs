@@ -6,7 +6,13 @@
 //! * locked counter increments are never lost (the lock manager works
 //!   under contention),
 //! * every lock is released after termination (cleanup chains ran),
-//! * the cluster quiesces with zero orphan activations.
+//! * the cluster quiesces with zero orphan activations,
+//! * the telemetry delivery ledger balances: every tracked raise was
+//!   resolved as delivered, dead, or timed out.
+//!
+//! The randomized schedules derive from one base seed, `DOCT_SEED`
+//! (default below), so failures replay deterministically; the seed is
+//! printed when a test panics.
 
 use doct::prelude::*;
 use doct_events::EventFacility;
@@ -20,8 +26,54 @@ const NODES: usize = 6;
 const WORKERS: usize = 18;
 const RUN_FOR: Duration = Duration::from_secs(3);
 
+/// Base seed for every RNG in this file: `DOCT_SEED` if set, else a fixed
+/// default so runs are deterministic out of the box.
+fn base_seed() -> u64 {
+    match std::env::var("DOCT_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("DOCT_SEED must be a u64, got {s:?}")),
+        Err(_) => 0xD0C7_5EED,
+    }
+}
+
+/// Prints the seed if the test panics, so the failing schedule can be
+/// replayed with `DOCT_SEED=<seed> cargo test --test soak`.
+struct SeedReport(u64);
+
+impl Drop for SeedReport {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "soak failed with base seed {}; replay with DOCT_SEED={}",
+                self.0, self.0
+            );
+        }
+    }
+}
+
+/// At quiescence every tracked raise must be accounted for:
+/// requested == delivered + dead + timed out.
+fn assert_delivery_ledger_balances(cluster: &Cluster) {
+    let counters = cluster.telemetry().metrics().counters;
+    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+    let requested = get("delivery.requested");
+    let resolved = get("delivery.delivered") + get("delivery.dead") + get("delivery.timeout");
+    assert_eq!(
+        requested, resolved,
+        "delivery ledger out of balance: requested {requested} != \
+         delivered {} + dead {} + timeout {}",
+        get("delivery.delivered"),
+        get("delivery.dead"),
+        get("delivery.timeout")
+    );
+    assert!(requested > 0, "soak raised no tracked events");
+}
+
 #[test]
 fn randomized_soak_with_clean_teardown() {
+    let seed = base_seed();
+    let _report = SeedReport(seed);
     let cluster = Cluster::new(NODES);
     let facility = EventFacility::install(&cluster);
     facility.register_event("NUDGE");
@@ -85,7 +137,7 @@ fn randomized_soak_with_clean_teardown() {
                             HandlerDecision::Resume(Value::Null)
                         }),
                     );
-                    let mut rng = StdRng::seed_from_u64(0xD0C7 + w as u64);
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
                     let mut group_members: Vec<ThreadId> = Vec::new();
                     while !stop.load(Ordering::Relaxed) {
                         match rng.gen_range(0..6) {
@@ -181,6 +233,8 @@ fn randomized_soak_with_clean_teardown() {
         nudges_handled.load(Ordering::Relaxed) > 10,
         "suspiciously few events handled"
     );
+
+    assert_delivery_ledger_balances(&cluster);
 }
 
 #[test]
@@ -188,6 +242,8 @@ fn soak_with_hard_termination_releases_everything() {
     // Same churn, but instead of a cooperative stop the whole group is
     // terminated mid-flight (QUIT). Afterwards: no orphans and no held
     // locks — even for threads killed inside their critical sections.
+    let seed = base_seed();
+    let _report = SeedReport(seed);
     let cluster = Cluster::new(4);
     let facility = EventFacility::install(&cluster);
     facility.register_event("NUDGE");
@@ -217,7 +273,7 @@ fn soak_with_hard_termination_releases_everything() {
         handles.push(
             cluster
                 .spawn_fn_with(w % 4, opts, move |ctx| {
-                    let mut rng = StdRng::seed_from_u64(0xBAD + w as u64);
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xBAD + w as u64));
                     loop {
                         let lock = locks.acquire(ctx, "hot")?;
                         ctx.invoke(shared, "incr", Value::Null)?;
@@ -250,4 +306,5 @@ fn soak_with_hard_termination_releases_everything() {
         .join()
         .unwrap();
     assert_eq!(held, Value::Int(0), "no lock leaked through the kill");
+    assert_delivery_ledger_balances(&cluster);
 }

@@ -1,0 +1,127 @@
+//! End-to-end telemetry lifecycle check: one synchronous raise across a
+//! 2-node cluster must leave a trace covering every stage of the event's
+//! life — raise, route, network send, delivery, handler-chain walk, and
+//! the unwind/ack — with timestamps that never run backwards along the
+//! causal chain.
+
+use doct::prelude::*;
+use doct_events::EventFacility;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn remote_sync_raise_traces_every_lifecycle_stage() {
+    let cluster = Cluster::new(2);
+    let facility = EventFacility::install(&cluster);
+    let ev = facility.register_event("LIFE");
+
+    // Recipient thread on node 1; the raise below must cross the network.
+    let ev2 = ev.clone();
+    let target = cluster
+        .spawn_fn(1, move |ctx| {
+            ctx.attach_handler(
+                ev2,
+                AttachSpec::proc("ack", |_c, b| {
+                    HandlerDecision::Resume(Value::Int(b.payload.as_int().unwrap_or(0) + 1))
+                }),
+            );
+            ctx.sleep(Duration::from_secs(60))?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Synchronous raise from node 0: blocks until the remote handler's
+    // verdict comes back, so by the time join() returns the whole
+    // lifecycle has been traced.
+    let tid = target.thread();
+    let verdict = cluster
+        .spawn_fn(0, move |ctx| ctx.raise_and_wait(ev, 41i64, tid))
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(verdict, Value::Int(42));
+
+    let telemetry = Arc::clone(cluster.telemetry());
+    let seq = telemetry
+        .traces()
+        .iter()
+        .filter(|t| t.stage == Stage::Raise && t.variant == RaiseVariant::ThreadSync)
+        .map(|t| t.seq)
+        .next_back()
+        .expect("the sync raise left a Raise trace");
+    let trace = telemetry.traces_for(seq);
+
+    // Every lifecycle stage appears.
+    let expected = [
+        Stage::Raise,
+        Stage::Route,
+        Stage::Send,
+        Stage::Deliver,
+        Stage::ChainWalk,
+        Stage::Unwind,
+    ];
+    for stage in expected {
+        assert!(
+            trace.iter().any(|t| t.stage == stage),
+            "missing {stage:?} in {trace:?}"
+        );
+    }
+
+    // Raise-side stages execute on node 0, delivery-side on node 1.
+    for t in &trace {
+        match t.stage {
+            Stage::Raise | Stage::Route | Stage::Send => {
+                assert_eq!(t.node, 0, "{:?} happens on the raising node", t.stage);
+            }
+            Stage::Deliver | Stage::ChainWalk => {
+                assert_eq!(t.node, 1, "{:?} happens on the recipient node", t.stage);
+            }
+            Stage::Unwind => {}
+        }
+    }
+
+    // First occurrence of each stage is non-decreasing in causal order:
+    // all records share one cluster-wide monotonic epoch.
+    let first = |stage: Stage| {
+        trace
+            .iter()
+            .filter(|t| t.stage == stage)
+            .map(|t| t.t_ns)
+            .min()
+            .unwrap()
+    };
+    let times: Vec<u64> = expected.iter().map(|&s| first(s)).collect();
+    for pair in times.windows(2) {
+        assert!(
+            pair[0] <= pair[1],
+            "lifecycle timestamps ran backwards: {times:?}"
+        );
+    }
+
+    // The sync raise also feeds the latency histogram and the delivery
+    // accounting counters.
+    let metrics = telemetry.metrics();
+    assert!(metrics.counters.get("event.raises").copied().unwrap_or(0) >= 1);
+    let requested = metrics
+        .counters
+        .get("delivery.requested")
+        .copied()
+        .unwrap_or(0);
+    let delivered = metrics
+        .counters
+        .get("delivery.delivered")
+        .copied()
+        .unwrap_or(0);
+    assert!(requested >= 1 && delivered >= 1);
+    let hist = metrics
+        .histograms
+        .get("event.deliver_latency_ns")
+        .expect("delivery latency histogram exists");
+    assert!(hist.count >= 1, "remote delivery recorded its latency");
+
+    cluster
+        .raise_from(0, SystemEvent::Quit, Value::Null, tid)
+        .wait();
+    let _ = target.join_timeout(Duration::from_secs(5));
+}

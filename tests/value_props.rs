@@ -1,61 +1,115 @@
-//! Property tests for the `Value` codec used for invocation arguments and
-//! DSM-resident object state.
+//! Randomized tests for the `Value` codec used for invocation arguments
+//! and DSM-resident object state. Cases are generated from a fixed seed
+//! so every run explores the same corpus deterministically.
 
 use doct::kernel::Value;
-use proptest::collection::{btree_map, vec};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        // Totally ordered floats only (NaN breaks PartialEq round-trips,
-        // and the codec is allowed to require that).
-        (-1e15f64..1e15).prop_map(Value::Float),
-        ".{0,40}".prop_map(Value::Str),
-        vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
-    ];
-    leaf.prop_recursive(3, 64, 8, |inner| {
-        prop_oneof![
-            vec(inner.clone(), 0..8).prop_map(Value::List),
-            btree_map("[a-z]{1,8}", inner, 0..8).prop_map(Value::Map),
-        ]
-    })
+const CASES: u64 = 512;
+
+fn arb_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            // Mix ASCII with a few multi-byte code points.
+            match rng.gen_range(0..10u32) {
+                0 => 'é',
+                1 => '√',
+                2 => '"',
+                3 => '\\',
+                _ => char::from(rng.gen_range(0x20u32..0x7f) as u8),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn arb_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len.max(1));
+    (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect()
+}
 
-    #[test]
-    fn encode_decode_round_trips(v in arb_value()) {
+/// Random `Value`, at most `depth` container levels deep.
+fn arb_value(rng: &mut StdRng, depth: usize) -> Value {
+    let variants = if depth == 0 { 6 } else { 8 };
+    match rng.gen_range(0..variants) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_range(0..2u32) == 1),
+        2 => Value::Int(rng.gen_range(i64::MIN..i64::MAX)),
+        // Totally ordered floats only (NaN breaks PartialEq round-trips,
+        // and the codec is allowed to require that).
+        3 => Value::Float(rng.gen_range(-1_000_000_000i64..1_000_000_000) as f64 / 64.0),
+        4 => Value::Str(arb_string(rng, 40)),
+        5 => Value::Bytes(arb_bytes(rng, 64)),
+        6 => Value::List((0..rng.gen_range(0..8usize)).map(|_| arb_value(rng, depth - 1)).collect()),
+        _ => {
+            let mut m = BTreeMap::new();
+            for _ in 0..rng.gen_range(0..8usize) {
+                let len = rng.gen_range(1..=8usize);
+                let key: String = (0..len)
+                    .map(|_| char::from(b'a' + rng.gen_range(0u64..26) as u8))
+                    .collect();
+                m.insert(key, arb_value(rng, depth - 1));
+            }
+            Value::Map(m)
+        }
+    }
+}
+
+#[test]
+fn encode_decode_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for case in 0..CASES {
+        let v = arb_value(&mut rng, 3);
         let bytes = v.encode();
         let back = Value::decode(&bytes).expect("decode");
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v, "case {case}");
     }
+}
 
-    #[test]
-    fn wire_size_bounds_encoded_size(v in arb_value()) {
+#[test]
+fn wire_size_bounds_encoded_size() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for case in 0..CASES {
+        let v = arb_value(&mut rng, 3);
         // wire_size is an estimate; it must be at least the scalar payload
         // size and never absurdly smaller than the encoding.
         let enc = v.encode();
-        prop_assert!(v.wire_size() + 16 >= enc.len() / 2,
-            "wire_size {} vs encoded {}", v.wire_size(), enc.len());
+        assert!(
+            v.wire_size() + 16 >= enc.len() / 2,
+            "case {case}: wire_size {} vs encoded {}",
+            v.wire_size(),
+            enc.len()
+        );
     }
+}
 
-    #[test]
-    fn truncation_never_panics_and_always_errors(v in arb_value(), cut in 0usize..100) {
+#[test]
+fn truncation_never_panics_and_always_errors() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    for case in 0..CASES {
+        let v = arb_value(&mut rng, 3);
         let bytes = v.encode();
+        let cut = rng.gen_range(0..100usize);
         if cut < bytes.len() {
             // Truncated input must error (not panic); prefix-decoding can
             // only succeed for the empty-trailing case which truncation
             // excludes.
-            prop_assert!(Value::decode(&bytes[..cut]).is_err());
+            assert!(
+                Value::decode(&bytes[..cut]).is_err(),
+                "case {case}: cut {cut} of {} decoded",
+                bytes.len()
+            );
         }
     }
+}
 
-    #[test]
-    fn garbage_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+#[test]
+fn garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+    for _ in 0..CASES {
+        let bytes = arb_bytes(&mut rng, 256);
         let _ = Value::decode(&bytes);
     }
 }
