@@ -34,7 +34,8 @@ fn run_one(which: &str) -> Result<(), doct_kernel::KernelError> {
         "e8" => e8_rpc_vs_dsm::table(&e8_rpc_vs_dsm::run()?).print(),
         "e9" => e9_monitor_overhead::table(&e9_monitor_overhead::run()?).print(),
         "e10" => e10_interest_lists::table(&e10_interest_lists::run()?).print(),
-        other => eprintln!("unknown experiment {other:?} (expected e1..e10 or all)"),
+        "e11" => e11_partition_heal::table(&e11_partition_heal::run()?).print(),
+        other => eprintln!("unknown experiment {other:?} (expected e1..e11 or all)"),
     }
     Ok(())
 }
@@ -46,8 +47,10 @@ fn emit_telemetry(full_json: bool) {
         if full_json {
             println!("{json}");
         } else {
-            eprintln!("[telemetry {label}: {} bytes of JSON; re-run with --telemetry to print]",
-                json.len());
+            eprintln!(
+                "[telemetry {label}: {} bytes of JSON; re-run with --telemetry to print]",
+                json.len()
+            );
         }
     }
 }
@@ -56,7 +59,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full_json = args.iter().any(|a| a == "--telemetry");
     let args: Vec<String> = args.into_iter().filter(|a| a != "--telemetry").collect();
-    let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+    let all = [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    ];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()
     } else {

@@ -8,7 +8,7 @@
 //! * **E1** reproduces the paper's table as a *conformance* experiment —
 //!   the same six calls, with measured recipient sets and blocking
 //!   behaviour;
-//! * **E2–E10** are *designed* experiments, each quantifying a specific
+//! * **E2–E11** are *designed* experiments, each quantifying a specific
 //!   qualitative claim the paper makes, with the claim quoted in the
 //!   module docs.
 //!
@@ -19,6 +19,7 @@
 //! `benches/`.
 
 pub mod e10_interest_lists;
+pub mod e11_partition_heal;
 pub mod e1_raise_table;
 pub mod e2_thread_location;
 pub mod e3_master_thread;

@@ -46,6 +46,11 @@ pub struct FacilityStats {
     /// moving thread can be found by more than one broadcast/multicast
     /// probe — §7.1's race).
     pub duplicates_suppressed: Counter,
+    /// Dedupe-ring overflows: deliveries that pushed the oldest seq out
+    /// of a full ring. A non-zero value means late duplicates of evicted
+    /// seqs would be re-delivered — raise the ring capacity
+    /// ([`crate::thread_registry::set_default_seen_cap`]) if this grows.
+    pub dedupe_evictions: Counter,
 }
 
 impl FacilityStats {
@@ -61,6 +66,7 @@ impl FacilityStats {
             terminations: registry.counter("facility.terminations"),
             defaults_run: registry.counter("facility.defaults_run"),
             duplicates_suppressed: registry.counter("facility.duplicates_suppressed"),
+            dedupe_evictions: registry.counter("facility.dedupe_evictions"),
         }
     }
 
@@ -322,9 +328,15 @@ impl EventDispatcher for EventFacility {
         // Exactly-once per event instance: duplicate probes finding a
         // moving thread are suppressed here (the ring travels with the
         // thread's attributes).
-        if !crate::attach::registry_of(ctx).mark_seen(event.seq) {
-            FacilityStats::bump(&self.stats.duplicates_suppressed);
-            return ThreadDisposition::Resume;
+        match crate::attach::registry_of(ctx).mark_seen(event.seq) {
+            crate::MarkSeen::Duplicate => {
+                FacilityStats::bump(&self.stats.duplicates_suppressed);
+                return ThreadDisposition::Resume;
+            }
+            crate::MarkSeen::FreshEvicted => {
+                FacilityStats::bump(&self.stats.dedupe_evictions);
+            }
+            crate::MarkSeen::Fresh => {}
         }
         FacilityStats::bump(&self.stats.thread_deliveries);
         self.telemetry.trace(

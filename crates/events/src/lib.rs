@@ -82,7 +82,10 @@ pub use facility::{EventFacility, FacilityStats, OBJECT_TABLE_KEY, THREAD_REGIST
 pub use handler::{AttachSpec, HandlerDecision, ObjectEventHandler, ThreadEventHandler};
 pub use interest::InterestRegistry;
 pub use object_handlers::ObjectHandlerTable;
-pub use thread_registry::{Registration, ThreadRegistry};
+pub use thread_registry::{
+    default_seen_cap, set_default_seen_cap, MarkSeen, Registration, ThreadRegistry,
+    DEFAULT_SEEN_CAP,
+};
 
 /// Commonly used facility types plus the kernel prelude.
 pub mod prelude {

@@ -7,10 +7,51 @@ use doct_kernel::{EventName, Extension, ObjectId};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// How many recently delivered event seqs the dedupe ring remembers.
-const SEEN_CAP: usize = 256;
+/// How many recently delivered event seqs the dedupe ring remembers when
+/// no other capacity is configured.
+pub const DEFAULT_SEEN_CAP: usize = 256;
+
+/// Process-wide default ring capacity for newly created registries.
+static DEFAULT_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_SEEN_CAP);
+
+/// Override the dedupe-ring capacity used by registries created after
+/// this call ([`ThreadRegistry::new`] / attribute-extension creation).
+/// Values below 1 are clamped to 1.
+pub fn set_default_seen_cap(cap: usize) {
+    DEFAULT_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide default dedupe-ring capacity.
+pub fn default_seen_cap() -> usize {
+    DEFAULT_CAP.load(Ordering::Relaxed)
+}
+
+/// Outcome of [`ThreadRegistry::mark_seen`].
+///
+/// The eviction distinction exists because the ring is *bounded*: once a
+/// seq falls out, a late duplicate of it would be re-delivered. Counting
+/// evictions (`facility.dedupe_evictions`) makes that risk observable
+/// instead of silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkSeen {
+    /// First delivery of this seq; nothing was evicted to record it.
+    Fresh,
+    /// First delivery of this seq, and the ring was full — the oldest
+    /// remembered seq was evicted and can no longer be deduplicated.
+    FreshEvicted,
+    /// Already delivered: suppress.
+    Duplicate,
+}
+
+impl MarkSeen {
+    /// True unless this delivery is a duplicate.
+    pub fn is_fresh(self) -> bool {
+        !matches!(self, MarkSeen::Duplicate)
+    }
+}
 
 /// One attached handler.
 #[derive(Debug, Clone)]
@@ -35,10 +76,16 @@ pub struct Registration {
 /// Per-thread LIFO handler chains plus the delivery dedupe ring, stored
 /// as a thread-attribute extension (it travels with the thread, so the
 /// ring is causally consistent with the thread's own execution).
-#[derive(Default)]
 pub struct ThreadRegistry {
     chains: Mutex<HashMap<EventName, Vec<Registration>>>,
     seen: Mutex<VecDeque<u64>>,
+    seen_cap: usize,
+}
+
+impl Default for ThreadRegistry {
+    fn default() -> Self {
+        Self::with_seen_cap(default_seen_cap())
+    }
 }
 
 impl fmt::Debug for ThreadRegistry {
@@ -51,9 +98,24 @@ impl fmt::Debug for ThreadRegistry {
 }
 
 impl ThreadRegistry {
-    /// Empty registry.
+    /// Empty registry with the process-wide default ring capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty registry with an explicit dedupe-ring capacity (clamped to
+    /// at least 1).
+    pub fn with_seen_cap(cap: usize) -> Self {
+        ThreadRegistry {
+            chains: Mutex::new(HashMap::new()),
+            seen: Mutex::new(VecDeque::new()),
+            seen_cap: cap.max(1),
+        }
+    }
+
+    /// This registry's dedupe-ring capacity.
+    pub fn seen_cap(&self) -> usize {
+        self.seen_cap
     }
 
     /// Push a handler onto the event's chain (LIFO: newest runs first).
@@ -101,19 +163,27 @@ impl ThreadRegistry {
         self.len() == 0
     }
 
-    /// Record an event instance as delivered. Returns `false` if the seq
-    /// was already seen — a duplicate delivery (broadcast/multicast probes
-    /// can both find a *moving* thread, the §7.1 race).
-    pub fn mark_seen(&self, seq: u64) -> bool {
+    /// Record an event instance as delivered. Returns
+    /// [`MarkSeen::Duplicate`] if the seq was already seen — a duplicate
+    /// delivery (broadcast/multicast probes can both find a *moving*
+    /// thread, the §7.1 race) — and reports when recording it evicted the
+    /// oldest remembered seq from the bounded ring.
+    pub fn mark_seen(&self, seq: u64) -> MarkSeen {
         let mut seen = self.seen.lock();
         if seen.contains(&seq) {
-            return false;
+            return MarkSeen::Duplicate;
         }
-        if seen.len() >= SEEN_CAP {
+        let mut evicted = false;
+        while seen.len() >= self.seen_cap {
             seen.pop_front();
+            evicted = true;
         }
         seen.push_back(seq);
-        true
+        if evicted {
+            MarkSeen::FreshEvicted
+        } else {
+            MarkSeen::Fresh
+        }
     }
 }
 
@@ -122,7 +192,7 @@ impl Extension for ThreadRegistry {
     /// must not affect the parent (and vice versa), while the inherited
     /// handlers themselves (the `Arc`'d procedures) are shared code.
     fn clone_ext(&self) -> Arc<dyn Extension> {
-        let copy = ThreadRegistry::new();
+        let copy = ThreadRegistry::with_seen_cap(self.seen_cap);
         *copy.chains.lock() = self.chains.lock().clone();
         // The child is a different thread: it starts with an empty ring
         // (its deliveries have fresh seqs anyway).
@@ -189,14 +259,54 @@ mod tests {
     #[test]
     fn mark_seen_dedupes() {
         let r = ThreadRegistry::new();
-        assert!(r.mark_seen(7));
-        assert!(!r.mark_seen(7), "duplicate rejected");
-        assert!(r.mark_seen(8));
+        assert!(r.mark_seen(7).is_fresh());
+        assert_eq!(r.mark_seen(7), MarkSeen::Duplicate, "duplicate rejected");
+        assert!(r.mark_seen(8).is_fresh());
         // Ring keeps the window bounded.
-        for seq in 100..100 + super::SEEN_CAP as u64 + 10 {
-            assert!(r.mark_seen(seq));
+        for seq in 100..100 + DEFAULT_SEEN_CAP as u64 + 10 {
+            assert!(r.mark_seen(seq).is_fresh());
         }
-        assert!(r.mark_seen(7), "evicted seqs can recur (bounded memory)");
+        assert!(
+            r.mark_seen(7).is_fresh(),
+            "evicted seqs can recur (bounded memory)"
+        );
+    }
+
+    #[test]
+    fn overflow_evictions_are_reported_and_reopen_old_seqs() {
+        // Regression for the silent-redelivery hazard: once the bounded
+        // ring overflows, the oldest seq is forgotten and a late
+        // duplicate of it is accepted again. The eviction must be
+        // *visible* (MarkSeen::FreshEvicted) so the facility can count it.
+        let r = ThreadRegistry::with_seen_cap(4);
+        assert_eq!(r.seen_cap(), 4);
+        for seq in 1..=4 {
+            assert_eq!(r.mark_seen(seq), MarkSeen::Fresh);
+        }
+        // Fifth insert overflows: seq 1 is evicted, and the caller is told.
+        assert_eq!(r.mark_seen(5), MarkSeen::FreshEvicted);
+        assert_eq!(
+            r.mark_seen(1),
+            MarkSeen::FreshEvicted,
+            "the evicted seq is silently re-deliverable — exactly what the \
+             eviction counter exists to surface"
+        );
+        // Still-remembered seqs keep deduplicating.
+        assert_eq!(r.mark_seen(5), MarkSeen::Duplicate);
+    }
+
+    #[test]
+    fn seen_cap_is_configurable_and_inherited() {
+        let old = default_seen_cap();
+        set_default_seen_cap(8);
+        let r = ThreadRegistry::new();
+        assert_eq!(r.seen_cap(), 8);
+        let child = r.clone_ext();
+        let child = child.as_any().downcast_ref::<ThreadRegistry>().unwrap();
+        assert_eq!(child.seen_cap(), 8, "clone keeps the parent's cap");
+        set_default_seen_cap(0);
+        assert_eq!(default_seen_cap(), 1, "cap clamps to at least 1");
+        set_default_seen_cap(old);
     }
 
     #[test]

@@ -9,7 +9,9 @@ use crate::{
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use doct_dsm::Backing;
-use doct_net::{LatencyModel, MessageClass, NetStats, Network, NodeId};
+use doct_net::{
+    FailureConfig, LatencyModel, MessageClass, NetStats, Network, NodeId, ReliabilityConfig,
+};
 use doct_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::fmt;
@@ -97,6 +99,7 @@ pub struct ClusterBuilder {
     latency: LatencyModel,
     config: KernelConfig,
     dsm: doct_dsm::DsmConfig,
+    reliability: Option<(ReliabilityConfig, FailureConfig)>,
 }
 
 impl ClusterBuilder {
@@ -107,6 +110,7 @@ impl ClusterBuilder {
             latency: LatencyModel::Zero,
             config: KernelConfig::default(),
             dsm: doct_dsm::DsmConfig::default(),
+            reliability: None,
         }
     }
 
@@ -128,6 +132,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Turn on the acked/retried transport and heartbeat failure detector
+    /// with default tuning.
+    pub fn reliable(self) -> Self {
+        self.reliable_with(ReliabilityConfig::default(), FailureConfig::default())
+    }
+
+    /// Turn on the reliability layer with explicit tuning.
+    pub fn reliable_with(mut self, rel: ReliabilityConfig, failure: FailureConfig) -> Self {
+        self.reliability = Some((rel, failure));
+        self
+    }
+
     /// Build and start the cluster.
     pub fn build(self) -> Cluster {
         let telemetry = Telemetry::shared();
@@ -136,6 +152,9 @@ impl ClusterBuilder {
             self.latency,
             Arc::new(NetStats::bound(telemetry.registry())),
         ));
+        if let Some((rel, failure)) = self.reliability {
+            net.enable_reliability(rel, failure);
+        }
         let directory = Arc::new(ObjectDirectory::new());
         let classes = Arc::new(ClassRegistry::new());
         let groups = Arc::new(GroupRegistry::new());

@@ -483,8 +483,8 @@ impl Ctx {
         let summary = ticket.wait();
         if summary.delivered == 0 {
             return Err(KernelError::Event(format!(
-                "raise_and_wait({name}): no recipient (dead={}, timeout={})",
-                summary.dead, summary.timed_out
+                "raise_and_wait({name}): no recipient (dead={}, timeout={}, lost={})",
+                summary.dead, summary.timed_out, summary.lost
             )));
         }
         let deadline = Instant::now() + self.kernel.config().sync_timeout;

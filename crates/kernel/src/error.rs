@@ -39,6 +39,9 @@ pub enum KernelError {
     Dsm(DsmError),
     /// An operation timed out (lost messages, dead peers).
     Timeout(String),
+    /// The failure detector declared the peer node dead (heartbeat
+    /// silence or exhausted retransmissions) while we were waiting on it.
+    NodeUnreachable(NodeId),
     /// Object state exceeded its DSM segment.
     StateTooLarge {
         /// Object whose state overflowed.
@@ -70,6 +73,9 @@ impl fmt::Display for KernelError {
             KernelError::Event(msg) => write!(f, "event facility error: {msg}"),
             KernelError::Dsm(e) => write!(f, "dsm error: {e}"),
             KernelError::Timeout(what) => write!(f, "timed out: {what}"),
+            KernelError::NodeUnreachable(n) => {
+                write!(f, "node {n} unreachable (failure detector verdict)")
+            }
             KernelError::StateTooLarge {
                 object,
                 need,

@@ -204,6 +204,10 @@ pub enum DeliveryStatus {
     TargetDead,
     /// No response within the delivery timeout.
     Timeout,
+    /// The tracking kernel went away before any verdict arrived (node
+    /// shutdown mid-raise). Distinct from [`DeliveryStatus::Timeout`] so
+    /// the delivery ledger can attribute the loss honestly.
+    Lost,
 }
 
 /// The event facility's hook into kernel delivery points.

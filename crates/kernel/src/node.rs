@@ -102,6 +102,9 @@ pub struct DeliverySummary {
     pub dead: usize,
     /// Recipients whose receipt never arrived.
     pub timed_out: usize,
+    /// Recipients whose tracking kernel vanished before resolving the
+    /// receipt (node shutdown mid-raise) — not a delivery timeout.
+    pub lost: usize,
     /// Nodes where delivery happened.
     pub nodes: Vec<NodeId>,
 }
@@ -109,7 +112,7 @@ pub struct DeliverySummary {
 impl DeliverySummary {
     /// True if every recipient got the event.
     pub fn all_delivered(&self) -> bool {
-        self.dead == 0 && self.timed_out == 0
+        self.dead == 0 && self.timed_out == 0 && self.lost == 0
     }
 }
 
@@ -127,7 +130,10 @@ impl RaiseTicket {
                     summary.nodes.push(n);
                 }
                 Ok(DeliveryStatus::TargetDead) => summary.dead += 1,
-                Ok(DeliveryStatus::Timeout) | Err(_) => summary.timed_out += 1,
+                Ok(DeliveryStatus::Timeout) => summary.timed_out += 1,
+                // A disconnected receipt channel means the tracking
+                // kernel is gone, not that delivery timed out.
+                Ok(DeliveryStatus::Lost) | Err(_) => summary.lost += 1,
             }
         }
         summary
@@ -141,12 +147,15 @@ impl RaiseTicket {
         self.receivers
     }
 
-    fn immediate(status: DeliveryStatus) -> Self {
+    /// Pre-resolved ticket; `timeout` is the facility's configured raise
+    /// timeout so waiters on already-settled receipts behave like every
+    /// other waiter.
+    fn immediate(status: DeliveryStatus, timeout: Duration) -> Self {
         let (tx, rx) = bounded(1);
         let _ = tx.send(status);
         RaiseTicket {
             receivers: vec![rx],
-            timeout: Duration::from_secs(1),
+            timeout,
         }
     }
 }
@@ -452,18 +461,35 @@ impl NodeKernel {
                 Ok(env) => {
                     if matches!(env.payload, KernelMessage::Shutdown) {
                         self.shutdown.store(true, Ordering::Relaxed);
+                        self.drain_deliveries_as_lost();
                         return;
                     }
                     self.handle(env.payload, env.src);
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     if self.shutdown.load(Ordering::Relaxed) {
+                        self.drain_deliveries_as_lost();
                         return;
                     }
                     self.sweep_deliveries();
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    self.drain_deliveries_as_lost();
+                    return;
+                }
             }
+        }
+    }
+
+    /// Resolve every in-flight delivery as [`DeliveryStatus::Lost`] when
+    /// the kernel loop exits: nobody will process receipts after this
+    /// point, so leaving trackers behind would strand raisers until their
+    /// waiter timeout with a misleading `timed_out` verdict.
+    fn drain_deliveries_as_lost(&self) {
+        let mut map = self.deliveries.lock();
+        for (_, t) in map.drain() {
+            self.telemetry.counter("delivery.lost").inc();
+            let _ = t.result_tx.send(DeliveryStatus::Lost);
         }
     }
 
@@ -704,6 +730,41 @@ impl NodeKernel {
                 "invoke {object}::{entry}: link to {home} down"
             )));
         }
+        // With the reliability layer on, the failure detector can resolve
+        // this wait early: once it declares `home` dead there is no point
+        // blocking out the full invoke timeout.
+        if self.net.reliability_enabled() {
+            if self.net.peer_state(self.node, home) == Some(doct_net::PeerState::Dead) {
+                self.pending_calls.lock().remove(&call_id);
+                return Err(KernelError::NodeUnreachable(home));
+            }
+            let deadline = Instant::now() + self.config.invoke_timeout;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    self.pending_calls.lock().remove(&call_id);
+                    return Err(KernelError::Timeout(format!(
+                        "invoke {object}::{entry} on {home}"
+                    )));
+                }
+                let slice = (deadline - now).min(Duration::from_millis(20));
+                match rx.recv_timeout(slice) {
+                    Ok(pair) => return Ok(pair),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        if self.net.peer_state(self.node, home) == Some(doct_net::PeerState::Dead) {
+                            self.pending_calls.lock().remove(&call_id);
+                            return Err(KernelError::NodeUnreachable(home));
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        self.pending_calls.lock().remove(&call_id);
+                        return Err(KernelError::Timeout(format!(
+                            "invoke {object}::{entry} on {home}: reply channel gone"
+                        )));
+                    }
+                }
+            }
+        }
         match rx.recv_timeout(self.config.invoke_timeout) {
             Ok(pair) => Ok(pair),
             Err(_) => {
@@ -833,7 +894,10 @@ impl NodeKernel {
     fn raise_to_object(self: &Arc<Self>, object: ObjectId, event: WireEvent) -> RaiseTicket {
         let Some(record) = self.directory.get(object) else {
             self.telemetry.counter("delivery.dead").inc();
-            return RaiseTicket::immediate(DeliveryStatus::TargetDead);
+            return RaiseTicket::immediate(
+                DeliveryStatus::TargetDead,
+                self.config.delivery_timeout,
+            );
         };
         self.trace(event.seq, Stage::Route);
         if record.home == self.node {
@@ -848,7 +912,10 @@ impl NodeKernel {
             );
         }
         self.telemetry.counter("delivery.delivered").inc();
-        RaiseTicket::immediate(DeliveryStatus::Delivered(record.home))
+        RaiseTicket::immediate(
+            DeliveryStatus::Delivered(record.home),
+            self.config.delivery_timeout,
+        )
     }
 
     /// Begin locating `thread` and delivering `event` to its tip.
@@ -1110,15 +1177,27 @@ impl NodeKernel {
 
     fn sweep_deliveries(self: &Arc<Self>) {
         let now = Instant::now();
+        let detector_on = self.net.reliability_enabled();
         let mut map = self.deliveries.lock();
         map.retain(|_, t| {
             if now >= t.deadline {
                 self.telemetry.counter("delivery.timeout").inc();
                 let _ = t.result_tx.send(DeliveryStatus::Timeout);
-                false
-            } else {
-                true
+                return false;
             }
+            // §7.2 dead-target notification under real link failure: when
+            // the failure detector has declared the target's root node
+            // dead, resolve now instead of letting the raiser sit out the
+            // whole delivery timeout.
+            if detector_on
+                && t.target.root != self.node
+                && self.net.peer_state(self.node, t.target.root) == Some(doct_net::PeerState::Dead)
+            {
+                self.telemetry.counter("delivery.dead").inc();
+                let _ = t.result_tx.send(DeliveryStatus::TargetDead);
+                return false;
+            }
+            true
         });
     }
 

@@ -952,3 +952,125 @@ fn terminate_group_drains_busy_members() {
     }
     assert!(cluster.await_quiescence(Duration::from_secs(10)));
 }
+
+// ---------------------------------------------------------------------
+// Reliability layer: acked/retried transport + failure detector wired
+// through the kernel's remote paths.
+// ---------------------------------------------------------------------
+
+use doct_net::{FailureConfig, ReliabilityConfig};
+
+fn fast_reliability() -> ReliabilityConfig {
+    ReliabilityConfig {
+        max_retries: 60,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        jitter: Duration::from_millis(2),
+        tick: Duration::from_millis(2),
+        heartbeat_interval: Duration::from_millis(5),
+        dedupe_window: 1024,
+    }
+}
+
+#[test]
+fn reliable_invocation_survives_a_transient_partition() {
+    // A partition shorter than the retransmit tail must be invisible to
+    // the caller: the queued Invoke is retransmitted after heal and the
+    // call completes. Use a patient failure detector so the peer is not
+    // declared dead while the link is down.
+    let cluster = ClusterBuilder::new(2)
+        .reliable_with(
+            fast_reliability(),
+            FailureConfig {
+                suspect_after: Duration::from_millis(500),
+                dead_after: Duration::from_secs(10),
+            },
+        )
+        .build();
+    register_chain_class(&cluster);
+    let far = chain_objects(&cluster, &[1])[0];
+    cluster.net().set_link(NodeId(0), NodeId(1), false).unwrap();
+    let handle = cluster.spawn(0, far, "where", Value::Null).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.net().heal();
+    let r = handle.join_timeout(Duration::from_secs(10)).expect("done");
+    assert_eq!(r.unwrap(), Value::Int(1), "retransmit carried the call");
+    assert!(cluster.net().stats().retransmits() > 0);
+    assert!(cluster.net().stats().acks() > 0);
+}
+
+#[test]
+fn detector_fails_remote_invocation_fast_on_dead_peer() {
+    // With the failure detector on, a call into a partitioned node fails
+    // with NodeUnreachable once the peer is declared dead — far sooner
+    // than the 30s invoke timeout.
+    let cluster = ClusterBuilder::new(2)
+        .reliable_with(
+            fast_reliability(),
+            FailureConfig {
+                suspect_after: Duration::from_millis(40),
+                dead_after: Duration::from_millis(120),
+            },
+        )
+        .build();
+    register_chain_class(&cluster);
+    let far = chain_objects(&cluster, &[1])[0];
+    // Let heartbeats establish liveness first.
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.net().isolate(&[NodeId(1)]).unwrap();
+    let start = std::time::Instant::now();
+    let r = cluster.spawn(0, far, "where", Value::Null).unwrap().join();
+    assert!(
+        matches!(r, Err(KernelError::NodeUnreachable(NodeId(1)))),
+        "{r:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "detector verdict must beat the invoke timeout ({:?})",
+        start.elapsed()
+    );
+    cluster.net().heal();
+}
+
+#[test]
+fn detector_resolves_thread_delivery_as_dead_during_partition() {
+    // §7.2 dead-target notification under real link failure: an event
+    // raised at a thread whose root node is unreachable resolves as
+    // TargetDead via the detector instead of burning the full delivery
+    // timeout.
+    let cluster = ClusterBuilder::new(2)
+        .config(KernelConfig {
+            delivery_timeout: Duration::from_secs(20),
+            ..KernelConfig::default()
+        })
+        .reliable_with(
+            fast_reliability(),
+            FailureConfig {
+                suspect_after: Duration::from_millis(40),
+                dead_after: Duration::from_millis(120),
+            },
+        )
+        .build();
+    register_chain_class(&cluster);
+    let obj = chain_objects(&cluster, &[1])[0];
+    let handle = cluster.spawn(1, obj, "sleepy", Value::Int(2_000)).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    cluster.net().isolate(&[NodeId(1)]).unwrap();
+    // Wait out the detector's dead_after so the sweep has a verdict.
+    std::thread::sleep(Duration::from_millis(300));
+    let start = std::time::Instant::now();
+    let summary = cluster
+        .raise_from(0, SystemEvent::Timer, Value::Null, handle.thread())
+        .wait();
+    assert_eq!(summary.delivered, 0, "{summary:?}");
+    assert_eq!(
+        summary.dead, 1,
+        "detector must report TargetDead: {summary:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "resolution must not wait out the 20s delivery timeout"
+    );
+    cluster.net().heal();
+    let _ = handle.join_timeout(Duration::from_secs(10));
+}

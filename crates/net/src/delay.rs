@@ -3,7 +3,6 @@
 //! never sleep.
 
 use crate::Envelope;
-use crossbeam::channel::Sender;
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -53,8 +52,11 @@ pub(crate) struct DelayLine<M: Send + 'static> {
 }
 
 impl<M: Send + 'static> DelayLine<M> {
-    /// Spawn the delay-line worker; `outlets[i]` is node `i`'s mailbox.
-    pub(crate) fn new(outlets: Vec<Sender<Envelope<M>>>) -> Self {
+    /// Spawn the delay-line worker. `deliver` performs the final hop into
+    /// the destination mailbox (the network passes its delivery path, so
+    /// reliable-transport dedupe and acks happen at actual delivery time,
+    /// not when the message entered the line).
+    pub(crate) fn new(deliver: impl Fn(Envelope<M>) + Send + 'static) -> Self {
         let shared = Arc::new(Shared {
             heap: Mutex::new(HeapState {
                 queue: BinaryHeap::new(),
@@ -66,7 +68,7 @@ impl<M: Send + 'static> DelayLine<M> {
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("doct-net-delay".into())
-            .spawn(move || Self::run(worker_shared, outlets))
+            .spawn(move || Self::run(worker_shared, deliver))
             .expect("spawn delay-line thread");
         DelayLine {
             shared,
@@ -86,7 +88,7 @@ impl<M: Send + 'static> DelayLine<M> {
         self.shared.cond.notify_one();
     }
 
-    fn run(shared: Arc<Shared<M>>, outlets: Vec<Sender<Envelope<M>>>) {
+    fn run(shared: Arc<Shared<M>>, deliver: impl Fn(Envelope<M>)) {
         let mut state = shared.heap.lock();
         loop {
             if state.shutdown {
@@ -106,9 +108,7 @@ impl<M: Send + 'static> DelayLine<M> {
                     // Drop the lock during the send; the mailbox may apply
                     // backpressure if bounded in the future.
                     drop(state);
-                    if let Some(tx) = outlets.get(q.env.dst.index()) {
-                        let _ = tx.send(q.env);
-                    }
+                    deliver(q.env);
                     state = shared.heap.lock();
                 }
             }
@@ -133,7 +133,7 @@ impl<M: Send + 'static> Drop for DelayLine<M> {
 mod tests {
     use super::*;
     use crate::{MessageClass, NodeId};
-    use crossbeam::channel::unbounded;
+    use crossbeam::channel::{unbounded, Sender};
     use std::time::Duration;
 
     fn env(payload: u32) -> Envelope<u32> {
@@ -141,14 +141,21 @@ mod tests {
             src: NodeId(0),
             dst: NodeId(0),
             class: MessageClass::Data,
+            seq: 0,
             payload,
         }
+    }
+
+    fn line_into(tx: Sender<Envelope<u32>>) -> DelayLine<u32> {
+        DelayLine::new(move |env| {
+            let _ = tx.send(env);
+        })
     }
 
     #[test]
     fn delivers_after_deadline() {
         let (tx, rx) = unbounded();
-        let line = DelayLine::new(vec![tx]);
+        let line = line_into(tx);
         let start = Instant::now();
         line.schedule(env(1), start + Duration::from_millis(20));
         let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -159,7 +166,7 @@ mod tests {
     #[test]
     fn delivers_in_deadline_order_not_submit_order() {
         let (tx, rx) = unbounded();
-        let line = DelayLine::new(vec![tx]);
+        let line = line_into(tx);
         let now = Instant::now();
         line.schedule(env(2), now + Duration::from_millis(40));
         line.schedule(env(1), now + Duration::from_millis(10));
@@ -171,7 +178,7 @@ mod tests {
     #[test]
     fn equal_deadlines_keep_fifo() {
         let (tx, rx) = unbounded();
-        let line = DelayLine::new(vec![tx]);
+        let line = line_into(tx);
         let due = Instant::now() + Duration::from_millis(5);
         for i in 0..10 {
             line.schedule(env(i), due);
@@ -185,7 +192,7 @@ mod tests {
     #[test]
     fn drop_shuts_worker_down() {
         let (tx, _rx) = unbounded::<Envelope<u32>>();
-        let line = DelayLine::new(vec![tx]);
+        let line = line_into(tx);
         drop(line); // must not hang
     }
 }

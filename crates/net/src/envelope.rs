@@ -85,6 +85,10 @@ pub struct Envelope<M> {
     pub dst: NodeId,
     /// Traffic class for statistics.
     pub class: MessageClass,
+    /// Transport sequence number. `0` for best-effort traffic; reliable
+    /// sends carry a unique non-zero seq so the receiving side of the
+    /// fabric can acknowledge and deduplicate retransmissions.
+    pub seq: u64,
     /// The payload.
     pub payload: M,
 }

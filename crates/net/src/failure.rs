@@ -1,0 +1,290 @@
+//! Heartbeat failure detection for the simulated fabric.
+//!
+//! Each node continuously "hears" heartbeats from every peer whose link
+//! towards it is up. When a peer falls silent past `suspect_after` the
+//! observer marks it [`PeerState::Suspected`]; past `dead_after` it is
+//! [`PeerState::Dead`]. The kernel consults these verdicts to resolve
+//! in-flight invocations and deliveries with an explicit error instead of
+//! hanging (the paper's §7.2 requirement that raisers be *notified* of
+//! dead targets, extended to real link failure).
+//!
+//! States are per *directed* observer→peer pair: during an asymmetric
+//! partition each side forms its own opinion, exactly as real detectors
+//! do. Verdicts recover — a healed link revives the peer to
+//! [`PeerState::Alive`] on the next heartbeat round.
+
+use crate::NodeId;
+use doct_telemetry::Counter;
+use parking_lot::Mutex;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An observer's current verdict about a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// Heartbeats are arriving normally.
+    Alive,
+    /// Silent past `suspect_after`; retransmissions continue but the
+    /// kernel should prefer other replicas where it has a choice.
+    Suspected,
+    /// Silent past `dead_after`; pending work addressed at this peer
+    /// should resolve as unreachable.
+    Dead,
+}
+
+impl fmt::Display for PeerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PeerState::Alive => "alive",
+            PeerState::Suspected => "suspected",
+            PeerState::Dead => "dead",
+        })
+    }
+}
+
+/// Timing knobs for [`FailureDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct FailureConfig {
+    /// Silence before a peer becomes [`PeerState::Suspected`].
+    pub suspect_after: Duration,
+    /// Silence before a peer becomes [`PeerState::Dead`].
+    pub dead_after: Duration,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            suspect_after: Duration::from_millis(60),
+            dead_after: Duration::from_millis(200),
+        }
+    }
+}
+
+struct PairState {
+    last_heard: Instant,
+    state: PeerState,
+}
+
+/// Per-directed-pair heartbeat bookkeeping.
+///
+/// Driven by the fabric's reliability maintenance thread via
+/// [`FailureDetector::heartbeat_round`]; heartbeats are simulated
+/// out-of-band (counted, but not pushed through mailboxes) so they never
+/// perturb the per-class traffic counts the experiments measure.
+pub struct FailureDetector {
+    cfg: FailureConfig,
+    /// `pairs[observer][peer]`.
+    pairs: Mutex<Vec<Vec<PairState>>>,
+    heartbeats: Counter,
+    suspects: Counter,
+    deaths: Counter,
+}
+
+impl fmt::Debug for FailureDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FailureDetector")
+            .field("cfg", &self.cfg)
+            .field("suspects", &self.suspects.get())
+            .field("deaths", &self.deaths.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FailureDetector {
+    /// Detector for `nodes` nodes. The counters are [`crate::NetStats`]
+    /// handles so transitions show up in telemetry snapshots.
+    pub(crate) fn new(
+        nodes: usize,
+        cfg: FailureConfig,
+        heartbeats: Counter,
+        suspects: Counter,
+        deaths: Counter,
+    ) -> Self {
+        let now = Instant::now();
+        let pairs = (0..nodes)
+            .map(|_| {
+                (0..nodes)
+                    .map(|_| PairState {
+                        last_heard: now,
+                        state: PeerState::Alive,
+                    })
+                    .collect()
+            })
+            .collect();
+        FailureDetector {
+            cfg,
+            pairs: Mutex::new(pairs),
+            heartbeats,
+            suspects,
+            deaths,
+        }
+    }
+
+    /// Timing configuration in force.
+    pub fn config(&self) -> FailureConfig {
+        self.cfg
+    }
+
+    /// One heartbeat exchange: every peer whose link towards the observer
+    /// is up refreshes `last_heard`; silent peers age towards
+    /// suspected/dead. `link_up(src, dst)` answers whether a heartbeat
+    /// can currently travel src→dst.
+    pub fn heartbeat_round(&self, link_up: impl Fn(NodeId, NodeId) -> bool) {
+        let now = Instant::now();
+        let mut pairs = self.pairs.lock();
+        let n = pairs.len();
+        for observer in 0..n {
+            for peer in 0..n {
+                if observer == peer {
+                    continue;
+                }
+                self.heartbeats.inc();
+                let pair = &mut pairs[observer][peer];
+                if link_up(NodeId(peer as u32), NodeId(observer as u32)) {
+                    pair.last_heard = now;
+                    pair.state = PeerState::Alive;
+                    continue;
+                }
+                let silent = now.saturating_duration_since(pair.last_heard);
+                let verdict = if silent >= self.cfg.dead_after {
+                    PeerState::Dead
+                } else if silent >= self.cfg.suspect_after {
+                    PeerState::Suspected
+                } else {
+                    pair.state
+                };
+                if verdict != pair.state {
+                    match verdict {
+                        PeerState::Suspected => self.suspects.inc(),
+                        PeerState::Dead => self.deaths.inc(),
+                        PeerState::Alive => {}
+                    }
+                    pair.state = verdict;
+                }
+            }
+        }
+    }
+
+    /// The observer's current verdict about `peer`. A node is always
+    /// alive to itself; out-of-range ids read as alive (the fabric
+    /// rejects them elsewhere).
+    pub fn state(&self, observer: NodeId, peer: NodeId) -> PeerState {
+        if observer == peer {
+            return PeerState::Alive;
+        }
+        self.pairs
+            .lock()
+            .get(observer.index())
+            .and_then(|row| row.get(peer.index()))
+            .map(|p| p.state)
+            .unwrap_or(PeerState::Alive)
+    }
+
+    /// Evidence of unreachability from outside the heartbeat path (e.g. a
+    /// retransmit queue exhausting its retries): immediately suspect
+    /// `peer` from `observer`'s point of view and backdate its silence so
+    /// the dead verdict follows on schedule rather than restarting.
+    pub fn note_unreachable(&self, observer: NodeId, peer: NodeId) {
+        if observer == peer {
+            return;
+        }
+        let mut pairs = self.pairs.lock();
+        let Some(pair) = pairs
+            .get_mut(observer.index())
+            .and_then(|row| row.get_mut(peer.index()))
+        else {
+            return;
+        };
+        let aged = Instant::now() - self.cfg.suspect_after;
+        if pair.last_heard > aged {
+            pair.last_heard = aged;
+        }
+        if pair.state == PeerState::Alive {
+            pair.state = PeerState::Suspected;
+            self.suspects.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(n: usize, suspect_ms: u64, dead_ms: u64) -> FailureDetector {
+        FailureDetector::new(
+            n,
+            FailureConfig {
+                suspect_after: Duration::from_millis(suspect_ms),
+                dead_after: Duration::from_millis(dead_ms),
+            },
+            Counter::default(),
+            Counter::default(),
+            Counter::default(),
+        )
+    }
+
+    #[test]
+    fn all_alive_while_links_are_up() {
+        let d = detector(3, 10, 30);
+        d.heartbeat_round(|_, _| true);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                assert_eq!(d.state(NodeId(a), NodeId(b)), PeerState::Alive);
+            }
+        }
+    }
+
+    #[test]
+    fn silence_escalates_to_suspected_then_dead() {
+        let d = detector(2, 20, 60);
+        d.heartbeat_round(|_, _| false);
+        assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Alive);
+        std::thread::sleep(Duration::from_millis(30));
+        d.heartbeat_round(|_, _| false);
+        assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Suspected);
+        std::thread::sleep(Duration::from_millis(40));
+        d.heartbeat_round(|_, _| false);
+        assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Dead);
+        assert_eq!(d.suspects.get(), 2, "one per directed pair");
+        assert_eq!(d.deaths.get(), 2);
+    }
+
+    #[test]
+    fn healed_link_revives_the_peer() {
+        let d = detector(2, 5, 15);
+        std::thread::sleep(Duration::from_millis(20));
+        d.heartbeat_round(|_, _| false);
+        assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Dead);
+        d.heartbeat_round(|_, _| true);
+        assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Alive);
+    }
+
+    #[test]
+    fn asymmetric_partition_gives_asymmetric_verdicts() {
+        let d = detector(2, 5, 15);
+        std::thread::sleep(Duration::from_millis(20));
+        // Heartbeats flow 0→1 but not 1→0: node 0 hears silence, node 1
+        // keeps hearing node 0.
+        d.heartbeat_round(|src, dst| src == NodeId(0) && dst == NodeId(1));
+        assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Dead);
+        assert_eq!(d.state(NodeId(1), NodeId(0)), PeerState::Alive);
+    }
+
+    #[test]
+    fn note_unreachable_suspects_immediately() {
+        let d = detector(2, 50, 120);
+        d.note_unreachable(NodeId(0), NodeId(1));
+        assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Suspected);
+        assert_eq!(d.suspects.get(), 1);
+        // The other direction is untouched.
+        assert_eq!(d.state(NodeId(1), NodeId(0)), PeerState::Alive);
+    }
+
+    #[test]
+    fn self_view_is_always_alive() {
+        let d = detector(2, 1, 2);
+        std::thread::sleep(Duration::from_millis(5));
+        d.heartbeat_round(|_, _| false);
+        assert_eq!(d.state(NodeId(0), NodeId(0)), PeerState::Alive);
+    }
+}

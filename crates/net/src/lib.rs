@@ -19,7 +19,12 @@
 //! * [`NetStats`] — atomic counters (messages/bytes, per
 //!   [`MessageClass`]) that benches reset and read.
 //! * Partition control — links can be cut ([`Network::set_link`],
-//!   [`Network::isolate`]) to inject failures.
+//!   [`Network::isolate`], one-way via [`Network::set_link_one_way`]) to
+//!   inject failures.
+//! * Reliability — [`Network::enable_reliability`] turns on acked,
+//!   retried transport with exponential backoff, receiver-side dedupe,
+//!   and a heartbeat [`FailureDetector`] whose [`PeerState`] verdicts let
+//!   the kernel fail fast on unreachable nodes instead of hanging.
 //!
 //! # Example
 //!
@@ -36,15 +41,19 @@
 
 mod delay;
 mod envelope;
+mod failure;
 mod latency;
 mod multicast;
 mod network;
+mod reliable;
 mod stats;
 
 pub use envelope::{Envelope, MessageClass, WireMessage};
+pub use failure::{FailureConfig, FailureDetector, PeerState};
 pub use latency::LatencyModel;
 pub use multicast::{MulticastGroupId, MulticastRegistry};
 pub use network::{Network, NetworkError, SendOutcome};
+pub use reliable::ReliabilityConfig;
 pub use stats::{NetStats, StatsSnapshot};
 
 use serde::{Deserialize, Serialize};

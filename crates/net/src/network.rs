@@ -1,6 +1,8 @@
 //! The network fabric connecting simulated nodes.
 
 use crate::delay::DelayLine;
+use crate::failure::{FailureConfig, FailureDetector, PeerState};
+use crate::reliable::{ReliabilityConfig, ReliableState};
 use crate::{
     Envelope, LatencyModel, MessageClass, MulticastGroupId, MulticastRegistry, NetStats, NodeId,
     WireMessage,
@@ -35,7 +37,8 @@ impl Error for NetworkError {}
 /// What happened to a single message handed to the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendOutcome {
-    /// Queued for delivery (immediately or via the delay line).
+    /// Queued for delivery (immediately, via the delay line, or — with
+    /// reliability enabled — held in the retransmit queue until acked).
     Sent,
     /// Dropped because the link between the two nodes is cut.
     DroppedLink,
@@ -50,6 +53,84 @@ impl SendOutcome {
     }
 }
 
+/// The shared "last hop" into destination mailboxes, used by direct
+/// sends, the delay-line worker, and the retransmit thread alike so that
+/// receiver-side dedupe and ack generation happen at actual delivery
+/// time, whatever route the envelope took.
+pub(crate) struct DeliveryPath<M: Send + 'static> {
+    senders: Vec<Sender<Envelope<M>>>,
+    stats: Arc<NetStats>,
+    links: Arc<RwLock<Vec<Vec<bool>>>>,
+    reliable: Arc<RwLock<Option<Arc<ReliableState<M>>>>>,
+}
+
+impl<M: Send + 'static> Clone for DeliveryPath<M> {
+    fn clone(&self) -> Self {
+        DeliveryPath {
+            senders: self.senders.clone(),
+            stats: Arc::clone(&self.stats),
+            links: Arc::clone(&self.links),
+            reliable: Arc::clone(&self.reliable),
+        }
+    }
+}
+
+impl<M: Send + 'static> DeliveryPath<M> {
+    fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.links
+            .read()
+            .get(a.index())
+            .and_then(|row| row.get(b.index()))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Deliver `env` into its destination mailbox. Reliable envelopes
+    /// (`seq != 0`) are deduplicated and acknowledged here; the ack only
+    /// reaches the sender if the reverse link is up at this instant, so a
+    /// one-way partition loses acks like a real network would.
+    pub(crate) fn deliver(&self, env: Envelope<M>) -> bool {
+        let (src, dst, seq) = (env.src, env.dst, env.seq);
+        let reliable = if seq != 0 {
+            self.reliable.read().clone()
+        } else {
+            None
+        };
+        if let Some(rel) = &reliable {
+            if !rel.first_delivery(src, dst, seq) {
+                self.stats.record_dup_drop();
+                // A duplicate means an earlier copy was delivered but its
+                // ack never made it back; re-ack if the path healed.
+                if self.link_up(dst, src) {
+                    rel.ack(seq, &self.stats);
+                }
+                return true;
+            }
+        }
+        let pushed = match self.senders.get(dst.index()) {
+            Some(tx) => tx.send(env).is_ok(),
+            None => false,
+        };
+        if !pushed {
+            // Dead node: roll the dedupe entry back so retransmissions
+            // keep probing (and eventually give the envelope up) instead
+            // of being swallowed as duplicates of a delivery that never
+            // happened.
+            if let Some(rel) = &reliable {
+                rel.unmark(src, dst, seq);
+            }
+            self.stats.record_drop();
+            return false;
+        }
+        if let Some(rel) = &reliable {
+            if self.link_up(dst, src) {
+                rel.ack(seq, &self.stats);
+            }
+        }
+        true
+    }
+}
+
 /// The simulated cluster fabric.
 ///
 /// Creates `n` nodes with unbounded mailboxes. The kernel takes each node's
@@ -59,22 +140,26 @@ impl SendOutcome {
 /// Local sends (`src == dst`) still traverse the mailbox — the kernel
 /// short-circuits truly local work itself, so any message reaching the
 /// fabric represents real communication and is counted by [`NetStats`].
+///
+/// By default the fabric is fire-and-forget: a send racing a cut link is
+/// silently dropped (and counted). [`Network::enable_reliability`] turns
+/// on acknowledged, retried transport with a heartbeat failure detector —
+/// see the `reliable` module docs.
 pub struct Network<M: Send + 'static> {
-    senders: Vec<Sender<Envelope<M>>>,
+    path: DeliveryPath<M>,
     mailboxes: Mutex<Vec<Option<Receiver<Envelope<M>>>>>,
     latency: LatencyModel,
     delay: Option<DelayLine<M>>,
-    stats: Arc<NetStats>,
     multicast: MulticastRegistry,
-    /// `links[a][b] == false` means messages a→b are dropped.
-    links: RwLock<Vec<Vec<bool>>>,
+    detector: RwLock<Option<Arc<FailureDetector>>>,
 }
 
 impl<M: Send + 'static> fmt::Debug for Network<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Network")
-            .field("nodes", &self.senders.len())
+            .field("nodes", &self.path.senders.len())
             .field("latency", &self.latency)
+            .field("reliable", &self.reliability_enabled())
             .finish_non_exhaustive()
     }
 }
@@ -105,40 +190,50 @@ impl<M: WireMessage + Send + 'static> Network<M> {
             senders.push(tx);
             receivers.push(Some(rx));
         }
+        let path = DeliveryPath {
+            senders,
+            stats,
+            links: Arc::new(RwLock::new(vec![vec![true; nodes]; nodes])),
+            reliable: Arc::new(RwLock::new(None)),
+        };
         let delay = if latency.is_zero() {
             None
         } else {
-            Some(DelayLine::new(senders.clone()))
+            let worker_path = path.clone();
+            Some(DelayLine::new(move |env| {
+                worker_path.deliver(env);
+            }))
         };
         Network {
-            senders,
+            path,
             mailboxes: Mutex::new(receivers),
             latency,
             delay,
-            stats,
             multicast: MulticastRegistry::new(),
-            links: RwLock::new(vec![vec![true; nodes]; nodes]),
+            detector: RwLock::new(None),
         }
     }
+}
 
+impl<M: Send + 'static> Network<M> {
     /// Number of nodes in the cluster.
     pub fn node_count(&self) -> usize {
-        self.senders.len()
+        self.path.senders.len()
     }
 
     /// All node ids, `n0..`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.senders.len() as u32).map(NodeId)
+        (0..self.path.senders.len() as u32).map(NodeId)
     }
 
     /// Shared statistics counters.
     pub fn stats(&self) -> &NetStats {
-        &self.stats
+        &self.path.stats
     }
 
     /// A clonable handle to the statistics counters.
     pub fn stats_handle(&self) -> Arc<NetStats> {
-        Arc::clone(&self.stats)
+        Arc::clone(&self.path.stats)
     }
 
     /// Multicast group membership service.
@@ -161,14 +256,53 @@ impl<M: WireMessage + Send + 'static> Network<M> {
     }
 
     fn check_node(&self, node: NodeId) -> Result<(), NetworkError> {
-        if node.index() < self.senders.len() {
+        if node.index() < self.path.senders.len() {
             Ok(())
         } else {
             Err(NetworkError::UnknownNode(node))
         }
     }
 
+    /// Whether [`Network::enable_reliability`] has been called.
+    pub fn reliability_enabled(&self) -> bool {
+        self.path.reliable.read().is_some()
+    }
+
+    /// Reliable envelopes still awaiting acknowledgement (0 when the
+    /// reliability layer is off).
+    pub fn pending_reliable(&self) -> usize {
+        self.path
+            .reliable
+            .read()
+            .as_ref()
+            .map(|r| r.inflight_len())
+            .unwrap_or(0)
+    }
+
+    /// The failure detector, if reliability is enabled.
+    pub fn failure_detector(&self) -> Option<Arc<FailureDetector>> {
+        self.detector.read().clone()
+    }
+
+    /// `observer`'s current verdict about `peer`, if a failure detector
+    /// is running.
+    pub fn peer_state(&self, observer: NodeId, peer: NodeId) -> Option<PeerState> {
+        self.detector
+            .read()
+            .as_ref()
+            .map(|d| d.state(observer, peer))
+    }
+}
+
+impl<M: WireMessage + Clone + Send + 'static> Network<M> {
     /// Send one message from `src` to `dst`.
+    ///
+    /// Without the reliability layer this is fire-and-forget: a cut link
+    /// or dead destination drops the message (counted) and the outcome
+    /// says so. With [`Network::enable_reliability`] on, the envelope is
+    /// stamped with a sequence number and tracked until acknowledged, so
+    /// `Sent` means "queued; the fabric will keep trying" — even across a
+    /// link that is down right now.
     ///
     /// # Errors
     ///
@@ -182,35 +316,123 @@ impl<M: WireMessage + Send + 'static> Network<M> {
     ) -> Result<SendOutcome, NetworkError> {
         self.check_node(src)?;
         self.check_node(dst)?;
-        if !self.links.read()[src.index()][dst.index()] {
-            self.stats.record_drop();
-            return Ok(SendOutcome::DroppedLink);
-        }
-        self.stats.record_send(class, payload.wire_size());
-        let env = Envelope {
-            src,
-            dst,
-            class,
-            payload,
-        };
-        match &self.delay {
-            None => match self.senders[dst.index()].send(env) {
-                Ok(()) => Ok(SendOutcome::Sent),
-                Err(_) => {
-                    self.stats.record_drop();
-                    Ok(SendOutcome::DroppedDeadNode)
+        let reliable = self.path.reliable.read().clone();
+        let link_up = self.path.link_up(src, dst);
+        match reliable {
+            None => {
+                if !link_up {
+                    self.path.stats.record_drop();
+                    return Ok(SendOutcome::DroppedLink);
                 }
-            },
-            Some(line) => {
-                let delay = self.latency.sample(&mut rand::thread_rng());
-                line.schedule(env, Instant::now() + delay);
+                self.path.stats.record_send(class, payload.wire_size());
+                let env = Envelope {
+                    src,
+                    dst,
+                    class,
+                    seq: 0,
+                    payload,
+                };
+                Ok(self.transmit(env))
+            }
+            Some(rel) => {
+                self.path.stats.record_send(class, payload.wire_size());
+                let env = Envelope {
+                    src,
+                    dst,
+                    class,
+                    seq: rel.alloc_seq(),
+                    payload,
+                };
+                rel.track(env.clone());
+                if !link_up {
+                    // The first attempt is lost on the cut link; the
+                    // retransmit queue now owns the envelope.
+                    self.path.stats.record_drop();
+                    return Ok(SendOutcome::Sent);
+                }
+                self.transmit(env);
                 Ok(SendOutcome::Sent)
             }
         }
     }
-}
 
-impl<M: WireMessage + Clone + Send + 'static> Network<M> {
+    /// One physical transmission attempt: through the delay line if the
+    /// fabric has latency, otherwise straight into the mailbox.
+    fn transmit(&self, env: Envelope<M>) -> SendOutcome {
+        match &self.delay {
+            None => {
+                if self.path.deliver(env) {
+                    SendOutcome::Sent
+                } else {
+                    SendOutcome::DroppedDeadNode
+                }
+            }
+            Some(line) => {
+                let delay = self.latency.sample(&mut rand::thread_rng());
+                line.schedule(env, Instant::now() + delay);
+                SendOutcome::Sent
+            }
+        }
+    }
+
+    /// Switch the fabric to acknowledged, retried transport and start its
+    /// maintenance thread (retransmit scans + heartbeat rounds for the
+    /// failure detector). Idempotent: later calls are ignored.
+    ///
+    /// The thread holds only a weak reference to the network and exits on
+    /// its next tick once the last `Arc` is gone, so enabling reliability
+    /// never keeps a cluster alive.
+    pub fn enable_reliability(self: &Arc<Self>, cfg: ReliabilityConfig, failure: FailureConfig) {
+        let rel = {
+            let mut slot = self.path.reliable.write();
+            if slot.is_some() {
+                return;
+            }
+            let rel = Arc::new(ReliableState::new(cfg));
+            *slot = Some(Arc::clone(&rel));
+            rel
+        };
+        let (heartbeats, suspects, deaths) = self.path.stats.detector_counters();
+        let detector = Arc::new(FailureDetector::new(
+            self.node_count(),
+            failure,
+            heartbeats,
+            suspects,
+            deaths,
+        ));
+        *self.detector.write() = Some(Arc::clone(&detector));
+
+        let weak = Arc::downgrade(self);
+        std::thread::Builder::new()
+            .name("doct-net-reliability".into())
+            .spawn(move || {
+                let mut last_heartbeat = Instant::now();
+                loop {
+                    std::thread::sleep(cfg.tick);
+                    let Some(net) = weak.upgrade() else { return };
+                    let now = Instant::now();
+                    let (due, given_up) = rel.take_due(now);
+                    for env in due {
+                        net.path.stats.record_retransmit();
+                        if net.path.link_up(env.src, env.dst) {
+                            net.transmit(env);
+                        } else {
+                            net.path.stats.record_drop();
+                        }
+                    }
+                    for env in given_up {
+                        net.path.stats.record_giveup();
+                        detector.note_unreachable(env.src, env.dst);
+                    }
+                    if now.saturating_duration_since(last_heartbeat) >= cfg.heartbeat_interval {
+                        last_heartbeat = now;
+                        detector.heartbeat_round(|a, b| net.path.link_up(a, b));
+                    }
+                }
+            })
+            .expect("spawn reliability maintenance thread");
+    }
+
     /// Send `payload` to every node except `src`.
     ///
     /// This is the "communication intensive and wasteful" option of §7.1;
@@ -227,7 +449,7 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
         class: MessageClass,
     ) -> Result<usize, NetworkError> {
         self.check_node(src)?;
-        self.stats.record_broadcast();
+        self.path.stats.record_broadcast();
         let mut delivered = 0;
         for dst in self.nodes() {
             if dst == src {
@@ -253,7 +475,7 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
         class: MessageClass,
     ) -> Result<usize, NetworkError> {
         self.check_node(src)?;
-        self.stats.record_multicast();
+        self.path.stats.record_multicast();
         let mut delivered = 0;
         for dst in self.multicast.members(group) {
             if dst == src {
@@ -274,16 +496,34 @@ impl<M: Send + 'static> Network<M> {
     ///
     /// [`NetworkError::UnknownNode`] if either endpoint is out of range.
     pub fn set_link(&self, a: NodeId, b: NodeId, up: bool) -> Result<(), NetworkError> {
-        let n = self.senders.len();
+        let n = self.path.senders.len();
         if a.index() >= n {
             return Err(NetworkError::UnknownNode(a));
         }
         if b.index() >= n {
             return Err(NetworkError::UnknownNode(b));
         }
-        let mut links = self.links.write();
+        let mut links = self.path.links.write();
         links[a.index()][b.index()] = up;
         links[b.index()][a.index()] = up;
+        Ok(())
+    }
+
+    /// Set only the `a`→`b` direction up or down, leaving `b`→`a` alone.
+    /// Asymmetric cuts are how acks get lost while data still flows.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] if either endpoint is out of range.
+    pub fn set_link_one_way(&self, a: NodeId, b: NodeId, up: bool) -> Result<(), NetworkError> {
+        let n = self.path.senders.len();
+        if a.index() >= n {
+            return Err(NetworkError::UnknownNode(a));
+        }
+        if b.index() >= n {
+            return Err(NetworkError::UnknownNode(b));
+        }
+        self.path.links.write()[a.index()][b.index()] = up;
         Ok(())
     }
 
@@ -293,13 +533,13 @@ impl<M: Send + 'static> Network<M> {
     ///
     /// [`NetworkError::UnknownNode`] if any listed node is out of range.
     pub fn isolate(&self, island: &[NodeId]) -> Result<(), NetworkError> {
-        let n = self.senders.len();
+        let n = self.path.senders.len();
         for &node in island {
             if node.index() >= n {
                 return Err(NetworkError::UnknownNode(node));
             }
         }
-        let mut links = self.links.write();
+        let mut links = self.path.links.write();
         for a in 0..n {
             for b in 0..n {
                 let a_in = island.iter().any(|x| x.index() == a);
@@ -314,7 +554,7 @@ impl<M: Send + 'static> Network<M> {
 
     /// Restore every link.
     pub fn heal(&self) {
-        let mut links = self.links.write();
+        let mut links = self.path.links.write();
         for row in links.iter_mut() {
             for cell in row.iter_mut() {
                 *cell = true;
@@ -324,12 +564,7 @@ impl<M: Send + 'static> Network<M> {
 
     /// Whether messages can currently flow from `a` to `b`.
     pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
-        self.links
-            .read()
-            .get(a.index())
-            .and_then(|row| row.get(b.index()))
-            .copied()
-            .unwrap_or(false)
+        self.path.link_up(a, b)
     }
 }
 
@@ -352,6 +587,7 @@ mod tests {
         assert_eq!(env.src, NodeId(0));
         assert_eq!(env.dst, NodeId(1));
         assert_eq!(env.class, MessageClass::Event);
+        assert_eq!(env.seq, 0, "best-effort traffic is unsequenced");
         assert_eq!(env.payload, "x");
     }
 
@@ -378,6 +614,7 @@ mod tests {
             NetworkError::UnknownNode(NodeId(9))
         );
         assert!(net.set_link(NodeId(0), NodeId(9), false).is_err());
+        assert!(net.set_link_one_way(NodeId(9), NodeId(0), false).is_err());
     }
 
     #[test]
@@ -458,6 +695,30 @@ mod tests {
     }
 
     #[test]
+    fn one_way_cut_only_blocks_one_direction() {
+        let net = net(2);
+        let rx0 = net.take_mailbox(NodeId(0)).unwrap();
+        let rx1 = net.take_mailbox(NodeId(1)).unwrap();
+        net.set_link_one_way(NodeId(0), NodeId(1), false).unwrap();
+        assert!(!net.link_up(NodeId(0), NodeId(1)));
+        assert!(net.link_up(NodeId(1), NodeId(0)));
+        assert_eq!(
+            net.send(NodeId(0), NodeId(1), "x".into(), MessageClass::Data)
+                .unwrap(),
+            SendOutcome::DroppedLink
+        );
+        assert!(net
+            .send(NodeId(1), NodeId(0), "y".into(), MessageClass::Data)
+            .unwrap()
+            .is_sent());
+        assert!(rx1.try_recv().is_err());
+        assert_eq!(
+            rx0.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            "y"
+        );
+    }
+
+    #[test]
     fn isolate_cuts_cross_island_links_both_ways() {
         let net = net(4);
         net.isolate(&[NodeId(0), NodeId(1)]).unwrap();
@@ -496,6 +757,216 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_node_cluster_is_rejected() {
         let _ = Network::<String>::new(0, LatencyModel::Zero);
+    }
+}
+
+#[cfg(test)]
+mod reliability_tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Aggressive timings so tests finish fast; dedupe window stays at
+    /// the default.
+    fn fast_cfg() -> ReliabilityConfig {
+        ReliabilityConfig {
+            max_retries: 50,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(20),
+            jitter: Duration::from_millis(2),
+            tick: Duration::from_millis(2),
+            heartbeat_interval: Duration::from_millis(5),
+            ..Default::default()
+        }
+    }
+
+    fn fast_failure() -> FailureConfig {
+        FailureConfig {
+            suspect_after: Duration::from_millis(40),
+            dead_after: Duration::from_millis(120),
+        }
+    }
+
+    fn reliable_net(n: usize) -> Arc<Network<String>> {
+        let net = Arc::new(Network::new(n, LatencyModel::Zero));
+        net.enable_reliability(fast_cfg(), fast_failure());
+        net
+    }
+
+    fn await_cond(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    #[test]
+    fn enable_is_idempotent_and_observable() {
+        let net = reliable_net(2);
+        assert!(net.reliability_enabled());
+        net.enable_reliability(fast_cfg(), fast_failure());
+        assert_eq!(net.peer_state(NodeId(0), NodeId(1)), Some(PeerState::Alive));
+    }
+
+    #[test]
+    fn reliable_send_is_acked_and_retired() {
+        let net = reliable_net(2);
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        net.send(NodeId(0), NodeId(1), "r".into(), MessageClass::Data)
+            .unwrap();
+        let env = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_ne!(env.seq, 0, "reliable traffic is sequenced");
+        assert!(await_cond(Duration::from_secs(2), || {
+            net.pending_reliable() == 0
+        }));
+        assert_eq!(net.stats().acks(), 1);
+        assert_eq!(net.stats().ack_latency().count(), 1);
+    }
+
+    #[test]
+    fn retransmit_carries_a_send_across_a_partition() {
+        let net = reliable_net(2);
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        net.set_link(NodeId(0), NodeId(1), false).unwrap();
+        let outcome = net
+            .send(NodeId(0), NodeId(1), "survivor".into(), MessageClass::Data)
+            .unwrap();
+        assert_eq!(
+            outcome,
+            SendOutcome::Sent,
+            "reliable send queues, not drops"
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(rx.try_recv().is_err(), "nothing crosses a cut link");
+        assert!(net.stats().retransmits() > 0, "the queue kept trying");
+        net.heal();
+        let env = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.payload, "survivor");
+        assert!(await_cond(Duration::from_secs(2), || {
+            net.pending_reliable() == 0
+        }));
+        // Exactly one copy reached the kernel-facing mailbox.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(rx.try_recv().is_err(), "duplicates must be suppressed");
+    }
+
+    #[test]
+    fn lost_acks_cause_dup_drops_not_redelivery() {
+        let net = reliable_net(2);
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        // Data flows 0→1 but the reverse path is down, so acks are lost.
+        net.set_link_one_way(NodeId(1), NodeId(0), false).unwrap();
+        net.send(NodeId(0), NodeId(1), "once".into(), MessageClass::Data)
+            .unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            "once"
+        );
+        assert!(
+            await_cond(Duration::from_secs(2), || net.stats().dup_drops() > 0),
+            "unacked envelope is retransmitted and suppressed as duplicate"
+        );
+        assert!(rx.try_recv().is_err(), "the kernel never sees the dups");
+        assert_eq!(net.pending_reliable(), 1, "still awaiting its ack");
+        // Heal the reverse path: the next duplicate re-acks and retires it.
+        net.set_link_one_way(NodeId(1), NodeId(0), true).unwrap();
+        assert!(await_cond(Duration::from_secs(2), || {
+            net.pending_reliable() == 0
+        }));
+        assert!(net.stats().acks() >= 1);
+    }
+
+    #[test]
+    fn exhausted_retries_give_up_and_suspect_the_peer() {
+        let net = Arc::new(Network::<String>::new(2, LatencyModel::Zero));
+        net.enable_reliability(
+            ReliabilityConfig {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(4),
+                jitter: Duration::from_millis(1),
+                tick: Duration::from_millis(2),
+                // Keep heartbeats quiet so the verdict we observe comes
+                // from the giveup path.
+                heartbeat_interval: Duration::from_secs(3600),
+                ..Default::default()
+            },
+            fast_failure(),
+        );
+        let _rx = net.take_mailbox(NodeId(1)).unwrap();
+        net.set_link(NodeId(0), NodeId(1), false).unwrap();
+        net.send(NodeId(0), NodeId(1), "doomed".into(), MessageClass::Data)
+            .unwrap();
+        assert!(
+            await_cond(Duration::from_secs(2), || net.stats().giveups() == 1),
+            "entry abandoned after max_retries"
+        );
+        assert_eq!(net.pending_reliable(), 0);
+        assert_eq!(
+            net.peer_state(NodeId(0), NodeId(1)),
+            Some(PeerState::Suspected),
+            "giveup feeds the failure detector"
+        );
+        assert_eq!(
+            net.peer_state(NodeId(1), NodeId(0)),
+            Some(PeerState::Alive),
+            "only the observer that failed to reach the peer suspects it"
+        );
+    }
+
+    #[test]
+    fn heartbeats_mark_partitioned_peers_dead_then_revive_on_heal() {
+        let net = reliable_net(3);
+        net.isolate(&[NodeId(2)]).unwrap();
+        assert!(
+            await_cond(Duration::from_secs(3), || {
+                net.peer_state(NodeId(0), NodeId(2)) == Some(PeerState::Dead)
+                    && net.peer_state(NodeId(2), NodeId(0)) == Some(PeerState::Dead)
+            }),
+            "silence past dead_after becomes a Dead verdict"
+        );
+        assert_eq!(
+            net.peer_state(NodeId(0), NodeId(1)),
+            Some(PeerState::Alive),
+            "nodes on the same side stay alive"
+        );
+        assert!(net.stats().suspects() >= 2);
+        assert!(net.stats().deaths() >= 2);
+        net.heal();
+        assert!(
+            await_cond(Duration::from_secs(3), || {
+                net.peer_state(NodeId(0), NodeId(2)) == Some(PeerState::Alive)
+            }),
+            "healed links revive the peer"
+        );
+    }
+
+    #[test]
+    fn reliable_traffic_over_latency_still_dedupes() {
+        let net: Arc<Network<u64>> =
+            Arc::new(Network::new(2, LatencyModel::uniform_micros(10, 300)));
+        net.enable_reliability(fast_cfg(), fast_failure());
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        for i in 0..50u64 {
+            net.send(NodeId(0), NodeId(1), i, MessageClass::Data)
+                .unwrap();
+        }
+        let mut got: Vec<u64> = (0..50)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap().payload)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<u64>>());
+        assert!(await_cond(Duration::from_secs(5), || {
+            net.pending_reliable() == 0
+        }));
+        // Whatever was retransmitted while acks raced, nothing extra
+        // surfaced in the mailbox.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(rx.try_recv().is_err());
     }
 }
 

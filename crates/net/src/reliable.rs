@@ -1,0 +1,321 @@
+//! Acknowledged, retried transport: the reliability layer under the
+//! kernel's remote paths.
+//!
+//! When enabled (see `Network::enable_reliability`), every unicast send
+//! is stamped with a cluster-unique non-zero sequence number and tracked
+//! in a retransmit queue. Delivery into the destination mailbox generates
+//! a (simulated) acknowledgement that retires the entry — but only if the
+//! reverse link is up at delivery time, so a one-way partition loses ACKs
+//! exactly like a real network. Unacked entries are retransmitted with
+//! exponential backoff plus jitter until `max_retries` attempts, after
+//! which the entry is abandoned (`net.giveups`) and the failure detector
+//! is told. The receiver deduplicates by sequence number, so retried
+//! traffic stays exactly-once from the kernel's point of view.
+
+use crate::{Envelope, NetStats, NodeId};
+use parking_lot::Mutex;
+use rand::Rng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Knobs for the ack/retransmit machinery and its maintenance thread.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliabilityConfig {
+    /// Retransmit attempts before giving an envelope up for lost.
+    pub max_retries: u32,
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Uniform jitter added to each backoff, de-synchronising storms.
+    pub jitter: Duration,
+    /// Maintenance thread tick (retransmit scan cadence).
+    pub tick: Duration,
+    /// Gap between heartbeat rounds of the failure detector.
+    pub heartbeat_interval: Duration,
+    /// Per-(src,dst) seqs remembered for dedupe; older seqs fall out and
+    /// would be re-delivered, so this must exceed the retransmit window.
+    pub dedupe_window: usize,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            jitter: Duration::from_millis(5),
+            tick: Duration::from_millis(5),
+            heartbeat_interval: Duration::from_millis(20),
+            dedupe_window: 1024,
+        }
+    }
+}
+
+/// An unacknowledged envelope awaiting (re)transmission.
+struct Inflight<M> {
+    env: Envelope<M>,
+    attempts: u32,
+    backoff: Duration,
+    next_retry: Instant,
+    first_sent: Instant,
+}
+
+/// Seqs already delivered for one (src, dst) direction: a ring plus a
+/// set for O(1) membership. Bounded; the window must outlast the longest
+/// retransmit tail.
+#[derive(Default)]
+struct SeenWindow {
+    order: VecDeque<u64>,
+    members: HashSet<u64>,
+}
+
+impl SeenWindow {
+    /// Record `seq`; returns `false` (duplicate) if already present.
+    fn insert(&mut self, seq: u64, cap: usize) -> bool {
+        if !self.members.insert(seq) {
+            return false;
+        }
+        self.order.push_back(seq);
+        while self.order.len() > cap {
+            if let Some(old) = self.order.pop_front() {
+                self.members.remove(&old);
+            }
+        }
+        true
+    }
+
+    fn remove(&mut self, seq: u64) {
+        if self.members.remove(&seq) {
+            self.order.retain(|&s| s != seq);
+        }
+    }
+}
+
+/// Shared state of the reliability layer: the sequence allocator, the
+/// retransmit queue, and the receiver-side dedupe windows.
+pub(crate) struct ReliableState<M> {
+    cfg: ReliabilityConfig,
+    next_seq: AtomicU64,
+    inflight: Mutex<HashMap<u64, Inflight<M>>>,
+    /// Keyed by (src, dst) so each direction dedupes independently.
+    seen: Mutex<HashMap<(u32, u32), SeenWindow>>,
+}
+
+impl<M> fmt::Debug for ReliableState<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReliableState")
+            .field("cfg", &self.cfg)
+            .field("inflight", &self.inflight.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> ReliableState<M> {
+    pub(crate) fn new(cfg: ReliabilityConfig) -> Self {
+        ReliableState {
+            cfg,
+            next_seq: AtomicU64::new(1),
+            inflight: Mutex::new(HashMap::new()),
+            seen: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Allocate the next transport sequence number (never 0).
+    pub(crate) fn alloc_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Envelopes currently awaiting acknowledgement.
+    pub(crate) fn inflight_len(&self) -> usize {
+        self.inflight.lock().len()
+    }
+
+    /// Start tracking `env` for retransmission.
+    pub(crate) fn track(&self, env: Envelope<M>) {
+        debug_assert_ne!(env.seq, 0, "reliable envelopes carry non-zero seqs");
+        let now = Instant::now();
+        let backoff = self.cfg.base_backoff;
+        self.inflight.lock().insert(
+            env.seq,
+            Inflight {
+                env,
+                attempts: 0,
+                backoff,
+                next_retry: now + backoff,
+                first_sent: now,
+            },
+        );
+    }
+
+    /// The destination acked `seq` (i.e. it reached the mailbox and the
+    /// reverse link was up): retire the entry and record the ack plus its
+    /// end-to-end latency.
+    pub(crate) fn ack(&self, seq: u64, stats: &NetStats) {
+        if let Some(entry) = self.inflight.lock().remove(&seq) {
+            stats.record_ack(entry.first_sent.elapsed());
+        }
+    }
+
+    /// Receiver-side dedupe: returns `true` if this (src, dst, seq) is
+    /// new and must be delivered, `false` for a retransmitted duplicate.
+    pub(crate) fn first_delivery(&self, src: NodeId, dst: NodeId, seq: u64) -> bool {
+        self.seen
+            .lock()
+            .entry((src.0, dst.0))
+            .or_default()
+            .insert(seq, self.cfg.dedupe_window)
+    }
+
+    /// Roll back a [`ReliableState::first_delivery`] claim whose mailbox
+    /// push then failed (dead node), so later retransmissions are not
+    /// mistaken for duplicates of a delivery that never happened.
+    pub(crate) fn unmark(&self, src: NodeId, dst: NodeId, seq: u64) {
+        if let Some(window) = self.seen.lock().get_mut(&(src.0, dst.0)) {
+            window.remove(seq);
+        }
+    }
+
+    /// Remove and return every entry due for retransmission at `now`,
+    /// with backoff and attempt counters advanced. Entries that exhausted
+    /// their retries are returned separately as given-up.
+    pub(crate) fn take_due(&self, now: Instant) -> (Vec<Envelope<M>>, Vec<Envelope<M>>)
+    where
+        M: Clone,
+    {
+        let mut due = Vec::new();
+        let mut given_up = Vec::new();
+        let mut rng = rand::thread_rng();
+        let mut inflight = self.inflight.lock();
+        let mut exhausted = Vec::new();
+        for (seq, entry) in inflight.iter_mut() {
+            if entry.next_retry > now {
+                continue;
+            }
+            if entry.attempts >= self.cfg.max_retries {
+                exhausted.push(*seq);
+                continue;
+            }
+            entry.attempts += 1;
+            entry.backoff = (entry.backoff * 2).min(self.cfg.max_backoff);
+            let jitter_ns = self.cfg.jitter.as_nanos() as u64;
+            let jitter = if jitter_ns == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(rng.gen_range(0..jitter_ns))
+            };
+            entry.next_retry = now + entry.backoff + jitter;
+            due.push(entry.env.clone());
+        }
+        for seq in exhausted {
+            if let Some(entry) = inflight.remove(&seq) {
+                given_up.push(entry.env);
+            }
+        }
+        (due, given_up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MessageClass;
+
+    fn env(seq: u64) -> Envelope<u32> {
+        Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            class: MessageClass::Data,
+            seq,
+            payload: 7,
+        }
+    }
+
+    fn state(cfg: ReliabilityConfig) -> ReliableState<u32> {
+        ReliableState::new(cfg)
+    }
+
+    #[test]
+    fn seqs_are_unique_and_nonzero() {
+        let s = state(ReliabilityConfig::default());
+        let a = s.alloc_seq();
+        let b = s.alloc_seq();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ack_retires_inflight_and_records_latency() {
+        let s = state(ReliabilityConfig::default());
+        let stats = NetStats::new();
+        let seq = s.alloc_seq();
+        s.track(env(seq));
+        assert_eq!(s.inflight_len(), 1);
+        s.ack(seq, &stats);
+        assert_eq!(s.inflight_len(), 0);
+        assert_eq!(stats.acks(), 1);
+        assert_eq!(stats.ack_latency().count(), 1);
+        // A second ack for the same seq (duplicate delivery) is a no-op.
+        s.ack(seq, &stats);
+        assert_eq!(stats.acks(), 1);
+    }
+
+    #[test]
+    fn dedupe_window_rejects_repeats_per_direction() {
+        let s = state(ReliabilityConfig::default());
+        assert!(s.first_delivery(NodeId(0), NodeId(1), 5));
+        assert!(!s.first_delivery(NodeId(0), NodeId(1), 5));
+        // Same seq on another direction is independent.
+        assert!(s.first_delivery(NodeId(1), NodeId(0), 5));
+    }
+
+    #[test]
+    fn dedupe_window_is_bounded() {
+        let cfg = ReliabilityConfig {
+            dedupe_window: 4,
+            ..Default::default()
+        };
+        let s = state(cfg);
+        for seq in 1..=10u64 {
+            assert!(s.first_delivery(NodeId(0), NodeId(1), seq));
+        }
+        // Seq 1 fell out of the 4-deep window; only recent seqs are held.
+        assert!(s.first_delivery(NodeId(0), NodeId(1), 1));
+        assert!(!s.first_delivery(NodeId(0), NodeId(1), 10));
+    }
+
+    #[test]
+    fn take_due_backs_off_exponentially_and_gives_up() {
+        let cfg = ReliabilityConfig {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(400),
+            jitter: Duration::ZERO,
+            ..Default::default()
+        };
+        let s = state(cfg);
+        let seq = s.alloc_seq();
+        s.track(env(seq));
+        let t0 = Instant::now();
+
+        // Not due before base_backoff.
+        let (due, gone) = s.take_due(t0);
+        assert!(due.is_empty() && gone.is_empty());
+
+        // First retry: backoff doubles to 20ms.
+        let (due, _) = s.take_due(t0 + Duration::from_millis(11));
+        assert_eq!(due.len(), 1);
+        let (due, _) = s.take_due(t0 + Duration::from_millis(12));
+        assert!(due.is_empty(), "backoff keeps it out of the next scan");
+
+        // Second (= max) retry, then the entry is abandoned.
+        let (due, gone) = s.take_due(t0 + Duration::from_millis(600));
+        assert_eq!((due.len(), gone.len()), (1, 0));
+        let (due, gone) = s.take_due(t0 + Duration::from_millis(2000));
+        assert_eq!((due.len(), gone.len()), (0, 1));
+        assert_eq!(gone[0].seq, seq);
+        assert_eq!(s.inflight_len(), 0);
+    }
+}

@@ -2,8 +2,9 @@
 //! cost experiments.
 
 use crate::MessageClass;
-use doct_telemetry::{Counter, Registry};
+use doct_telemetry::{Counter, Histogram, Registry};
 use std::fmt;
+use std::time::Duration;
 
 fn class_slot(class: MessageClass) -> usize {
     match class {
@@ -43,6 +44,18 @@ pub struct NetStats {
     broadcasts: Counter,
     multicasts: Counter,
     dropped: Counter,
+    // Reliability-layer series. Retransmissions and acks are deliberately
+    // *not* folded into the per-class send counts above: the experiments
+    // read those as protocol cost, and the reliability layer's overhead
+    // is a separate question answered by these counters (E11).
+    retransmits: Counter,
+    acks: Counter,
+    dup_drops: Counter,
+    giveups: Counter,
+    heartbeats: Counter,
+    suspects: Counter,
+    deaths: Counter,
+    ack_latency: Histogram,
 }
 
 impl NetStats {
@@ -61,6 +74,14 @@ impl NetStats {
             broadcasts: registry.counter("net.broadcasts"),
             multicasts: registry.counter("net.multicasts"),
             dropped: registry.counter("net.dropped"),
+            retransmits: registry.counter("net.retransmits"),
+            acks: registry.counter("net.acks"),
+            dup_drops: registry.counter("net.dup_drops"),
+            giveups: registry.counter("net.giveups"),
+            heartbeats: registry.counter("net.heartbeats"),
+            suspects: registry.counter("net.suspects"),
+            deaths: registry.counter("net.deaths"),
+            ack_latency: registry.histogram("net.ack_latency"),
         }
     }
 
@@ -80,6 +101,34 @@ impl NetStats {
 
     pub(crate) fn record_drop(&self) {
         self.dropped.inc();
+    }
+
+    pub(crate) fn record_retransmit(&self) {
+        self.retransmits.inc();
+    }
+
+    pub(crate) fn record_ack(&self, latency: Duration) {
+        self.acks.inc();
+        self.ack_latency.record(latency);
+    }
+
+    pub(crate) fn record_dup_drop(&self) {
+        self.dup_drops.inc();
+    }
+
+    pub(crate) fn record_giveup(&self) {
+        self.giveups.inc();
+    }
+
+    /// Handles for the failure detector's transition counters; cloned
+    /// [`Counter`]s share storage, so detector activity lands in the same
+    /// series these accessors read.
+    pub(crate) fn detector_counters(&self) -> (Counter, Counter, Counter) {
+        (
+            self.heartbeats.clone(),
+            self.suspects.clone(),
+            self.deaths.clone(),
+        )
     }
 
     /// Messages sent in `class` since construction or the last reset.
@@ -117,6 +166,46 @@ impl NetStats {
         self.dropped.get()
     }
 
+    /// Retransmission attempts made by the reliability layer.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.get()
+    }
+
+    /// Acknowledgements received for reliable sends.
+    pub fn acks(&self) -> u64 {
+        self.acks.get()
+    }
+
+    /// Retransmitted duplicates suppressed at the receiver.
+    pub fn dup_drops(&self) -> u64 {
+        self.dup_drops.get()
+    }
+
+    /// Reliable envelopes abandoned after exhausting their retries.
+    pub fn giveups(&self) -> u64 {
+        self.giveups.get()
+    }
+
+    /// Heartbeat probes exchanged by the failure detector.
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats.get()
+    }
+
+    /// Alive→Suspected transitions observed by the failure detector.
+    pub fn suspects(&self) -> u64 {
+        self.suspects.get()
+    }
+
+    /// Transitions into the Dead verdict.
+    pub fn deaths(&self) -> u64 {
+        self.deaths.get()
+    }
+
+    /// Send→ack round-trip latency of reliable envelopes.
+    pub fn ack_latency(&self) -> &Histogram {
+        &self.ack_latency
+    }
+
     /// Zero all counters.
     pub fn reset(&self) {
         for i in 0..6 {
@@ -126,6 +215,14 @@ impl NetStats {
         self.broadcasts.reset();
         self.multicasts.reset();
         self.dropped.reset();
+        self.retransmits.reset();
+        self.acks.reset();
+        self.dup_drops.reset();
+        self.giveups.reset();
+        self.heartbeats.reset();
+        self.suspects.reset();
+        self.deaths.reset();
+        self.ack_latency.reset();
     }
 
     /// A point-in-time copy of all counters.
@@ -279,6 +376,33 @@ mod tests {
         // The registry handle and the stats block are the same series.
         registry.counter("net.sent.event").inc();
         assert_eq!(s.sent(MessageClass::Event), 2);
+    }
+
+    #[test]
+    fn reliability_counters_bind_to_registry_names() {
+        let registry = Registry::new();
+        let s = NetStats::bound(&registry);
+        s.record_retransmit();
+        s.record_ack(Duration::from_micros(5));
+        s.record_dup_drop();
+        s.record_giveup();
+        let (hb, su, de) = s.detector_counters();
+        hb.inc();
+        su.inc();
+        de.inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["net.retransmits"], 1);
+        assert_eq!(snap.counters["net.acks"], 1);
+        assert_eq!(snap.counters["net.dup_drops"], 1);
+        assert_eq!(snap.counters["net.giveups"], 1);
+        assert_eq!(snap.counters["net.heartbeats"], 1);
+        assert_eq!(snap.counters["net.suspects"], 1);
+        assert_eq!(snap.counters["net.deaths"], 1);
+        assert_eq!(s.heartbeats(), 1);
+        assert_eq!(s.ack_latency().count(), 1);
+        s.reset();
+        assert_eq!(s.retransmits() + s.acks() + s.suspects(), 0);
+        assert_eq!(s.ack_latency().count(), 0);
     }
 
     #[test]

@@ -152,11 +152,8 @@ impl TraceRing {
 
     /// Surviving records, oldest first.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        let mut with_idx: Vec<(u64, TraceEvent)> = self
-            .slots
-            .iter()
-            .filter_map(|s| *s.cell.lock())
-            .collect();
+        let mut with_idx: Vec<(u64, TraceEvent)> =
+            self.slots.iter().filter_map(|s| *s.cell.lock()).collect();
         with_idx.sort_unstable_by_key(|(i, _)| *i);
         with_idx.into_iter().map(|(_, ev)| ev).collect()
     }

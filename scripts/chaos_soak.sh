@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Chaos soak: seeded partition/heal runs over the reliability layer.
+#
+# Drives the same cut -> traffic -> heal cycle as bench experiment E11
+# plus the partition and soak integration tests, all derived from one
+# base seed so failures replay deterministically:
+#
+#   DOCT_SEED=123 scripts/chaos_soak.sh
+#
+# Exits non-zero if any ledger fails to balance, a waiter hangs past its
+# deadline, or a test fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${DOCT_SEED:-3503345325}"
+echo "=== chaos soak, DOCT_SEED=${SEED} ==="
+
+echo "--- partition + soak integration tests ---"
+DOCT_SEED="${SEED}" cargo test --release --test partition --test soak -- --nocapture
+
+echo "--- E11 partition & heal (with telemetry) ---"
+DOCT_SEED="${SEED}" cargo run --release -p doct-bench --bin experiments -- e11
+
+echo "=== chaos soak passed (seed ${SEED}) ==="

@@ -59,11 +59,17 @@ fn random_script_matches_flat_memory() {
         for op in &ops {
             match op {
                 Op::Write { node, offset, data } => {
-                    cluster.node(*node).write(seg.id, *offset, data).expect("write");
+                    cluster
+                        .node(*node)
+                        .write(seg.id, *offset, data)
+                        .expect("write");
                     oracle[*offset..*offset + data.len()].copy_from_slice(data);
                 }
                 Op::Read { node, offset, len } => {
-                    let got = cluster.node(*node).read(seg.id, *offset, *len).expect("read");
+                    let got = cluster
+                        .node(*node)
+                        .read(seg.id, *offset, *len)
+                        .expect("read");
                     assert_eq!(
                         &got[..],
                         &oracle[*offset..*offset + *len],
@@ -93,15 +99,24 @@ fn swmr_invariant_holds_after_any_script() {
         for op in &ops {
             match op {
                 Op::Write { node, offset, data } => {
-                    cluster.node(*node).write(seg.id, *offset, data).expect("write");
+                    cluster
+                        .node(*node)
+                        .write(seg.id, *offset, data)
+                        .expect("write");
                 }
                 Op::Read { node, offset, len } => {
-                    cluster.node(*node).read(seg.id, *offset, *len).expect("read");
+                    cluster
+                        .node(*node)
+                        .read(seg.id, *offset, *len)
+                        .expect("read");
                 }
             }
         }
         for index in 0..seg.page_count() {
-            let page = PageId { segment: seg.id, index };
+            let page = PageId {
+                segment: seg.id,
+                index,
+            };
             let levels: Vec<AccessLevel> =
                 (0..3).map(|n| cluster.node(n).access_level(page)).collect();
             let owners = levels.iter().filter(|&&l| l == AccessLevel::Owned).count();

@@ -176,7 +176,10 @@ fn telemetry_traces_the_six_raise_variants() {
     let ev2 = ev.clone();
     cluster
         .spawn_fn(0, move |ctx| {
-            assert_eq!(ctx.raise_and_wait(ev2.clone(), Value::Null, tid)?, Value::Int(7));
+            assert_eq!(
+                ctx.raise_and_wait(ev2.clone(), Value::Null, tid)?,
+                Value::Int(7)
+            );
             let g = ctx.raise_and_wait(ev2.clone(), Value::Null, RaiseTarget::Group(group))?;
             assert!(!g.is_null(), "group sync raise returns a verdict");
             assert_eq!(ctx.raise_and_wait(ev2, Value::Null, object)?, Value::Int(9));

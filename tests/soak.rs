@@ -53,19 +53,24 @@ impl Drop for SeedReport {
 }
 
 /// At quiescence every tracked raise must be accounted for:
-/// requested == delivered + dead + timed out.
+/// requested == delivered + dead + timed out + lost.
 fn assert_delivery_ledger_balances(cluster: &Cluster) {
     let counters = cluster.telemetry().metrics().counters;
     let get = |name: &str| counters.get(name).copied().unwrap_or(0);
     let requested = get("delivery.requested");
-    let resolved = get("delivery.delivered") + get("delivery.dead") + get("delivery.timeout");
+    let resolved = get("delivery.delivered")
+        + get("delivery.dead")
+        + get("delivery.timeout")
+        + get("delivery.lost");
     assert_eq!(
-        requested, resolved,
+        requested,
+        resolved,
         "delivery ledger out of balance: requested {requested} != \
-         delivered {} + dead {} + timeout {}",
+         delivered {} + dead {} + timeout {} + lost {}",
         get("delivery.delivered"),
         get("delivery.dead"),
-        get("delivery.timeout")
+        get("delivery.timeout"),
+        get("delivery.lost")
     );
     assert!(requested > 0, "soak raised no tracked events");
 }

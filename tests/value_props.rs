@@ -42,7 +42,11 @@ fn arb_value(rng: &mut StdRng, depth: usize) -> Value {
         3 => Value::Float(rng.gen_range(-1_000_000_000i64..1_000_000_000) as f64 / 64.0),
         4 => Value::Str(arb_string(rng, 40)),
         5 => Value::Bytes(arb_bytes(rng, 64)),
-        6 => Value::List((0..rng.gen_range(0..8usize)).map(|_| arb_value(rng, depth - 1)).collect()),
+        6 => Value::List(
+            (0..rng.gen_range(0..8usize))
+                .map(|_| arb_value(rng, depth - 1))
+                .collect(),
+        ),
         _ => {
             let mut m = BTreeMap::new();
             for _ in 0..rng.gen_range(0..8usize) {
