@@ -18,6 +18,13 @@ fn run_one(which: &str) -> Result<(), doct_kernel::KernelError> {
         "e2" => {
             e2_thread_location::table(&e2_thread_location::run()?).print();
             e2_thread_location::moving_table(&e2_thread_location::run_moving()?).print();
+            let cache_rows = e2_thread_location::run_cache_sweep()?;
+            e2_thread_location::cache_table(&cache_rows).print();
+            let json = e2_thread_location::cache_json(&cache_rows);
+            match std::fs::write("BENCH_e2_locate.json", &json) {
+                Ok(()) => eprintln!("[e2 cache sweep written to BENCH_e2_locate.json]"),
+                Err(e) => eprintln!("[e2: could not write BENCH_e2_locate.json: {e}]"),
+            }
         }
         "e3" => e3_master_thread::table(&e3_master_thread::run()?).print(),
         "e4" => {

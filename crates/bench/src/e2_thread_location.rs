@@ -47,8 +47,11 @@ fn one_config(
     hops: usize,
     trials: usize,
 ) -> Result<LocateRow, KernelError> {
+    // The location cache is disabled here on purpose: this table
+    // reproduces the paper's §7.1 per-raise locator costs; the cache's
+    // effect is measured separately by `run_cache_sweep`.
     let cluster: Cluster = ClusterBuilder::new(nodes)
-        .config(KernelConfig::with_locator(strategy))
+        .config(KernelConfig::with_locator(strategy).without_location_cache())
         .build();
     register_classes(&cluster);
     let handle = spawn_deep_thread(&cluster, hops)?;
@@ -177,7 +180,7 @@ pub fn run_moving() -> Result<Vec<MovingRow>, KernelError> {
             LocatorStrategy::Multicast,
         ] {
             let cluster: Cluster = ClusterBuilder::new(4)
-                .config(KernelConfig::with_locator(strategy))
+                .config(KernelConfig::with_locator(strategy).without_location_cache())
                 .build();
             let facility = EventFacility::install(&cluster);
             facility.register_event("MOVE");
@@ -242,6 +245,260 @@ pub fn run_moving() -> Result<Vec<MovingRow>, KernelError> {
         }
     }
     Ok(rows)
+}
+
+/// One row of the location-cache sweep (E2c).
+#[derive(Debug, Clone)]
+pub struct CacheRow {
+    /// Locator strategy the cache fronts (and falls back to).
+    pub strategy: LocatorStrategy,
+    /// Hint cache enabled for this run.
+    pub cache: bool,
+    /// `"stationary"` or `"moving"` target workload.
+    pub workload: &'static str,
+    /// Measured (post-warm-up) raises.
+    pub raises: u64,
+    /// Raises whose receipt said "delivered".
+    pub delivered: u64,
+    /// Raises reported dead/timed out (moving-target races lost).
+    pub failed: u64,
+    /// `Locate`-class messages (probes + receipts) per measured raise.
+    pub locate_msgs_per_raise: f64,
+    /// Hint unicast probes per measured raise.
+    pub hint_unicasts_per_raise: f64,
+    /// Raise→receipt latency, median, microseconds.
+    pub p50_us: f64,
+    /// Raise→receipt latency, 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// `cache_hits / (cache_hits + cache_misses)`; 0 with the cache off.
+    pub hit_rate: f64,
+    /// Stale-hint fallbacks (`locator.cache_stale`).
+    pub stale: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn cache_counter(cluster: &Cluster, name: &str) -> u64 {
+    cluster
+        .telemetry()
+        .metrics()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+fn cache_case(
+    strategy: LocatorStrategy,
+    cache: bool,
+    moving: bool,
+) -> Result<CacheRow, KernelError> {
+    use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const NODES: usize = 8;
+    const WARMUP: usize = 2;
+    const MEASURED: usize = 28;
+    let mut config = KernelConfig::with_locator(strategy);
+    if !cache {
+        config = config.without_location_cache();
+    }
+    let cluster: Cluster = ClusterBuilder::new(NODES).config(config).build();
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("E2C");
+    register_classes(&cluster);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (handle, raiser_node) = if moving {
+        // §7.1's acknowledged hard case: the tip ping-pongs between two
+        // nodes (~2 ms dwell each), so cached hints go stale constantly.
+        let a =
+            cluster.create_object(doct_kernel::ObjectConfig::new("plain", doct_net::NodeId(1)))?;
+        let b =
+            cluster.create_object(doct_kernel::ObjectConfig::new("plain", doct_net::NodeId(2)))?;
+        let s2 = Arc::clone(&stop);
+        let handle = cluster.spawn_fn(0, move |ctx| {
+            ctx.attach_handler(
+                "E2C",
+                AttachSpec::proc("sink", |_c, _b| HandlerDecision::Resume(Value::Null)),
+            );
+            while !s2.load(Ordering::Relaxed) {
+                ctx.invoke(a, "sleepy", 2i64)?;
+                ctx.invoke(b, "sleepy", 2i64)?;
+            }
+            Ok(Value::Null)
+        })?;
+        (handle, 3usize)
+    } else {
+        let hops = NODES - 1;
+        let handle = spawn_deep_thread(&cluster, hops)?;
+        (handle, (hops % NODES + 1) % NODES)
+    };
+    std::thread::sleep(Duration::from_millis(80));
+
+    let raise_once = || {
+        let t0 = Instant::now();
+        let summary = cluster
+            .raise_from(
+                raiser_node,
+                doct_kernel::EventName::user("E2C"),
+                Value::Null,
+                handle.thread(),
+            )
+            .wait();
+        (summary, t0.elapsed())
+    };
+    for _ in 0..WARMUP {
+        let _ = raise_once();
+    }
+    let net_before = cluster.net().stats().snapshot();
+    let hits_before = cache_counter(&cluster, "locator.cache_hits");
+    let misses_before = cache_counter(&cluster, "locator.cache_misses");
+    let stale_before = cache_counter(&cluster, "locator.cache_stale");
+    let mut delivered = 0u64;
+    let mut failed = 0u64;
+    let mut lats_us = Vec::with_capacity(MEASURED);
+    for _ in 0..MEASURED {
+        let (summary, lat) = raise_once();
+        if summary.delivered > 0 {
+            delivered += 1;
+            lats_us.push(lat.as_secs_f64() * 1e6);
+        } else {
+            failed += 1;
+        }
+        if moving {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let delta = net_before.delta(&cluster.net().stats().snapshot());
+    let hits = cache_counter(&cluster, "locator.cache_hits") - hits_before;
+    let misses = cache_counter(&cluster, "locator.cache_misses") - misses_before;
+    let stale = cache_counter(&cluster, "locator.cache_stale") - stale_before;
+
+    stop.store(true, Ordering::Relaxed);
+    if moving {
+        let _ = handle.join_timeout(Duration::from_secs(10));
+    } else {
+        cluster
+            .raise_from(0, SystemEvent::Quit, Value::Null, handle.thread())
+            .wait();
+        let _ = handle.join_timeout(Duration::from_secs(5));
+    }
+    crate::telemetry_out::record("e2.cache", &cluster);
+
+    lats_us.sort_by(|x, y| x.partial_cmp(y).expect("finite latency"));
+    Ok(CacheRow {
+        strategy,
+        cache,
+        workload: if moving { "moving" } else { "stationary" },
+        raises: MEASURED as u64,
+        delivered,
+        failed,
+        locate_msgs_per_raise: delta.sent(MessageClass::Locate) as f64 / MEASURED as f64,
+        hint_unicasts_per_raise: delta.hint_unicasts() as f64 / MEASURED as f64,
+        p50_us: percentile(&lats_us, 0.50),
+        p99_us: percentile(&lats_us, 0.99),
+        hit_rate: if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        },
+        stale,
+    })
+}
+
+/// Run the location-cache sweep: cache {off, on} × the three locator
+/// strategies × {stationary, moving} targets on an 8-node cluster.
+///
+/// # Errors
+///
+/// Cluster construction/spawn failures.
+pub fn run_cache_sweep() -> Result<Vec<CacheRow>, KernelError> {
+    let mut rows = Vec::new();
+    for moving in [false, true] {
+        for strategy in [
+            LocatorStrategy::Broadcast,
+            LocatorStrategy::PathTrace,
+            LocatorStrategy::Multicast,
+        ] {
+            for cache in [false, true] {
+                rows.push(cache_case(strategy, cache, moving)?);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Render the cache sweep.
+pub fn cache_table(rows: &[CacheRow]) -> Table {
+    let mut t = Table::new(
+        "E2c: thread-location hint cache (8 nodes; locate msgs include receipts)",
+        &[
+            "strategy",
+            "cache",
+            "workload",
+            "locate/raise",
+            "unicasts/raise",
+            "p50",
+            "p99",
+            "hit rate",
+            "stale",
+            "failed",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:?}", r.strategy),
+            if r.cache { "on" } else { "off" }.to_string(),
+            r.workload.to_string(),
+            format!("{:.1}", r.locate_msgs_per_raise),
+            format!("{:.2}", r.hint_unicasts_per_raise),
+            format!("{:.1?}", Duration::from_secs_f64(r.p50_us / 1e6)),
+            format!("{:.1?}", Duration::from_secs_f64(r.p99_us / 1e6)),
+            format!("{:.0}%", r.hit_rate * 100.0),
+            r.stale.to_string(),
+            r.failed.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The cache sweep as machine-readable JSON (`BENCH_e2_locate.json`):
+/// probe traffic per raise plus p50/p99 raise latency per configuration,
+/// the perf trajectory future changes are compared against.
+pub fn cache_json(rows: &[CacheRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"e2_locate\",\n  \"nodes\": 8,\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{:?}\", \"cache\": {}, \"workload\": \"{}\", \
+             \"raises\": {}, \"delivered\": {}, \"failed\": {}, \
+             \"locate_msgs_per_raise\": {:.2}, \"hint_unicasts_per_raise\": {:.2}, \
+             \"p50_raise_us\": {:.1}, \"p99_raise_us\": {:.1}, \
+             \"cache_hit_rate\": {:.3}, \"stale_fallbacks\": {}}}{}\n",
+            r.strategy,
+            r.cache,
+            r.workload,
+            r.raises,
+            r.delivered,
+            r.failed,
+            r.locate_msgs_per_raise,
+            r.hint_unicasts_per_raise,
+            r.p50_us,
+            r.p99_us,
+            r.hit_rate,
+            r.stale,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Render the moving-target ablation.

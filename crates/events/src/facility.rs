@@ -300,9 +300,12 @@ impl EventFacility {
         let cleanup = ctx
             .attributes()
             .extension::<ThreadRegistry>(THREAD_REGISTRY_KEY)
-            .map(|r| r.chain(&EventName::System(SystemEvent::Terminate)))
-            .unwrap_or_default();
-        for reg in cleanup.iter().filter(|r| r.cleanup) {
+            .and_then(|r| r.chain_shared(&EventName::System(SystemEvent::Terminate)));
+        for reg in cleanup
+            .iter()
+            .flat_map(|c| c.iter().rev())
+            .filter(|r| r.cleanup)
+        {
             // Side effects only: a Resume cannot cancel a QUIT.
             let _ = self.run_thread_handler(ctx, &reg.spec, &block);
         }
@@ -349,12 +352,14 @@ impl EventDispatcher for EventFacility {
             return self.deliver_quit(ctx, &event);
         }
         let mut block = EventBlock::for_thread(ctx, &event);
+        // Shared chain handle: nothing is cloned per delivery, and the
+        // registrations live in attach order — walk them in reverse for
+        // the LIFO (newest-first) delivery order.
         let chain = ctx
             .attributes()
             .extension::<ThreadRegistry>(THREAD_REGISTRY_KEY)
-            .map(|r| r.chain(&event.name))
-            .unwrap_or_default();
-        for reg in &chain {
+            .and_then(|r| r.chain_shared(&event.name));
+        for reg in chain.iter().flat_map(|c| c.iter().rev()) {
             match self.run_thread_handler(ctx, &reg.spec, &block) {
                 HandlerDecision::Resume(verdict) => {
                     if event.sync {

@@ -77,7 +77,11 @@ pub struct Registration {
 /// as a thread-attribute extension (it travels with the thread, so the
 /// ring is causally consistent with the thread's own execution).
 pub struct ThreadRegistry {
-    chains: Mutex<HashMap<EventName, Vec<Registration>>>,
+    // Each chain is an `Arc`'d slice (copy-on-write via `Arc::make_mut`):
+    // delivery — the hot path — takes a shared handle out of the lock
+    // instead of cloning every `Registration`, while attach/detach — rare
+    // — pay the copy only when a delivery still holds the old chain.
+    chains: Mutex<HashMap<EventName, Arc<Vec<Registration>>>>,
     seen: Mutex<VecDeque<u64>>,
     seen_cap: usize,
 }
@@ -120,11 +124,8 @@ impl ThreadRegistry {
 
     /// Push a handler onto the event's chain (LIFO: newest runs first).
     pub fn attach(&self, registration: Registration) {
-        self.chains
-            .lock()
-            .entry(registration.event.clone())
-            .or_default()
-            .push(registration);
+        let mut chains = self.chains.lock();
+        Arc::make_mut(chains.entry(registration.event.clone()).or_default()).push(registration);
     }
 
     /// Remove a handler by registration id. Returns `true` if found.
@@ -132,7 +133,7 @@ impl ThreadRegistry {
         let mut chains = self.chains.lock();
         for regs in chains.values_mut() {
             if let Some(pos) = regs.iter().position(|r| r.id == id) {
-                regs.remove(pos);
+                Arc::make_mut(regs).remove(pos);
                 return true;
             }
         }
@@ -141,11 +142,17 @@ impl ThreadRegistry {
 
     /// The chain for `event`, newest-first (delivery order).
     pub fn chain(&self, event: &EventName) -> Vec<Registration> {
-        self.chains
-            .lock()
-            .get(event)
+        self.chain_shared(event)
             .map(|v| v.iter().rev().cloned().collect())
             .unwrap_or_default()
+    }
+
+    /// The chain for `event` as a shared handle in *attachment* order
+    /// (iterate `.iter().rev()` for LIFO delivery order). This is the
+    /// allocation-free path used by delivery: no `Registration` is cloned
+    /// and the registry lock is dropped before any handler runs.
+    pub fn chain_shared(&self, event: &EventName) -> Option<Arc<Vec<Registration>>> {
+        self.chains.lock().get(event).cloned()
     }
 
     /// Number of handlers attached for `event`.
@@ -188,9 +195,11 @@ impl ThreadRegistry {
 }
 
 impl Extension for ThreadRegistry {
-    /// Inheritance deep-copies the chains: a child's `attach_handler`
-    /// must not affect the parent (and vice versa), while the inherited
-    /// handlers themselves (the `Arc`'d procedures) are shared code.
+    /// Inheritance copies the chain *handles*: a child's `attach_handler`
+    /// must not affect the parent (and vice versa), which copy-on-write
+    /// guarantees — the first mutation on either side un-shares that
+    /// chain — while the inherited handlers themselves (the `Arc`'d
+    /// procedures) stay shared code.
     fn clone_ext(&self) -> Arc<dyn Extension> {
         let copy = ThreadRegistry::with_seen_cap(self.seen_cap);
         *copy.chains.lock() = self.chains.lock().clone();
@@ -231,6 +240,26 @@ mod tests {
         let ids: Vec<u64> = r.chain(&e).iter().map(|x| x.id).collect();
         assert_eq!(ids, vec![3, 2, 1], "newest first");
         assert_eq!(r.chain_len(&e), 3);
+    }
+
+    #[test]
+    fn chain_shared_is_attach_order_and_copy_on_write() {
+        let r = ThreadRegistry::new();
+        let e = EventName::user("X");
+        r.attach(reg(1, e.clone()));
+        r.attach(reg(2, e.clone()));
+        let held = r.chain_shared(&e).expect("chain exists");
+        assert_eq!(held.iter().map(|x| x.id).collect::<Vec<_>>(), vec![1, 2]);
+        // Two fetches without an intervening mutation share one allocation.
+        let again = r.chain_shared(&e).unwrap();
+        assert!(Arc::ptr_eq(&held, &again), "no per-delivery clone");
+        // A mutation while a delivery holds the chain un-shares it; the
+        // held snapshot is unaffected.
+        r.attach(reg(3, e.clone()));
+        assert_eq!(held.len(), 2, "held snapshot is stable");
+        let fresh = r.chain_shared(&e).unwrap();
+        assert_eq!(fresh.len(), 3);
+        assert!(!Arc::ptr_eq(&held, &fresh));
     }
 
     #[test]

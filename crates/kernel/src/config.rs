@@ -1,6 +1,7 @@
 //! Cluster-wide kernel configuration knobs, each corresponding to a design
 //! alternative discussed in the paper.
 
+use crate::location_cache::LocationCacheConfig;
 use std::time::Duration;
 
 /// How object invocations cross node boundaries (paper §2 design goal:
@@ -64,6 +65,9 @@ pub struct KernelConfig {
     pub sync_timeout: Duration,
     /// How long a remote invocation waits for its reply.
     pub invoke_timeout: Duration,
+    /// Thread-location hint cache consulted before `locator` on each
+    /// thread-targeted raise (unicast fast path; see `LocationCache`).
+    pub location_cache: LocationCacheConfig,
 }
 
 impl Default for KernelConfig {
@@ -76,6 +80,7 @@ impl Default for KernelConfig {
             delivery_retries: 3,
             sync_timeout: Duration::from_secs(10),
             invoke_timeout: Duration::from_secs(30),
+            location_cache: LocationCacheConfig::default(),
         }
     }
 }
@@ -96,6 +101,23 @@ impl KernelConfig {
             ..Self::default()
         }
     }
+
+    /// This config with the location hint cache turned off (every raise
+    /// pays the full locator cost — used by the E2 baseline benches).
+    pub fn without_location_cache(self) -> Self {
+        KernelConfig {
+            location_cache: LocationCacheConfig::disabled(),
+            ..self
+        }
+    }
+
+    /// This config with the given location-cache tuning.
+    pub fn with_location_cache(self, location_cache: LocationCacheConfig) -> Self {
+        KernelConfig {
+            location_cache,
+            ..self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +131,9 @@ mod tests {
         assert_eq!(c.locator, LocatorStrategy::PathTrace);
         assert_eq!(c.object_events, ObjectEventExecution::Master);
         assert!(c.delivery_retries > 0);
+        assert!(c.location_cache.enabled, "hint cache is on by default");
+        assert!(c.location_cache.capacity > 0);
+        assert!(c.location_cache.hint_timeout < c.delivery_timeout);
     }
 
     #[test]
@@ -121,5 +146,8 @@ mod tests {
             KernelConfig::with_locator(LocatorStrategy::Broadcast).locator,
             LocatorStrategy::Broadcast
         );
+        let off = KernelConfig::default().without_location_cache();
+        assert!(!off.location_cache.enabled);
+        assert_eq!(off.locator, LocatorStrategy::PathTrace, "rest untouched");
     }
 }

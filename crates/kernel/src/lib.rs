@@ -53,6 +53,7 @@ mod error;
 mod event;
 mod group;
 mod ids;
+mod location_cache;
 mod message;
 mod node;
 mod object;
@@ -71,6 +72,7 @@ pub use event::{
 };
 pub use group::GroupRegistry;
 pub use ids::{ObjectId, ThreadGroupId, ThreadId};
+pub use location_cache::{LocationCache, LocationCacheConfig};
 pub use message::KernelMessage;
 pub use node::{DeliverySummary, IoHub, KernelStats, NodeKernel, RaiseTicket, TimerCmd};
 pub use object::{

@@ -56,6 +56,12 @@ pub enum KernelMessage {
         /// (it drains the queue at its next delivery point there) instead
         /// of requiring the tip.
         anchor: bool,
+        /// The probe was a unicast sent on a location-cache hint rather
+        /// than part of a locator wave. A "not here" receipt for a hinted
+        /// probe invalidates the cache entry, and hinted probes may chase
+        /// a bounded number of forwarding hops even under the broadcast
+        /// and multicast locators.
+        hinted: bool,
     },
     /// Receipt for a `DeliverThread` probe.
     DeliverReceipt {
@@ -179,6 +185,7 @@ mod tests {
                 delivery_id: 0,
                 hops: 0,
                 anchor: false,
+                hinted: false,
             }
             .wire_size()
                 >= 96

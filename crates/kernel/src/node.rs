@@ -4,6 +4,7 @@
 
 use crate::activation::Activation;
 use crate::config::{KernelConfig, LocatorStrategy, ObjectEventExecution};
+use crate::location_cache::LocationCache;
 use crate::tcb::{TcbTable, Trail};
 use crate::{ClassRegistry, DefaultDispatcher};
 use crate::{
@@ -81,6 +82,14 @@ struct DeliveryTracker {
     /// Set once the final anchor attempt has been sent.
     anchored: bool,
     deadline: Instant,
+    /// An outstanding unicast hint probe: the hinted node, the cache
+    /// generation that was probed (so only that entry is invalidated on
+    /// disproof), and the deadline after which the delivery stops waiting
+    /// for the hint and falls back to the full locator wave.
+    hint: Option<(NodeId, u64, Instant)>,
+    /// The hint fast path has been tried for this delivery; retries go
+    /// straight to the locator wave.
+    hint_spent: bool,
     result_tx: Sender<DeliveryStatus>,
 }
 
@@ -187,6 +196,9 @@ pub struct NodeKernel {
     tcbs: TcbTable,
     pending_calls: Mutex<HashMap<u64, InvokeReplySender>>,
     deliveries: Mutex<HashMap<u64, DeliveryTracker>>,
+    /// Last known location of recently targeted threads (unicast fast
+    /// path for `send_probes`); `None` when disabled by config.
+    location_cache: Option<LocationCache>,
     next_id: AtomicU64,
     next_thread_seq: AtomicU64,
     next_object_seq: AtomicU64,
@@ -278,6 +290,10 @@ impl NodeKernel {
             tcbs: TcbTable::new(),
             pending_calls: Mutex::new(HashMap::new()),
             deliveries: Mutex::new(HashMap::new()),
+            location_cache: config
+                .location_cache
+                .enabled
+                .then(|| LocationCache::new(config.location_cache, telemetry.registry())),
             next_id: AtomicU64::new(1),
             next_thread_seq: AtomicU64::new(1),
             next_object_seq: AtomicU64::new(1),
@@ -371,6 +387,11 @@ impl NodeKernel {
         &self.tcbs
     }
 
+    /// This node's thread-location hint cache, when enabled.
+    pub fn location_cache(&self) -> Option<&LocationCache> {
+        self.location_cache.as_ref()
+    }
+
     /// Install the event facility's dispatcher (all nodes usually share
     /// one `Arc`).
     pub fn set_dispatcher(&self, dispatcher: Arc<dyn EventDispatcher>) {
@@ -456,8 +477,23 @@ impl NodeKernel {
     }
 
     fn run_loop(self: Arc<Self>, rx: Receiver<doct_net::Envelope<KernelMessage>>) {
+        const SWEEP_EVERY: Duration = Duration::from_millis(50);
+        // Sweep on a deadline, not only when the mailbox goes quiet:
+        // under sustained inbound traffic `recv_timeout` never expires,
+        // and delivery retries/timeouts (and hint fallbacks) would starve.
+        let mut next_sweep = Instant::now() + SWEEP_EVERY;
         loop {
-            match rx.recv_timeout(Duration::from_millis(50)) {
+            let now = Instant::now();
+            if now >= next_sweep {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    self.drain_deliveries_as_lost();
+                    return;
+                }
+                self.sweep_deliveries();
+                next_sweep = now + SWEEP_EVERY;
+            }
+            let wait = next_sweep.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(wait) {
                 Ok(env) => {
                     if matches!(env.payload, KernelMessage::Shutdown) {
                         self.shutdown.store(true, Ordering::Relaxed);
@@ -466,13 +502,7 @@ impl NodeKernel {
                     }
                     self.handle(env.payload, env.src);
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    if self.shutdown.load(Ordering::Relaxed) {
-                        self.drain_deliveries_as_lost();
-                        return;
-                    }
-                    self.sweep_deliveries();
-                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                     self.drain_deliveries_as_lost();
                     return;
@@ -545,7 +575,10 @@ impl NodeKernel {
                 delivery_id,
                 hops,
                 anchor,
-            } => self.handle_deliver_thread(event, target, origin, delivery_id, hops, anchor),
+                hinted,
+            } => {
+                self.handle_deliver_thread(event, target, origin, delivery_id, hops, anchor, hinted)
+            }
             KernelMessage::DeliverReceipt { delivery_id, found } => {
                 self.handle_receipt(delivery_id, found)
             }
@@ -815,6 +848,12 @@ impl NodeKernel {
                 let group = activation.lock().attributes.group;
                 kernel.tcbs.leave(thread);
                 kernel.checkout(thread);
+                // The thread no longer exists anywhere: drop its location
+                // hint so later raises from this node fail fast to the
+                // wave (remote caches self-correct via "not here").
+                if let Some(cache) = &kernel.location_cache {
+                    cache.invalidate(thread);
+                }
                 if let Some(g) = group {
                     kernel.groups.leave(g, thread);
                 }
@@ -945,6 +984,8 @@ impl NodeKernel {
             attempts_left: self.config.delivery_retries,
             anchored: false,
             deadline: Instant::now() + self.config.delivery_timeout,
+            hint: None,
+            hint_spent: false,
             result_tx: tx,
         };
         self.deliveries.lock().insert(delivery_id, tracker);
@@ -952,15 +993,20 @@ impl NodeKernel {
         rx
     }
 
-    /// Send the probe wave for a registered delivery (initial or retry).
+    /// Send the probe wave for a registered delivery (initial or retry),
+    /// or — on the first attempt, when the location cache holds a hint
+    /// for the target — a single unicast fast-path probe instead.
     fn send_probes(self: &Arc<Self>, delivery_id: u64) {
-        let (event, target) = {
+        let (event, target, try_hint) = {
             let mut map = self.deliveries.lock();
             let Some(t) = map.get_mut(&delivery_id) else {
                 return;
             };
-            (t.event.clone(), t.target)
+            (t.event.clone(), t.target, !t.hint_spent)
         };
+        if try_hint && self.send_hint_probe(delivery_id, &event, target) {
+            return;
+        }
         let msg = |hops| KernelMessage::DeliverThread {
             event: event.clone(),
             target,
@@ -968,6 +1014,7 @@ impl NodeKernel {
             delivery_id,
             hops,
             anchor: false,
+            hinted: false,
         };
         self.trace(event.seq, Stage::Send);
         let sent = match self.config.locator {
@@ -989,6 +1036,7 @@ impl NodeKernel {
                         self.node,
                         delivery_id,
                         0,
+                        false,
                         false,
                     );
                     return;
@@ -1024,8 +1072,75 @@ impl NodeKernel {
         }
     }
 
+    /// Try the location-cache fast path for a delivery: if a (usable)
+    /// hint exists, send one unicast probe to the hinted node and record
+    /// the hint on the tracker so a "not here" receipt or a sweep-side
+    /// timeout falls back to the full wave. Returns `true` when the probe
+    /// went out (or the fallback was already triggered inline).
+    fn send_hint_probe(
+        self: &Arc<Self>,
+        delivery_id: u64,
+        event: &WireEvent,
+        target: ThreadId,
+    ) -> bool {
+        let Some(cache) = &self.location_cache else {
+            return false;
+        };
+        let Some((node, generation)) = cache.lookup(target) else {
+            return false;
+        };
+        if node == self.node {
+            // The local fast path already failed before this delivery was
+            // registered, so a self-hint is worthless: drop it and wave.
+            cache.invalidate(target);
+            return false;
+        }
+        if self.net.reliability_enabled()
+            && self.net.peer_state(self.node, node) == Some(doct_net::PeerState::Dead)
+        {
+            // Never wait on a hint the failure detector has disproved.
+            cache.invalidate(target);
+            return false;
+        }
+        {
+            let mut map = self.deliveries.lock();
+            let Some(t) = map.get_mut(&delivery_id) else {
+                return true;
+            };
+            t.hint_spent = true;
+            t.hint = Some((
+                node,
+                generation,
+                Instant::now() + cache.config().hint_timeout,
+            ));
+            t.outstanding = 1;
+        }
+        self.trace(event.seq, Stage::Send);
+        let msg = KernelMessage::DeliverThread {
+            event: event.clone(),
+            target,
+            origin: self.node,
+            delivery_id,
+            hops: 0,
+            anchor: false,
+            hinted: true,
+        };
+        let sent = self
+            .net
+            .send_hinted(self.node, node, msg, MessageClass::Locate)
+            .map(|o| o.is_sent())
+            .unwrap_or(false);
+        if !sent {
+            // Unreliable transport and the link is down: treat it as an
+            // immediate "not here" so the wave fallback runs now.
+            self.handle_receipt(delivery_id, None);
+        }
+        true
+    }
+
     /// A probe arrived: enqueue here, forward along the trail, or report
     /// back "not here".
+    #[allow(clippy::too_many_arguments)]
     fn handle_deliver_thread(
         self: &Arc<Self>,
         event: WireEvent,
@@ -1034,6 +1149,7 @@ impl NodeKernel {
         delivery_id: u64,
         hops: u32,
         anchor: bool,
+        hinted: bool,
     ) {
         let receipt = |found: Option<NodeId>| {
             if origin == self.node {
@@ -1076,7 +1192,14 @@ impl NodeKernel {
                 }
             }
             Trail::Forward(next) => {
-                if self.config.locator == LocatorStrategy::PathTrace {
+                // Hinted unicast probes chase a short forwarding trail
+                // even under broadcast/multicast: the thread usually made
+                // one hop since the hint was recorded, and the wave
+                // fallback still covers longer moves.
+                const HINT_CHASE_HOPS: u32 = 3;
+                if self.config.locator == LocatorStrategy::PathTrace
+                    || (hinted && hops < HINT_CHASE_HOPS)
+                {
                     self.trace(event.seq, Stage::Send);
                     let _ = self.net.send(
                         self.node,
@@ -1088,6 +1211,7 @@ impl NodeKernel {
                             delivery_id,
                             hops: hops + 1,
                             anchor: false,
+                            hinted,
                         },
                         MessageClass::Locate,
                     );
@@ -1109,13 +1233,33 @@ impl NodeKernel {
             };
             match found {
                 Some(node) => {
+                    // Learn (or refresh) the target's location for the
+                    // next raise from this node; local deliveries go
+                    // through the tip fast path, so only cache remotes.
+                    if node != self.node {
+                        if let Some(cache) = &self.location_cache {
+                            cache.record(t.target, node);
+                        }
+                    }
                     self.telemetry.counter("delivery.delivered").inc();
                     let _ = t.result_tx.send(DeliveryStatus::Delivered(node));
                     map.remove(&delivery_id);
                 }
                 None => {
-                    t.outstanding = t.outstanding.saturating_sub(1);
-                    if t.outstanding == 0 {
+                    if let Some((_, generation, _)) = t.hint.take() {
+                        // The hinted node answered "not here": the cache
+                        // entry is stale. Invalidate it and fall back to
+                        // the full locator wave without consuming one of
+                        // the wave's retry attempts.
+                        if let Some(cache) = &self.location_cache {
+                            cache.invalidate_stale(t.target, generation);
+                        }
+                        t.outstanding = 0;
+                        retry = true;
+                    } else {
+                        t.outstanding = t.outstanding.saturating_sub(1);
+                    }
+                    if !retry && t.outstanding == 0 {
                         if t.attempts_left > 0 {
                             t.attempts_left -= 1;
                             retry = true;
@@ -1131,6 +1275,7 @@ impl NodeKernel {
                                 delivery_id,
                                 hops: 0,
                                 anchor: true,
+                                hinted: false,
                             };
                             let root = t.target.root;
                             drop(map);
@@ -1178,27 +1323,60 @@ impl NodeKernel {
     fn sweep_deliveries(self: &Arc<Self>) {
         let now = Instant::now();
         let detector_on = self.net.reliability_enabled();
-        let mut map = self.deliveries.lock();
-        map.retain(|_, t| {
-            if now >= t.deadline {
-                self.telemetry.counter("delivery.timeout").inc();
-                let _ = t.result_tx.send(DeliveryStatus::Timeout);
-                return false;
-            }
-            // §7.2 dead-target notification under real link failure: when
-            // the failure detector has declared the target's root node
-            // dead, resolve now instead of letting the raiser sit out the
-            // whole delivery timeout.
-            if detector_on
-                && t.target.root != self.node
-                && self.net.peer_state(self.node, t.target.root) == Some(doct_net::PeerState::Dead)
-            {
-                self.telemetry.counter("delivery.dead").inc();
-                let _ = t.result_tx.send(DeliveryStatus::TargetDead);
-                return false;
-            }
-            true
-        });
+        // Deliveries whose hint probe expired; probed again (as a full
+        // wave) after the deliveries lock is released — send_probes
+        // re-locks it.
+        let mut hint_fallbacks = Vec::new();
+        {
+            let mut map = self.deliveries.lock();
+            map.retain(|id, t| {
+                if now >= t.deadline {
+                    self.telemetry.counter("delivery.timeout").inc();
+                    let _ = t.result_tx.send(DeliveryStatus::Timeout);
+                    return false;
+                }
+                // §7.2 dead-target notification under real link failure:
+                // when the failure detector has declared the target's root
+                // node dead, resolve now instead of letting the raiser sit
+                // out the whole delivery timeout.
+                if detector_on
+                    && t.target.root != self.node
+                    && self.net.peer_state(self.node, t.target.root)
+                        == Some(doct_net::PeerState::Dead)
+                {
+                    self.telemetry.counter("delivery.dead").inc();
+                    let _ = t.result_tx.send(DeliveryStatus::TargetDead);
+                    return false;
+                }
+                // Give up on an unanswered hint probe after one retry
+                // slice — or immediately once the detector declares the
+                // hinted node dead — and fall back to the locator wave.
+                // A receipt that still arrives afterwards at worst
+                // spuriously decrements the wave's outstanding count,
+                // which only hastens a retry/anchor; the per-thread seen
+                // ring keeps delivery exactly-once either way.
+                if let Some((node, generation, hint_deadline)) = t.hint {
+                    let node_dead = detector_on
+                        && self.net.peer_state(self.node, node) == Some(doct_net::PeerState::Dead);
+                    if node_dead || now >= hint_deadline {
+                        t.hint = None;
+                        t.outstanding = 0;
+                        if let Some(cache) = &self.location_cache {
+                            if node_dead {
+                                cache.invalidate(t.target);
+                            } else {
+                                cache.invalidate_stale(t.target, generation);
+                            }
+                        }
+                        hint_fallbacks.push(*id);
+                    }
+                }
+                true
+            });
+        }
+        for id in hint_fallbacks {
+            self.send_probes(id);
+        }
     }
 
     /// Resume a raiser blocked in `raise_and_wait` (facility-facing).

@@ -356,6 +356,24 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
         }
     }
 
+    /// [`Network::send`], additionally counted as a location-cache hint
+    /// unicast (`net.hint_unicasts`): a single probe sent in place of a
+    /// locator wave. Delivery semantics are identical to `send`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] if either endpoint is out of range.
+    pub fn send_hinted(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload: M,
+        class: MessageClass,
+    ) -> Result<SendOutcome, NetworkError> {
+        self.path.stats.record_hint_unicast();
+        self.send(src, dst, payload, class)
+    }
+
     /// One physical transmission attempt: through the delay line if the
     /// fabric has latency, otherwise straight into the mailbox.
     fn transmit(&self, env: Envelope<M>) -> SendOutcome {

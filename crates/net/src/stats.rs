@@ -43,6 +43,10 @@ pub struct NetStats {
     bytes: [Counter; 6],
     broadcasts: Counter,
     multicasts: Counter,
+    /// Unicast probes sent on a location-cache hint instead of a locator
+    /// wave. Each also counts a normal per-class send; this series
+    /// isolates how often the fast path fires.
+    hint_unicasts: Counter,
     dropped: Counter,
     // Reliability-layer series. Retransmissions and acks are deliberately
     // *not* folded into the per-class send counts above: the experiments
@@ -73,6 +77,7 @@ impl NetStats {
                 .map(|c| registry.counter(&format!("net.bytes.{}", class_name(c)))),
             broadcasts: registry.counter("net.broadcasts"),
             multicasts: registry.counter("net.multicasts"),
+            hint_unicasts: registry.counter("net.hint_unicasts"),
             dropped: registry.counter("net.dropped"),
             retransmits: registry.counter("net.retransmits"),
             acks: registry.counter("net.acks"),
@@ -97,6 +102,10 @@ impl NetStats {
 
     pub(crate) fn record_multicast(&self) {
         self.multicasts.inc();
+    }
+
+    pub(crate) fn record_hint_unicast(&self) {
+        self.hint_unicasts.inc();
     }
 
     pub(crate) fn record_drop(&self) {
@@ -161,6 +170,11 @@ impl NetStats {
         self.multicasts.get()
     }
 
+    /// Hint-cache unicast probes sent in place of a locator wave.
+    pub fn hint_unicasts(&self) -> u64 {
+        self.hint_unicasts.get()
+    }
+
     /// Messages dropped by cut links or partitions.
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
@@ -214,6 +228,7 @@ impl NetStats {
         }
         self.broadcasts.reset();
         self.multicasts.reset();
+        self.hint_unicasts.reset();
         self.dropped.reset();
         self.retransmits.reset();
         self.acks.reset();
@@ -232,6 +247,7 @@ impl NetStats {
             bytes: MessageClass::ALL.map(|c| self.bytes(c)),
             broadcasts: self.broadcasts(),
             multicasts: self.multicasts(),
+            hint_unicasts: self.hint_unicasts(),
             dropped: self.dropped(),
         }
     }
@@ -245,6 +261,7 @@ pub struct StatsSnapshot {
     bytes: [u64; 6],
     broadcasts: u64,
     multicasts: u64,
+    hint_unicasts: u64,
     dropped: u64,
 }
 
@@ -279,6 +296,11 @@ impl StatsSnapshot {
         self.multicasts
     }
 
+    /// Hint-cache unicast probes.
+    pub fn hint_unicasts(&self) -> u64 {
+        self.hint_unicasts
+    }
+
     /// Dropped messages.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -299,6 +321,7 @@ impl StatsSnapshot {
         }
         out.broadcasts = later.broadcasts - self.broadcasts;
         out.multicasts = later.multicasts - self.multicasts;
+        out.hint_unicasts = later.hint_unicasts - self.hint_unicasts;
         out.dropped = later.dropped - self.dropped;
         out
     }
@@ -361,6 +384,20 @@ mod tests {
         assert_eq!(d.sent(MessageClass::Locate), 2);
         assert_eq!(d.sent(MessageClass::Control), 0);
         assert_eq!(d.multicasts(), 1);
+    }
+
+    #[test]
+    fn hint_unicasts_are_tracked_and_reset() {
+        let registry = Registry::new();
+        let s = NetStats::bound(&registry);
+        let before = s.snapshot();
+        s.record_hint_unicast();
+        s.record_hint_unicast();
+        assert_eq!(s.hint_unicasts(), 2);
+        assert_eq!(before.delta(&s.snapshot()).hint_unicasts(), 2);
+        assert_eq!(registry.snapshot().counters["net.hint_unicasts"], 2);
+        s.reset();
+        assert_eq!(s.hint_unicasts(), 0);
     }
 
     #[test]
