@@ -1,0 +1,41 @@
+// doct-lint self-test fixture: idiomatic code none of the rules flag.
+// Mentions DOCT_SEED so the wall-clock rule is armed — and satisfied.
+
+#[must_use = "receipts resolve asynchronously; wait() or detach()"]
+pub struct CleanReceipt {
+    pub ok: bool,
+}
+
+fn guard_released_before_send(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let value = {
+        let guard = m.lock();
+        *guard
+    };
+    tx.send(value);
+}
+
+fn guard_dropped_explicitly(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock();
+    let value = *guard;
+    drop(guard);
+    tx.send(value);
+}
+
+fn clone_out_of_lock(holder: &Mutex<Option<Sender<u32>>>) {
+    let tx = holder.lock().clone();
+    if let Some(tx) = tx {
+        tx.send(1);
+    }
+}
+
+fn deterministic_time(clock: &SimClock) -> u64 {
+    clock.now_ticks()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap lock results.
+    fn unwrap_is_fine_here(m: &Mutex<u32>) -> u32 {
+        *m.lock().unwrap()
+    }
+}

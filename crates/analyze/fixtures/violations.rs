@@ -1,0 +1,21 @@
+// doct-lint self-test fixture: exactly one seeded violation per rule.
+// This file is lint input, never compiled. DOCT_SEED marks it as a
+// deterministic simulation path for the wall-clock rule.
+
+// Seeded `missing-must-use`: a receipt type without #[must_use].
+pub struct BogusReceipt {
+    pub ok: bool,
+}
+
+fn seeded_lock_across_blocking(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock();
+    tx.send(*guard); // seeded `lock-across-blocking`
+}
+
+fn seeded_unwrap_in_prod(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // seeded `unwrap-in-prod`
+}
+
+fn seeded_wall_clock() -> Instant {
+    Instant::now() // seeded `wall-clock-in-sim` (file mentions DOCT_SEED)
+}

@@ -1,0 +1,19 @@
+//! Concurrency-correctness analysis layer for the DO/CT workspace.
+//!
+//! Two tools live here, both reachable through the `doct-lint` binary
+//! (`cargo run -p doct-analyze`):
+//!
+//! * [`lint`] — a self-contained, line/token-based linter for
+//!   project-specific concurrency hazards (lock guards live across
+//!   blocking calls, `unwrap()` on lock/recv results in production code,
+//!   wall-clock reads inside `DOCT_SEED`-deterministic simulation paths,
+//!   receipt/ticket types missing `#[must_use]`). Deliberately *not*
+//!   built on a parser crate: the build environment is offline, and the
+//!   rules only need token + brace-depth tracking.
+//! * [`model`] — a miniature schedule-exploration model checker that
+//!   drives the *real* `LocationCache` and `ThreadRegistry` seen-ring
+//!   through every interleaving of small multi-thread scripts, asserting
+//!   exactly-once dedupe and generation-checked invalidation on each.
+
+pub mod lint;
+pub mod model;

@@ -1,0 +1,636 @@
+//! `doct-lint`: line/token-based scanning for project-specific
+//! concurrency hazards.
+//!
+//! Four rules, each deny-by-default (any un-waived finding fails the
+//! run):
+//!
+//! | rule id               | finding |
+//! |-----------------------|---------|
+//! | `lock-across-blocking`| a `parking_lot` guard is live on a line that performs a blocking operation (`send_probes`, `call_remote`, channel `.send(`/`.recv(`/`recv_timeout(`) |
+//! | `unwrap-in-prod`      | `unwrap()` on a lock/recv result outside test code |
+//! | `wall-clock-in-sim`   | `Instant::now()` / `SystemTime::now()` in a file that participates in `DOCT_SEED`-deterministic simulation |
+//! | `missing-must-use`    | a receipt/ticket/delivery-status type without `#[must_use]` |
+//!
+//! Exceptions are explicit and audited: either an inline waiver comment
+//! (`// doct-lint: allow(<rule>) <reason>`) on or directly above the
+//! line, or an entry in the allowlist file (`.doct-lint-allow`), whose
+//! format is `rule | path-fragment | line-fragment # justification` —
+//! entries without a justification are themselves an error.
+//!
+//! The scanner is intentionally token-based (no parser): it tracks brace
+//! depth for guard liveness and `#[cfg(test)]` regions, which is enough
+//! for rustfmt-formatted code and keeps the tool dependency-free.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers (stable: used in waivers and the allowlist).
+pub const RULE_LOCK_ACROSS_BLOCKING: &str = "lock-across-blocking";
+pub const RULE_UNWRAP_IN_PROD: &str = "unwrap-in-prod";
+pub const RULE_WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
+pub const RULE_MISSING_MUST_USE: &str = "missing-must-use";
+
+/// All rule ids, for waiver validation.
+pub const ALL_RULES: &[&str] = &[
+    RULE_LOCK_ACROSS_BLOCKING,
+    RULE_UNWRAP_IN_PROD,
+    RULE_WALL_CLOCK_IN_SIM,
+    RULE_MISSING_MUST_USE,
+];
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// One of the `RULE_*` ids.
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub text: String,
+    /// What the rule objects to, in one clause.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.detail,
+            self.text
+        )
+    }
+}
+
+struct AllowEntry {
+    rule: String,
+    path_frag: String,
+    text_frag: String,
+}
+
+/// Audited exceptions loaded from `.doct-lint-allow`.
+#[derive(Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+    /// Malformed entries (reported and counted as failures).
+    pub errors: Vec<String>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist at `path`; a missing file is an empty list.
+    pub fn load(path: &Path) -> Self {
+        match fs::read_to_string(path) {
+            Ok(src) => Self::parse(&src),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// Parse allowlist text: one `rule | path-frag | text-frag # why`
+    /// entry per line; `#`-leading lines and blanks are comments.
+    pub fn parse(src: &str) -> Self {
+        let mut list = Self::default();
+        for (idx, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some(hash) = line.find(" #") else {
+                list.errors.push(format!(
+                    "allowlist line {}: missing `# justification`: {line}",
+                    idx + 1
+                ));
+                continue;
+            };
+            let (entry, justification) = line.split_at(hash);
+            if justification.trim_start_matches(['#', ' ']).is_empty() {
+                list.errors.push(format!(
+                    "allowlist line {}: empty justification: {line}",
+                    idx + 1
+                ));
+                continue;
+            }
+            let parts: Vec<&str> = entry.split('|').map(str::trim).collect();
+            if parts.len() != 3 || parts.iter().any(|p| p.is_empty()) {
+                list.errors.push(format!(
+                    "allowlist line {}: expected `rule | path | text  # why`: {line}",
+                    idx + 1
+                ));
+                continue;
+            }
+            if !ALL_RULES.contains(&parts[0]) {
+                list.errors.push(format!(
+                    "allowlist line {}: unknown rule `{}`",
+                    idx + 1,
+                    parts[0]
+                ));
+                continue;
+            }
+            list.entries.push(AllowEntry {
+                rule: parts[0].to_string(),
+                path_frag: parts[1].to_string(),
+                text_frag: parts[2].to_string(),
+            });
+        }
+        list
+    }
+
+    /// Whether `v` matches an audited exception.
+    pub fn permits(&self, v: &Violation) -> bool {
+        let path = v.file.to_string_lossy().replace('\\', "/");
+        self.entries.iter().any(|e| {
+            e.rule == v.rule && path.contains(&e.path_frag) && v.text.contains(&e.text_frag)
+        })
+    }
+}
+
+/// Collect the `.rs` files to lint under `root`. `target/`, VCS metadata,
+/// and lint fixtures are skipped — unless `root` itself points into a
+/// fixture tree (the self-tests do exactly that).
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let scanning_fixtures = root.to_string_lossy().contains("fixtures");
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                if name == "fixtures" && !scanning_fixtures {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Strip a trailing `// …` comment (naive: does not understand `//`
+/// inside string literals, which the rules' patterns never contain).
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn brace_delta(code: &str) -> i32 {
+    let mut d = 0;
+    for b in code.bytes() {
+        match b {
+            b'{' => d += 1,
+            b'}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Per-line `#[cfg(test)]`-region map (brace-depth tracked from the
+/// attribute's item).
+fn test_regions(lines: &[&str]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim_start();
+        if t.starts_with("#[cfg(test)") || t.starts_with("#[cfg(all(test") {
+            let mut depth = 0i32;
+            let mut started = false;
+            let mut j = i;
+            while j < lines.len() {
+                in_test[j] = true;
+                let code = code_of(lines[j]);
+                if code.contains('{') {
+                    started = true;
+                }
+                depth += brace_delta(code);
+                if started && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Lines waived per rule: a `doct-lint: allow(rule)` comment covers its
+/// own line and the next one.
+fn waivers(lines: &[&str]) -> HashMap<usize, Vec<String>> {
+    let mut map: HashMap<usize, Vec<String>> = HashMap::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(pos) = line.find("doct-lint: allow(") else {
+            continue;
+        };
+        let rest = &line[pos + "doct-lint: allow(".len()..];
+        let Some(end) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..end].trim().to_string();
+        map.entry(idx).or_default().push(rule.clone());
+        map.entry(idx + 1).or_default().push(rule);
+    }
+    map
+}
+
+const BLOCKING_PATTERNS: &[&str] = &[
+    "send_probes(",
+    "call_remote(",
+    ".send(",
+    ".recv(",
+    "recv_timeout(",
+];
+
+const LOCK_CALLS: &[&str] = &[".lock()", ".read()", ".write()"];
+
+fn has_lock_call(code: &str) -> bool {
+    LOCK_CALLS.iter().any(|p| code.contains(p)) && !code.contains(".try_lock()")
+}
+
+fn blocking_pattern(code: &str) -> Option<&'static str> {
+    BLOCKING_PATTERNS
+        .iter()
+        .find(|p| code.contains(**p))
+        .copied()
+}
+
+/// `let [mut] <ident> = …` binding name, if the line is one.
+fn let_binding(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// True when the statement's value *is* the guard (the lock call is the
+/// final call before `;`), as opposed to a same-statement use like
+/// `.lock().clone()`.
+fn binds_guard(code: &str) -> bool {
+    let t = code.trim_end();
+    let t = t.strip_suffix(';').unwrap_or(t).trim_end();
+    LOCK_CALLS.iter().any(|p| t.ends_with(p))
+}
+
+struct LiveGuard {
+    /// `None` for scrutinee temporaries (`if let … = x.lock()…`).
+    name: Option<String>,
+    /// Brace depth the guard lives at; it dies when depth drops below.
+    depth: i32,
+    line: usize,
+}
+
+/// Whether receipt/ticket naming conventions make `name` a type whose
+/// values must not be silently dropped.
+fn must_use_type(name: &str) -> bool {
+    name.ends_with("Ticket")
+        || name.ends_with("Receipt")
+        || name.starts_with("Delivery")
+        || name == "MarkSeen"
+}
+
+/// Lint one file's source text. `path` is used for reporting and for the
+/// test-code exemption (any `tests/` component exempts the whole file
+/// from `lock-across-blocking` and `unwrap-in-prod`).
+pub fn lint_file(path: &Path, src: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = src.lines().collect();
+    let in_test = test_regions(&lines);
+    let waived = waivers(&lines);
+    let file_is_test = path
+        .components()
+        .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "benches");
+    let deterministic_sim = src.contains("DOCT_SEED");
+
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+
+    let push = |rule: &'static str, idx: usize, detail: String, out: &mut Vec<Violation>| {
+        if waived
+            .get(&idx)
+            .is_some_and(|rs| rs.iter().any(|r| r == rule))
+        {
+            return;
+        }
+        out.push(Violation {
+            file: path.to_path_buf(),
+            line: idx + 1,
+            rule,
+            text: lines[idx].trim().to_string(),
+            detail,
+        });
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = code_of(line);
+        let exempt = file_is_test || in_test[idx];
+
+        // R2: unwrap on lock/recv results.
+        if !exempt
+            && code.contains(".unwrap()")
+            && (code.contains(".lock()")
+                || code.contains(".try_lock()")
+                || code.contains(".recv()")
+                || code.contains(".try_recv()")
+                || code.contains("recv_timeout("))
+        {
+            push(
+                RULE_UNWRAP_IN_PROD,
+                idx,
+                "unwrap() on a lock/recv result in production code".into(),
+                &mut out,
+            );
+        }
+
+        // R3: wall clock in DOCT_SEED-deterministic files (applies to
+        // tests too: determinism is the point there).
+        if deterministic_sim
+            // doct-lint: allow(wall-clock-in-sim) pattern literals, not clock reads
+            && (code.contains("Instant::now()") || code.contains("SystemTime::now()"))
+        {
+            push(
+                RULE_WALL_CLOCK_IN_SIM,
+                idx,
+                "wall-clock read in a DOCT_SEED-deterministic path".into(),
+                &mut out,
+            );
+        }
+
+        // R4: receipt/ticket type definitions need #[must_use].
+        let trimmed = code.trim_start();
+        for kw in ["pub struct ", "pub enum "] {
+            if let Some(rest) = trimmed.strip_prefix(kw) {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if must_use_type(&name) {
+                    let mut has_must_use = false;
+                    for back in (0..idx).rev() {
+                        let prev = lines[back].trim_start();
+                        if prev.starts_with("#[") || prev.starts_with("//") || prev.is_empty() {
+                            if prev.starts_with("#[must_use") {
+                                has_must_use = true;
+                            }
+                            continue;
+                        }
+                        break;
+                    }
+                    if !has_must_use {
+                        push(
+                            RULE_MISSING_MUST_USE,
+                            idx,
+                            format!("receipt/ticket type `{name}` lacks #[must_use]"),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+        }
+
+        // R1: guard live across a blocking call.
+        if !exempt {
+            let blocking = blocking_pattern(code);
+            if let Some(pat) = blocking {
+                if has_lock_call(code) {
+                    push(
+                        RULE_LOCK_ACROSS_BLOCKING,
+                        idx,
+                        format!("lock guard and blocking `{pat}` in one statement"),
+                        &mut out,
+                    );
+                } else if let Some(g) = guards.last() {
+                    push(
+                        RULE_LOCK_ACROSS_BLOCKING,
+                        idx,
+                        format!(
+                            "blocking `{}` while guard{} from line {} is live",
+                            pat,
+                            g.name
+                                .as_ref()
+                                .map(|n| format!(" `{n}`"))
+                                .unwrap_or_default(),
+                            g.line + 1
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+            // drop(guard) retires it early.
+            if let Some(pos) = code.find("drop(") {
+                let arg: String = code[pos + 5..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                guards.retain(|g| g.name.as_deref() != Some(arg.as_str()));
+            }
+        }
+
+        let delta = brace_delta(code);
+        let depth_after = depth + delta;
+
+        if !exempt && has_lock_call(code) && blocking_pattern(code).is_none() {
+            let is_scrutinee = code.trim_start().starts_with("if let ")
+                || code.trim_start().starts_with("while let ")
+                || code.trim_start().starts_with("match ");
+            if is_scrutinee && delta > 0 {
+                // Rust 2021: the scrutinee temporary (the guard) lives for
+                // the whole block.
+                guards.push(LiveGuard {
+                    name: None,
+                    depth: depth_after,
+                    line: idx,
+                });
+            } else if binds_guard(code) {
+                if let Some(name) = let_binding(code) {
+                    guards.push(LiveGuard {
+                        name: Some(name),
+                        depth: depth_after.max(depth),
+                        line: idx,
+                    });
+                }
+            }
+        }
+
+        depth = depth_after;
+        guards.retain(|g| g.depth <= depth);
+    }
+    out
+}
+
+/// Lint every file, returning surviving violations and the number waived
+/// by the allowlist.
+pub fn lint_paths(files: &[PathBuf], allow: &Allowlist) -> (Vec<Violation>, usize) {
+    let mut kept = Vec::new();
+    let mut waived = 0;
+    for file in files {
+        let Ok(src) = fs::read_to_string(file) else {
+            continue;
+        };
+        for v in lint_file(file, &src) {
+            if allow.permits(&v) {
+                waived += 1;
+            } else {
+                kept.push(v);
+            }
+        }
+    }
+    (kept, waived)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> (PathBuf, String) {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        let src = fs::read_to_string(&path).expect("fixture readable");
+        (path, src)
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        let (path, src) = fixture("clean.rs");
+        let out = lint_file(&path, &src);
+        assert!(out.is_empty(), "clean fixture flagged: {out:#?}");
+    }
+
+    #[test]
+    fn each_rule_fires_on_its_seeded_violation() {
+        let (path, src) = fixture("violations.rs");
+        let out = lint_file(&path, &src);
+        for rule in ALL_RULES {
+            assert!(
+                out.iter().any(|v| v.rule == *rule),
+                "rule {rule} found nothing in the seeded fixture; got {out:#?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_binding_liveness_spans_lines() {
+        let src = "fn f() {\n    let g = m.lock();\n    tx.send(1);\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RULE_LOCK_ACROSS_BLOCKING);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn guard_dropped_before_send_is_clean() {
+        let src = "fn f() {\n    let g = m.lock();\n    drop(g);\n    tx.send(1);\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn scoped_guard_dies_at_block_end() {
+        let src = "fn f() {\n    {\n        let g = m.lock();\n    }\n    tx.send(1);\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_is_live_in_block() {
+        let src =
+            "fn f() {\n    if let Some(tx) = self.tx.lock().as_ref() {\n        tx.send(1);\n    }\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, RULE_LOCK_ACROSS_BLOCKING);
+    }
+
+    #[test]
+    fn cloned_value_out_of_lock_is_not_a_guard() {
+        let src = "fn f() {\n    let tx = self.tx.lock().clone();\n    tx.send(1);\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt_from_prod_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() {\n        let v = m.lock().unwrap();\n    }\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn inline_waiver_suppresses_next_line() {
+        let src = "fn f() {\n    // doct-lint: allow(unwrap-in-prod) audited\n    let v = m.lock().unwrap();\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn allowlist_requires_justification() {
+        let list = Allowlist::parse("unwrap-in-prod | node.rs | lock().unwrap()\n");
+        assert_eq!(list.errors.len(), 1, "no `# why` must be rejected");
+        let ok = Allowlist::parse(
+            "unwrap-in-prod | node.rs | lock().unwrap()  # audited: startup only\n",
+        );
+        assert!(ok.errors.is_empty());
+        let v = Violation {
+            file: PathBuf::from("crates/kernel/src/node.rs"),
+            line: 1,
+            rule: RULE_UNWRAP_IN_PROD,
+            text: "let g = m.lock().unwrap();".into(),
+            detail: String::new(),
+        };
+        assert!(ok.permits(&v));
+    }
+
+    #[test]
+    fn allowlist_rejects_unknown_rules() {
+        let list = Allowlist::parse("no-such-rule | x | y  # why\n");
+        assert_eq!(list.errors.len(), 1);
+    }
+
+    #[test]
+    fn must_use_attribute_is_recognized() {
+        let src = "#[must_use = \"receipts resolve asynchronously\"]\n#[derive(Debug)]\npub struct RaiseTicket {\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert!(out.is_empty(), "{out:#?}");
+        let bad = "pub struct RaiseTicket {\n}\n";
+        let out = lint_file(Path::new("x.rs"), bad);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RULE_MISSING_MUST_USE);
+    }
+
+    #[test]
+    fn wall_clock_only_flagged_in_seeded_files() {
+        // doct-lint: allow(wall-clock-in-sim) fixture string, not a clock read
+        let free = "fn f() { let t = Instant::now(); }\n";
+        assert!(lint_file(Path::new("x.rs"), free).is_empty());
+        let seeded = "// DOCT_SEED drives this\nfn f() { let t = Instant::now(); }\n";
+        let out = lint_file(Path::new("x.rs"), seeded);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RULE_WALL_CLOCK_IN_SIM);
+    }
+}

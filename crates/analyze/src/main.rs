@@ -1,0 +1,117 @@
+//! `doct-lint` — the workspace concurrency-correctness gate.
+//!
+//! ```text
+//! cargo run -p doct-analyze                 # lint the workspace (deny-by-default)
+//! cargo run -p doct-analyze -- --models     # exhaustive schedule exploration
+//! cargo run -p doct-analyze -- --root DIR   # lint a different tree (fixtures, CI checks)
+//! cargo run -p doct-analyze -- --allowlist F  # non-default allowlist file
+//! ```
+//!
+//! Exit code 0 only when every check passes; any surviving violation,
+//! malformed allowlist entry, or model-invariant breach exits 1, so CI
+//! can gate on it directly.
+
+use doct_analyze::{lint, model};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut run_models = false;
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--models" => run_models = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist_path = Some(PathBuf::from(p)),
+                None => return usage("--allowlist needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if run_models {
+        return models();
+    }
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join(".doct-lint-allow"));
+    let allow = lint::Allowlist::load(&allowlist_path);
+    let mut failed = false;
+    for err in &allow.errors {
+        eprintln!("doct-lint: {err}");
+        failed = true;
+    }
+
+    let files = lint::workspace_files(&root);
+    let (violations, waived) = lint::lint_paths(&files, &allow);
+    for v in &violations {
+        println!("{v}");
+    }
+    println!(
+        "doct-lint: {} file(s), {} violation(s), {} allowlisted",
+        files.len(),
+        violations.len(),
+        waived
+    );
+    if !violations.is_empty() {
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn models() -> ExitCode {
+    let mut failed = false;
+    let mut total_schedules = 0u64;
+    for report in model::run_all() {
+        total_schedules += report.schedules;
+        println!(
+            "model {}: {} schedules over {} steps — {}",
+            report.name,
+            report.schedules,
+            report.steps,
+            if report.violations.is_empty() {
+                "all invariants held".to_string()
+            } else {
+                format!("{} VIOLATION(S)", report.violations.len())
+            }
+        );
+        for v in &report.violations {
+            eprintln!("  {v}");
+            failed = true;
+        }
+    }
+    println!("model checker: {total_schedules} schedules explored exhaustively");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("doct-lint: {err}");
+    }
+    eprintln!(
+        "usage: doct-lint [--root DIR] [--allowlist FILE] [--models]\n\
+         \n\
+         Lints the workspace for concurrency hazards (default), or runs\n\
+         the exhaustive schedule-exploration models (--models)."
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

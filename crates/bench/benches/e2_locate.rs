@@ -29,7 +29,7 @@ fn bench_locate(c: &mut Criterion) {
                 assert_eq!(summary.delivered, 1);
             })
         });
-        cluster
+        let _ = cluster
             .raise_from(0, SystemEvent::Quit, Value::Null, tid)
             .wait();
         let _ = handle.join_timeout(Duration::from_secs(5));

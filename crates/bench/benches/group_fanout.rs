@@ -25,7 +25,7 @@ fn bench_group_fanout(c: &mut Criterion) {
                 assert_eq!(summary.delivered, size);
             })
         });
-        cluster
+        let _ = cluster
             .raise_from(0, SystemEvent::Quit, Value::Null, RaiseTarget::Group(group))
             .wait();
         for h in handles {

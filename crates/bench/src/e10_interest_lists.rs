@@ -72,7 +72,7 @@ fn medusa(holders: usize) -> Result<InterestRow, KernelError> {
         .spawn_fn(0, move |ctx| {
             let tickets = reg2.report_external(ctx, object, "EXC", "overflow");
             for t in tickets {
-                t.wait();
+                let _ = t.wait();
             }
             Ok(Value::Null)
         })?
@@ -85,7 +85,7 @@ fn medusa(holders: usize) -> Result<InterestRow, KernelError> {
     let notify_all = t0.elapsed();
     let delta = before.delta(&cluster.net().stats().snapshot());
     for p in parties {
-        cluster
+        let _ = cluster
             .raise_from(0, doct_kernel::SystemEvent::Quit, Value::Null, p.thread())
             .wait();
         let _ = p.join_timeout(Duration::from_secs(5));
@@ -116,7 +116,7 @@ fn paper_style() -> Result<InterestRow, KernelError> {
     // Report from a thread on another node (worst case: one Event message).
     cluster
         .spawn_fn(1, move |ctx| {
-            ctx.raise("EXC", "overflow", object).wait();
+            let _ = ctx.raise("EXC", "overflow", object).wait();
             Ok(Value::Null)
         })?
         .join()?;

@@ -144,7 +144,7 @@ fn one_cycle(label: &'static str, cut: Duration, seed: u64) -> Result<PartitionR
                 while !stop.load(Ordering::Relaxed) {
                     let target = targets[rng.gen_range(0..targets.len())];
                     let t0 = Instant::now();
-                    cluster
+                    let _ = cluster
                         .raise_from(
                             0,
                             SystemEvent::Timer,

@@ -174,7 +174,7 @@ pub fn run() -> Result<Vec<RaiseRow>, KernelError> {
     }
 
     // Tear down the sleepers.
-    cluster
+    let _ = cluster
         .raise_from(
             0,
             doct_kernel::SystemEvent::Quit,
@@ -182,7 +182,7 @@ pub fn run() -> Result<Vec<RaiseRow>, KernelError> {
             RaiseTarget::Group(group),
         )
         .wait();
-    cluster
+    let _ = cluster
         .raise_from(0, doct_kernel::SystemEvent::Quit, Value::Null, tid)
         .wait();
     crate::telemetry_out::record("e1", &cluster);

@@ -77,7 +77,7 @@ fn one_config(
         msgs.push(delta.sent(MessageClass::Locate) as f64);
         lats.push(lat.as_secs_f64() * 1e6);
     }
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Quit, Value::Null, handle.thread())
         .wait();
     let _ = handle.join_timeout(Duration::from_secs(5));
@@ -386,7 +386,7 @@ fn cache_case(
     if moving {
         let _ = handle.join_timeout(Duration::from_secs(10));
     } else {
-        cluster
+        let _ = cluster
             .raise_from(0, SystemEvent::Quit, Value::Null, handle.thread())
             .wait();
         let _ = handle.join_timeout(Duration::from_secs(5));

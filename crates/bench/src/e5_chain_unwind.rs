@@ -69,7 +69,7 @@ fn one_depth(k: usize) -> Result<UnwindRow, KernelError> {
     }
 
     let t0 = Instant::now();
-    cluster
+    let _ = cluster
         .raise_from(2, SystemEvent::Terminate, Value::Null, holder.thread())
         .wait();
     let r = holder

@@ -80,7 +80,7 @@ fn one_size(threads: usize, objects: usize) -> Result<CtrlCRow, KernelError> {
 
     let before = cluster.net().stats().snapshot();
     let t0 = Instant::now();
-    press_ctrl_c(&cluster, 3, root.thread());
+    let _ = press_ctrl_c(&cluster, 3, root.thread());
     let quiet = cluster.await_quiescence(Duration::from_secs(30));
     let teardown = t0.elapsed();
     let delta = before.delta(&cluster.net().stats().snapshot());

@@ -35,6 +35,7 @@ pub fn default_seen_cap() -> usize {
 /// seq falls out, a late duplicate of it would be re-delivered. Counting
 /// evictions (`facility.dedupe_evictions`) makes that risk observable
 /// instead of silent.
+#[must_use = "ignoring the dedupe verdict delivers duplicates"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MarkSeen {
     /// First delivery of this seq; nothing was evicted to record it.
@@ -202,7 +203,12 @@ impl Extension for ThreadRegistry {
     /// procedures) stay shared code.
     fn clone_ext(&self) -> Arc<dyn Extension> {
         let copy = ThreadRegistry::with_seen_cap(self.seen_cap);
-        *copy.chains.lock() = self.chains.lock().clone();
+        // Take the clone before locking the copy: both registries' chains
+        // are the same lock class, and holding two same-class guards in
+        // one statement is a (here benign, but lockdep-reported)
+        // self-deadlock pattern.
+        let chains = self.chains.lock().clone();
+        *copy.chains.lock() = chains;
         // The child is a different thread: it starts with an empty ring
         // (its deliveries have fresh seqs anyway).
         Arc::new(copy)

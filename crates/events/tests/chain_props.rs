@@ -74,7 +74,7 @@ fn run_chain(plans: Vec<Plan>) {
                 );
             }
             let me = ctx.thread_id();
-            ctx.raise("P", Value::Null, me).wait();
+            let _ = ctx.raise("P", Value::Null, me).wait();
             ctx.poll_events()?;
             Ok(Value::Str("survived".into()))
         })

@@ -41,7 +41,7 @@ fn per_thread_proc_handler_runs_at_delivery() {
                 }),
             );
             let me = ctx.thread_id();
-            ctx.raise("PING", 1i64, me).wait();
+            let _ = ctx.raise("PING", 1i64, me).wait();
             ctx.poll_events()?; // explicit delivery point
             Ok(Value::Null)
         })
@@ -91,7 +91,7 @@ fn handler_travels_with_the_thread_across_nodes() {
         std::thread::sleep(Duration::from_millis(5));
     }
     assert_eq!(seen_node.load(Ordering::Relaxed), 1);
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Terminate, Value::Null, handle.thread())
         .wait();
     let _ = handle.join_timeout(Duration::from_secs(5));
@@ -128,7 +128,7 @@ fn chaining_is_lifo_with_propagation() {
                 }),
             );
             let me = ctx.thread_id();
-            ctx.raise("E", Value::Null, me).wait();
+            let _ = ctx.raise("E", Value::Null, me).wait();
             ctx.poll_events()?;
             Ok(Value::Null)
         })
@@ -159,7 +159,7 @@ fn resume_stops_the_chain() {
                 AttachSpec::proc("newer", |_c, _b| HandlerDecision::Resume(Value::Null)),
             );
             let me = ctx.thread_id();
-            ctx.raise("E", Value::Null, me).wait();
+            let _ = ctx.raise("E", Value::Null, me).wait();
             ctx.poll_events()?;
             Ok(Value::Null)
         })
@@ -201,7 +201,7 @@ fn propagate_as_transforms_down_the_chain() {
                 }),
             );
             let me = ctx.thread_id();
-            ctx.raise("RAW", Value::Int(42), me).wait();
+            let _ = ctx.raise("RAW", Value::Int(42), me).wait();
             ctx.poll_events()?;
             Ok(Value::Null)
         })
@@ -335,7 +335,7 @@ fn terminate_runs_whole_cleanup_chain_then_kills() {
         })
         .unwrap();
     std::thread::sleep(Duration::from_millis(50));
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Terminate, Value::Null, handle.thread())
         .wait();
     let r = handle.join_timeout(Duration::from_secs(5)).expect("died");
@@ -363,7 +363,7 @@ fn handler_can_veto_termination() {
         })
         .unwrap();
     std::thread::sleep(Duration::from_millis(50));
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Terminate, Value::Null, handle.thread())
         .wait();
     assert_eq!(
@@ -431,7 +431,7 @@ fn object_handler_works_in_both_execution_modes() {
             })
             .unwrap();
         for _ in 0..10 {
-            cluster
+            let _ = cluster
                 .raise_from(0, EventName::user("POKE"), Value::Null, obj)
                 .wait();
         }
@@ -473,7 +473,7 @@ fn delete_default_retires_the_object() {
     let doomed = cluster
         .create_object(ObjectConfig::new("plain", NodeId(0)))
         .unwrap();
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Delete, Value::Null, doomed)
         .wait();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -527,7 +527,7 @@ fn children_inherit_the_event_registry() {
             // Give the child a moment to get going, then stop it via its
             // inherited handler.
             std::thread::sleep(Duration::from_millis(100));
-            ctx.raise("STOP", Value::Null, child.thread()).wait();
+            let _ = ctx.raise("STOP", Value::Null, child.thread()).wait();
             match child.claim() {
                 Err(KernelError::Terminated) => Ok(Value::Str("child stopped".into())),
                 other => Err(KernelError::Event(format!("unexpected: {other:?}"))),
@@ -577,7 +577,7 @@ fn detach_removes_a_handler() {
             assert!(!ctx.detach_handler(id));
             assert_eq!(ctx.handler_chain_len(&EventName::user("E")), 0);
             let me = ctx.thread_id();
-            ctx.raise("E", Value::Null, me).wait();
+            let _ = ctx.raise("E", Value::Null, me).wait();
             ctx.poll_events()?;
             Ok(Value::Null)
         })

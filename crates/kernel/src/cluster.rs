@@ -532,13 +532,17 @@ impl Cluster {
             if Instant::now() >= deadline {
                 return self.groups.member_count(group) == 0;
             }
-            self.raise_from(
-                0,
-                crate::SystemEvent::Quit,
-                Value::Null,
-                RaiseTarget::Group(group),
-            )
-            .wait();
+            // Outcome deliberately unused: member_count above is the
+            // authority on progress, and the loop re-raises until the
+            // group drains or the deadline hits.
+            let _ = self
+                .raise_from(
+                    0,
+                    crate::SystemEvent::Quit,
+                    Value::Null,
+                    RaiseTarget::Group(group),
+                )
+                .wait();
             std::thread::sleep(Duration::from_millis(20));
         }
     }

@@ -195,6 +195,7 @@ pub enum ThreadDisposition {
 }
 
 /// Final status of a raise, as observed by the raiser's node.
+#[must_use = "a discarded status hides dead-target and timeout outcomes"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeliveryStatus {
     /// Delivered; the responding node is reported.

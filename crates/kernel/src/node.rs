@@ -95,6 +95,7 @@ struct DeliveryTracker {
 
 /// A pending receipt set for one raise; resolves to a
 /// [`DeliverySummary`].
+#[must_use = "receipts resolve asynchronously: wait() for the summary or detach() explicitly"]
 #[derive(Debug)]
 pub struct RaiseTicket {
     receivers: Vec<Receiver<DeliveryStatus>>,
@@ -103,6 +104,7 @@ pub struct RaiseTicket {
 
 /// Aggregate outcome of a raise (one entry per targeted thread; objects
 /// resolve to a single entry).
+#[must_use = "the summary is the only record of dead/timed-out/lost recipients"]
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeliverySummary {
     /// Number of recipients the event reached.
@@ -128,6 +130,7 @@ impl DeliverySummary {
 impl RaiseTicket {
     /// Block until every receipt resolves and summarize.
     pub fn wait(self) -> DeliverySummary {
+        parking_lot::lockdep::blocking_point("kernel::RaiseTicket::wait");
         let mut summary = DeliverySummary::default();
         let deadline = Instant::now() + self.timeout + Duration::from_secs(1);
         for rx in self.receivers {
@@ -563,7 +566,10 @@ impl NodeKernel {
                 result,
                 attrs,
             } => {
-                if let Some(tx) = self.pending_calls.lock().remove(&call_id) {
+                // Bind before sending: an `if let` scrutinee keeps the
+                // `pending_calls` guard alive for the whole block.
+                let tx = self.pending_calls.lock().remove(&call_id);
+                if let Some(tx) = tx {
                     let _ = tx.send((result, attrs));
                 }
             }
@@ -734,6 +740,7 @@ impl NodeKernel {
         attrs: ThreadAttributes,
         depth: u32,
     ) -> Result<(Result<Value, KernelError>, ThreadAttributes), KernelError> {
+        parking_lot::lockdep::blocking_point("kernel::call_remote");
         self.stats
             .remote_invocations
             .fetch_add(1, Ordering::Relaxed);
@@ -1471,7 +1478,11 @@ impl NodeKernel {
     /// Register a periodic TIMER for `thread` (no-op without a timer
     /// service, e.g. in single-node unit tests).
     pub fn register_timer(&self, thread: ThreadId, id: u64, period: Duration, payload: Value) {
-        if let Some(tx) = self.timer_tx.lock().as_ref() {
+        // Clone the sender out: an `if let` scrutinee keeps the guard
+        // alive for the whole block, which would hold `timer_tx` across
+        // the channel send.
+        let tx = self.timer_tx.lock().clone();
+        if let Some(tx) = tx {
             let _ = tx.send(TimerCmd::Register {
                 thread,
                 id,
@@ -1485,7 +1496,8 @@ impl NodeKernel {
 
     /// Register a one-shot ALARM for `thread`, firing after `delay`.
     pub fn register_alarm(&self, thread: ThreadId, id: u64, delay: Duration, payload: Value) {
-        if let Some(tx) = self.timer_tx.lock().as_ref() {
+        let tx = self.timer_tx.lock().clone();
+        if let Some(tx) = tx {
             let _ = tx.send(TimerCmd::Register {
                 thread,
                 id,
@@ -1499,7 +1511,8 @@ impl NodeKernel {
 
     /// Cancel one timer of `thread`.
     pub fn cancel_timer(&self, thread: ThreadId, id: u64) {
-        if let Some(tx) = self.timer_tx.lock().as_ref() {
+        let tx = self.timer_tx.lock().clone();
+        if let Some(tx) = tx {
             let _ = tx.send(TimerCmd::Cancel { thread, id });
         }
     }

@@ -284,6 +284,10 @@ impl ObjectRecord {
     pub fn run_exclusive<R>(&self, f: impl FnOnce() -> R) -> R {
         if self.exclusive {
             let _g = self.run_lock.lock();
+            // The run lock is *meant* to be held across the whole entry
+            // execution, including nested blocking calls — exempt it from
+            // lockdep's lock-held-across-blocking-point check.
+            parking_lot::lockdep::mark_newest_held_semantic();
             f()
         } else {
             f()

@@ -260,7 +260,7 @@ fn terminate_unwinds_across_the_whole_invocation_chain() {
     std::thread::sleep(Duration::from_millis(100));
     // The tip sleeps on node 3; TERMINATE must chase it there (PathTrace)
     // and the unwind must propagate back through nodes 2, 1, 0.
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Terminate, Value::Null, thread)
         .wait();
     let r = handle
@@ -369,7 +369,7 @@ fn broadcast_costs_scale_with_cluster_size() {
     let handle = cluster.spawn(1, obj, "sleepy", Value::Int(5_000)).unwrap();
     std::thread::sleep(Duration::from_millis(50));
     let before = cluster.net().stats().snapshot();
-    cluster
+    let _ = cluster
         .raise_from(2, SystemEvent::Timer, Value::Null, handle.thread())
         .wait();
     let delta = before.delta(&cluster.net().stats().snapshot());
@@ -378,7 +378,7 @@ fn broadcast_costs_scale_with_cluster_size() {
         delta.sent(MessageClass::Locate) >= 4,
         "broadcast locate traffic: {delta}"
     );
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Terminate, Value::Null, handle.thread())
         .wait();
     let _ = handle.join_timeout(Duration::from_secs(5));

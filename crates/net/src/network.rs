@@ -316,6 +316,7 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
     ) -> Result<SendOutcome, NetworkError> {
         self.check_node(src)?;
         self.check_node(dst)?;
+        parking_lot::lockdep::blocking_point("net::send");
         let reliable = self.path.reliable.read().clone();
         let link_up = self.path.link_up(src, dst);
         match reliable {

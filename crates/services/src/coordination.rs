@@ -167,12 +167,16 @@ impl Barrier {
                 .unwrap_or(0)
                 .max(0) as u64;
             if releaser {
-                ctx.raise(
-                    SYNCHRONIZE,
-                    generation as i64,
-                    RaiseTarget::Group(self.group),
-                )
-                .wait();
+                // Outcome deliberately unused: members that died while
+                // parked have already left the group, and survivors that
+                // somehow miss this wave re-check the generation below.
+                let _ = ctx
+                    .raise(
+                        SYNCHRONIZE,
+                        generation as i64,
+                        RaiseTarget::Group(self.group),
+                    )
+                    .wait();
                 return Ok(());
             }
             // Wait for any release with generation > the one we arrived in.
@@ -262,12 +266,17 @@ impl Vote {
                 Err(_) => {} // unreachable member: counts as no
             }
         }
+        // Decision notifications: every member already voted, so a
+        // recipient that died since is out of the group and cannot block
+        // the outcome — the summaries carry nothing actionable.
         let outcome = if yes == members.len() {
-            ctx.raise(COMMIT, proposal, RaiseTarget::Group(self.group))
+            let _ = ctx
+                .raise(COMMIT, proposal, RaiseTarget::Group(self.group))
                 .wait();
             VoteOutcome::Committed
         } else {
-            ctx.raise(ABORT_VOTE, proposal, RaiseTarget::Group(self.group))
+            let _ = ctx
+                .raise(ABORT_VOTE, proposal, RaiseTarget::Group(self.group))
                 .wait();
             VoteOutcome::Aborted
         };

@@ -61,7 +61,10 @@ impl Rendezvous {
     }
 
     fn install(&self, fault_id: u64, data: Vec<u8>) -> bool {
-        if let Some(tx) = self.pending.lock().remove(&fault_id) {
+        // Bind before sending: an `if let` scrutinee keeps the `pending`
+        // guard alive for the whole block.
+        let tx = self.pending.lock().remove(&fault_id);
+        if let Some(tx) = tx {
             tx.send(data).is_ok()
         } else {
             false

@@ -212,7 +212,7 @@ fn barrier_member_termination_does_not_hang_others() {
         .unwrap();
     std::thread::sleep(Duration::from_millis(100));
     // The waiter is stuck at the barrier; TERMINATE must still reach it.
-    cluster
+    let _ = cluster
         .raise_from(
             1,
             doct_kernel::SystemEvent::Terminate,

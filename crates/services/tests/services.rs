@@ -201,7 +201,7 @@ fn terminate_releases_every_lock_everywhere() {
         .unwrap();
     assert_eq!(check.join().unwrap(), Value::Int(3));
     // ^C the thread.
-    cluster
+    let _ = cluster
         .raise_from(
             2,
             doct_kernel::SystemEvent::Terminate,

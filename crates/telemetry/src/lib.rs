@@ -120,8 +120,24 @@ impl Telemetry {
         self.ring.snapshot_for(seq)
     }
 
-    /// Copy of every registered metric.
+    /// Copy of every registered metric. When the `parking_lot/lockdep`
+    /// feature is compiled in, the process-global lockdep counters are
+    /// mirrored into the registry as `lockdep.*` first, so they appear in
+    /// every snapshot without the shim depending on this crate.
     pub fn metrics(&self) -> MetricsSnapshot {
+        if parking_lot::lockdep::enabled() {
+            let s = parking_lot::lockdep::stats();
+            for (name, value) in [
+                ("lockdep.classes", s.classes),
+                ("lockdep.edges", s.edges),
+                ("lockdep.cycles", s.cycles),
+                ("lockdep.blocking_violations", s.blocking_violations),
+            ] {
+                let c = self.registry.counter(name);
+                c.reset();
+                c.add(value);
+            }
+        }
         self.registry.snapshot()
     }
 

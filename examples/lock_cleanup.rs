@@ -57,7 +57,7 @@ fn main() -> Result<(), KernelError> {
     assert_eq!(held, 6);
 
     println!("terminating the worker (^C)…");
-    cluster
+    let _ = cluster
         .raise_from(2, SystemEvent::Terminate, Value::Null, worker.thread())
         .wait();
     match worker.join_timeout(Duration::from_secs(10)) {

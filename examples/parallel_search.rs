@@ -55,7 +55,8 @@ fn main() -> Result<(), KernelError> {
                 if candidate == NEEDLE {
                     println!("worker on n{w} FOUND the needle at {candidate}");
                     // Tell everyone (including ourselves — harmless).
-                    ctx.raise(found.clone(), candidate, RaiseTarget::Group(group))
+                    let _ = ctx
+                        .raise(found.clone(), candidate, RaiseTarget::Group(group))
                         .wait();
                     return Ok(Value::Int(scanned));
                 }

@@ -56,8 +56,8 @@ fn main() -> Result<(), KernelError> {
             total = ctx.invoke(acc, "add", i)?;
             // Notify ourselves (asynchronously) and the object.
             let me = ctx.thread_id();
-            ctx.raise(progress2.clone(), total.clone(), me).wait();
-            ctx.raise(progress2.clone(), total.clone(), acc).wait();
+            let _ = ctx.raise(progress2.clone(), total.clone(), me).wait();
+            let _ = ctx.raise(progress2.clone(), total.clone(), acc).wait();
             ctx.poll_events()?;
         }
         Ok(total)

@@ -7,18 +7,28 @@
 #
 #   DOCT_SEED=123 scripts/chaos_soak.sh
 #
+# DOCT_LOCKDEP=1 additionally builds with the parking_lot/lockdep
+# feature: runtime lock-order + blocking-point validation runs under the
+# soak, and tests/lock_order.rs turns any cycle into a failure.
+#
 # Exits non-zero if any ledger fails to balance, a waiter hangs past its
 # deadline, or a test fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SEED="${DOCT_SEED:-3503345325}"
+FEATURES=()
+if [[ "${DOCT_LOCKDEP:-0}" == "1" ]]; then
+  FEATURES=(--features parking_lot/lockdep)
+  echo "=== lockdep enabled ==="
+fi
 echo "=== chaos soak, DOCT_SEED=${SEED} ==="
 
 echo "--- partition + soak integration tests ---"
-DOCT_SEED="${SEED}" cargo test --release --test partition --test soak -- --nocapture
+DOCT_SEED="${SEED}" cargo test --release "${FEATURES[@]}" \
+  --test partition --test soak --test lock_order -- --nocapture
 
 echo "--- E11 partition & heal (with telemetry) ---"
-DOCT_SEED="${SEED}" cargo run --release -p doct-bench --bin experiments -- e11
+DOCT_SEED="${SEED}" cargo run --release "${FEATURES[@]}" -p doct-bench --bin experiments -- e11
 
 echo "=== chaos soak passed (seed ${SEED}) ==="

@@ -5,47 +5,91 @@
 //! and [`Condvar`] with `parking_lot` semantics — `lock()` returns a guard
 //! directly (poisoning is swallowed, matching parking_lot's behaviour of
 //! not poisoning on panic).
+//!
+//! With the opt-in `lockdep` cargo feature, every lock is additionally
+//! instrumented for runtime lock-order validation: see [`lockdep`].
+
+pub mod lockdep;
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 use std::time::{Duration, Instant};
 
+#[cfg(feature = "lockdep")]
+use lockdep::internal as dep;
+#[cfg(feature = "lockdep")]
+use lockdep::{ClassSlot, GuardInfo, Kind};
+
 /// Mutual exclusion primitive (non-poisoning `lock()` signature).
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: ClassSlot,
+    inner: std::sync::Mutex<T>,
+}
 
 /// RAII guard for [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    info: GuardInfo,
     // `Option` so `Condvar::wait*` can move the std guard out and back.
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
-    /// Create a mutex guarding `value`.
+    /// Create a mutex guarding `value`. Under `lockdep`, this call site
+    /// is the mutex's lock class.
+    #[track_caller]
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lockdep")]
+            class: ClassSlot::new(std::panic::Location::caller()),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        // All `Default`-created mutexes share one lock class (this call
+        // site); give hot structures an explicit `new()` for a class of
+        // their own.
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        let info = dep::on_acquire(&self.class, Kind::Mutex, std::panic::Location::caller());
         MutexGuard {
-            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+            #[cfg(feature = "lockdep")]
+            info,
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
     /// Try to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                #[cfg(feature = "lockdep")]
+                info: dep::on_acquire_try(&self.class, Kind::Mutex, std::panic::Location::caller()),
+                inner: Some(g),
+            }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                #[cfg(feature = "lockdep")]
+                info: dep::on_acquire_try(&self.class, Kind::Mutex, std::panic::Location::caller()),
                 inner: Some(p.into_inner()),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
@@ -54,7 +98,7 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -64,6 +108,13 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
             Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
             None => f.write_str("Mutex { <locked> }"),
         }
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        dep::on_release(&self.info);
     }
 }
 
@@ -110,7 +161,11 @@ impl Condvar {
     /// Block until notified.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let g = guard.inner.take().expect("guard holds lock");
+        #[cfg(feature = "lockdep")]
+        dep::on_suspend_for_wait(&guard.info);
         let g = self.0.wait(g).unwrap_or_else(PoisonError::into_inner);
+        #[cfg(feature = "lockdep")]
+        dep::on_resume_from_wait(&mut guard.info);
         guard.inner = Some(g);
     }
 
@@ -121,10 +176,14 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let g = guard.inner.take().expect("guard holds lock");
+        #[cfg(feature = "lockdep")]
+        dep::on_suspend_for_wait(&guard.info);
         let (g, result) = self
             .0
             .wait_timeout(g, timeout)
             .unwrap_or_else(PoisonError::into_inner);
+        #[cfg(feature = "lockdep")]
+        dep::on_resume_from_wait(&mut guard.info);
         guard.inner = Some(g);
         WaitTimeoutResult(result.timed_out())
     }
@@ -160,69 +219,125 @@ impl fmt::Debug for Condvar {
 }
 
 /// Reader-writer lock (non-poisoning `read()`/`write()` signatures).
-#[derive(Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: ClassSlot,
+    inner: std::sync::RwLock<T>,
+}
 
 /// RAII read guard for [`RwLock`].
-pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    info: GuardInfo,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
 /// RAII write guard for [`RwLock`].
-pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    info: GuardInfo,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
-    /// Create a lock guarding `value`.
+    /// Create a lock guarding `value`. Under `lockdep`, this call site is
+    /// the lock's class.
+    #[track_caller]
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "lockdep")]
+            class: ClassSlot::new(std::panic::Location::caller()),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        // Shared class for all `Default`-created rwlocks; see
+        // `Mutex::default`.
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+        #[cfg(feature = "lockdep")]
+        let info = dep::on_acquire(&self.class, Kind::Read, std::panic::Location::caller());
+        RwLockReadGuard {
+            #[cfg(feature = "lockdep")]
+            info,
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Acquire exclusive write access.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+        #[cfg(feature = "lockdep")]
+        let info = dep::on_acquire(&self.class, Kind::Write, std::panic::Location::caller());
+        RwLockWriteGuard {
+            #[cfg(feature = "lockdep")]
+            info,
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.0.try_read() {
+        match self.inner.try_read() {
             Ok(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
             Err(_) => f.write_str("RwLock { <locked> }"),
         }
     }
 }
 
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        dep::on_release(&self.info);
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        dep::on_release(&self.info);
+    }
+}
+
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
@@ -287,5 +402,154 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 5, "no poisoning in the parking_lot API");
+    }
+}
+
+#[cfg(all(test, feature = "lockdep"))]
+mod lockdep_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Lockdep state is process-global and these tests assert counter
+    /// deltas, so they must not interleave with each other.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The acceptance scenario: thread 1 locks A then B, thread 2 locks B
+    /// then A. Lockdep must report the inversion — naming both
+    /// acquisition sites — without requiring the schedules to actually
+    /// deadlock.
+    #[test]
+    fn deliberate_inversion_is_detected_with_both_sites() {
+        let _s = serial();
+        let a = Arc::new(Mutex::new(0u32)); // class A
+        let b = Arc::new(Mutex::new(0u32)); // class B
+        let before = lockdep::stats().cycles;
+
+        // Order A → B on this thread.
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        // Order B → A on another thread (sequentially: no real deadlock,
+        // but the inverted *order* must still be caught).
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _gb = b2.lock();
+            let _ga = a2.lock();
+        })
+        .join()
+        .unwrap();
+
+        let after = lockdep::stats();
+        assert!(
+            after.cycles > before,
+            "inverted order must be reported as a cycle"
+        );
+        let reports = lockdep::cycle_reports();
+        let this_file_sites = reports
+            .iter()
+            .filter(|r| r.contains("lock-order cycle"))
+            .filter(|r| r.matches("lockdep.rs").count() == 0)
+            .filter(|r| r.matches(file!()).count() >= 2)
+            .count();
+        assert!(
+            this_file_sites >= 1,
+            "the cycle report must name both acquisition sites in this \
+             test file; reports: {reports:#?}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_reports_no_cycle() {
+        let _s = serial();
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        let before = lockdep::stats().cycles;
+        for _ in 0..3 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        assert_eq!(
+            lockdep::stats().cycles,
+            before,
+            "same order every time is cycle-free"
+        );
+    }
+
+    #[test]
+    fn same_class_nesting_is_reported() {
+        let _s = serial();
+        // Two *instances* of one class (same creation line, e.g. shards
+        // built in a loop): class-level analysis cannot tell them apart,
+        // so nesting them is reported as a potential self-deadlock.
+        let locks: Vec<Mutex<u32>> = (0..2).map(|_| Mutex::new(0)).collect();
+        let before = lockdep::stats().cycles;
+        let _g0 = locks[0].lock();
+        let _g1 = locks[1].lock();
+        assert!(lockdep::stats().cycles > before);
+    }
+
+    #[test]
+    fn read_read_nesting_is_allowed() {
+        let _s = serial();
+        let locks: Vec<RwLock<u32>> = (0..2).map(|_| RwLock::new(0)).collect();
+        let before = lockdep::stats().cycles;
+        let _g0 = locks[0].read();
+        let _g1 = locks[1].read();
+        assert_eq!(
+            lockdep::stats().cycles,
+            before,
+            "shared reads of one class cannot deadlock each other"
+        );
+    }
+
+    #[test]
+    fn blocking_point_reports_held_lock() {
+        let _s = serial();
+        let m = Mutex::new(());
+        let before = lockdep::stats().blocking_violations;
+        lockdep::blocking_point("test::no_locks_held");
+        assert_eq!(lockdep::stats().blocking_violations, before);
+        {
+            let _g = m.lock();
+            lockdep::blocking_point("test::lock_held");
+        }
+        let after = lockdep::stats().blocking_violations;
+        assert!(after > before, "holding a lock across a blocking point");
+        assert!(lockdep::blocking_reports()
+            .iter()
+            .any(|r| r.contains("test::lock_held")));
+    }
+
+    #[test]
+    fn semantic_locks_are_exempt_from_blocking_checks() {
+        let _s = serial();
+        let m = Mutex::new(());
+        let before = lockdep::stats().blocking_violations;
+        {
+            let _g = m.lock();
+            lockdep::mark_newest_held_semantic();
+            lockdep::blocking_point("test::semantic_held");
+        }
+        assert_eq!(lockdep::stats().blocking_violations, before);
+    }
+
+    #[test]
+    fn held_count_tracks_guards_and_condvar_waits() {
+        let _s = serial();
+        assert_eq!(lockdep::held_count(), 0);
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        {
+            let mut g = m.lock();
+            assert_eq!(lockdep::held_count(), 1);
+            // A timed-out wait releases and re-acquires the mutex.
+            let _ = c.wait_for(&mut g, Duration::from_millis(5));
+            assert_eq!(lockdep::held_count(), 1);
+        }
+        assert_eq!(lockdep::held_count(), 0);
     }
 }

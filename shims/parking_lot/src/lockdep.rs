@@ -1,0 +1,492 @@
+//! Runtime lock-order validation (a miniature `lockdep`), opt-in via the
+//! `lockdep` cargo feature of this shim.
+//!
+//! Every [`crate::Mutex`] / [`crate::RwLock`] belongs to a **lock class**
+//! keyed by its creation site (captured with `#[track_caller]` in
+//! `new()`): all location-cache shards created in one loop share a class,
+//! every distinct `Mutex::new` call site is its own class. Each thread
+//! keeps a stack of currently held classes; acquiring lock `B` while
+//! holding lock `A` records a *held-before* edge `A → B` in a global
+//! lock-order graph. The first time an edge closes a cycle — the classic
+//! `A → B` on one thread, `B → A` on another — a report naming **both
+//! acquisition sites** is recorded (and printed to stderr), whether or
+//! not the interleaving actually deadlocked this run. Same-class nesting
+//! (other than read-read) is reported the same way, since class-level
+//! analysis cannot prove the two instances are distinct.
+//!
+//! Blocking operations (`call_remote`, `RaiseTicket::wait`, network
+//! sends) call [`blocking_point`]; holding any non-*semantic* lock there
+//! is reported as a lock-held-across-blocking-call violation. Locks whose
+//! long hold is the design (an exclusive object's run lock) are marked
+//! with [`mark_newest_held_semantic`] right after acquisition.
+//!
+//! With the feature disabled every function here is a no-op and the lock
+//! types carry no extra state. Counters surface in `doct-telemetry` as
+//! `lockdep.classes` / `lockdep.edges` / `lockdep.cycles` /
+//! `lockdep.blocking_violations`.
+
+#[cfg(feature = "lockdep")]
+pub use imp::*;
+
+#[cfg(feature = "lockdep")]
+pub(crate) use imp::internal;
+
+/// Point-in-time lockdep counters (all zero when the feature is off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockdepStats {
+    /// Distinct lock classes (creation sites) observed so far.
+    pub classes: u64,
+    /// Held-before edges recorded in the lock-order graph.
+    pub edges: u64,
+    /// Edges that closed an ordering cycle (potential deadlocks).
+    pub cycles: u64,
+    /// Blocking points reached while holding a non-semantic lock.
+    pub blocking_violations: u64,
+}
+
+#[cfg(not(feature = "lockdep"))]
+mod noop {
+    use super::LockdepStats;
+
+    /// Whether lockdep instrumentation is compiled in.
+    pub const fn enabled() -> bool {
+        false
+    }
+
+    /// Current counters (all zero without the feature).
+    pub fn stats() -> LockdepStats {
+        LockdepStats::default()
+    }
+
+    /// Cycle reports recorded so far (empty without the feature).
+    pub fn cycle_reports() -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Lock-held-across-blocking-call reports (empty without the feature).
+    pub fn blocking_reports() -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Declare that the caller is about to block (no-op without the
+    /// feature).
+    pub fn blocking_point(_what: &str) {}
+
+    /// Mark the calling thread's most recently acquired lock as a
+    /// *semantic* lock, expected to be held across blocking operations
+    /// (no-op without the feature).
+    pub fn mark_newest_held_semantic() {}
+
+    /// Number of locks the calling thread currently holds (always zero
+    /// without the feature).
+    pub fn held_count() -> usize {
+        0
+    }
+}
+
+#[cfg(not(feature = "lockdep"))]
+pub use noop::*;
+
+#[cfg(feature = "lockdep")]
+mod imp {
+    use super::LockdepStats;
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+    /// Whether lockdep instrumentation is compiled in.
+    pub const fn enabled() -> bool {
+        true
+    }
+
+    /// How a lock was acquired; read-read same-class nesting is legal.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum Kind {
+        Mutex,
+        Read,
+        Write,
+    }
+
+    /// Per-instance class slot: the creation site plus the lazily
+    /// assigned class id (0 = unassigned; stored as id + 1).
+    #[derive(Debug)]
+    pub(crate) struct ClassSlot {
+        loc: &'static Location<'static>,
+        id: AtomicU32,
+    }
+
+    impl ClassSlot {
+        pub(crate) const fn new(loc: &'static Location<'static>) -> Self {
+            ClassSlot {
+                loc,
+                id: AtomicU32::new(0),
+            }
+        }
+
+        fn class(&self) -> u32 {
+            let cached = self.id.load(Ordering::Relaxed);
+            if cached != 0 {
+                return cached - 1;
+            }
+            let id = global().class_for(self.loc);
+            // A racing thread may assign the same class concurrently; the
+            // table is keyed by location, so both arrive at the same id.
+            self.id.store(id + 1, Ordering::Relaxed);
+            id
+        }
+    }
+
+    /// What a guard remembers so release / condvar suspension can undo
+    /// its held-stack entry.
+    #[derive(Debug, Clone, Copy)]
+    pub(crate) struct GuardInfo {
+        class: u32,
+        site: &'static Location<'static>,
+        token: u64,
+        kind: Kind,
+    }
+
+    struct HeldEntry {
+        class: u32,
+        site: &'static Location<'static>,
+        token: u64,
+        kind: Kind,
+        semantic: bool,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// Class id per creation site, insertion-ordered names alongside.
+        classes: HashMap<(&'static str, u32, u32), u32>,
+        class_sites: Vec<&'static Location<'static>>,
+        /// Adjacency: `from → set of to` (held-before order).
+        successors: HashMap<u32, Vec<u32>>,
+        edges: HashSet<(u32, u32)>,
+        /// The acquisition-site pair recorded when each edge first
+        /// appeared: (site holding `from`, site acquiring `to`).
+        edge_sites: HashMap<(u32, u32), (&'static Location<'static>, &'static Location<'static>)>,
+        /// Edges already reported as cycle-closing (report once each).
+        reported: HashSet<(u32, u32)>,
+        cycle_reports: Vec<String>,
+        blocking_reports: Vec<String>,
+        /// (operation, topmost held class) pairs already reported.
+        blocking_reported: HashSet<(String, u32)>,
+    }
+
+    struct Global {
+        graph: StdMutex<Graph>,
+        classes: AtomicU64,
+        edges: AtomicU64,
+        cycles: AtomicU64,
+        blocking_violations: AtomicU64,
+        next_token: AtomicU64,
+    }
+
+    fn global() -> &'static Global {
+        static GLOBAL: OnceLock<Global> = OnceLock::new();
+        GLOBAL.get_or_init(|| Global {
+            graph: StdMutex::new(Graph::default()),
+            classes: AtomicU64::new(0),
+            edges: AtomicU64::new(0),
+            cycles: AtomicU64::new(0),
+            blocking_violations: AtomicU64::new(0),
+            next_token: AtomicU64::new(1),
+        })
+    }
+
+    impl Global {
+        fn class_for(&self, loc: &'static Location<'static>) -> u32 {
+            let mut g = self.graph.lock().unwrap_or_else(PoisonError::into_inner);
+            let key = (loc.file(), loc.line(), loc.column());
+            if let Some(&id) = g.classes.get(&key) {
+                return id;
+            }
+            let id = g.class_sites.len() as u32;
+            g.classes.insert(key, id);
+            g.class_sites.push(loc);
+            self.classes.fetch_add(1, Ordering::Relaxed);
+            id
+        }
+    }
+
+    fn site_str(loc: &Location<'_>) -> String {
+        format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
+    }
+
+    /// True if `to` can already reach `from` in the order graph (adding
+    /// `from → to` would close a cycle); fills `path` with the class walk
+    /// `to → … → from` when so.
+    fn reaches(g: &Graph, to: u32, from: u32, path: &mut Vec<u32>) -> bool {
+        if to == from {
+            path.push(to);
+            return true;
+        }
+        let mut visited = HashSet::new();
+        fn dfs(
+            g: &Graph,
+            at: u32,
+            goal: u32,
+            visited: &mut HashSet<u32>,
+            path: &mut Vec<u32>,
+        ) -> bool {
+            if !visited.insert(at) {
+                return false;
+            }
+            path.push(at);
+            if at == goal {
+                return true;
+            }
+            if let Some(next) = g.successors.get(&at) {
+                for &n in next {
+                    if dfs(g, n, goal, visited, path) {
+                        return true;
+                    }
+                }
+            }
+            path.pop();
+            false
+        }
+        dfs(g, to, from, &mut visited, path)
+    }
+
+    fn record_edges(new_class: u32, new_site: &'static Location<'static>, kind: Kind) {
+        // Snapshot the held stack first: the graph lock must never be
+        // taken while iterating a borrowed thread-local that user code
+        // could re-enter.
+        let held: Vec<(u32, &'static Location<'static>, Kind)> = HELD.with(|h| {
+            h.borrow()
+                .iter()
+                .map(|e| (e.class, e.site, e.kind))
+                .collect()
+        });
+        if held.is_empty() {
+            return;
+        }
+        let global = global();
+        let mut g = global.graph.lock().unwrap_or_else(PoisonError::into_inner);
+        for (held_class, held_site, held_kind) in held {
+            if held_class == new_class {
+                // Same-class nesting: a potential self-deadlock unless
+                // both sides are shared reads.
+                if held_kind == Kind::Read && kind == Kind::Read {
+                    continue;
+                }
+                if g.reported.insert((held_class, new_class)) {
+                    let report = format!(
+                        "lockdep: same-class nesting on class {} (created at {}): \
+                         held since {} while re-acquiring at {}",
+                        held_class,
+                        site_str(g.class_sites[held_class as usize]),
+                        site_str(held_site),
+                        site_str(new_site),
+                    );
+                    eprintln!("{report}");
+                    g.cycle_reports.push(report);
+                    global.cycles.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            if !g.edges.insert((held_class, new_class)) {
+                continue;
+            }
+            g.successors.entry(held_class).or_default().push(new_class);
+            g.edge_sites
+                .insert((held_class, new_class), (held_site, new_site));
+            global.edges.fetch_add(1, Ordering::Relaxed);
+            let mut path = Vec::new();
+            if reaches(&g, new_class, held_class, &mut path)
+                && g.reported.insert((held_class, new_class))
+            {
+                // The fresh edge `held_class → new_class` joins an
+                // existing chain `new_class → … → held_class`: an
+                // inversion. Name both acquisition sites of this edge and
+                // of the first conflicting edge on the existing chain.
+                let (prev_from_site, prev_to_site) = path
+                    .windows(2)
+                    .find_map(|w| g.edge_sites.get(&(w[0], w[1])))
+                    .copied()
+                    .unwrap_or((new_site, held_site));
+                let report = format!(
+                    "lockdep: lock-order cycle between class {} (created at {}) and class {} (created at {}):\n  \
+                     this thread: acquired class {} at {} while holding class {} (acquired at {})\n  \
+                     earlier order: acquired class-{}-chain at {} while holding class {} (acquired at {})",
+                    held_class,
+                    site_str(g.class_sites[held_class as usize]),
+                    new_class,
+                    site_str(g.class_sites[new_class as usize]),
+                    new_class,
+                    site_str(new_site),
+                    held_class,
+                    site_str(held_site),
+                    held_class,
+                    site_str(prev_to_site),
+                    new_class,
+                    site_str(prev_from_site),
+                );
+                eprintln!("{report}");
+                g.cycle_reports.push(report);
+                global.cycles.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Internal hooks for the lock types in `lib.rs`.
+    pub(crate) mod internal {
+        use super::*;
+
+        /// A blocking acquisition is about to succeed at `site`.
+        pub(crate) fn on_acquire(
+            slot: &ClassSlot,
+            kind: Kind,
+            site: &'static Location<'static>,
+        ) -> GuardInfo {
+            let class = slot.class();
+            record_edges(class, site, kind);
+            push_held(class, site, kind)
+        }
+
+        /// A `try_lock` succeeded: record the holding (it is a legitimate
+        /// source of held-before edges) but do not treat the acquisition
+        /// itself as a cycle risk — a failed try backs off, it cannot
+        /// deadlock.
+        pub(crate) fn on_acquire_try(
+            slot: &ClassSlot,
+            kind: Kind,
+            site: &'static Location<'static>,
+        ) -> GuardInfo {
+            push_held(slot.class(), site, kind)
+        }
+
+        fn push_held(class: u32, site: &'static Location<'static>, kind: Kind) -> GuardInfo {
+            let token = global().next_token.fetch_add(1, Ordering::Relaxed);
+            HELD.with(|h| {
+                h.borrow_mut().push(HeldEntry {
+                    class,
+                    site,
+                    token,
+                    kind,
+                    semantic: false,
+                })
+            });
+            GuardInfo {
+                class,
+                site,
+                token,
+                kind,
+            }
+        }
+
+        /// The guard is dropped (guards may be dropped out of stack
+        /// order, so remove by token).
+        pub(crate) fn on_release(info: &GuardInfo) {
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|e| e.token == info.token) {
+                    held.remove(pos);
+                }
+            });
+        }
+
+        /// A condvar wait releases the mutex for its duration.
+        pub(crate) fn on_suspend_for_wait(info: &GuardInfo) {
+            on_release(info);
+        }
+
+        /// The condvar wait re-acquired the mutex. Re-checking edges here
+        /// is deliberate: re-locking after a wait while holding other
+        /// locks is a real ordering event.
+        pub(crate) fn on_resume_from_wait(info: &mut GuardInfo) {
+            record_edges(info.class, info.site, info.kind);
+            let fresh = push_held(info.class, info.site, info.kind);
+            info.token = fresh.token;
+        }
+    }
+
+    /// Mark the calling thread's most recently acquired lock as a
+    /// *semantic* lock — one whose hold across blocking operations is the
+    /// design (an exclusive object's run lock serializing entry
+    /// executions), so [`blocking_point`] does not report it.
+    pub fn mark_newest_held_semantic() {
+        HELD.with(|h| {
+            if let Some(top) = h.borrow_mut().last_mut() {
+                top.semantic = true;
+            }
+        });
+    }
+
+    /// Declare that the caller is about to perform a blocking operation
+    /// (`what` names it, e.g. `"kernel::call_remote"`). Reports — once
+    /// per (operation, topmost class) pair — when any non-semantic lock
+    /// is held, with the held acquisition sites.
+    pub fn blocking_point(what: &str) {
+        let offenders: Vec<(u32, &'static Location<'static>)> = HELD.with(|h| {
+            h.borrow()
+                .iter()
+                .filter(|e| !e.semantic)
+                .map(|e| (e.class, e.site))
+                .collect()
+        });
+        let Some(&(top_class, _)) = offenders.last() else {
+            return;
+        };
+        let global = global();
+        let mut g = global.graph.lock().unwrap_or_else(PoisonError::into_inner);
+        if !g.blocking_reported.insert((what.to_string(), top_class)) {
+            return;
+        }
+        let held_desc: Vec<String> = offenders
+            .iter()
+            .map(|(c, s)| format!("class {} acquired at {}", c, site_str(s)))
+            .collect();
+        let report = format!(
+            "lockdep: blocking operation `{what}` entered while holding {} lock(s): {}",
+            held_desc.len(),
+            held_desc.join("; "),
+        );
+        eprintln!("{report}");
+        g.blocking_reports.push(report);
+        global.blocking_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counters.
+    pub fn stats() -> LockdepStats {
+        let g = global();
+        LockdepStats {
+            classes: g.classes.load(Ordering::Relaxed),
+            edges: g.edges.load(Ordering::Relaxed),
+            cycles: g.cycles.load(Ordering::Relaxed),
+            blocking_violations: g.blocking_violations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Every lock-order cycle report recorded so far (process-wide).
+    pub fn cycle_reports() -> Vec<String> {
+        global()
+            .graph
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .cycle_reports
+            .clone()
+    }
+
+    /// Every lock-held-across-blocking-call report recorded so far.
+    pub fn blocking_reports() -> Vec<String> {
+        global()
+            .graph
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .blocking_reports
+            .clone()
+    }
+
+    /// Number of locks the calling thread currently holds.
+    pub fn held_count() -> usize {
+        HELD.with(|h| h.borrow().len())
+    }
+}

@@ -158,7 +158,7 @@ fn telemetry_traces_the_six_raise_variants() {
         "raise(e,gtid) delivers to every member's node"
     );
 
-    cluster
+    let _ = cluster
         .raise_from(1, ev.clone(), Value::Null, object)
         .wait();
     let r = raise_record(RaiseVariant::ObjectAsync);
@@ -285,7 +285,7 @@ fn object_events_fire_everywhere() {
             })
             .unwrap();
         for _ in 0..5 {
-            cluster.raise_from(0, poke.clone(), Value::Null, obj).wait();
+            let _ = cluster.raise_from(0, poke.clone(), Value::Null, obj).wait();
         }
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while hits.load(Ordering::Relaxed) < 5 && std::time::Instant::now() < deadline {
@@ -334,7 +334,7 @@ fn stationary_thread_delivery_is_exactly_once() {
             20,
             "{config:?}: not exactly-once"
         );
-        cluster
+        let _ = cluster
             .raise_from(0, SystemEvent::Quit, Value::Null, target.thread())
             .wait();
         let _ = target.join_timeout(Duration::from_secs(5));

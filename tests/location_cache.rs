@@ -148,7 +148,7 @@ fn stationary_target_uses_the_unicast_fast_path() {
         std::thread::sleep(Duration::from_millis(2));
     }
     assert_eq!(hits.load(Ordering::Relaxed), WARM + 1, "exactly once each");
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Quit, Value::Null, handle.thread())
         .wait();
     let _ = handle.join_timeout(Duration::from_secs(5));
@@ -230,7 +230,7 @@ fn stale_hint_falls_back_to_the_wave_exactly_once() {
         std::thread::sleep(Duration::from_millis(2));
     }
     assert_eq!(hits.load(Ordering::Relaxed), 2, "exactly once per raise");
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Quit, Value::Null, handle.thread())
         .wait();
     let _ = handle.join_timeout(Duration::from_secs(5));

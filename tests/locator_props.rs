@@ -96,7 +96,7 @@ fn run_case(strategy: LocatorStrategy, homes: Vec<u32>, raiser: usize) {
         1,
         "{strategy:?}: exactly once"
     );
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Quit, Value::Null, handle.thread())
         .wait();
     let _ = handle.join_timeout(Duration::from_secs(5));

@@ -24,7 +24,7 @@ fn quit_while_holding_a_lock_releases_it() {
         })
         .unwrap();
     std::thread::sleep(Duration::from_millis(100));
-    cluster
+    let _ = cluster
         .raise_from(1, SystemEvent::Quit, Value::Null, h.thread())
         .wait();
     let r = h.join_timeout(Duration::from_secs(10)).expect("dead");
@@ -57,7 +57,7 @@ fn quit_cannot_be_masked_by_a_resume_handler() {
         })
         .unwrap();
     std::thread::sleep(Duration::from_millis(50));
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Quit, Value::Null, h.thread())
         .wait();
     let r = h.join_timeout(Duration::from_secs(10)).expect("dead");

@@ -120,7 +120,7 @@ fn remote_sync_raise_traces_every_lifecycle_stage() {
         .expect("delivery latency histogram exists");
     assert!(hist.count >= 1, "remote delivery recorded its latency");
 
-    cluster
+    let _ = cluster
         .raise_from(0, SystemEvent::Quit, Value::Null, tid)
         .wait();
     let _ = target.join_timeout(Duration::from_secs(5));
