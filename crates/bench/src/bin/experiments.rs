@@ -42,7 +42,16 @@ fn run_one(which: &str) -> Result<(), doct_kernel::KernelError> {
         "e9" => e9_monitor_overhead::table(&e9_monitor_overhead::run()?).print(),
         "e10" => e10_interest_lists::table(&e10_interest_lists::run()?).print(),
         "e11" => e11_partition_heal::table(&e11_partition_heal::run()?).print(),
-        other => eprintln!("unknown experiment {other:?} (expected e1..e11 or all)"),
+        "e12" => {
+            let rows = e12_fanout_batch::run()?;
+            e12_fanout_batch::table(&rows).print();
+            let json = e12_fanout_batch::json(&rows);
+            match std::fs::write("BENCH_e12_fanout_batch.json", &json) {
+                Ok(()) => eprintln!("[e12 sweep written to BENCH_e12_fanout_batch.json]"),
+                Err(e) => eprintln!("[e12: could not write BENCH_e12_fanout_batch.json: {e}]"),
+            }
+        }
+        other => eprintln!("unknown experiment {other:?} (expected e1..e12 or all)"),
     }
     Ok(())
 }
@@ -67,7 +76,7 @@ fn main() {
     let full_json = args.iter().any(|a| a == "--telemetry");
     let args: Vec<String> = args.into_iter().filter(|a| a != "--telemetry").collect();
     let all = [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
     ];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()

@@ -96,6 +96,7 @@ fn one_cycle(label: &'static str, cut: Duration, seed: u64) -> Result<PartitionR
                 tick: Duration::from_millis(2),
                 heartbeat_interval: Duration::from_millis(10),
                 dedupe_window: 4096,
+                ..ReliabilityConfig::default()
             },
             FailureConfig {
                 suspect_after: Duration::from_millis(60),

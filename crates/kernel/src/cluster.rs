@@ -153,7 +153,8 @@ impl ClusterBuilder {
             Arc::new(NetStats::bound(telemetry.registry())),
         ));
         if let Some((rel, failure)) = self.reliability {
-            net.enable_reliability(rel, failure);
+            net.enable_reliability(rel, failure)
+                .expect("reliability config must validate");
         }
         let directory = Arc::new(ObjectDirectory::new());
         let classes = Arc::new(ClassRegistry::new());

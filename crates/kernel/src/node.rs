@@ -16,7 +16,7 @@ use doct_dsm::{DsmMessage, DsmNode, DsmTransport};
 use doct_net::{MessageClass, Network, NodeId};
 use doct_telemetry::{RaiseVariant, Stage, Telemetry};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -519,8 +519,11 @@ impl NodeKernel {
     /// point, so leaving trackers behind would strand raisers until their
     /// waiter timeout with a misleading `timed_out` verdict.
     fn drain_deliveries_as_lost(&self) {
-        let mut map = self.deliveries.lock();
-        for (_, t) in map.drain() {
+        let drained: Vec<DeliveryTracker> = {
+            let mut map = self.deliveries.lock();
+            map.drain().map(|(_, t)| t).collect()
+        };
+        for t in drained {
             self.telemetry.counter("delivery.lost").inc();
             let _ = t.result_tx.send(DeliveryStatus::Lost);
         }
@@ -924,12 +927,8 @@ impl NodeKernel {
                 self.telemetry
                     .counter("delivery.requested")
                     .add(members.len() as u64);
-                let receivers = members
-                    .into_iter()
-                    .map(|t| self.start_thread_delivery(t, event.clone()))
-                    .collect();
                 RaiseTicket {
-                    receivers,
+                    receivers: self.start_group_deliveries(members, event),
                     timeout: self.config.delivery_timeout,
                 }
             }
@@ -970,112 +969,188 @@ impl NodeKernel {
         thread: ThreadId,
         event: WireEvent,
     ) -> Receiver<DeliveryStatus> {
-        let (tx, rx) = bounded(1);
-        self.trace(event.seq, Stage::Route);
-        // Fast path: tip is on this node.
-        if self.tcbs.trail(thread) == Trail::TipHere {
-            if let Some(act) = self.activation(thread) {
-                self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
-                self.record_thread_delivery(&event);
-                act.push_event(event);
-                self.telemetry.counter("delivery.delivered").inc();
-                let _ = tx.send(DeliveryStatus::Delivered(self.node));
-                return rx;
-            }
-        }
-        let delivery_id = self.next_seq();
-        let tracker = DeliveryTracker {
-            event,
-            target: thread,
-            outstanding: 0,
-            attempts_left: self.config.delivery_retries,
-            anchored: false,
-            deadline: Instant::now() + self.config.delivery_timeout,
-            hint: None,
-            hint_spent: false,
-            result_tx: tx,
-        };
-        self.deliveries.lock().insert(delivery_id, tracker);
-        self.send_probes(delivery_id);
-        rx
+        self.start_group_deliveries(vec![thread], event)
+            .pop()
+            .expect("one receiver per target")
     }
 
-    /// Send the probe wave for a registered delivery (initial or retry),
-    /// or — on the first attempt, when the location cache holds a hint
-    /// for the target — a single unicast fast-path probe instead.
-    fn send_probes(self: &Arc<Self>, delivery_id: u64) {
-        let (event, target, try_hint) = {
-            let mut map = self.deliveries.lock();
-            let Some(t) = map.get_mut(&delivery_id) else {
-                return;
+    /// Begin delivering `event` to every thread in `targets`, returning
+    /// one status receiver per target, in order. Local tips are served
+    /// inline; the remaining targets are registered as trackers and then
+    /// probed in one destination-sorted wave, so a group raise hands the
+    /// transport all co-destined probes together (one wire batch per
+    /// destination, DESIGN.md §3d) instead of a locator wave per member.
+    fn start_group_deliveries(
+        self: &Arc<Self>,
+        targets: Vec<ThreadId>,
+        event: WireEvent,
+    ) -> Vec<Receiver<DeliveryStatus>> {
+        let mut receivers = Vec::with_capacity(targets.len());
+        let mut wave = Vec::new();
+        for thread in targets {
+            let (tx, rx) = bounded(1);
+            receivers.push(rx);
+            self.trace(event.seq, Stage::Route);
+            // Fast path: tip is on this node.
+            if self.tcbs.trail(thread) == Trail::TipHere {
+                if let Some(act) = self.activation(thread) {
+                    self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
+                    self.record_thread_delivery(&event);
+                    act.push_event(event.clone());
+                    self.telemetry.counter("delivery.delivered").inc();
+                    let _ = tx.send(DeliveryStatus::Delivered(self.node));
+                    continue;
+                }
+            }
+            let delivery_id = self.next_seq();
+            let tracker = DeliveryTracker {
+                event: event.clone(),
+                target: thread,
+                outstanding: 0,
+                attempts_left: self.config.delivery_retries,
+                anchored: false,
+                deadline: Instant::now() + self.config.delivery_timeout,
+                hint: None,
+                hint_spent: false,
+                result_tx: tx,
             };
-            (t.event.clone(), t.target, !t.hint_spent)
-        };
-        if try_hint && self.send_hint_probe(delivery_id, &event, target) {
-            return;
+            self.deliveries.lock().insert(delivery_id, tracker);
+            wave.push(delivery_id);
         }
-        let msg = |hops| KernelMessage::DeliverThread {
-            event: event.clone(),
-            target,
-            origin: self.node,
-            delivery_id,
-            hops,
-            anchor: false,
-            hinted: false,
-        };
-        self.trace(event.seq, Stage::Send);
-        let sent = match self.config.locator {
-            LocatorStrategy::Broadcast => self
-                .net
-                .broadcast(self.node, msg(0), MessageClass::Locate)
-                .unwrap_or(0),
-            LocatorStrategy::PathTrace => {
-                if target.root == self.node {
-                    // We are the root but the tip is not here: follow our
-                    // own trail without a network hop. One receipt will
-                    // come back (possibly inline), so account for it first.
-                    if let Some(t) = self.deliveries.lock().get_mut(&delivery_id) {
-                        t.outstanding = 1;
+        if !wave.is_empty() {
+            self.send_probe_wave(&wave);
+        }
+        receivers
+    }
+
+    /// Send the probe wave for one registered delivery (initial or retry).
+    fn send_probes(self: &Arc<Self>, delivery_id: u64) {
+        self.send_probe_wave(&[delivery_id]);
+    }
+
+    /// Send probe waves for a set of registered deliveries — or, per
+    /// delivery on its first attempt, a single unicast fast-path probe
+    /// when the location cache holds a hint for its target. Wave probes
+    /// are grouped by destination node (sorted, so fan-out order is
+    /// deterministic) and handed to [`Network::send_many`], which
+    /// coalesces co-destined probes into one wire batch.
+    fn send_probe_wave(self: &Arc<Self>, delivery_ids: &[u64]) {
+        let mut per_dst: BTreeMap<NodeId, Vec<(u64, KernelMessage)>> = BTreeMap::new();
+        // PathTrace deliveries rooted here run without a wire hop; they
+        // are processed after aggregation so the recursive handling never
+        // overlaps the bookkeeping below.
+        let mut inline_root = Vec::new();
+        let mut waved = Vec::with_capacity(delivery_ids.len());
+        for &delivery_id in delivery_ids {
+            let (event, target, try_hint) = {
+                let map = self.deliveries.lock();
+                let Some(t) = map.get(&delivery_id) else {
+                    continue;
+                };
+                (t.event.clone(), t.target, !t.hint_spent)
+            };
+            if try_hint && self.send_hint_probe(delivery_id, &event, target) {
+                continue;
+            }
+            self.trace(event.seq, Stage::Send);
+            if self.config.locator == LocatorStrategy::PathTrace && target.root == self.node {
+                inline_root.push((delivery_id, event, target));
+                continue;
+            }
+            let probe = KernelMessage::DeliverThread {
+                event,
+                target,
+                origin: self.node,
+                delivery_id,
+                hops: 0,
+                anchor: false,
+                hinted: false,
+            };
+            match self.config.locator {
+                LocatorStrategy::Broadcast => {
+                    self.net.stats().record_broadcast();
+                    for dst in self.net.nodes() {
+                        if dst != self.node {
+                            per_dst
+                                .entry(dst)
+                                .or_default()
+                                .push((delivery_id, probe.clone()));
+                        }
                     }
-                    self.handle_deliver_thread(
-                        event.clone(),
-                        target,
-                        self.node,
-                        delivery_id,
-                        0,
-                        false,
-                        false,
-                    );
-                    return;
                 }
-                match self
-                    .net
-                    .send(self.node, target.root, msg(0), MessageClass::Locate)
-                {
-                    Ok(o) if o.is_sent() => 1,
-                    _ => 0,
+                LocatorStrategy::PathTrace => {
+                    per_dst
+                        .entry(target.root)
+                        .or_default()
+                        .push((delivery_id, probe));
+                }
+                LocatorStrategy::Multicast => {
+                    self.net.stats().record_multicast();
+                    for dst in self
+                        .net
+                        .multicast_registry()
+                        .members(target.multicast_group())
+                    {
+                        if dst != self.node {
+                            per_dst
+                                .entry(dst)
+                                .or_default()
+                                .push((delivery_id, probe.clone()));
+                        }
+                    }
                 }
             }
-            LocatorStrategy::Multicast => self
+            waved.push(delivery_id);
+        }
+        // One send_many per destination: co-destined probes (typically a
+        // multicast raise's members on one node) share a wire batch.
+        let mut sent_counts: HashMap<u64, usize> = HashMap::new();
+        for (dst, entries) in per_dst {
+            let ids: Vec<u64> = entries.iter().map(|(id, _)| *id).collect();
+            let items: Vec<(MessageClass, KernelMessage)> = entries
+                .into_iter()
+                .map(|(_, m)| (MessageClass::Locate, m))
+                .collect();
+            let sent = self
                 .net
-                .multicast(
-                    self.node,
-                    target.multicast_group(),
-                    msg(0),
-                    MessageClass::Locate,
-                )
-                .unwrap_or(0),
-        };
-        let mut map = self.deliveries.lock();
-        if let Some(t) = map.get_mut(&delivery_id) {
-            if sent == 0 {
-                // Nobody to ask: the thread left no trace.
-                self.telemetry.counter("delivery.dead").inc();
-                let _ = t.result_tx.send(DeliveryStatus::TargetDead);
-                map.remove(&delivery_id);
-            } else {
-                t.outstanding = sent;
+                .send_many(self.node, dst, items)
+                .map(|o| o.is_sent())
+                .unwrap_or(false);
+            if sent {
+                for id in ids {
+                    *sent_counts.entry(id).or_insert(0) += 1;
+                }
             }
+        }
+        // Account each wave's fan-out; raisers of unreachable targets are
+        // notified only after the deliveries lock is released.
+        let mut dead = Vec::new();
+        {
+            let mut map = self.deliveries.lock();
+            for &delivery_id in &waved {
+                let sent = sent_counts.get(&delivery_id).copied().unwrap_or(0);
+                if sent == 0 {
+                    // Nobody to ask: the thread left no trace.
+                    if let Some(t) = map.remove(&delivery_id) {
+                        self.telemetry.counter("delivery.dead").inc();
+                        dead.push(t.result_tx);
+                    }
+                } else if let Some(t) = map.get_mut(&delivery_id) {
+                    t.outstanding = sent;
+                }
+            }
+        }
+        for tx in dead {
+            let _ = tx.send(DeliveryStatus::TargetDead);
+        }
+        for (delivery_id, event, target) in inline_root {
+            // We are the root but the tip is not here: follow our own
+            // trail without a network hop. One receipt will come back
+            // (possibly inline), so account for it first.
+            if let Some(t) = self.deliveries.lock().get_mut(&delivery_id) {
+                t.outstanding = 1;
+            }
+            self.handle_deliver_thread(event, target, self.node, delivery_id, 0, false, false);
         }
     }
 
@@ -1233,6 +1308,9 @@ impl NodeKernel {
 
     fn handle_receipt(self: &Arc<Self>, delivery_id: u64, found: Option<NodeId>) {
         let mut retry = false;
+        // A resolved tracker's raiser is notified only after the
+        // deliveries lock is released (collect-then-send).
+        let mut resolved: Option<(Sender<DeliveryStatus>, DeliveryStatus)> = None;
         {
             let mut map = self.deliveries.lock();
             let Some(t) = map.get_mut(&delivery_id) else {
@@ -1249,8 +1327,9 @@ impl NodeKernel {
                         }
                     }
                     self.telemetry.counter("delivery.delivered").inc();
-                    let _ = t.result_tx.send(DeliveryStatus::Delivered(node));
-                    map.remove(&delivery_id);
+                    if let Some(t) = map.remove(&delivery_id) {
+                        resolved = Some((t.result_tx, DeliveryStatus::Delivered(node)));
+                    }
                 }
                 None => {
                     if let Some((_, generation, _)) = t.hint.take() {
@@ -1294,12 +1373,16 @@ impl NodeKernel {
                             return;
                         } else {
                             self.telemetry.counter("delivery.dead").inc();
-                            let _ = t.result_tx.send(DeliveryStatus::TargetDead);
-                            map.remove(&delivery_id);
+                            if let Some(t) = map.remove(&delivery_id) {
+                                resolved = Some((t.result_tx, DeliveryStatus::TargetDead));
+                            }
                         }
                     }
                 }
             }
+        }
+        if let Some((tx, status)) = resolved {
+            let _ = tx.send(status);
         }
         if retry {
             // Cover the race where the thread moved mid-probe: check the
@@ -1315,8 +1398,8 @@ impl NodeKernel {
                 if let Some(act) = self.activation(target) {
                     self.record_thread_delivery(&event);
                     act.push_event(event);
-                    let mut map = self.deliveries.lock();
-                    if let Some(t) = map.remove(&delivery_id) {
+                    let removed = self.deliveries.lock().remove(&delivery_id);
+                    if let Some(t) = removed {
                         self.telemetry.counter("delivery.delivered").inc();
                         let _ = t.result_tx.send(DeliveryStatus::Delivered(self.node));
                     }
@@ -1334,12 +1417,15 @@ impl NodeKernel {
         // wave) after the deliveries lock is released — send_probes
         // re-locks it.
         let mut hint_fallbacks = Vec::new();
+        // Trackers the sweep resolves; their raisers are notified only
+        // after the deliveries lock is released (collect-then-send).
+        let mut resolved: Vec<(Sender<DeliveryStatus>, DeliveryStatus)> = Vec::new();
         {
             let mut map = self.deliveries.lock();
             map.retain(|id, t| {
                 if now >= t.deadline {
                     self.telemetry.counter("delivery.timeout").inc();
-                    let _ = t.result_tx.send(DeliveryStatus::Timeout);
+                    resolved.push((t.result_tx.clone(), DeliveryStatus::Timeout));
                     return false;
                 }
                 // §7.2 dead-target notification under real link failure:
@@ -1352,7 +1438,7 @@ impl NodeKernel {
                         == Some(doct_net::PeerState::Dead)
                 {
                     self.telemetry.counter("delivery.dead").inc();
-                    let _ = t.result_tx.send(DeliveryStatus::TargetDead);
+                    resolved.push((t.result_tx.clone(), DeliveryStatus::TargetDead));
                     return false;
                 }
                 // Give up on an unanswered hint probe after one retry
@@ -1381,9 +1467,10 @@ impl NodeKernel {
                 true
             });
         }
-        for id in hint_fallbacks {
-            self.send_probes(id);
+        for (tx, status) in resolved {
+            let _ = tx.send(status);
         }
+        self.send_probe_wave(&hint_fallbacks);
     }
 
     /// Resume a raiser blocked in `raise_and_wait` (facility-facing).

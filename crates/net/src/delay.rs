@@ -2,7 +2,7 @@
 //! latency and then forwards them to the destination mailbox, so senders
 //! never sleep.
 
-use crate::Envelope;
+use crate::NetworkError;
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -10,53 +10,58 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-struct Queued<M> {
+struct Queued<T> {
     due: Instant,
     seq: u64,
-    env: Envelope<M>,
+    item: T,
 }
 
 // Ordering by (due, seq) keeps FIFO among equal deadlines.
-impl<M> PartialEq for Queued<M> {
+impl<T> PartialEq for Queued<T> {
     fn eq(&self, other: &Self) -> bool {
         self.due == other.due && self.seq == other.seq
     }
 }
-impl<M> Eq for Queued<M> {}
-impl<M> PartialOrd for Queued<M> {
+impl<T> Eq for Queued<T> {}
+impl<T> PartialOrd for Queued<T> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Queued<M> {
+impl<T> Ord for Queued<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.due, self.seq).cmp(&(other.due, other.seq))
     }
 }
 
-struct Shared<M> {
-    heap: Mutex<HeapState<M>>,
+struct Shared<T> {
+    heap: Mutex<HeapState<T>>,
     cond: Condvar,
 }
 
-struct HeapState<M> {
-    queue: BinaryHeap<Reverse<Queued<M>>>,
+struct HeapState<T> {
+    queue: BinaryHeap<Reverse<Queued<T>>>,
     next_seq: u64,
     shutdown: bool,
 }
 
-/// Background delivery of delayed messages.
-pub(crate) struct DelayLine<M: Send + 'static> {
-    shared: Arc<Shared<M>>,
+/// Background delivery of delayed items (the network queues whole
+/// transfers, so a batch crosses the simulated wire as one delayed hop).
+pub(crate) struct DelayLine<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
     worker: Option<JoinHandle<()>>,
 }
 
-impl<M: Send + 'static> DelayLine<M> {
+impl<T: Send + 'static> DelayLine<T> {
     /// Spawn the delay-line worker. `deliver` performs the final hop into
     /// the destination mailbox (the network passes its delivery path, so
     /// reliable-transport dedupe and acks happen at actual delivery time,
     /// not when the message entered the line).
-    pub(crate) fn new(deliver: impl Fn(Envelope<M>) + Send + 'static) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::SpawnFailed`] if the OS refuses the worker thread.
+    pub(crate) fn new(deliver: impl Fn(T) + Send + 'static) -> Result<Self, NetworkError> {
         let shared = Arc::new(Shared {
             heap: Mutex::new(HeapState {
                 queue: BinaryHeap::new(),
@@ -69,26 +74,26 @@ impl<M: Send + 'static> DelayLine<M> {
         let worker = std::thread::Builder::new()
             .name("doct-net-delay".into())
             .spawn(move || Self::run(worker_shared, deliver))
-            .expect("spawn delay-line thread");
-        DelayLine {
+            .map_err(|_| NetworkError::SpawnFailed("doct-net-delay"))?;
+        Ok(DelayLine {
             shared,
             worker: Some(worker),
-        }
+        })
     }
 
-    /// Enqueue `env` for delivery at `due`.
-    pub(crate) fn schedule(&self, env: Envelope<M>, due: Instant) {
+    /// Enqueue `item` for delivery at `due`.
+    pub(crate) fn schedule(&self, item: T, due: Instant) {
         let mut state = self.shared.heap.lock();
         if state.shutdown {
             return;
         }
         let seq = state.next_seq;
         state.next_seq += 1;
-        state.queue.push(Reverse(Queued { due, seq, env }));
+        state.queue.push(Reverse(Queued { due, seq, item }));
         self.shared.cond.notify_one();
     }
 
-    fn run(shared: Arc<Shared<M>>, deliver: impl Fn(Envelope<M>)) {
+    fn run(shared: Arc<Shared<T>>, deliver: impl Fn(T)) {
         let mut state = shared.heap.lock();
         loop {
             if state.shutdown {
@@ -108,7 +113,7 @@ impl<M: Send + 'static> DelayLine<M> {
                     // Drop the lock during the send; the mailbox may apply
                     // backpressure if bounded in the future.
                     drop(state);
-                    deliver(q.env);
+                    deliver(q.item);
                     state = shared.heap.lock();
                 }
             }
@@ -116,7 +121,7 @@ impl<M: Send + 'static> DelayLine<M> {
     }
 }
 
-impl<M: Send + 'static> Drop for DelayLine<M> {
+impl<T: Send + 'static> Drop for DelayLine<T> {
     fn drop(&mut self) {
         {
             let mut state = self.shared.heap.lock();
@@ -132,7 +137,7 @@ impl<M: Send + 'static> Drop for DelayLine<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MessageClass, NodeId};
+    use crate::{Envelope, MessageClass, NodeId};
     use crossbeam::channel::{unbounded, Sender};
     use std::time::Duration;
 
@@ -146,10 +151,11 @@ mod tests {
         }
     }
 
-    fn line_into(tx: Sender<Envelope<u32>>) -> DelayLine<u32> {
+    fn line_into(tx: Sender<Envelope<u32>>) -> DelayLine<Envelope<u32>> {
         DelayLine::new(move |env| {
             let _ = tx.send(env);
         })
+        .expect("spawn delay line in test")
     }
 
     #[test]

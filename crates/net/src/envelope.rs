@@ -93,6 +93,68 @@ pub struct Envelope<M> {
     pub payload: M,
 }
 
+/// Many co-destined payloads riding one wire hop under one sequence
+/// number: the unit of the batched fan-out path.
+///
+/// The reliability layer seals a batch from its per-(src, dst)
+/// accumulation buffer, tracks and retransmits it as a single entry, and
+/// the delivery path unpacks it into one mailbox [`Envelope`] per payload
+/// (each stamped with the batch's seq). Receiver-side dedupe operates on
+/// the batch seq, so a retransmitted batch is suppressed whole and
+/// exactly-once delivery survives coalescing.
+#[derive(Debug, Clone)]
+pub struct BatchEnvelope<M> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Transport sequence number shared by every payload in the batch
+    /// (always non-zero: batches only exist on the reliable path).
+    pub seq: u64,
+    /// The coalesced payloads with their traffic classes.
+    pub payloads: Vec<(MessageClass, M)>,
+}
+
+/// What actually crosses the wire: either a plain envelope or a sealed
+/// batch. Senders, the delay line, and the retransmit queue all move
+/// `Transfer`s; mailboxes still receive per-payload [`Envelope`]s.
+#[derive(Debug, Clone)]
+pub(crate) enum Transfer<M> {
+    Single(Envelope<M>),
+    Batch(BatchEnvelope<M>),
+}
+
+impl<M> Transfer<M> {
+    pub(crate) fn src(&self) -> NodeId {
+        match self {
+            Transfer::Single(e) => e.src,
+            Transfer::Batch(b) => b.src,
+        }
+    }
+
+    pub(crate) fn dst(&self) -> NodeId {
+        match self {
+            Transfer::Single(e) => e.dst,
+            Transfer::Batch(b) => b.dst,
+        }
+    }
+
+    pub(crate) fn seq(&self) -> u64 {
+        match self {
+            Transfer::Single(e) => e.seq,
+            Transfer::Batch(b) => b.seq,
+        }
+    }
+
+    /// Logical payloads carried (1 for singles).
+    pub(crate) fn payload_count(&self) -> usize {
+        match self {
+            Transfer::Single(_) => 1,
+            Transfer::Batch(b) => b.payloads.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +182,35 @@ mod tests {
     #[test]
     fn vec_wire_size_includes_payload() {
         assert_eq!(vec![0u8; 100].wire_size(), 164);
+    }
+
+    #[test]
+    fn transfer_metadata_matches_both_variants() {
+        let single: Transfer<u64> = Transfer::Single(Envelope {
+            src: NodeId(1),
+            dst: NodeId(2),
+            class: MessageClass::Locate,
+            seq: 9,
+            payload: 0,
+        });
+        assert_eq!(
+            (
+                single.src(),
+                single.dst(),
+                single.seq(),
+                single.payload_count()
+            ),
+            (NodeId(1), NodeId(2), 9, 1)
+        );
+        let batch: Transfer<u64> = Transfer::Batch(BatchEnvelope {
+            src: NodeId(3),
+            dst: NodeId(4),
+            seq: 11,
+            payloads: vec![(MessageClass::Event, 1), (MessageClass::Locate, 2)],
+        });
+        assert_eq!(
+            (batch.src(), batch.dst(), batch.seq(), batch.payload_count()),
+            (NodeId(3), NodeId(4), 11, 2)
+        );
     }
 }

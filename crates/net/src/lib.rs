@@ -46,14 +46,16 @@ mod latency;
 mod multicast;
 mod network;
 mod reliable;
+mod seed;
 mod stats;
 
-pub use envelope::{Envelope, MessageClass, WireMessage};
+pub use envelope::{BatchEnvelope, Envelope, MessageClass, WireMessage};
 pub use failure::{FailureConfig, FailureDetector, PeerState};
 pub use latency::LatencyModel;
 pub use multicast::{MulticastGroupId, MulticastRegistry};
 pub use network::{Network, NetworkError, SendOutcome};
 pub use reliable::ReliabilityConfig;
+pub use seed::{derived_seed, doct_seed};
 pub use stats::{NetStats, StatsSnapshot};
 
 use serde::{Deserialize, Serialize};

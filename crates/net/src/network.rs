@@ -1,6 +1,7 @@
 //! The network fabric connecting simulated nodes.
 
 use crate::delay::DelayLine;
+use crate::envelope::Transfer;
 use crate::failure::{FailureConfig, FailureDetector, PeerState};
 use crate::reliable::{ReliabilityConfig, ReliableState};
 use crate::{
@@ -9,10 +10,14 @@ use crate::{
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
+use rand::SeedableRng;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Domain tag for the latency-sampling RNG stream (see `crate::seed`).
+const LATENCY_RNG_DOMAIN: u64 = 0x6C61_7465; // "late"
 
 /// Errors reported by fabric operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +26,10 @@ pub enum NetworkError {
     UnknownNode(NodeId),
     /// The node's mailbox was already taken by an earlier call.
     MailboxTaken(NodeId),
+    /// The OS refused to spawn the named fabric worker thread.
+    SpawnFailed(&'static str),
+    /// A configuration failed validation; the string says why.
+    InvalidConfig(&'static str),
 }
 
 impl fmt::Display for NetworkError {
@@ -28,6 +37,8 @@ impl fmt::Display for NetworkError {
         match self {
             NetworkError::UnknownNode(n) => write!(f, "unknown node {n}"),
             NetworkError::MailboxTaken(n) => write!(f, "mailbox of {n} already taken"),
+            NetworkError::SpawnFailed(name) => write!(f, "failed to spawn {name} thread"),
+            NetworkError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
         }
     }
 }
@@ -56,7 +67,7 @@ impl SendOutcome {
 /// The shared "last hop" into destination mailboxes, used by direct
 /// sends, the delay-line worker, and the retransmit thread alike so that
 /// receiver-side dedupe and ack generation happen at actual delivery
-/// time, whatever route the envelope took.
+/// time, whatever route the transfer took.
 pub(crate) struct DeliveryPath<M: Send + 'static> {
     senders: Vec<Sender<Envelope<M>>>,
     stats: Arc<NetStats>,
@@ -85,12 +96,27 @@ impl<M: Send + 'static> DeliveryPath<M> {
             .unwrap_or(false)
     }
 
-    /// Deliver `env` into its destination mailbox. Reliable envelopes
-    /// (`seq != 0`) are deduplicated and acknowledged here; the ack only
-    /// reaches the sender if the reverse link is up at this instant, so a
-    /// one-way partition loses acks like a real network would.
-    pub(crate) fn deliver(&self, env: Envelope<M>) -> bool {
-        let (src, dst, seq) = (env.src, env.dst, env.seq);
+    /// Acknowledge `seq` back to the sender. On the coalescing path the
+    /// ack is buffered and flushed cumulatively by the maintenance thread
+    /// (which checks the reverse link then); otherwise it retires the
+    /// entry immediately, but only if the reverse link is up right now —
+    /// either way a one-way partition loses acks like a real network.
+    fn ack_back(&self, rel: &ReliableState<M>, src: NodeId, dst: NodeId, seq: u64) {
+        if rel.coalescing() {
+            rel.note_ack(src, dst, seq);
+        } else if self.link_up(dst, src) {
+            rel.ack(seq, &self.stats);
+        }
+    }
+
+    /// Deliver `transfer` into its destination mailbox. Reliable
+    /// transfers (`seq != 0`) are deduplicated and acknowledged here;
+    /// batches are unpacked into one mailbox envelope per payload, each
+    /// stamped with the batch's seq, after the single dedupe decision —
+    /// so a retransmitted batch is suppressed whole and exactly-once
+    /// survives coalescing.
+    pub(crate) fn deliver(&self, transfer: Transfer<M>) -> bool {
+        let (src, dst, seq) = (transfer.src(), transfer.dst(), transfer.seq());
         let reliable = if seq != 0 {
             self.reliable.read().clone()
         } else {
@@ -101,19 +127,35 @@ impl<M: Send + 'static> DeliveryPath<M> {
                 self.stats.record_dup_drop();
                 // A duplicate means an earlier copy was delivered but its
                 // ack never made it back; re-ack if the path healed.
-                if self.link_up(dst, src) {
-                    rel.ack(seq, &self.stats);
-                }
+                self.ack_back(rel, src, dst, seq);
                 return true;
             }
         }
+        let payload_count = transfer.payload_count();
         let pushed = match self.senders.get(dst.index()) {
-            Some(tx) => tx.send(env).is_ok(),
+            Some(tx) => match transfer {
+                Transfer::Single(env) => tx.send(env).is_ok(),
+                Transfer::Batch(batch) => {
+                    let mut ok = true;
+                    for (class, payload) in batch.payloads {
+                        ok &= tx
+                            .send(Envelope {
+                                src,
+                                dst,
+                                class,
+                                seq,
+                                payload,
+                            })
+                            .is_ok();
+                    }
+                    ok
+                }
+            },
             None => false,
         };
         if !pushed {
             // Dead node: roll the dedupe entry back so retransmissions
-            // keep probing (and eventually give the envelope up) instead
+            // keep probing (and eventually give the transfer up) instead
             // of being swallowed as duplicates of a delivery that never
             // happened.
             if let Some(rel) = &reliable {
@@ -123,9 +165,13 @@ impl<M: Send + 'static> DeliveryPath<M> {
             return false;
         }
         if let Some(rel) = &reliable {
-            if self.link_up(dst, src) {
-                rel.ack(seq, &self.stats);
+            if payload_count > 1 {
+                // A batch just landed; its responses (receipts) flow
+                // dst → src shortly. Arm a response window so they ride
+                // back coalesced instead of one by one.
+                rel.arm_response_window(dst, src, payload_count, Instant::now());
             }
+            self.ack_back(rel, src, dst, seq);
         }
         true
     }
@@ -144,12 +190,18 @@ impl<M: Send + 'static> DeliveryPath<M> {
 /// By default the fabric is fire-and-forget: a send racing a cut link is
 /// silently dropped (and counted). [`Network::enable_reliability`] turns
 /// on acknowledged, retried transport with a heartbeat failure detector —
-/// see the `reliable` module docs.
+/// see the `reliable` module docs. With reliability on, batching (the
+/// default) coalesces co-destined payloads into one wire hop; see
+/// [`Network::send_many`] and [`ReliabilityConfig::with_batching`].
 pub struct Network<M: Send + 'static> {
     path: DeliveryPath<M>,
     mailboxes: Mutex<Vec<Option<Receiver<Envelope<M>>>>>,
     latency: LatencyModel,
-    delay: Option<DelayLine<M>>,
+    delay: Option<DelayLine<Transfer<M>>>,
+    /// Seeded RNG for latency sampling, so simulated delays replay under
+    /// the session seed (see `crate::seed`) instead of leaking wall-clock
+    /// entropy into ordering.
+    latency_rng: Mutex<rand::rngs::StdRng>,
     multicast: MulticastRegistry,
     detector: RwLock<Option<Arc<FailureDetector>>>,
 }
@@ -169,9 +221,24 @@ impl<M: WireMessage + Send + 'static> Network<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes == 0`.
+    /// Panics if `nodes == 0` or the delay-line thread cannot spawn; use
+    /// [`Network::try_new`] to handle spawn failure.
     pub fn new(nodes: usize, latency: LatencyModel) -> Self {
         Self::with_stats(nodes, latency, Arc::new(NetStats::new()))
+    }
+
+    /// [`Network::new`] with spawn failure propagated instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::SpawnFailed`] if the delay-line worker thread
+    /// cannot be spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn try_new(nodes: usize, latency: LatencyModel) -> Result<Self, NetworkError> {
+        Self::try_with_stats(nodes, latency, Arc::new(NetStats::new()))
     }
 
     /// Create a fabric whose counters live in `stats` (typically
@@ -180,8 +247,28 @@ impl<M: WireMessage + Send + 'static> Network<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes == 0`.
+    /// Panics if `nodes == 0` or the delay-line thread cannot spawn; use
+    /// [`Network::try_with_stats`] to handle spawn failure.
     pub fn with_stats(nodes: usize, latency: LatencyModel, stats: Arc<NetStats>) -> Self {
+        Self::try_with_stats(nodes, latency, stats).expect("spawn fabric worker threads")
+    }
+
+    /// [`Network::with_stats`] with spawn failure propagated instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::SpawnFailed`] if the delay-line worker thread
+    /// cannot be spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn try_with_stats(
+        nodes: usize,
+        latency: LatencyModel,
+        stats: Arc<NetStats>,
+    ) -> Result<Self, NetworkError> {
         assert!(nodes > 0, "a cluster needs at least one node");
         let mut senders = Vec::with_capacity(nodes);
         let mut receivers = Vec::with_capacity(nodes);
@@ -200,18 +287,21 @@ impl<M: WireMessage + Send + 'static> Network<M> {
             None
         } else {
             let worker_path = path.clone();
-            Some(DelayLine::new(move |env| {
-                worker_path.deliver(env);
-            }))
+            Some(DelayLine::new(move |transfer| {
+                worker_path.deliver(transfer);
+            })?)
         };
-        Network {
+        Ok(Network {
             path,
             mailboxes: Mutex::new(receivers),
             latency,
             delay,
+            latency_rng: Mutex::new(rand::rngs::StdRng::seed_from_u64(
+                crate::seed::derived_seed(LATENCY_RNG_DOMAIN),
+            )),
             multicast: MulticastRegistry::new(),
             detector: RwLock::new(None),
-        }
+        })
     }
 }
 
@@ -268,7 +358,7 @@ impl<M: Send + 'static> Network<M> {
         self.path.reliable.read().is_some()
     }
 
-    /// Reliable envelopes still awaiting acknowledgement (0 when the
+    /// Reliable transfers still awaiting acknowledgement (0 when the
     /// reliability layer is off).
     pub fn pending_reliable(&self) -> usize {
         self.path
@@ -299,10 +389,13 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
     ///
     /// Without the reliability layer this is fire-and-forget: a cut link
     /// or dead destination drops the message (counted) and the outcome
-    /// says so. With [`Network::enable_reliability`] on, the envelope is
+    /// says so. With [`Network::enable_reliability`] on, the payload is
     /// stamped with a sequence number and tracked until acknowledged, so
     /// `Sent` means "queued; the fabric will keep trying" — even across a
-    /// link that is down right now.
+    /// link that is down right now. With batching on, a payload may ride
+    /// a [`crate::BatchEnvelope`] with other co-destined traffic; a send
+    /// into an idle direction always flushes immediately, so singleton
+    /// sends pay no batching latency.
     ///
     /// # Errors
     ///
@@ -318,10 +411,9 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
         self.check_node(dst)?;
         parking_lot::lockdep::blocking_point("net::send");
         let reliable = self.path.reliable.read().clone();
-        let link_up = self.path.link_up(src, dst);
         match reliable {
             None => {
-                if !link_up {
+                if !self.path.link_up(src, dst) {
                     self.path.stats.record_drop();
                     return Ok(SendOutcome::DroppedLink);
                 }
@@ -333,26 +425,81 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
                     seq: 0,
                     payload,
                 };
-                Ok(self.transmit(env))
+                Ok(self.transmit(Transfer::Single(env)))
             }
             Some(rel) => {
                 self.path.stats.record_send(class, payload.wire_size());
-                let env = Envelope {
-                    src,
-                    dst,
-                    class,
-                    seq: rel.alloc_seq(),
-                    payload,
-                };
-                rel.track(env.clone());
-                if !link_up {
-                    // The first attempt is lost on the cut link; the
-                    // retransmit queue now owns the envelope.
-                    self.path.stats.record_drop();
-                    return Ok(SendOutcome::Sent);
+                if rel.coalescing() {
+                    let transfers = rel.enqueue(
+                        src,
+                        dst,
+                        [(class, payload)],
+                        Instant::now(),
+                        &self.path.stats,
+                    );
+                    for t in transfers {
+                        self.dispatch(t);
+                    }
+                } else {
+                    let env = Envelope {
+                        src,
+                        dst,
+                        class,
+                        seq: rel.alloc_seq(),
+                        payload,
+                    };
+                    rel.track(Transfer::Single(env.clone()));
+                    self.dispatch(Transfer::Single(env));
                 }
-                self.transmit(env);
                 Ok(SendOutcome::Sent)
+            }
+        }
+    }
+
+    /// Send many co-destined payloads from `src` to `dst` in one call.
+    ///
+    /// With reliability + batching on, the payloads coalesce into
+    /// [`crate::BatchEnvelope`]s — one sequence number and one wire hop
+    /// per `batch_max`-sized chunk — and share the batch's retransmission
+    /// fate. Otherwise this degenerates to a [`Network::send`] per
+    /// payload, and the worst per-payload outcome is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] if either endpoint is out of range.
+    pub fn send_many(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        items: Vec<(MessageClass, M)>,
+    ) -> Result<SendOutcome, NetworkError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if items.is_empty() {
+            return Ok(SendOutcome::Sent);
+        }
+        parking_lot::lockdep::blocking_point("net::send_many");
+        let reliable = self.path.reliable.read().clone();
+        match reliable {
+            Some(rel) if rel.coalescing() => {
+                for (class, payload) in &items {
+                    self.path.stats.record_send(*class, payload.wire_size());
+                }
+                let transfers = rel.enqueue(src, dst, items, Instant::now(), &self.path.stats);
+                for t in transfers {
+                    self.dispatch(t);
+                }
+                Ok(SendOutcome::Sent)
+            }
+            _ => {
+                let mut worst = SendOutcome::Sent;
+                for (class, payload) in items {
+                    let outcome = self.send(src, dst, payload, class)?;
+                    if !outcome.is_sent() {
+                        worst = outcome;
+                    }
+                }
+                Ok(worst)
             }
         }
     }
@@ -375,37 +522,67 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
         self.send(src, dst, payload, class)
     }
 
+    /// First transmission attempt of a tracked transfer: over the wire if
+    /// the link is up, otherwise the attempt is lost (counted) and the
+    /// retransmit queue keeps ownership.
+    fn dispatch(&self, transfer: Transfer<M>) {
+        if self.path.link_up(transfer.src(), transfer.dst()) {
+            self.transmit(transfer);
+        } else {
+            self.path.stats.record_drop();
+        }
+    }
+
     /// One physical transmission attempt: through the delay line if the
-    /// fabric has latency, otherwise straight into the mailbox.
-    fn transmit(&self, env: Envelope<M>) -> SendOutcome {
+    /// fabric has latency, otherwise straight into the mailbox. Counts
+    /// one wire message however many payloads ride the transfer.
+    fn transmit(&self, transfer: Transfer<M>) -> SendOutcome {
+        self.path.stats.record_wire_msg();
         match &self.delay {
             None => {
-                if self.path.deliver(env) {
+                if self.path.deliver(transfer) {
                     SendOutcome::Sent
                 } else {
                     SendOutcome::DroppedDeadNode
                 }
             }
             Some(line) => {
-                let delay = self.latency.sample(&mut rand::thread_rng());
-                line.schedule(env, Instant::now() + delay);
+                let delay = self.latency.sample(&mut *self.latency_rng.lock());
+                line.schedule(transfer, Instant::now() + delay);
                 SendOutcome::Sent
             }
         }
     }
 
     /// Switch the fabric to acknowledged, retried transport and start its
-    /// maintenance thread (retransmit scans + heartbeat rounds for the
-    /// failure detector). Idempotent: later calls are ignored.
+    /// maintenance thread (batch-window flushes, cumulative ack flushes,
+    /// retransmit scans, and heartbeat rounds for the failure detector).
+    /// Idempotent: later calls are ignored.
     ///
-    /// The thread holds only a weak reference to the network and exits on
-    /// its next tick once the last `Arc` is gone, so enabling reliability
-    /// never keeps a cluster alive.
-    pub fn enable_reliability(self: &Arc<Self>, cfg: ReliabilityConfig, failure: FailureConfig) {
+    /// The maintenance thread sleeps until the earliest pending deadline
+    /// (retransmit backoff, batch window, or heartbeat), capped at one
+    /// `tick`, and is woken early when new work arrives — a 5ms backoff
+    /// fires in ~5ms even under a long tick. It holds only a weak
+    /// reference to the network and exits once the last `Arc` is gone, so
+    /// enabling reliability never keeps a cluster alive.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::InvalidConfig`] if `cfg` fails
+    /// [`ReliabilityConfig::validate`] (e.g. a `dedupe_window` smaller
+    /// than the retransmit window, which would risk duplicate delivery);
+    /// [`NetworkError::SpawnFailed`] if the maintenance thread cannot be
+    /// spawned (the fabric stays unreliable and can be retried).
+    pub fn enable_reliability(
+        self: &Arc<Self>,
+        cfg: ReliabilityConfig,
+        failure: FailureConfig,
+    ) -> Result<(), NetworkError> {
+        cfg.validate().map_err(NetworkError::InvalidConfig)?;
         let rel = {
             let mut slot = self.path.reliable.write();
             if slot.is_some() {
-                return;
+                return Ok(());
             }
             let rel = Arc::new(ReliableState::new(cfg));
             *slot = Some(Arc::clone(&rel));
@@ -422,34 +599,57 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
         *self.detector.write() = Some(Arc::clone(&detector));
 
         let weak = Arc::downgrade(self);
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("doct-net-reliability".into())
             .spawn(move || {
                 let mut last_heartbeat = Instant::now();
                 loop {
-                    std::thread::sleep(cfg.tick);
+                    // Sleep until the next deadline — the earliest
+                    // retransmit/batch-window instant or the heartbeat —
+                    // capped at one tick; notify() wakes us early when
+                    // new work may move the deadline forward.
+                    let now = Instant::now();
+                    let mut deadline =
+                        (now + cfg.tick).min(last_heartbeat + cfg.heartbeat_interval);
+                    if let Some(d) = rel.earliest_deadline() {
+                        deadline = deadline.min(d);
+                    }
+                    if deadline > now && !rel.has_pending_acks() {
+                        rel.wait_for_work(deadline);
+                    }
                     let Some(net) = weak.upgrade() else { return };
                     let now = Instant::now();
+                    for transfer in rel.take_due_batches(now, &net.path.stats) {
+                        net.dispatch(transfer);
+                    }
+                    rel.flush_acks(|a, b| net.path.link_up(a, b), &net.path.stats);
                     let (due, given_up) = rel.take_due(now);
-                    for env in due {
+                    for transfer in due {
                         net.path.stats.record_retransmit();
-                        if net.path.link_up(env.src, env.dst) {
-                            net.transmit(env);
+                        if net.path.link_up(transfer.src(), transfer.dst()) {
+                            net.transmit(transfer);
                         } else {
                             net.path.stats.record_drop();
                         }
                     }
-                    for env in given_up {
+                    for transfer in given_up {
                         net.path.stats.record_giveup();
-                        detector.note_unreachable(env.src, env.dst);
+                        detector.note_unreachable(transfer.src(), transfer.dst());
                     }
                     if now.saturating_duration_since(last_heartbeat) >= cfg.heartbeat_interval {
                         last_heartbeat = now;
                         detector.heartbeat_round(|a, b| net.path.link_up(a, b));
                     }
                 }
-            })
-            .expect("spawn reliability maintenance thread");
+            });
+        if spawned.is_err() {
+            // Roll back so the fabric is observably unreliable and a
+            // later retry can succeed.
+            *self.path.reliable.write() = None;
+            *self.detector.write() = None;
+            return Err(NetworkError::SpawnFailed("doct-net-reliability"));
+        }
+        Ok(())
     }
 
     /// Send `payload` to every node except `src`.
@@ -629,6 +829,11 @@ mod tests {
             NetworkError::UnknownNode(NodeId(9))
         );
         assert_eq!(
+            net.send_many(NodeId(9), NodeId(0), vec![(MessageClass::Data, "x".into())])
+                .unwrap_err(),
+            NetworkError::UnknownNode(NodeId(9))
+        );
+        assert_eq!(
             net.take_mailbox(NodeId(9)).unwrap_err(),
             NetworkError::UnknownNode(NodeId(9))
         );
@@ -773,6 +978,25 @@ mod tests {
     }
 
     #[test]
+    fn wire_msgs_count_physical_transmissions() {
+        let net = net(2);
+        let _rx = net.take_mailbox(NodeId(1)).unwrap();
+        for _ in 0..3 {
+            net.send(NodeId(0), NodeId(1), "x".into(), MessageClass::Data)
+                .unwrap();
+        }
+        assert_eq!(net.stats().wire_msgs(), 3);
+        net.set_link(NodeId(0), NodeId(1), false).unwrap();
+        net.send(NodeId(0), NodeId(1), "x".into(), MessageClass::Data)
+            .unwrap();
+        assert_eq!(
+            net.stats().wire_msgs(),
+            3,
+            "a link drop never hits the wire"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_node_cluster_is_rejected() {
         let _ = Network::<String>::new(0, LatencyModel::Zero);
@@ -782,6 +1006,7 @@ mod tests {
 #[cfg(test)]
 mod reliability_tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -808,7 +1033,7 @@ mod reliability_tests {
 
     fn reliable_net(n: usize) -> Arc<Network<String>> {
         let net = Arc::new(Network::new(n, LatencyModel::Zero));
-        net.enable_reliability(fast_cfg(), fast_failure());
+        net.enable_reliability(fast_cfg(), fast_failure()).unwrap();
         net
     }
 
@@ -827,8 +1052,31 @@ mod reliability_tests {
     fn enable_is_idempotent_and_observable() {
         let net = reliable_net(2);
         assert!(net.reliability_enabled());
-        net.enable_reliability(fast_cfg(), fast_failure());
+        net.enable_reliability(fast_cfg(), fast_failure()).unwrap();
         assert_eq!(net.peer_state(NodeId(0), NodeId(1)), Some(PeerState::Alive));
+    }
+
+    #[test]
+    fn undersized_dedupe_window_is_rejected_at_enable_time() {
+        let net = Arc::new(Network::<String>::new(2, LatencyModel::Zero));
+        let err = net
+            .enable_reliability(
+                ReliabilityConfig {
+                    max_retries: 8,
+                    dedupe_window: 16, // needs 4 * (8 + 1) = 36
+                    ..Default::default()
+                },
+                fast_failure(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::InvalidConfig(_)), "got {err}");
+        assert!(
+            !net.reliability_enabled(),
+            "a rejected config must not half-enable the layer"
+        );
+        // A fixed config still goes through afterwards.
+        net.enable_reliability(fast_cfg(), fast_failure()).unwrap();
+        assert!(net.reliability_enabled());
     }
 
     #[test]
@@ -915,7 +1163,8 @@ mod reliability_tests {
                 ..Default::default()
             },
             fast_failure(),
-        );
+        )
+        .unwrap();
         let _rx = net.take_mailbox(NodeId(1)).unwrap();
         net.set_link(NodeId(0), NodeId(1), false).unwrap();
         net.send(NodeId(0), NodeId(1), "doomed".into(), MessageClass::Data)
@@ -934,6 +1183,39 @@ mod reliability_tests {
             net.peer_state(NodeId(1), NodeId(0)),
             Some(PeerState::Alive),
             "only the observer that failed to reach the peer suspects it"
+        );
+    }
+
+    #[test]
+    fn maintenance_wakes_for_early_deadlines_not_just_ticks() {
+        // A deliberately glacial tick: if the maintenance thread slept a
+        // fixed tick, the 5ms backoff would wait out a full second.
+        let net = Arc::new(Network::<String>::new(2, LatencyModel::Zero));
+        net.enable_reliability(
+            ReliabilityConfig {
+                tick: Duration::from_secs(1),
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+                jitter: Duration::from_millis(1),
+                heartbeat_interval: Duration::from_secs(3600),
+                ..Default::default()
+            },
+            fast_failure(),
+        )
+        .unwrap();
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        net.set_link(NodeId(0), NodeId(1), false).unwrap();
+        net.send(NodeId(0), NodeId(1), "early".into(), MessageClass::Data)
+            .unwrap();
+        net.heal();
+        let t0 = std::time::Instant::now();
+        let env = rx.recv_timeout(Duration::from_secs(3)).unwrap();
+        assert_eq!(env.payload, "early");
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "retransmit must fire at its ~5ms backoff deadline, not the 1s \
+             tick; took {:?}",
+            t0.elapsed()
         );
     }
 
@@ -968,7 +1250,7 @@ mod reliability_tests {
     fn reliable_traffic_over_latency_still_dedupes() {
         let net: Arc<Network<u64>> =
             Arc::new(Network::new(2, LatencyModel::uniform_micros(10, 300)));
-        net.enable_reliability(fast_cfg(), fast_failure());
+        net.enable_reliability(fast_cfg(), fast_failure()).unwrap();
         let rx = net.take_mailbox(NodeId(1)).unwrap();
         for i in 0..50u64 {
             net.send(NodeId(0), NodeId(1), i, MessageClass::Data)
@@ -986,6 +1268,96 @@ mod reliability_tests {
         // surfaced in the mailbox.
         std::thread::sleep(Duration::from_millis(50));
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn send_many_coalesces_into_one_wire_message() {
+        let net = reliable_net(2);
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        let items: Vec<(MessageClass, String)> = (0..5)
+            .map(|i| (MessageClass::Locate, format!("p{i}")))
+            .collect();
+        net.send_many(NodeId(0), NodeId(1), items).unwrap();
+        let got: Vec<_> = (0..5)
+            .map(|_| rx.recv_timeout(Duration::from_secs(1)).unwrap())
+            .collect();
+        assert_eq!(net.stats().wire_msgs(), 1, "five payloads, one wire hop");
+        assert_eq!(net.stats().batches_sent(), 1);
+        assert_eq!(net.stats().batch_fill().max_ns(), 5);
+        let seqs: HashSet<u64> = got.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs.len(), 1, "all payloads share the batch seq");
+        let payloads: HashSet<String> = got.into_iter().map(|e| e.payload).collect();
+        assert_eq!(payloads.len(), 5, "every payload surfaced");
+        assert!(await_cond(Duration::from_secs(2), || {
+            net.pending_reliable() == 0
+        }));
+        assert_eq!(net.stats().acks(), 1, "one ack retires the whole batch");
+    }
+
+    #[test]
+    fn batching_off_sends_each_payload_separately() {
+        let net = Arc::new(Network::<String>::new(2, LatencyModel::Zero));
+        net.enable_reliability(fast_cfg().with_batching(false), fast_failure())
+            .unwrap();
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        let items: Vec<(MessageClass, String)> = (0..5)
+            .map(|i| (MessageClass::Locate, format!("p{i}")))
+            .collect();
+        net.send_many(NodeId(0), NodeId(1), items).unwrap();
+        for _ in 0..5 {
+            rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+        assert_eq!(net.stats().wire_msgs(), 5, "ablation: one hop per payload");
+        assert_eq!(net.stats().batches_sent(), 0);
+        assert!(await_cond(Duration::from_secs(2), || {
+            net.pending_reliable() == 0
+        }));
+    }
+
+    #[test]
+    fn retransmitted_batch_is_suppressed_whole() {
+        let net = reliable_net(2);
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        // Acks are lost on the cut reverse path, so the batch retransmits.
+        net.set_link_one_way(NodeId(1), NodeId(0), false).unwrap();
+        let items: Vec<(MessageClass, String)> = (0..3)
+            .map(|i| (MessageClass::Event, format!("e{i}")))
+            .collect();
+        net.send_many(NodeId(0), NodeId(1), items).unwrap();
+        for _ in 0..3 {
+            rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+        assert!(
+            await_cond(Duration::from_secs(2), || net.stats().dup_drops() > 0),
+            "retransmitted batch suppressed by its single seq"
+        );
+        assert!(
+            rx.try_recv().is_err(),
+            "no payload from the duplicate batch surfaced"
+        );
+        net.set_link_one_way(NodeId(1), NodeId(0), true).unwrap();
+        assert!(await_cond(Duration::from_secs(2), || {
+            net.pending_reliable() == 0
+        }));
+    }
+
+    #[test]
+    fn singleton_sends_skip_batching_latency() {
+        // With no response window armed, a lone send must hit the wire
+        // inline — not wait for a batch deadline or maintenance tick.
+        let net = reliable_net(2);
+        let rx = net.take_mailbox(NodeId(1)).unwrap();
+        let t0 = std::time::Instant::now();
+        net.send(NodeId(0), NodeId(1), "solo".into(), MessageClass::Data)
+            .unwrap();
+        let env = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.payload, "solo");
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "singleton flush was not immediate: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(net.stats().batches_sent(), 0);
     }
 }
 

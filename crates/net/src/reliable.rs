@@ -5,20 +5,40 @@
 //! is stamped with a cluster-unique non-zero sequence number and tracked
 //! in a retransmit queue. Delivery into the destination mailbox generates
 //! a (simulated) acknowledgement that retires the entry — but only if the
-//! reverse link is up at delivery time, so a one-way partition loses ACKs
-//! exactly like a real network. Unacked entries are retransmitted with
-//! exponential backoff plus jitter until `max_retries` attempts, after
-//! which the entry is abandoned (`net.giveups`) and the failure detector
-//! is told. The receiver deduplicates by sequence number, so retried
-//! traffic stays exactly-once from the kernel's point of view.
+//! reverse link is up when the ack goes out, so a one-way partition loses
+//! ACKs exactly like a real network. Unacked entries are retransmitted
+//! with exponential backoff plus seeded jitter until `max_retries`
+//! attempts, after which the entry is abandoned (`net.giveups`) and the
+//! failure detector is told. The receiver deduplicates by sequence
+//! number, so retried traffic stays exactly-once from the kernel's point
+//! of view.
+//!
+//! # Batched fan-out
+//!
+//! With batching on (the default), co-destined payloads coalesce in a
+//! per-(src, dst) accumulation buffer and cross the wire as one
+//! [`BatchEnvelope`] under one sequence number — one tracked entry, one
+//! retransmission unit, one dedupe decision. A buffer with no flush
+//! deadline pending flushes immediately (so singleton sends pay zero
+//! added latency); a deadline only exists while a *response window* is
+//! armed — when a batch is delivered, the reverse direction expects that
+//! many responses and holds them for up to `batch_deadline` (or until
+//! they all arrive) so receipts ride back coalesced too. Acks are
+//! cumulative: delivered seqs buffer per direction and one flush retires
+//! every contiguous run with a single ack message (`net.acks_coalesced`
+//! counts the savings).
 
-use crate::{Envelope, NetStats, NodeId};
-use parking_lot::Mutex;
-use rand::Rng;
+use crate::envelope::Transfer;
+use crate::{BatchEnvelope, Envelope, MessageClass, NetStats, NodeId};
+use parking_lot::{Condvar, Mutex};
+use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Domain tag for the retransmit-jitter RNG stream (see `crate::seed`).
+const JITTER_RNG_DOMAIN: u64 = 0x6A69_7474; // "jitt"
 
 /// Knobs for the ack/retransmit machinery and its maintenance thread.
 #[derive(Debug, Clone, Copy)]
@@ -30,14 +50,32 @@ pub struct ReliabilityConfig {
     /// Backoff ceiling.
     pub max_backoff: Duration,
     /// Uniform jitter added to each backoff, de-synchronising storms.
+    /// Sampled from the seeded fabric RNG so the chaos soak replays.
     pub jitter: Duration,
-    /// Maintenance thread tick (retransmit scan cadence).
+    /// Maintenance thread tick: the *longest* the thread sleeps between
+    /// scans. It wakes earlier whenever a retransmit deadline, a batch
+    /// flush window, or a pending ack is due sooner.
     pub tick: Duration,
     /// Gap between heartbeat rounds of the failure detector.
     pub heartbeat_interval: Duration,
     /// Per-(src,dst) seqs remembered for dedupe; older seqs fall out and
     /// would be re-delivered, so this must exceed the retransmit window.
+    /// Enforced by [`ReliabilityConfig::validate`] at enable time.
     pub dedupe_window: usize,
+    /// Coalesce co-destined payloads into [`BatchEnvelope`]s and use
+    /// cumulative acks. On by default; switch off with
+    /// [`ReliabilityConfig::with_batching`] for ablation.
+    pub batching: bool,
+    /// Most payloads per sealed batch (the size flush threshold).
+    pub batch_max: usize,
+    /// How long a response window holds payloads before the deadline
+    /// flush. Only armed traffic waits; singleton sends with no window
+    /// pending always flush immediately.
+    pub batch_deadline: Duration,
+    /// Explicit seed for the jitter RNG; `None` derives one from the
+    /// session seed (see `crate::seed`), keeping retransmit ordering
+    /// reproducible.
+    pub rng_seed: Option<u64>,
 }
 
 impl Default for ReliabilityConfig {
@@ -50,13 +88,55 @@ impl Default for ReliabilityConfig {
             tick: Duration::from_millis(5),
             heartbeat_interval: Duration::from_millis(20),
             dedupe_window: 1024,
+            batching: true,
+            batch_max: 32,
+            batch_deadline: Duration::from_millis(1),
+            rng_seed: None,
         }
     }
 }
 
-/// An unacknowledged envelope awaiting (re)transmission.
+impl ReliabilityConfig {
+    /// Builder-style ablation switch for the batched fan-out path.
+    pub fn with_batching(mut self, on: bool) -> Self {
+        self.batching = on;
+        self
+    }
+
+    /// Check the config for footguns. The fabric refuses to enable
+    /// reliability on an invalid config instead of silently risking
+    /// duplicate delivery.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first violated constraint:
+    /// `dedupe_window` must cover the retransmit window (at least
+    /// `4 * (max_retries + 1)` seqs) and, with batching on, at least
+    /// `4 * batch_max`; `batch_max` must be non-zero.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let retransmit_floor = 4 * (self.max_retries as usize + 1);
+        if self.dedupe_window < retransmit_floor {
+            return Err("dedupe_window is smaller than the retransmit window \
+                 (need at least 4 * (max_retries + 1)): late retransmissions \
+                 of an evicted seq would be re-delivered");
+        }
+        if self.batching {
+            if self.batch_max == 0 {
+                return Err("batch_max must be at least 1 when batching is on");
+            }
+            if self.dedupe_window < 4 * self.batch_max {
+                return Err("dedupe_window must be at least 4 * batch_max: a burst of \
+                     max-fill batches would evict seqs still in the \
+                     retransmit window");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An unacknowledged transfer awaiting (re)transmission.
 struct Inflight<M> {
-    env: Envelope<M>,
+    transfer: Transfer<M>,
     attempts: u32,
     backoff: Duration,
     next_retry: Instant,
@@ -65,7 +145,7 @@ struct Inflight<M> {
 
 /// Seqs already delivered for one (src, dst) direction: a ring plus a
 /// set for O(1) membership. Bounded; the window must outlast the longest
-/// retransmit tail.
+/// retransmit tail (checked by [`ReliabilityConfig::validate`]).
 #[derive(Default)]
 struct SeenWindow {
     order: VecDeque<u64>,
@@ -94,14 +174,50 @@ impl SeenWindow {
     }
 }
 
+/// One direction's accumulation buffer for the batched fan-out path.
+struct BatchSlot<M> {
+    buf: Vec<(MessageClass, M)>,
+    /// Deadline of the armed response window, if any. While armed,
+    /// enqueued payloads wait (for `expect` arrivals or the deadline);
+    /// with no window, flushes are immediate.
+    window: Option<Instant>,
+    /// Payloads the window is waiting for before an early flush.
+    expect: usize,
+}
+
+impl<M> Default for BatchSlot<M> {
+    fn default() -> Self {
+        BatchSlot {
+            buf: Vec::new(),
+            window: None,
+            expect: 0,
+        }
+    }
+}
+
 /// Shared state of the reliability layer: the sequence allocator, the
-/// retransmit queue, and the receiver-side dedupe windows.
+/// retransmit queue, the receiver-side dedupe windows, the batch
+/// accumulation slots, and the pending-ack coalescer.
 pub(crate) struct ReliableState<M> {
     cfg: ReliabilityConfig,
     next_seq: AtomicU64,
     inflight: Mutex<HashMap<u64, Inflight<M>>>,
     /// Keyed by (src, dst) so each direction dedupes independently.
     seen: Mutex<HashMap<(u32, u32), SeenWindow>>,
+    /// Per-direction accumulation buffers (batching only).
+    slots: Mutex<HashMap<(u32, u32), BatchSlot<M>>>,
+    /// Delivered-but-unflushed ack seqs per (src, dst) data direction
+    /// (batching only; the immediate [`ReliableState::ack`] path is used
+    /// when batching is off).
+    pending_acks: Mutex<HashMap<(u32, u32), Vec<u64>>>,
+    /// Seeded jitter RNG: retransmit ordering replays under a fixed
+    /// session seed (see `crate::seed`).
+    rng: Mutex<rand::rngs::StdRng>,
+    /// Wakeup flag + condvar for the maintenance thread: set whenever new
+    /// work (a tracked entry, a buffered payload, a pending ack) may move
+    /// the earliest deadline forward.
+    wake: Mutex<bool>,
+    wake_cond: Condvar,
 }
 
 impl<M> fmt::Debug for ReliableState<M> {
@@ -115,12 +231,25 @@ impl<M> fmt::Debug for ReliableState<M> {
 
 impl<M> ReliableState<M> {
     pub(crate) fn new(cfg: ReliabilityConfig) -> Self {
+        let seed = cfg
+            .rng_seed
+            .unwrap_or_else(|| crate::seed::derived_seed(JITTER_RNG_DOMAIN));
         ReliableState {
             cfg,
             next_seq: AtomicU64::new(1),
             inflight: Mutex::new(HashMap::new()),
             seen: Mutex::new(HashMap::new()),
+            slots: Mutex::new(HashMap::new()),
+            pending_acks: Mutex::new(HashMap::new()),
+            rng: Mutex::new(rand::rngs::StdRng::seed_from_u64(seed)),
+            wake: Mutex::new(false),
+            wake_cond: Condvar::new(),
         }
+    }
+
+    /// Whether the batched fan-out + cumulative-ack path is active.
+    pub(crate) fn coalescing(&self) -> bool {
+        self.cfg.batching
     }
 
     /// Allocate the next transport sequence number (never 0).
@@ -133,34 +262,105 @@ impl<M> ReliableState<M> {
         self.inflight.lock().len()
     }
 
-    /// Start tracking `env` for retransmission.
-    pub(crate) fn track(&self, env: Envelope<M>) {
-        debug_assert_ne!(env.seq, 0, "reliable envelopes carry non-zero seqs");
+    /// Wake the maintenance thread so it re-derives its sleep deadline.
+    pub(crate) fn notify(&self) {
+        let mut woken = self.wake.lock();
+        *woken = true;
+        self.wake_cond.notify_one();
+    }
+
+    /// Sleep until `deadline` or an earlier [`ReliableState::notify`].
+    pub(crate) fn wait_for_work(&self, deadline: Instant) {
+        let mut woken = self.wake.lock();
+        if !*woken {
+            self.wake_cond.wait_until(&mut woken, deadline);
+        }
+        *woken = false;
+    }
+
+    /// Start tracking `transfer` for retransmission.
+    pub(crate) fn track(&self, transfer: Transfer<M>) {
+        debug_assert_ne!(transfer.seq(), 0, "reliable transfers carry non-zero seqs");
         let now = Instant::now();
         let backoff = self.cfg.base_backoff;
         self.inflight.lock().insert(
-            env.seq,
+            transfer.seq(),
             Inflight {
-                env,
+                transfer,
                 attempts: 0,
                 backoff,
                 next_retry: now + backoff,
                 first_sent: now,
             },
         );
+        // The new entry's retry deadline may be sooner than whatever the
+        // maintenance thread is currently sleeping toward.
+        self.notify();
     }
 
     /// The destination acked `seq` (i.e. it reached the mailbox and the
     /// reverse link was up): retire the entry and record the ack plus its
-    /// end-to-end latency.
+    /// end-to-end latency. This is the immediate (non-coalescing) path.
     pub(crate) fn ack(&self, seq: u64, stats: &NetStats) {
         if let Some(entry) = self.inflight.lock().remove(&seq) {
             stats.record_ack(entry.first_sent.elapsed());
         }
     }
 
+    /// Buffer an ack for the (src → dst) data direction; the maintenance
+    /// thread flushes it cumulatively (coalescing path).
+    pub(crate) fn note_ack(&self, src: NodeId, dst: NodeId, seq: u64) {
+        self.pending_acks
+            .lock()
+            .entry((src.0, dst.0))
+            .or_default()
+            .push(seq);
+        self.notify();
+    }
+
+    /// Whether any buffered acks await a flush.
+    pub(crate) fn has_pending_acks(&self) -> bool {
+        !self.pending_acks.lock().is_empty()
+    }
+
+    /// Flush buffered acks: per data direction, if the reverse link is up
+    /// the sorted seqs are grouped into contiguous runs and each run is
+    /// retired by one cumulative ack message. A cut reverse link loses
+    /// the whole flush (duplicate deliveries will re-buffer them later),
+    /// preserving the one-way-partition semantics of the immediate path.
+    pub(crate) fn flush_acks(&self, link_up: impl Fn(NodeId, NodeId) -> bool, stats: &NetStats) {
+        let pending = std::mem::take(&mut *self.pending_acks.lock());
+        for ((src, dst), mut seqs) in pending {
+            // Acks flow dst → src.
+            if !link_up(NodeId(dst), NodeId(src)) {
+                continue;
+            }
+            seqs.sort_unstable();
+            seqs.dedup();
+            let mut inflight = self.inflight.lock();
+            let mut run_retired = 0u64;
+            let mut prev: Option<u64> = None;
+            for seq in seqs {
+                if prev.is_some_and(|p| seq != p + 1) && run_retired > 0 {
+                    stats.record_cumulative_ack(run_retired);
+                    run_retired = 0;
+                }
+                prev = Some(seq);
+                if let Some(entry) = inflight.remove(&seq) {
+                    stats.record_ack_rtt(entry.first_sent.elapsed());
+                    run_retired += 1;
+                }
+            }
+            if run_retired > 0 {
+                stats.record_cumulative_ack(run_retired);
+            }
+        }
+    }
+
     /// Receiver-side dedupe: returns `true` if this (src, dst, seq) is
     /// new and must be delivered, `false` for a retransmitted duplicate.
+    /// Batches dedupe on their single batch seq, so a retransmitted batch
+    /// is suppressed whole.
     pub(crate) fn first_delivery(&self, src: NodeId, dst: NodeId, seq: u64) -> bool {
         self.seen
             .lock()
@@ -181,13 +381,12 @@ impl<M> ReliableState<M> {
     /// Remove and return every entry due for retransmission at `now`,
     /// with backoff and attempt counters advanced. Entries that exhausted
     /// their retries are returned separately as given-up.
-    pub(crate) fn take_due(&self, now: Instant) -> (Vec<Envelope<M>>, Vec<Envelope<M>>)
+    pub(crate) fn take_due(&self, now: Instant) -> (Vec<Transfer<M>>, Vec<Transfer<M>>)
     where
         M: Clone,
     {
         let mut due = Vec::new();
         let mut given_up = Vec::new();
-        let mut rng = rand::thread_rng();
         let mut inflight = self.inflight.lock();
         let mut exhausted = Vec::new();
         for (seq, entry) in inflight.iter_mut() {
@@ -204,24 +403,230 @@ impl<M> ReliableState<M> {
             let jitter = if jitter_ns == 0 {
                 Duration::ZERO
             } else {
-                Duration::from_nanos(rng.gen_range(0..jitter_ns))
+                Duration::from_nanos(self.rng.lock().gen_range(0..jitter_ns))
             };
             entry.next_retry = now + entry.backoff + jitter;
-            due.push(entry.env.clone());
+            due.push(entry.transfer.clone());
         }
         for seq in exhausted {
             if let Some(entry) = inflight.remove(&seq) {
-                given_up.push(entry.env);
+                given_up.push(entry.transfer);
             }
         }
         (due, given_up)
+    }
+
+    // ------------------------------------------------------------------
+    // Batched fan-out
+    // ------------------------------------------------------------------
+
+    /// Append `items` to the (src, dst) accumulation buffer and return
+    /// any transfers that must go out now. With no response window armed
+    /// the buffer flushes immediately (singleton fast path); an armed
+    /// window holds payloads until `expect` arrivals, `batch_max` fill,
+    /// or the window deadline (the maintenance thread handles the last).
+    pub(crate) fn enqueue(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        items: impl IntoIterator<Item = (MessageClass, M)>,
+        now: Instant,
+        stats: &NetStats,
+    ) -> Vec<Transfer<M>>
+    where
+        M: Clone,
+    {
+        let mut slots = self.slots.lock();
+        let slot = slots.entry((src.0, dst.0)).or_default();
+        slot.buf.extend(items);
+        if slot.buf.is_empty() {
+            return Vec::new();
+        }
+        let flush = match slot.window {
+            None => true,
+            Some(deadline) => {
+                now >= deadline
+                    || slot.buf.len() >= self.cfg.batch_max
+                    || (slot.expect > 0 && slot.buf.len() >= slot.expect)
+            }
+        };
+        if !flush {
+            drop(slots);
+            // The maintenance thread must wake by the window deadline.
+            self.notify();
+            return Vec::new();
+        }
+        let sealed = Self::seal_slot(
+            &self.cfg,
+            &self.next_seq,
+            &self.inflight,
+            slot,
+            src,
+            dst,
+            stats,
+        );
+        drop(slots);
+        // The sealed transfers are now inflight; their retry deadline may
+        // be sooner than the maintenance thread's current sleep target.
+        self.notify();
+        sealed
+    }
+
+    /// Flush every slot whose window deadline has passed (or that holds
+    /// payloads with no window — a race leftover), returning the sealed
+    /// transfers for transmission. Expired empty windows are disarmed so
+    /// later traffic goes back to immediate flushing.
+    pub(crate) fn take_due_batches(&self, now: Instant, stats: &NetStats) -> Vec<Transfer<M>>
+    where
+        M: Clone,
+    {
+        let mut out = Vec::new();
+        let mut slots = self.slots.lock();
+        for ((src, dst), slot) in slots.iter_mut() {
+            let expired = match slot.window {
+                None => true,
+                Some(w) => now >= w,
+            };
+            if !expired {
+                continue;
+            }
+            if slot.buf.is_empty() {
+                slot.window = None;
+                slot.expect = 0;
+                continue;
+            }
+            out.extend(Self::seal_slot(
+                &self.cfg,
+                &self.next_seq,
+                &self.inflight,
+                slot,
+                NodeId(*src),
+                NodeId(*dst),
+                stats,
+            ));
+        }
+        out
+    }
+
+    /// A batch of `expect` payloads was just delivered src → dst; its
+    /// responses (receipts) will flow dst → src shortly. Arm a response
+    /// window on that reverse direction so they coalesce instead of going
+    /// out one by one.
+    pub(crate) fn arm_response_window(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        expect: usize,
+        now: Instant,
+    ) {
+        if !self.cfg.batching {
+            return;
+        }
+        {
+            let mut slots = self.slots.lock();
+            let slot = slots.entry((src.0, dst.0)).or_default();
+            slot.expect = slot.expect.saturating_add(expect);
+            let deadline = now + self.cfg.batch_deadline;
+            slot.window = Some(match slot.window {
+                Some(w) => w.min(deadline),
+                None => deadline,
+            });
+        }
+        self.notify();
+    }
+
+    /// Drain the slot into sealed transfers (chunks of at most
+    /// `batch_max`), track each for retransmission, and disarm the
+    /// window. Single payloads seal as plain envelopes; 2+ as batches.
+    fn seal_slot(
+        cfg: &ReliabilityConfig,
+        next_seq: &AtomicU64,
+        inflight: &Mutex<HashMap<u64, Inflight<M>>>,
+        slot: &mut BatchSlot<M>,
+        src: NodeId,
+        dst: NodeId,
+        stats: &NetStats,
+    ) -> Vec<Transfer<M>>
+    where
+        M: Clone,
+    {
+        let mut out = Vec::new();
+        let now = Instant::now();
+        while !slot.buf.is_empty() {
+            let take = slot.buf.len().min(cfg.batch_max.max(1));
+            let mut chunk: Vec<(MessageClass, M)> = slot.buf.drain(..take).collect();
+            let seq = next_seq.fetch_add(1, Ordering::Relaxed);
+            let transfer = if chunk.len() == 1 {
+                let (class, payload) = chunk.pop().expect("one element");
+                Transfer::Single(Envelope {
+                    src,
+                    dst,
+                    class,
+                    seq,
+                    payload,
+                })
+            } else {
+                stats.record_batch(chunk.len());
+                Transfer::Batch(BatchEnvelope {
+                    src,
+                    dst,
+                    seq,
+                    payloads: chunk,
+                })
+            };
+            let backoff = cfg.base_backoff;
+            inflight.lock().insert(
+                seq,
+                Inflight {
+                    transfer: transfer.clone(),
+                    attempts: 0,
+                    backoff,
+                    next_retry: now + backoff,
+                    first_sent: now,
+                },
+            );
+            out.push(transfer);
+        }
+        slot.window = None;
+        slot.expect = 0;
+        out
+    }
+
+    /// The earliest instant at which the maintenance thread has work: the
+    /// soonest retransmit deadline or the soonest armed window holding
+    /// payloads. `None` when nothing is pending.
+    pub(crate) fn earliest_deadline(&self) -> Option<Instant> {
+        let mut earliest: Option<Instant> = None;
+        {
+            let inflight = self.inflight.lock();
+            for entry in inflight.values() {
+                earliest = Some(match earliest {
+                    Some(e) => e.min(entry.next_retry),
+                    None => entry.next_retry,
+                });
+            }
+        }
+        {
+            let slots = self.slots.lock();
+            for slot in slots.values() {
+                if slot.buf.is_empty() {
+                    continue;
+                }
+                if let Some(w) = slot.window {
+                    earliest = Some(match earliest {
+                        Some(e) => e.min(w),
+                        None => w,
+                    });
+                }
+            }
+        }
+        earliest
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MessageClass;
 
     fn env(seq: u64) -> Envelope<u32> {
         Envelope {
@@ -231,6 +636,10 @@ mod tests {
             seq,
             payload: 7,
         }
+    }
+
+    fn single(seq: u64) -> Transfer<u32> {
+        Transfer::Single(env(seq))
     }
 
     fn state(cfg: ReliabilityConfig) -> ReliableState<u32> {
@@ -247,11 +656,48 @@ mod tests {
     }
 
     #[test]
+    fn default_config_validates_and_ablation_switch_works() {
+        let cfg = ReliabilityConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.batching, "batching is on by default");
+        assert!(!cfg.with_batching(false).batching);
+    }
+
+    #[test]
+    fn validate_rejects_undersized_dedupe_window() {
+        let cfg = ReliabilityConfig {
+            max_retries: 8,
+            dedupe_window: 35, // needs 4 * (8 + 1) = 36
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("retransmit window"), "got: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_batching_footguns() {
+        let cfg = ReliabilityConfig {
+            batch_max: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ReliabilityConfig {
+            max_retries: 2,
+            batch_max: 64,
+            dedupe_window: 128, // needs 4 * 64 = 256
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        // The same window is fine with batching off.
+        assert!(cfg.with_batching(false).validate().is_ok());
+    }
+
+    #[test]
     fn ack_retires_inflight_and_records_latency() {
         let s = state(ReliabilityConfig::default());
         let stats = NetStats::new();
         let seq = s.alloc_seq();
-        s.track(env(seq));
+        s.track(single(seq));
         assert_eq!(s.inflight_len(), 1);
         s.ack(seq, &stats);
         assert_eq!(s.inflight_len(), 0);
@@ -297,7 +743,7 @@ mod tests {
         };
         let s = state(cfg);
         let seq = s.alloc_seq();
-        s.track(env(seq));
+        s.track(single(seq));
         let t0 = Instant::now();
 
         // Not due before base_backoff.
@@ -315,7 +761,201 @@ mod tests {
         assert_eq!((due.len(), gone.len()), (1, 0));
         let (due, gone) = s.take_due(t0 + Duration::from_millis(2000));
         assert_eq!((due.len(), gone.len()), (0, 1));
-        assert_eq!(gone[0].seq, seq);
+        assert_eq!(gone[0].seq(), seq);
         assert_eq!(s.inflight_len(), 0);
+    }
+
+    #[test]
+    fn retransmit_jitter_is_deterministic_under_a_fixed_seed() {
+        let cfg = ReliabilityConfig {
+            jitter: Duration::from_millis(5),
+            rng_seed: Some(42),
+            ..Default::default()
+        };
+        let schedule = |cfg: ReliabilityConfig| {
+            let s = state(cfg);
+            let t0 = Instant::now();
+            for _ in 0..8 {
+                s.track(single(s.alloc_seq()));
+            }
+            let _ = s.take_due(t0 + Duration::from_secs(1));
+            let inflight = s.inflight.lock();
+            let mut retries: Vec<Duration> = inflight
+                .values()
+                .map(|e| e.next_retry - (t0 + Duration::from_secs(1)))
+                .collect();
+            retries.sort_unstable();
+            retries
+        };
+        assert_eq!(
+            schedule(cfg),
+            schedule(cfg),
+            "same seed must give the same retransmit schedule"
+        );
+    }
+
+    #[test]
+    fn singleton_enqueue_flushes_immediately_with_no_window() {
+        let s = state(ReliabilityConfig::default());
+        let stats = NetStats::new();
+        let out = s.enqueue(
+            NodeId(0),
+            NodeId(1),
+            [(MessageClass::Data, 1u32)],
+            Instant::now(),
+            &stats,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Transfer::Single(_)));
+        assert_eq!(s.inflight_len(), 1, "the flush is tracked");
+        assert_eq!(stats.batches_sent(), 0, "a singleton is not a batch");
+    }
+
+    #[test]
+    fn enqueue_many_seals_one_batch_under_one_seq() {
+        let s = state(ReliabilityConfig::default());
+        let stats = NetStats::new();
+        let items = (0..5u32).map(|i| (MessageClass::Locate, i));
+        let out = s.enqueue(NodeId(0), NodeId(1), items, Instant::now(), &stats);
+        assert_eq!(out.len(), 1);
+        let Transfer::Batch(b) = &out[0] else {
+            panic!("expected a batch");
+        };
+        assert_eq!(b.payloads.len(), 5);
+        assert_ne!(b.seq, 0);
+        assert_eq!(s.inflight_len(), 1, "one tracked entry for the batch");
+        assert_eq!(stats.batches_sent(), 1);
+        assert_eq!(stats.batch_fill().max_ns(), 5);
+    }
+
+    #[test]
+    fn oversized_enqueue_chunks_at_batch_max() {
+        let cfg = ReliabilityConfig {
+            batch_max: 4,
+            ..Default::default()
+        };
+        let s = state(cfg);
+        let stats = NetStats::new();
+        let items = (0..10u32).map(|i| (MessageClass::Locate, i));
+        let out = s.enqueue(NodeId(0), NodeId(1), items, Instant::now(), &stats);
+        let fills: Vec<usize> = out.iter().map(Transfer::payload_count).collect();
+        assert_eq!(fills, [4, 4, 2]);
+        assert_eq!(s.inflight_len(), 3);
+    }
+
+    #[test]
+    fn response_window_buffers_until_expect_then_flushes() {
+        let s = state(ReliabilityConfig::default());
+        let stats = NetStats::new();
+        let now = Instant::now();
+        s.arm_response_window(NodeId(1), NodeId(0), 3, now);
+        // The first two wait; the third completes the expected set.
+        for i in 0..2u32 {
+            let out = s.enqueue(
+                NodeId(1),
+                NodeId(0),
+                [(MessageClass::Locate, i)],
+                now,
+                &stats,
+            );
+            assert!(out.is_empty(), "armed window buffers payload {i}");
+        }
+        let out = s.enqueue(
+            NodeId(1),
+            NodeId(0),
+            [(MessageClass::Locate, 2u32)],
+            now,
+            &stats,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload_count(), 3);
+        // The window disarmed on flush: the next send is immediate again.
+        let out = s.enqueue(
+            NodeId(1),
+            NodeId(0),
+            [(MessageClass::Locate, 9u32)],
+            now,
+            &stats,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload_count(), 1);
+    }
+
+    #[test]
+    fn expired_window_flushes_via_maintenance_scan() {
+        let cfg = ReliabilityConfig {
+            batch_deadline: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let s = state(cfg);
+        let stats = NetStats::new();
+        let now = Instant::now();
+        s.arm_response_window(NodeId(1), NodeId(0), 10, now);
+        let out = s.enqueue(
+            NodeId(1),
+            NodeId(0),
+            [(MessageClass::Locate, 1u32), (MessageClass::Locate, 2u32)],
+            now,
+            &stats,
+        );
+        assert!(out.is_empty(), "short of expect, inside the window");
+        assert_eq!(
+            s.earliest_deadline(),
+            Some(now + Duration::from_millis(1)),
+            "the armed window is the earliest deadline"
+        );
+        let before = s.take_due_batches(now, &stats);
+        assert!(before.is_empty(), "window not yet expired");
+        let after = s.take_due_batches(now + Duration::from_millis(2), &stats);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].payload_count(), 2);
+    }
+
+    #[test]
+    fn flush_acks_coalesces_contiguous_runs() {
+        let s = state(ReliabilityConfig::default());
+        let stats = NetStats::new();
+        // Track seqs 1..=5, deliver acks for 1,2,3 and 5 (gap at 4).
+        for _ in 0..5 {
+            let seq = s.alloc_seq();
+            s.track(single(seq));
+        }
+        for seq in [1u64, 2, 3, 5] {
+            s.note_ack(NodeId(0), NodeId(1), seq);
+        }
+        assert!(s.has_pending_acks());
+        s.flush_acks(|_, _| true, &stats);
+        assert!(!s.has_pending_acks());
+        assert_eq!(s.inflight_len(), 1, "seq 4 still awaits its ack");
+        assert_eq!(stats.acks(), 2, "two contiguous runs, two ack messages");
+        assert_eq!(stats.acks_coalesced(), 2, "run of 3 saved 2 acks");
+        assert_eq!(stats.ack_latency().count(), 4, "per-transfer RTTs kept");
+    }
+
+    #[test]
+    fn flush_acks_loses_the_flush_on_a_cut_reverse_link() {
+        let s = state(ReliabilityConfig::default());
+        let stats = NetStats::new();
+        let seq = s.alloc_seq();
+        s.track(single(seq));
+        s.note_ack(NodeId(0), NodeId(1), seq);
+        s.flush_acks(|_, _| false, &stats);
+        assert_eq!(s.inflight_len(), 1, "ack lost; entry still inflight");
+        assert_eq!(stats.acks(), 0);
+        assert!(!s.has_pending_acks(), "lost acks are not retried");
+        // A later duplicate re-buffers and the healed link retires it.
+        s.note_ack(NodeId(0), NodeId(1), seq);
+        s.flush_acks(|_, _| true, &stats);
+        assert_eq!(s.inflight_len(), 0);
+        assert_eq!(stats.acks(), 1);
+    }
+
+    #[test]
+    fn earliest_deadline_tracks_the_soonest_retry() {
+        let s = state(ReliabilityConfig::default());
+        assert_eq!(s.earliest_deadline(), None);
+        s.track(single(s.alloc_seq()));
+        let d = s.earliest_deadline().expect("one entry pending");
+        assert!(d <= Instant::now() + ReliabilityConfig::default().base_backoff);
     }
 }

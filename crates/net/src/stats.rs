@@ -48,6 +48,18 @@ pub struct NetStats {
     /// isolates how often the fast path fires.
     hint_unicasts: Counter,
     dropped: Counter,
+    /// Physical transmissions (first sends and retransmissions alike).
+    /// A batch counts once however many payloads it carries, so
+    /// `wire_msgs` vs per-class `sent` is the batching win (E12).
+    wire_msgs: Counter,
+    /// Batches sealed from an accumulation buffer (2+ payloads each;
+    /// singleton flushes go out as plain envelopes and do not count).
+    batches_sent: Counter,
+    /// Payloads per sealed batch, recorded as raw units (not time).
+    batch_fill: Histogram,
+    /// Acks saved by cumulative acknowledgement: each ack covering a
+    /// contiguous run of `n` transfers adds `n - 1` here.
+    acks_coalesced: Counter,
     // Reliability-layer series. Retransmissions and acks are deliberately
     // *not* folded into the per-class send counts above: the experiments
     // read those as protocol cost, and the reliability layer's overhead
@@ -79,6 +91,10 @@ impl NetStats {
             multicasts: registry.counter("net.multicasts"),
             hint_unicasts: registry.counter("net.hint_unicasts"),
             dropped: registry.counter("net.dropped"),
+            wire_msgs: registry.counter("net.wire_msgs"),
+            batches_sent: registry.counter("net.batches_sent"),
+            batch_fill: registry.histogram("net.batch_fill"),
+            acks_coalesced: registry.counter("net.acks_coalesced"),
             retransmits: registry.counter("net.retransmits"),
             acks: registry.counter("net.acks"),
             dup_drops: registry.counter("net.dup_drops"),
@@ -96,20 +112,37 @@ impl NetStats {
         self.bytes[i].add(bytes as u64);
     }
 
-    pub(crate) fn record_broadcast(&self) {
+    /// Count one broadcast operation. Public so a caller that expands a
+    /// broadcast wave itself (to hand the fabric co-destined payloads in
+    /// one [`crate::Network::send_many`] batch) can keep the operation
+    /// count consistent with [`crate::Network::broadcast`].
+    pub fn record_broadcast(&self) {
         self.broadcasts.inc();
     }
 
-    pub(crate) fn record_multicast(&self) {
+    /// Count one multicast operation (see [`NetStats::record_broadcast`]
+    /// for why this is public).
+    pub fn record_multicast(&self) {
         self.multicasts.inc();
     }
 
-    pub(crate) fn record_hint_unicast(&self) {
+    /// Count one hint-cache unicast probe (see
+    /// [`NetStats::record_broadcast`] for why this is public).
+    pub fn record_hint_unicast(&self) {
         self.hint_unicasts.inc();
     }
 
     pub(crate) fn record_drop(&self) {
         self.dropped.inc();
+    }
+
+    pub(crate) fn record_wire_msg(&self) {
+        self.wire_msgs.inc();
+    }
+
+    pub(crate) fn record_batch(&self, fill: usize) {
+        self.batches_sent.inc();
+        self.batch_fill.record_ns(fill as u64);
     }
 
     pub(crate) fn record_retransmit(&self) {
@@ -119,6 +152,22 @@ impl NetStats {
     pub(crate) fn record_ack(&self, latency: Duration) {
         self.acks.inc();
         self.ack_latency.record(latency);
+    }
+
+    /// Round-trip latency of one transfer retired by a (possibly
+    /// cumulative) ack; the ack itself is counted by
+    /// [`NetStats::record_cumulative_ack`] once per contiguous run.
+    pub(crate) fn record_ack_rtt(&self, latency: Duration) {
+        self.ack_latency.record(latency);
+    }
+
+    /// One ack message covering a contiguous run that retired `retired`
+    /// transfers.
+    pub(crate) fn record_cumulative_ack(&self, retired: u64) {
+        self.acks.inc();
+        if retired > 1 {
+            self.acks_coalesced.add(retired - 1);
+        }
     }
 
     pub(crate) fn record_dup_drop(&self) {
@@ -180,6 +229,26 @@ impl NetStats {
         self.dropped.get()
     }
 
+    /// Physical wire transmissions (a batch counts once).
+    pub fn wire_msgs(&self) -> u64 {
+        self.wire_msgs.get()
+    }
+
+    /// Batches sealed and sent (2+ payloads each).
+    pub fn batches_sent(&self) -> u64 {
+        self.batches_sent.get()
+    }
+
+    /// Payloads-per-batch distribution (values are counts, not time).
+    pub fn batch_fill(&self) -> &Histogram {
+        &self.batch_fill
+    }
+
+    /// Acks saved by cumulative acknowledgement.
+    pub fn acks_coalesced(&self) -> u64 {
+        self.acks_coalesced.get()
+    }
+
     /// Retransmission attempts made by the reliability layer.
     pub fn retransmits(&self) -> u64 {
         self.retransmits.get()
@@ -230,6 +299,10 @@ impl NetStats {
         self.multicasts.reset();
         self.hint_unicasts.reset();
         self.dropped.reset();
+        self.wire_msgs.reset();
+        self.batches_sent.reset();
+        self.batch_fill.reset();
+        self.acks_coalesced.reset();
         self.retransmits.reset();
         self.acks.reset();
         self.dup_drops.reset();
@@ -249,6 +322,9 @@ impl NetStats {
             multicasts: self.multicasts(),
             hint_unicasts: self.hint_unicasts(),
             dropped: self.dropped(),
+            wire_msgs: self.wire_msgs(),
+            batches_sent: self.batches_sent(),
+            acks_coalesced: self.acks_coalesced(),
         }
     }
 }
@@ -263,6 +339,9 @@ pub struct StatsSnapshot {
     multicasts: u64,
     hint_unicasts: u64,
     dropped: u64,
+    wire_msgs: u64,
+    batches_sent: u64,
+    acks_coalesced: u64,
 }
 
 impl StatsSnapshot {
@@ -306,6 +385,21 @@ impl StatsSnapshot {
         self.dropped
     }
 
+    /// Physical wire transmissions (a batch counts once).
+    pub fn wire_msgs(&self) -> u64 {
+        self.wire_msgs
+    }
+
+    /// Batches sealed and sent.
+    pub fn batches_sent(&self) -> u64 {
+        self.batches_sent
+    }
+
+    /// Acks saved by cumulative acknowledgement.
+    pub fn acks_coalesced(&self) -> u64 {
+        self.acks_coalesced
+    }
+
     /// Traffic between this snapshot (earlier) and `later`.
     ///
     /// # Panics
@@ -323,6 +417,9 @@ impl StatsSnapshot {
         out.multicasts = later.multicasts - self.multicasts;
         out.hint_unicasts = later.hint_unicasts - self.hint_unicasts;
         out.dropped = later.dropped - self.dropped;
+        out.wire_msgs = later.wire_msgs - self.wire_msgs;
+        out.batches_sent = later.batches_sent - self.batches_sent;
+        out.acks_coalesced = later.acks_coalesced - self.acks_coalesced;
         out
     }
 }
@@ -440,6 +537,37 @@ mod tests {
         s.reset();
         assert_eq!(s.retransmits() + s.acks() + s.suspects(), 0);
         assert_eq!(s.ack_latency().count(), 0);
+    }
+
+    #[test]
+    fn batching_counters_bind_snapshot_and_reset() {
+        let registry = Registry::new();
+        let s = NetStats::bound(&registry);
+        let before = s.snapshot();
+        s.record_wire_msg();
+        s.record_wire_msg();
+        s.record_batch(4);
+        s.record_ack_rtt(Duration::from_micros(3));
+        s.record_cumulative_ack(3);
+        assert_eq!(s.wire_msgs(), 2);
+        assert_eq!(s.batches_sent(), 1);
+        assert_eq!(s.batch_fill().count(), 1);
+        assert_eq!(s.batch_fill().max_ns(), 4, "fill is recorded as raw units");
+        assert_eq!(s.acks(), 1, "a cumulative ack is one ack message");
+        assert_eq!(s.acks_coalesced(), 2, "covering 3 transfers saves 2 acks");
+        assert_eq!(s.ack_latency().count(), 1);
+        let d = before.delta(&s.snapshot());
+        assert_eq!(
+            (d.wire_msgs(), d.batches_sent(), d.acks_coalesced()),
+            (2, 1, 2)
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["net.wire_msgs"], 2);
+        assert_eq!(snap.counters["net.batches_sent"], 1);
+        assert_eq!(snap.counters["net.acks_coalesced"], 2);
+        s.reset();
+        assert_eq!(s.wire_msgs() + s.batches_sent() + s.acks_coalesced(), 0);
+        assert_eq!(s.batch_fill().count(), 0);
     }
 
     #[test]

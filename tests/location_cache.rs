@@ -45,6 +45,7 @@ fn fast_reliability() -> ReliabilityConfig {
         tick: Duration::from_millis(2),
         heartbeat_interval: Duration::from_millis(5),
         dedupe_window: 1024,
+        ..ReliabilityConfig::default()
     }
 }
 

@@ -30,6 +30,7 @@ fn fast_reliability() -> ReliabilityConfig {
         tick: Duration::from_millis(2),
         heartbeat_interval: Duration::from_millis(5),
         dedupe_window: 1024,
+        ..ReliabilityConfig::default()
     }
 }
 
@@ -173,6 +174,79 @@ fn reliable_transport_delivers_to_member_across_transient_partition() {
 
     let _ = near.join_timeout(Duration::from_secs(5));
     let _ = far.join_timeout(Duration::from_secs(5));
+    assert!(cluster.await_quiescence(Duration::from_secs(5)));
+    assert_ledger_balances(&cluster);
+}
+
+#[test]
+fn batch_straddling_a_partition_heal_is_not_double_delivered() {
+    // Three co-located group members make the probe wave a single
+    // BatchEnvelope (one seq, one wire hop). The ack/receipt path back to
+    // the raiser is cut, so the batch is retransmitted across the heal —
+    // the duplicate must be suppressed whole and every member delivered
+    // exactly once.
+    let cluster = ClusterBuilder::new(2)
+        .config(KernelConfig {
+            delivery_timeout: Duration::from_secs(5),
+            ..KernelConfig::default()
+        })
+        .reliable_with(
+            fast_reliability(),
+            FailureConfig {
+                suspect_after: Duration::from_millis(500),
+                dead_after: Duration::from_secs(10),
+            },
+        )
+        .build();
+    let group = cluster.create_group();
+    let sleepers: Vec<_> = (0..3)
+        .map(|_| spawn_sleeper(&cluster, 1, group, 1_500))
+        .collect();
+    std::thread::sleep(Duration::from_millis(60));
+
+    // Probes flow 0 -> 1; acks and receipts are lost on the cut reverse
+    // path, so the probe batch keeps retransmitting until the heal.
+    cluster
+        .net()
+        .set_link_one_way(NodeId(1), NodeId(0), false)
+        .unwrap();
+    let ticket = cluster.raise_from(
+        0,
+        SystemEvent::Timer,
+        Value::Null,
+        RaiseTarget::Group(group),
+    );
+    std::thread::sleep(Duration::from_millis(150));
+    cluster
+        .net()
+        .set_link_one_way(NodeId(1), NodeId(0), true)
+        .unwrap();
+    let summary = ticket.wait();
+
+    assert!(
+        cluster.net().stats().batches_sent() > 0,
+        "three co-destined probes must ride a batch"
+    );
+    assert!(
+        cluster.net().stats().dup_drops() > 0,
+        "the unacked batch must have been retransmitted and suppressed"
+    );
+    assert_eq!(summary.delivered, 3, "{summary:?}");
+    assert!(summary.all_delivered(), "{summary:?}");
+
+    // Exactly-once: the delivered count must not move after the dust
+    // settles — a replayed batch would inflate it.
+    let delivered_before = delivery_counters(&cluster).1;
+    std::thread::sleep(Duration::from_millis(300));
+    let delivered_after = delivery_counters(&cluster).1;
+    assert_eq!(
+        delivered_before, delivered_after,
+        "retransmitted batch must not re-deliver to any member"
+    );
+
+    for s in sleepers {
+        let _ = s.join_timeout(Duration::from_secs(5));
+    }
     assert!(cluster.await_quiescence(Duration::from_secs(5)));
     assert_ledger_balances(&cluster);
 }

@@ -7,6 +7,10 @@
 
 use doct::prelude::*;
 use doct_events::EventFacility;
+use doct_kernel::{ClusterBuilder, KernelConfig, RaiseTarget, SpawnOptions};
+use doct_net::{FailureConfig, ReliabilityConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 #[test]
@@ -35,6 +39,95 @@ fn quit_while_holding_a_lock_releases_it() {
         .join()
         .unwrap();
     assert_eq!(held, Value::Int(0), "QUIT must release held locks");
+}
+
+#[test]
+fn quit_delivered_mid_batch_runs_cleanup_handlers_exactly_once() {
+    // Two co-located group members give the QUIT raise a batched probe
+    // wave (one BatchEnvelope). The ack path back to the raiser is cut so
+    // the batch is retransmitted — the duplicate batch must be suppressed
+    // whole, and each dying thread's TERMINATE-chained cleanup handler
+    // must run exactly once, not once per batch copy.
+    let cluster = ClusterBuilder::new(2)
+        .config(KernelConfig {
+            delivery_timeout: Duration::from_secs(5),
+            ..KernelConfig::default()
+        })
+        .reliable_with(
+            ReliabilityConfig {
+                max_retries: 60,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(20),
+                jitter: Duration::from_millis(2),
+                tick: Duration::from_millis(2),
+                heartbeat_interval: Duration::from_millis(5),
+                ..ReliabilityConfig::default()
+            },
+            FailureConfig {
+                suspect_after: Duration::from_millis(500),
+                dead_after: Duration::from_secs(10),
+            },
+        )
+        .build();
+    let _facility = EventFacility::install(&cluster);
+    let cleanups = Arc::new(AtomicUsize::new(0));
+    let group = cluster.create_group();
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let cleanups = Arc::clone(&cleanups);
+            let opts = SpawnOptions {
+                group: Some(group),
+                ..Default::default()
+            };
+            cluster
+                .spawn_fn_with(1, opts, move |ctx| {
+                    use doct_events::{AttachSpec, CtxEvents, HandlerDecision};
+                    let cleanups = Arc::clone(&cleanups);
+                    ctx.attach_cleanup_handler(
+                        SystemEvent::Terminate,
+                        AttachSpec::proc("count-cleanup", move |_c, _b| {
+                            cleanups.fetch_add(1, Ordering::SeqCst);
+                            HandlerDecision::Resume(Value::Null)
+                        }),
+                    );
+                    loop {
+                        ctx.sleep(Duration::from_millis(5))?;
+                    }
+                })
+                .unwrap()
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Lose acks and receipts on the reverse path so the QUIT batch is
+    // retransmitted while the targets are already dying.
+    cluster
+        .net()
+        .set_link_one_way(NodeId(1), NodeId(0), false)
+        .unwrap();
+    let ticket = cluster.raise_from(0, SystemEvent::Quit, Value::Null, RaiseTarget::Group(group));
+    std::thread::sleep(Duration::from_millis(150));
+    cluster
+        .net()
+        .set_link_one_way(NodeId(1), NodeId(0), true)
+        .unwrap();
+    let _ = ticket.wait();
+
+    for h in handles {
+        let r = h.join_timeout(Duration::from_secs(10)).expect("dead");
+        assert!(matches!(r, Err(KernelError::Terminated)), "{r:?}");
+    }
+    assert!(
+        cluster.net().stats().dup_drops() > 0,
+        "the unacked QUIT batch must have been retransmitted and suppressed"
+    );
+    // Give any wrong replay machinery time to double-run before counting.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        cleanups.load(Ordering::SeqCst),
+        2,
+        "each thread's cleanup handler must run exactly once"
+    );
 }
 
 #[test]
