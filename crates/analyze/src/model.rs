@@ -14,7 +14,12 @@
 //! * **exactly-once** (§5.2, seen ring): for any delivery seq inside the
 //!   dedupe window, exactly one `mark_seen` reports fresh — duplicates
 //!   are suppressed on *every* interleaving, with eviction behaviour
-//!   matching a sequential reference ring step-for-step.
+//!   matching a sequential reference ring step-for-step;
+//! * **typed admission under overload** (bounded mailbox): concurrent
+//!   producers flooding a full lane race a consumer draining at delivery
+//!   points — every push is Stored or Shed in exact agreement with a
+//!   reference occupancy count, control events preempt and pop FIFO, and
+//!   a stored push always wakes a parked consumer (no lost wakeup).
 //!
 //! Method granularity is the honest yield-point choice here: both
 //! structures confine shared state behind a single internal lock
@@ -291,6 +296,161 @@ pub fn check_seen_ring_eviction_window() -> ModelReport {
     )
 }
 
+/// Overload control (bounded mailbox): two producers race a consumer on
+/// one mailbox with a deliberately tiny USER bound (cap 2). The model
+/// drives the **real** `Mailbox` through every interleaving of:
+///
+/// * T0 — control producer: two TERMINATE pushes (unsheddable lane);
+/// * T1 — user flood: three USER pushes, at least one past the bound
+///   whenever the consumer has not drained in between;
+/// * T2 — consumer: three delivery points, each a `pop` that parks the
+///   thread (sets a waiting flag) when the mailbox is empty. A *stored*
+///   push clears the flag — exactly the activation's notify-on-Stored
+///   protocol.
+///
+/// Invariants, on all 8!/(2!·3!·3!) = 560 schedules:
+/// * every admission agrees with a reference occupancy count — Shed iff
+///   the event's sheddable lane is at capacity, and the shed names that
+///   lane; control is never shed;
+/// * a pop never returns a non-control event while control events are
+///   queued (preemption), and control seqs pop in FIFO order;
+/// * after every step, a parked consumer implies an empty mailbox — a
+///   queued event alongside a waiting consumer is a lost wakeup;
+/// * conservation: stored − popped events remain queued, stored + shed
+///   equals pushes attempted. Shed is a typed outcome, never a silent
+///   drop.
+pub fn check_mailbox_overload_admission() -> ModelReport {
+    use doct_kernel::{
+        Admission, EventName, Lane, Mailbox, MailboxConfig, SystemEvent, Value, WireEvent,
+    };
+
+    fn event(name: EventName, seq: u64) -> WireEvent {
+        WireEvent {
+            name,
+            payload: Value::Null,
+            raiser: None,
+            raiser_node: NodeId(0),
+            seq,
+            sync: false,
+            t_raise_ns: 0,
+            attrs: None,
+            deadline_ns: None,
+        }
+    }
+    fn lane_slot(lane: Lane) -> usize {
+        match lane {
+            Lane::Control => 0,
+            Lane::Timer => 1,
+            Lane::User => 2,
+        }
+    }
+
+    const LANE_CAP: usize = 2;
+    let counts = [2usize, 3, 3];
+    let schedules = interleavings(&counts);
+    let mut violations = Vec::new();
+
+    for sched in &schedules {
+        let mut mailbox = Mailbox::new(MailboxConfig {
+            timer_capacity: LANE_CAP,
+            user_capacity: LANE_CAP,
+            ..MailboxConfig::default()
+        });
+        let mut pc = [0usize; 3];
+        let mut ref_len = [0usize; 3]; // reference occupancy per lane
+        let mut waiting = false; // consumer parked at a delivery point
+        let mut stored = 0usize;
+        let mut shed = 0usize;
+        let mut popped = 0usize;
+        let mut last_control_seq = 0u64;
+        let mut bad = |msg: String| violations.push(format!("schedule {sched:?}: {msg}"));
+
+        for &t in sched {
+            match t {
+                0 | 1 => {
+                    let e = if t == 0 {
+                        event(
+                            EventName::System(SystemEvent::Terminate),
+                            900 + pc[0] as u64,
+                        )
+                    } else {
+                        event(EventName::user("FLOOD"), 100 + pc[1] as u64)
+                    };
+                    let lane = Lane::classify(&e.name);
+                    let full = lane.sheddable() && ref_len[lane_slot(lane)] >= LANE_CAP;
+                    match mailbox.push(e) {
+                        Admission::Stored => {
+                            if full {
+                                bad(format!("{lane} lane stored past its bound"));
+                            }
+                            ref_len[lane_slot(lane)] += 1;
+                            stored += 1;
+                            // The kernel notifies the consumer on Stored.
+                            waiting = false;
+                        }
+                        Admission::Shed(named) => {
+                            shed += 1;
+                            if !full {
+                                bad(format!("shed {named} with the lane below capacity"));
+                            }
+                            if named != lane {
+                                bad(format!("shed names {named}, event was {lane}"));
+                            }
+                            if !lane.sheddable() {
+                                bad(format!("unsheddable {lane} event was shed"));
+                            }
+                        }
+                    }
+                }
+                2 => match mailbox.pop(0) {
+                    Some(e) => {
+                        let lane = Lane::classify(&e.name);
+                        if ref_len[lane_slot(Lane::Control)] > 0 && lane != Lane::Control {
+                            bad(format!("popped {lane} while control events were queued"));
+                        }
+                        if lane == Lane::Control {
+                            if e.seq <= last_control_seq {
+                                bad(format!(
+                                    "control lane out of FIFO order: {} after {last_control_seq}",
+                                    e.seq
+                                ));
+                            }
+                            last_control_seq = e.seq;
+                        }
+                        ref_len[lane_slot(lane)] -= 1;
+                        popped += 1;
+                    }
+                    None => waiting = true,
+                },
+                _ => unreachable!("schedule exceeds thread script"),
+            }
+            pc[t] += 1;
+            if waiting && !mailbox.is_empty() {
+                bad("lost wakeup: consumer parked with events queued".into());
+            }
+        }
+
+        if stored - popped != mailbox.len() {
+            bad(format!(
+                "conservation broken: stored {stored} - popped {popped} != queued {}",
+                mailbox.len()
+            ));
+        }
+        if stored + shed != counts[0] + counts[1] {
+            bad(format!(
+                "untyped admission: stored {stored} + shed {shed} != pushes attempted"
+            ));
+        }
+    }
+
+    ModelReport {
+        name: "mailbox-overload-admission",
+        schedules: schedules.len() as u64,
+        steps: counts.iter().sum(),
+        violations,
+    }
+}
+
 /// Run every model; returns the reports (callers log counts and fail on
 /// any violation).
 pub fn run_all() -> Vec<ModelReport> {
@@ -298,6 +458,7 @@ pub fn run_all() -> Vec<ModelReport> {
         check_location_cache_generations(),
         check_seen_ring_exactly_once(),
         check_seen_ring_eviction_window(),
+        check_mailbox_overload_admission(),
     ]
 }
 
@@ -356,6 +517,18 @@ mod tests {
     fn seen_ring_eviction_matches_reference_on_every_schedule() {
         let report = check_seen_ring_eviction_window();
         assert_eq!(report.schedules, 4);
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:#?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn mailbox_overload_model_holds_on_every_schedule() {
+        let report = check_mailbox_overload_admission();
+        assert_eq!(report.schedules, 560, "8!/(2!·3!·3!) interleavings");
+        assert_eq!(report.schedules, multinomial(&[2, 3, 3]));
         assert!(
             report.violations.is_empty(),
             "violations: {:#?}",

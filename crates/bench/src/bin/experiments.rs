@@ -51,7 +51,16 @@ fn run_one(which: &str) -> Result<(), doct_kernel::KernelError> {
                 Err(e) => eprintln!("[e12: could not write BENCH_e12_fanout_batch.json: {e}]"),
             }
         }
-        other => eprintln!("unknown experiment {other:?} (expected e1..e12 or all)"),
+        "e13" => {
+            let rows = e13_overload::run()?;
+            e13_overload::table(&rows).print();
+            let json = e13_overload::json(&rows);
+            match std::fs::write("BENCH_e13_overload.json", &json) {
+                Ok(()) => eprintln!("[e13 sweep written to BENCH_e13_overload.json]"),
+                Err(e) => eprintln!("[e13: could not write BENCH_e13_overload.json: {e}]"),
+            }
+        }
+        other => eprintln!("unknown experiment {other:?} (expected e1..e13 or all)"),
     }
     Ok(())
 }
@@ -76,7 +85,7 @@ fn main() {
     let full_json = args.iter().any(|a| a == "--telemetry");
     let args: Vec<String> = args.into_iter().filter(|a| a != "--telemetry").collect();
     let all = [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
     ];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()

@@ -1,0 +1,302 @@
+//! E13 — open-loop saturation and overload control (ROADMAP item 5,
+//! extends E9's monitoring-overhead methodology to the shedding path).
+//!
+//! An open-loop raiser offers TIMER/USER events at a fixed arrival rate —
+//! it never waits, so unlike a closed loop it keeps pushing past the
+//! consumer's capacity, the regime where an unbounded mailbox grows
+//! without limit. The consumer drains through a bounded priority mailbox
+//! with a fixed per-event service cost, which pins its capacity; the
+//! sweep offers 0.5×–4× that capacity for a fixed duration.
+//!
+//! Alongside the flood, a prober thread raises TERMINATE (shielded by a
+//! Resume handler, so the consumer survives) synchronously every few
+//! milliseconds and records raise→handled latency. The claim under test:
+//! **high-priority latency stays flat past saturation** — control-lane
+//! events preempt the backlog, so their p99 at 2× capacity is within 2×
+//! of the uncontended baseline, while the excess arrivals are absorbed
+//! as typed `Overloaded` outcomes (`kernel.shed_total` > 0), partly shed
+//! at the source once backpressure receipts arrive.
+
+use crate::Table;
+use doct_events::{AttachSpec, CtxEvents, EventFacility, HandlerDecision};
+use doct_kernel::{
+    ClusterBuilder, EventName, KernelConfig, KernelError, MailboxConfig, SystemEvent, Value,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-event service cost burned (busy-spin) by the consumer's handlers:
+/// capacity is `1s / SERVICE`.
+const SERVICE: Duration = Duration::from_micros(300);
+/// How long each arm offers load.
+const OFFER_FOR: Duration = Duration::from_millis(800);
+/// Interval between control-lane latency probes.
+const PROBE_EVERY: Duration = Duration::from_millis(10);
+
+/// One measured arrival-rate arm.
+#[derive(Debug, Clone)]
+pub struct OverloadRow {
+    /// Offered arrival rate as a multiple of consumer capacity.
+    pub rate_x: f64,
+    /// Events actually offered (open loop: raise-and-forget).
+    pub offered: u64,
+    /// Achieved offer rate, events/second.
+    pub achieved_per_s: f64,
+    /// `delivery.delivered` — raises admitted to a mailbox.
+    pub delivered: u64,
+    /// `delivery.overloaded` — raises refused by a full lane, typed.
+    pub overloaded: u64,
+    /// `kernel.shed_total` — admission-control sheds (all lanes).
+    pub shed_total: u64,
+    /// `kernel.shed_at_source` — sheds resolved on the raising node
+    /// because a backpressure receipt marked the consumer pressured.
+    pub shed_at_source: u64,
+    /// Control-lane latency probes taken.
+    pub probes: usize,
+    /// TERMINATE raise→handled latency, median, microseconds.
+    pub p50_us: f64,
+    /// TERMINATE raise→handled latency, 99th percentile, microseconds.
+    pub p99_us: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn spin_for(d: Duration) {
+    let t0 = Instant::now();
+    while t0.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+fn case(rate_x: f64) -> Result<OverloadRow, KernelError> {
+    // Small lanes so the sweep saturates within the arm duration; a short
+    // backpressure hold so source shedding tracks the actual overload
+    // rather than stretching past it.
+    let cluster = ClusterBuilder::new(2)
+        .config(KernelConfig::default().with_mailbox(MailboxConfig {
+            timer_capacity: 128,
+            user_capacity: 128,
+            backpressure_hold: Duration::from_millis(10),
+            ..MailboxConfig::default()
+        }))
+        .build();
+    let facility = EventFacility::install(&cluster);
+    facility.register_event("LOAD");
+
+    // The consumer: fixed service cost per flood event, a TERMINATE
+    // shield so control probes are measurable without killing it.
+    let stop = Arc::new(AtomicBool::new(false));
+    let s = Arc::clone(&stop);
+    let consumer = cluster
+        .spawn_fn(1, move |ctx| {
+            ctx.attach_handler(
+                SystemEvent::Terminate,
+                AttachSpec::proc("shield", |_c, _b| HandlerDecision::Resume(Value::Null)),
+            );
+            let burn = AttachSpec::proc("burn", |_c, _b| {
+                spin_for(SERVICE);
+                HandlerDecision::Resume(Value::Null)
+            });
+            ctx.attach_handler(SystemEvent::Timer, burn.clone());
+            ctx.attach_handler("LOAD", burn);
+            while !s.load(Ordering::Relaxed) {
+                ctx.poll_events()?;
+                ctx.sleep(Duration::from_micros(500))?;
+            }
+            Ok(Value::Null)
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The prober: synchronous control-lane raises, paced well below the
+    // flood, each timed raise→handled (the shield resumes it).
+    let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
+    let probe_stop = Arc::new(AtomicBool::new(false));
+    let (lat, ps, target) = (
+        Arc::clone(&latencies),
+        Arc::clone(&probe_stop),
+        consumer.thread(),
+    );
+    let prober = cluster
+        .spawn_fn(0, move |ctx| {
+            while !ps.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                ctx.raise_and_wait(SystemEvent::Terminate, Value::Null, target)?;
+                lat.lock()
+                    .expect("prober lock")
+                    .push(t0.elapsed().as_secs_f64() * 1e6);
+                ctx.sleep(PROBE_EVERY)?;
+            }
+            Ok(Value::Null)
+        })
+        .unwrap();
+
+    // The open-loop flood: alternate TIMER and USER arrivals at the
+    // target rate, never waiting on an outcome.
+    let rate = rate_x * (1.0 / SERVICE.as_secs_f64());
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    let mut next = start;
+    let mut offered = 0u64;
+    while start.elapsed() < OFFER_FOR {
+        next += interval;
+        while Instant::now() < next {
+            std::hint::spin_loop();
+        }
+        let name: EventName = if offered.is_multiple_of(2) {
+            SystemEvent::Timer.into()
+        } else {
+            EventName::user("LOAD")
+        };
+        cluster
+            .raise_from(0, name, Value::Null, consumer.thread())
+            .detach();
+        offered += 1;
+    }
+    let achieved_per_s = offered as f64 / start.elapsed().as_secs_f64();
+
+    // Drain order: probes off first (they need the consumer alive), then
+    // the consumer exits its loop.
+    probe_stop.store(true, Ordering::Relaxed);
+    let _ = prober.join_timeout(Duration::from_secs(10));
+    stop.store(true, Ordering::Relaxed);
+    let _ = consumer.join_timeout(Duration::from_secs(10));
+    assert!(
+        cluster.await_quiescence(Duration::from_secs(10)),
+        "rate {rate_x}x: orphan activations"
+    );
+    crate::telemetry_out::record("e13", &cluster);
+
+    let counters = cluster.telemetry().metrics().counters;
+    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+    let mut lats = Arc::try_unwrap(latencies)
+        .expect("prober joined")
+        .into_inner()
+        .expect("prober lock");
+    lats.sort_by(|x, y| x.partial_cmp(y).expect("finite latency"));
+    Ok(OverloadRow {
+        rate_x,
+        offered,
+        achieved_per_s,
+        delivered: get("delivery.delivered"),
+        overloaded: get("delivery.overloaded"),
+        shed_total: get("kernel.shed_total"),
+        shed_at_source: get("kernel.shed_at_source"),
+        probes: lats.len(),
+        p50_us: percentile(&lats, 0.50),
+        p99_us: percentile(&lats, 0.99),
+    })
+}
+
+/// Run the sweep: 0.5×, 1×, 2× and 4× the consumer's service capacity.
+/// 0.5× is the uncontended baseline; 2× is the acceptance configuration
+/// (control p99 within 2× of baseline, `kernel.shed_total` > 0).
+///
+/// # Errors
+///
+/// Cluster construction/spawn failures.
+pub fn run() -> Result<Vec<OverloadRow>, KernelError> {
+    [0.5, 1.0, 2.0, 4.0].iter().map(|&x| case(x)).collect()
+}
+
+/// p99 ratio of each arm against the first (baseline) row.
+fn p99_ratios(rows: &[OverloadRow]) -> Vec<(f64, f64)> {
+    let Some(base) = rows.first().map(|r| r.p99_us) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .skip(1)
+        .map(|r| (r.rate_x, if base > 0.0 { r.p99_us / base } else { 0.0 }))
+        .collect()
+}
+
+/// Render the sweep.
+pub fn table(rows: &[OverloadRow]) -> Table {
+    let mut t = Table::new(
+        "E13: open-loop saturation (bounded mailbox; TERMINATE probe latency vs offered load)",
+        &[
+            "rate",
+            "offered",
+            "ach/s",
+            "delivered",
+            "overloaded",
+            "shed",
+            "shed@src",
+            "probes",
+            "ctl p50",
+            "ctl p99",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{:.1}x", r.rate_x),
+            r.offered.to_string(),
+            format!("{:.0}", r.achieved_per_s),
+            r.delivered.to_string(),
+            r.overloaded.to_string(),
+            r.shed_total.to_string(),
+            r.shed_at_source.to_string(),
+            r.probes.to_string(),
+            format!("{:.1?}", Duration::from_secs_f64(r.p50_us / 1e6)),
+            format!("{:.1?}", Duration::from_secs_f64(r.p99_us / 1e6)),
+        ]);
+    }
+    for (rate_x, ratio) in p99_ratios(rows) {
+        t.row(vec![
+            format!("{rate_x:.1}x"),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            "p99/base".to_string(),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    t
+}
+
+/// The sweep as machine-readable JSON (`BENCH_e13_overload.json`):
+/// per-rate admission outcomes and control-lane latency, plus the
+/// p99-vs-baseline ratios the acceptance gate reads.
+pub fn json(rows: &[OverloadRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"e13_overload\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rate_x\": {:.1}, \"offered\": {}, \"achieved_per_s\": {:.0}, \
+             \"delivered\": {}, \"overloaded\": {}, \"shed_total\": {}, \
+             \"shed_at_source\": {}, \"probes\": {}, \"control_p50_us\": {:.1}, \
+             \"control_p99_us\": {:.1}}}{}\n",
+            r.rate_x,
+            r.offered,
+            r.achieved_per_s,
+            r.delivered,
+            r.overloaded,
+            r.shed_total,
+            r.shed_at_source,
+            r.probes,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"control_p99_over_baseline\": [\n");
+    let ratios = p99_ratios(rows);
+    for (i, (rate_x, ratio)) in ratios.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rate_x\": {rate_x:.1}, \"ratio\": {ratio:.2}}}{}\n",
+            if i + 1 < ratios.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

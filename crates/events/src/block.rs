@@ -141,6 +141,7 @@ mod tests {
             sync,
             t_raise_ns: 0,
             attrs: None,
+            deadline_ns: None,
         }
     }
 

@@ -6,8 +6,8 @@ use crate::object_handlers::ObjectHandlerTable;
 use crate::thread_registry::ThreadRegistry;
 use crate::EventBlock;
 use doct_kernel::{
-    Cluster, Ctx, EventDispatcher, EventName, KernelError, ObjectDirectory, ObjectId, RaiseTarget,
-    RaiseTicket, SystemEvent, ThreadDisposition, Value, WireEvent,
+    Cluster, Ctx, EventDispatcher, EventName, KernelError, Lane, ObjectDirectory, ObjectId,
+    RaiseTarget, RaiseTicket, SystemEvent, ThreadDisposition, Value, WireEvent,
 };
 use doct_telemetry::{Counter, RaiseVariant, Registry, Stage, Telemetry};
 use parking_lot::RwLock;
@@ -51,6 +51,19 @@ pub struct FacilityStats {
     /// seqs would be re-delivered — raise the ring capacity
     /// ([`crate::thread_registry::set_default_seen_cap`]) if this grows.
     pub dedupe_evictions: Counter,
+    /// Thread deliveries by priority lane (control, timer, user) — the
+    /// facility-side view of the kernel's admission classification, so
+    /// E13 can confirm control traffic kept flowing while the sheddable
+    /// lanes absorbed the flood.
+    pub lane_deliveries: [Counter; 3],
+}
+
+fn lane_slot(lane: Lane) -> usize {
+    match lane {
+        Lane::Control => 0,
+        Lane::Timer => 1,
+        Lane::User => 2,
+    }
 }
 
 impl FacilityStats {
@@ -67,7 +80,14 @@ impl FacilityStats {
             defaults_run: registry.counter("facility.defaults_run"),
             duplicates_suppressed: registry.counter("facility.duplicates_suppressed"),
             dedupe_evictions: registry.counter("facility.dedupe_evictions"),
+            lane_deliveries: [Lane::Control, Lane::Timer, Lane::User]
+                .map(|l| registry.counter(&format!("facility.lane_{l}"))),
         }
+    }
+
+    /// Thread deliveries whose event classified into `lane`.
+    pub fn lane_deliveries(&self, lane: Lane) -> u64 {
+        self.lane_deliveries[lane_slot(lane)].get()
     }
 
     fn bump(counter: &Counter) {
@@ -342,6 +362,7 @@ impl EventDispatcher for EventFacility {
             crate::MarkSeen::Fresh => {}
         }
         FacilityStats::bump(&self.stats.thread_deliveries);
+        FacilityStats::bump(&self.stats.lane_deliveries[lane_slot(Lane::classify(&event.name))]);
         self.telemetry.trace(
             event.seq,
             Stage::ChainWalk,

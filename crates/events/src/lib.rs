@@ -87,6 +87,11 @@ pub use thread_registry::{
     DEFAULT_SEEN_CAP,
 };
 
+/// Priority-lane classification of event names (re-exported from the
+/// kernel): the facility's counters and the kernel's bounded mailboxes
+/// agree on which events are control, timer, or user traffic.
+pub use doct_kernel::Lane;
+
 /// Commonly used facility types plus the kernel prelude.
 pub mod prelude {
     pub use crate::{AttachSpec, CtxEvents, EventBlock, EventFacility, HandlerDecision};

@@ -1,13 +1,17 @@
 //! Activations: the runtime presence of a logical thread on a node.
 //!
 //! An activation exists on every node where the thread currently has at
-//! least one invocation frame. Pending events are queued here and consumed
-//! at delivery points by the frame that is the thread's *tip*.
+//! least one invocation frame. Pending events are queued here — in a
+//! bounded priority [`Mailbox`], not an unbounded FIFO — and consumed at
+//! delivery points by the frame that is the thread's *tip*.
 
+use crate::mailbox::{Admission, Mailbox, MailboxConfig};
 use crate::{KernelError, ObjectId, ThreadAttributes, ThreadId, Value, WireEvent};
 use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One invocation frame the thread holds on this node.
@@ -25,8 +29,8 @@ pub struct Frame {
 pub struct ActivationInner {
     /// The thread's travelling attribute record.
     pub attributes: ThreadAttributes,
-    /// Events waiting for the next delivery point.
-    pub pending: VecDeque<WireEvent>,
+    /// Events waiting for the next delivery point, in priority lanes.
+    pub mailbox: Mailbox,
     /// Local frames, innermost last.
     pub stack: Vec<Frame>,
     /// True while a handler is executing: delivery points inside the
@@ -46,7 +50,7 @@ impl fmt::Debug for ActivationInner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ActivationInner")
             .field("thread", &self.attributes.thread)
-            .field("pending", &self.pending.len())
+            .field("pending", &self.mailbox.len())
             .field("stack", &self.stack.len())
             .field("handling", &self.handling)
             .field("terminated", &self.terminated)
@@ -60,6 +64,10 @@ pub struct Activation {
     pub thread: ThreadId,
     inner: Mutex<ActivationInner>,
     wake: Condvar,
+    /// Mailbox depth mirror, maintained by the mailbox under the
+    /// activation lock but readable without it (the sweep's atomic
+    /// snapshot — it must never contend with delivery).
+    depth: Arc<AtomicUsize>,
 }
 
 impl fmt::Debug for Activation {
@@ -71,13 +79,22 @@ impl fmt::Debug for Activation {
 }
 
 impl Activation {
-    /// New activation carrying `attributes`.
+    /// New activation carrying `attributes`, with the default mailbox
+    /// bounds.
     pub fn new(attributes: ThreadAttributes) -> Self {
+        Self::with_mailbox(attributes, MailboxConfig::default())
+    }
+
+    /// New activation with explicit mailbox bounds (the kernel passes its
+    /// cluster-wide `KernelConfig::mailbox` here at check-in).
+    pub fn with_mailbox(attributes: ThreadAttributes, config: MailboxConfig) -> Self {
+        let mailbox = Mailbox::new(config);
+        let depth = mailbox.depth_handle();
         Activation {
             thread: attributes.thread,
             inner: Mutex::new(ActivationInner {
                 attributes,
-                pending: VecDeque::new(),
+                mailbox,
                 stack: Vec::new(),
                 handling: false,
                 terminated: false,
@@ -85,6 +102,7 @@ impl Activation {
                 pc: 0,
             }),
             wake: Condvar::new(),
+            depth,
         }
     }
 
@@ -93,13 +111,18 @@ impl Activation {
         self.inner.lock()
     }
 
-    /// Queue an event for the next delivery point and wake any blocked
-    /// kernel operation so it notices.
-    pub fn push_event(&self, event: WireEvent) {
+    /// Offer an event for the next delivery point. When the mailbox
+    /// admits it, blocked kernel operations are woken so they notice;
+    /// when the lane is full the event is shed and the caller must
+    /// account it as `Overloaded` (the admission is `#[must_use]`).
+    pub fn push_event(&self, event: WireEvent) -> Admission {
         let mut inner = self.inner.lock();
-        inner.pending.push_back(event);
+        let admission = inner.mailbox.push(event);
         drop(inner);
-        self.wake.notify_all();
+        if admission.is_stored() {
+            self.wake.notify_all();
+        }
+        admission
     }
 
     /// Deliver a synchronous-raise result and wake the waiter.
@@ -110,18 +133,39 @@ impl Activation {
         self.wake.notify_all();
     }
 
-    /// Take the next pending event, unless a handler is already running.
-    pub fn take_event(&self) -> Option<WireEvent> {
+    /// Take the next pending event in priority order, unless a handler is
+    /// already running. Near-deadline timer jumps use `now_ns` (the
+    /// telemetry clock); callers without a clock can pass 0 — priority
+    /// order still holds, timers just never jump the user lane.
+    pub fn take_event_at(&self, now_ns: u64) -> Option<WireEvent> {
         let mut inner = self.inner.lock();
         if inner.handling {
             return None;
         }
-        inner.pending.pop_front()
+        inner.mailbox.pop(now_ns)
+    }
+
+    /// [`Activation::take_event_at`] without a clock.
+    pub fn take_event(&self) -> Option<WireEvent> {
+        self.take_event_at(0)
     }
 
     /// Number of queued events.
     pub fn pending_len(&self) -> usize {
-        self.inner.lock().pending.len()
+        self.inner.lock().mailbox.len()
+    }
+
+    /// Mailbox depth without taking the activation lock: an atomic mirror
+    /// the mailbox maintains on every push/pop. The kernel sweep samples
+    /// this, so it can never observe a mailbox mid-resize and never
+    /// blocks delivery.
+    pub fn depth_hint(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Shared handle to the depth mirror (see [`Activation::depth_hint`]).
+    pub fn depth_handle(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.depth)
     }
 
     /// Mark the thread terminated (delivery decided `Terminate`).
@@ -150,7 +194,7 @@ impl Activation {
             if inner.terminated {
                 return SyncWait::Terminated;
             }
-            if !inner.pending.is_empty() && !inner.handling {
+            if !inner.mailbox.is_empty() && !inner.handling {
                 return SyncWait::EventPending;
             }
             let now = Instant::now();
@@ -171,7 +215,7 @@ impl Activation {
             if inner.terminated {
                 return SleepOutcome::Terminated;
             }
-            if !inner.pending.is_empty() && !inner.handling {
+            if !inner.mailbox.is_empty() && !inner.handling {
                 return SleepOutcome::EventPending;
             }
             if Instant::now() >= deadline {
@@ -254,14 +298,19 @@ mod tests {
             sync: false,
             t_raise_ns: 0,
             attrs: None,
+            deadline_ns: None,
         }
+    }
+
+    fn named(seq: u64, name: EventName) -> WireEvent {
+        WireEvent { name, ..event(seq) }
     }
 
     #[test]
     fn events_queue_fifo() {
         let a = activation();
-        a.push_event(event(1));
-        a.push_event(event(2));
+        assert!(a.push_event(event(1)).is_stored());
+        assert!(a.push_event(event(2)).is_stored());
         assert_eq!(a.pending_len(), 2);
         assert_eq!(a.take_event().unwrap().seq, 1);
         assert_eq!(a.take_event().unwrap().seq, 2);
@@ -269,13 +318,56 @@ mod tests {
     }
 
     #[test]
+    fn control_events_preempt_queued_work() {
+        let a = activation();
+        assert!(a.push_event(named(1, EventName::user("W"))).is_stored());
+        assert!(a.push_event(event(2)).is_stored());
+        assert!(a
+            .push_event(named(3, EventName::System(SystemEvent::Terminate)))
+            .is_stored());
+        assert_eq!(a.take_event().unwrap().seq, 3, "TERMINATE jumps the queue");
+        assert_eq!(a.take_event().unwrap().seq, 1);
+        assert_eq!(a.take_event().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn full_lane_sheds_and_reports_it() {
+        let attrs = ThreadAttributes::new(ThreadId::new(NodeId(0), 9), NodeId(0));
+        let a = Activation::with_mailbox(
+            attrs,
+            MailboxConfig {
+                timer_capacity: 1,
+                ..MailboxConfig::default()
+            },
+        );
+        assert!(a.push_event(event(1)).is_stored());
+        assert_eq!(a.push_event(event(2)), Admission::Shed(crate::Lane::Timer));
+        assert_eq!(a.pending_len(), 1, "shed events are not queued");
+    }
+
+    #[test]
     fn handling_flag_masks_delivery() {
         let a = activation();
-        a.push_event(event(1));
+        assert!(a.push_event(event(1)).is_stored());
         a.lock().handling = true;
         assert!(a.take_event().is_none(), "masked while handling");
         a.lock().handling = false;
         assert!(a.take_event().is_some());
+    }
+
+    #[test]
+    fn depth_hint_reads_without_the_activation_lock() {
+        // Regression: the kernel sweep used to take the activation lock
+        // to read the queue length, so it could observe the mailbox
+        // mid-resize (and stall delivery under load). depth_hint must
+        // answer even while someone else holds the lock.
+        let a = activation();
+        assert!(a.push_event(event(1)).is_stored());
+        let guard = a.lock();
+        assert_eq!(a.depth_hint(), 1, "no deadlock, no lock taken");
+        drop(guard);
+        let _ = a.take_event();
+        assert_eq!(a.depth_hint(), 0);
     }
 
     #[test]
@@ -284,7 +376,7 @@ mod tests {
         let a2 = Arc::clone(&a);
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
-            a2.push_event(event(1));
+            assert!(a2.push_event(event(1)).is_stored());
         });
         let t0 = Instant::now();
         let out = a.sleep(Duration::from_secs(5));
@@ -316,7 +408,7 @@ mod tests {
     #[test]
     fn sync_wait_interrupts_for_pending_events() {
         let a = activation();
-        a.push_event(event(1));
+        assert!(a.push_event(event(1)).is_stored());
         let out = a.wait_sync(7, Instant::now() + Duration::from_secs(5));
         assert_eq!(out, SyncWait::EventPending);
     }

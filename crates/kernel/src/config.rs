@@ -2,6 +2,7 @@
 //! alternative discussed in the paper.
 
 use crate::location_cache::LocationCacheConfig;
+use crate::mailbox::MailboxConfig;
 use std::time::Duration;
 
 /// How object invocations cross node boundaries (paper §2 design goal:
@@ -68,6 +69,10 @@ pub struct KernelConfig {
     /// Thread-location hint cache consulted before `locator` on each
     /// thread-targeted raise (unicast fast path; see `LocationCache`).
     pub location_cache: LocationCacheConfig,
+    /// Bounded priority-mailbox policy applied to every activation
+    /// (overload control: control lane never sheds, timer/user lanes
+    /// bounded; see `Mailbox`).
+    pub mailbox: MailboxConfig,
 }
 
 impl Default for KernelConfig {
@@ -81,6 +86,7 @@ impl Default for KernelConfig {
             sync_timeout: Duration::from_secs(10),
             invoke_timeout: Duration::from_secs(30),
             location_cache: LocationCacheConfig::default(),
+            mailbox: MailboxConfig::default(),
         }
     }
 }
@@ -118,6 +124,12 @@ impl KernelConfig {
             ..self
         }
     }
+
+    /// This config with the given mailbox bounds (E13 uses tiny lanes to
+    /// force shedding at modest arrival rates).
+    pub fn with_mailbox(self, mailbox: MailboxConfig) -> Self {
+        KernelConfig { mailbox, ..self }
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +146,12 @@ mod tests {
         assert!(c.location_cache.enabled, "hint cache is on by default");
         assert!(c.location_cache.capacity > 0);
         assert!(c.location_cache.hint_timeout < c.delivery_timeout);
+        assert!(c.mailbox.timer_capacity > 0 && c.mailbox.user_capacity > 0);
+        assert!(
+            c.mailbox.near_deadline < c.mailbox.timer_deadline,
+            "the jump window must be narrower than the usefulness horizon"
+        );
+        assert!(c.mailbox.backpressure_hold < c.delivery_timeout);
     }
 
     #[test]

@@ -173,7 +173,12 @@ impl Ctx {
     /// poll or an earlier one): the frame must unwind.
     pub fn poll_events(&mut self) -> Result<(), KernelError> {
         self.activation.check_live()?;
-        while let Some(event) = self.activation.take_event() {
+        // Pass the telemetry clock so near-deadline timers jump the USER
+        // lane at this delivery point.
+        while let Some(event) = self
+            .activation
+            .take_event_at(self.kernel.telemetry().now_ns())
+        {
             let seq = event.seq;
             self.activation.lock().handling = true;
             let disposition = {
@@ -483,8 +488,9 @@ impl Ctx {
         let summary = ticket.wait();
         if summary.delivered == 0 {
             return Err(KernelError::Event(format!(
-                "raise_and_wait({name}): no recipient (dead={}, timeout={}, lost={})",
-                summary.dead, summary.timed_out, summary.lost
+                "raise_and_wait({name}): no recipient (dead={}, timeout={}, lost={}, \
+                 overloaded={})",
+                summary.dead, summary.timed_out, summary.lost, summary.overloaded
             )));
         }
         let deadline = Instant::now() + self.kernel.config().sync_timeout;

@@ -119,6 +119,62 @@ impl From<&str> for EventName {
     }
 }
 
+/// Priority lane of an event in a bounded per-thread mailbox (overload
+/// control; ROADMAP item 5). Classification is by event *name*, so the
+/// raiser's node and the delivering node always agree:
+///
+/// * [`Lane::Control`] — every system event except TIMER/ALARM.
+///   TERMINATE/QUIT and their kin preempt ordinary traffic and are
+///   **never shed**: admission control must not be able to cancel a
+///   kill, or §6.3's teardown protocol loses its liveness guarantee.
+/// * [`Lane::Timer`] — TIMER and ALARM ticks, ordered by deadline; a
+///   near-deadline timer jumps the USER lane (deadline-aware dispatch).
+///   Sheddable: a lost tick is superseded by the next one.
+/// * [`Lane::User`] — application-registered events, FIFO. Sheddable:
+///   the raiser is told via [`DeliveryStatus::Overloaded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// System control events; unbounded, never shed, always first.
+    Control,
+    /// TIMER/ALARM ticks; bounded, deadline-ordered.
+    Timer,
+    /// Application events; bounded, FIFO.
+    User,
+}
+
+impl Lane {
+    /// The lane `name` travels in.
+    pub fn classify(name: &EventName) -> Lane {
+        match name {
+            EventName::System(SystemEvent::Timer) | EventName::System(SystemEvent::Alarm) => {
+                Lane::Timer
+            }
+            EventName::System(_) => Lane::Control,
+            EventName::User(_) => Lane::User,
+        }
+    }
+
+    /// Whether admission control may shed events in this lane.
+    pub fn sheddable(self) -> bool {
+        self != Lane::Control
+    }
+
+    /// Stable lower-case label for telemetry counter names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lane::Control => "control",
+            Lane::Timer => "timer",
+            Lane::User => "user",
+        }
+    }
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Where an event is directed (the §5.3 addressing options).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RaiseTarget {
@@ -174,6 +230,11 @@ pub struct WireEvent {
     /// Snapshot of the raiser's attributes, for surrogate-thread handling
     /// (§6.1).
     pub attrs: Option<ThreadAttributes>,
+    /// Usefulness deadline for timer-lane events (ns on the telemetry
+    /// epoch, stamped at raise): the bounded mailbox orders the TIMER
+    /// lane by it and lets a near-deadline tick jump the USER lane.
+    /// `None` for control/user events.
+    pub deadline_ns: Option<u64>,
 }
 
 impl WireEvent {
@@ -209,6 +270,12 @@ pub enum DeliveryStatus {
     /// shutdown mid-raise). Distinct from [`DeliveryStatus::Timeout`] so
     /// the delivery ledger can attribute the loss honestly.
     Lost,
+    /// Admission control shed the raise: the reported node's bounded
+    /// mailbox was full in the event's (sheddable) lane, or the sender
+    /// shed at the source because that peer signalled backpressure.
+    /// Typed, never silent — the ledger invariant becomes
+    /// `requested = delivered + dead + timeout + lost + overloaded`.
+    Overloaded(NodeId),
 }
 
 /// The event facility's hook into kernel delivery points.
@@ -300,11 +367,28 @@ mod tests {
             sync: false,
             t_raise_ns: 0,
             attrs: None,
+            deadline_ns: None,
         };
         let big = WireEvent {
             payload: Value::Bytes(vec![0; 1000]),
             ..small.clone()
         };
         assert!(big.wire_size() > small.wire_size() + 900);
+    }
+
+    #[test]
+    fn lanes_classify_by_name_and_only_control_is_unsheddable() {
+        for s in SystemEvent::ALL {
+            let lane = Lane::classify(&EventName::System(s));
+            match s {
+                SystemEvent::Timer | SystemEvent::Alarm => assert_eq!(lane, Lane::Timer),
+                _ => assert_eq!(lane, Lane::Control, "{s} must ride the control lane"),
+            }
+        }
+        assert_eq!(Lane::classify(&EventName::user("COMMIT")), Lane::User);
+        assert!(!Lane::Control.sheddable());
+        assert!(Lane::Timer.sheddable());
+        assert!(Lane::User.sheddable());
+        assert_eq!(Lane::Timer.to_string(), "timer");
     }
 }

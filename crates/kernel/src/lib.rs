@@ -54,6 +54,7 @@ mod event;
 mod group;
 mod ids;
 mod location_cache;
+mod mailbox;
 mod message;
 mod node;
 mod object;
@@ -67,13 +68,14 @@ pub use config::{InvocationMode, KernelConfig, LocatorStrategy, ObjectEventExecu
 pub use ctx::{AsyncInvocation, Ctx};
 pub use error::KernelError;
 pub use event::{
-    DefaultDispatcher, DeliveryStatus, EventDispatcher, EventName, RaiseTarget, SystemEvent,
+    DefaultDispatcher, DeliveryStatus, EventDispatcher, EventName, Lane, RaiseTarget, SystemEvent,
     ThreadDisposition, WireEvent,
 };
 pub use group::GroupRegistry;
 pub use ids::{ObjectId, ThreadGroupId, ThreadId};
 pub use location_cache::{LocationCache, LocationCacheConfig};
-pub use message::KernelMessage;
+pub use mailbox::{Admission, Mailbox, MailboxConfig};
+pub use message::{KernelMessage, ReceiptVerdict};
 pub use node::{DeliverySummary, IoHub, KernelStats, NodeKernel, RaiseTicket, TimerCmd};
 pub use object::{
     ClassBuilder, ClassRegistry, ObjectBehavior, ObjectConfig, ObjectDirectory, ObjectRecord,
@@ -85,7 +87,8 @@ pub use value::{DecodeError, Value};
 pub mod prelude {
     pub use crate::{
         ClassBuilder, Cluster, ClusterBuilder, Ctx, DeliveryStatus, EventName, InvocationMode,
-        KernelConfig, KernelError, LocatorStrategy, ObjectConfig, ObjectEventExecution, ObjectId,
-        RaiseTarget, SpawnOptions, SystemEvent, ThreadGroupId, ThreadHandle, ThreadId, Value,
+        KernelConfig, KernelError, Lane, LocatorStrategy, MailboxConfig, ObjectConfig,
+        ObjectEventExecution, ObjectId, RaiseTarget, SpawnOptions, SystemEvent, ThreadGroupId,
+        ThreadHandle, ThreadId, Value,
     };
 }

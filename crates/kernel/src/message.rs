@@ -5,6 +5,20 @@ use doct_dsm::DsmMessage;
 use doct_net::{NodeId, WireMessage};
 use std::fmt;
 
+/// What a `DeliverThread` probe found at the probed node, carried back to
+/// the origin in a `DeliverReceipt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiptVerdict {
+    /// The event was enqueued at this node's activation.
+    Found(NodeId),
+    /// The thread has no usable activation here ("not here").
+    NotHere,
+    /// The thread was here but its mailbox shed the event: the raise
+    /// resolves as `Overloaded` (no retry — the mailbox said no) and the
+    /// origin applies backpressure toward the named node.
+    Overloaded(NodeId),
+}
+
 /// Everything that flows between node kernels.
 #[derive(Clone)]
 pub enum KernelMessage {
@@ -67,8 +81,8 @@ pub enum KernelMessage {
     DeliverReceipt {
         /// Correlation id.
         delivery_id: u64,
-        /// Node where the event was enqueued, or `None` for "not here".
-        found: Option<NodeId>,
+        /// Found / not-here / shed-by-mailbox.
+        verdict: ReceiptVerdict,
     },
     /// Event for a (possibly passive) object, routed to its home node.
     DeliverObject {
@@ -102,7 +116,9 @@ impl fmt::Debug for KernelMessage {
             KernelMessage::DeliverThread { event, target, .. } => {
                 write!(f, "DeliverThread({} -> {target})", event.name)
             }
-            KernelMessage::DeliverReceipt { found, .. } => write!(f, "DeliverReceipt({found:?})"),
+            KernelMessage::DeliverReceipt { verdict, .. } => {
+                write!(f, "DeliverReceipt({verdict:?})")
+            }
             KernelMessage::DeliverObject { event, object } => {
                 write!(f, "DeliverObject({} -> {object})", event.name)
             }
@@ -141,9 +157,9 @@ mod tests {
     fn debug_is_compact() {
         let msg = KernelMessage::DeliverReceipt {
             delivery_id: 1,
-            found: Some(NodeId(2)),
+            verdict: ReceiptVerdict::Found(NodeId(2)),
         };
-        assert_eq!(format!("{msg:?}"), "DeliverReceipt(Some(NodeId(2)))");
+        assert_eq!(format!("{msg:?}"), "DeliverReceipt(Found(NodeId(2)))");
     }
 
     #[test]
@@ -176,6 +192,7 @@ mod tests {
             sync: false,
             t_raise_ns: 0,
             attrs: None,
+            deadline_ns: None,
         };
         assert!(
             KernelMessage::DeliverThread {

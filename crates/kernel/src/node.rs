@@ -5,11 +5,12 @@
 use crate::activation::Activation;
 use crate::config::{KernelConfig, LocatorStrategy, ObjectEventExecution};
 use crate::location_cache::LocationCache;
+use crate::message::ReceiptVerdict;
 use crate::tcb::{TcbTable, Trail};
 use crate::{ClassRegistry, DefaultDispatcher};
 use crate::{
     Ctx, DeliveryStatus, EventDispatcher, EventName, GroupRegistry, KernelError, KernelMessage,
-    ObjectDirectory, ObjectId, RaiseTarget, ThreadAttributes, ThreadId, Value, WireEvent,
+    Lane, ObjectDirectory, ObjectId, RaiseTarget, ThreadAttributes, ThreadId, Value, WireEvent,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use doct_dsm::{DsmMessage, DsmNode, DsmTransport};
@@ -116,6 +117,9 @@ pub struct DeliverySummary {
     /// Recipients whose tracking kernel vanished before resolving the
     /// receipt (node shutdown mid-raise) — not a delivery timeout.
     pub lost: usize,
+    /// Recipients whose bounded mailbox shed the event (admission
+    /// control said no; the raise was *not* silently dropped).
+    pub overloaded: usize,
     /// Nodes where delivery happened.
     pub nodes: Vec<NodeId>,
 }
@@ -123,7 +127,7 @@ pub struct DeliverySummary {
 impl DeliverySummary {
     /// True if every recipient got the event.
     pub fn all_delivered(&self) -> bool {
-        self.dead == 0 && self.timed_out == 0 && self.lost == 0
+        self.dead == 0 && self.timed_out == 0 && self.lost == 0 && self.overloaded == 0
     }
 }
 
@@ -143,6 +147,7 @@ impl RaiseTicket {
                 }
                 Ok(DeliveryStatus::TargetDead) => summary.dead += 1,
                 Ok(DeliveryStatus::Timeout) => summary.timed_out += 1,
+                Ok(DeliveryStatus::Overloaded(_)) => summary.overloaded += 1,
                 // A disconnected receipt channel means the tracking
                 // kernel is gone, not that delivery timed out.
                 Ok(DeliveryStatus::Lost) | Err(_) => summary.lost += 1,
@@ -376,6 +381,13 @@ impl NodeKernel {
             .trace(seq, stage, u64::from(self.node.0), RaiseVariant::None);
     }
 
+    /// Account one shed event at this node: the overall `kernel.shed_total`
+    /// plus the per-lane counter E13 breaks excess down by.
+    fn record_shed(&self, lane: Lane) {
+        self.telemetry.counter("kernel.shed_total").inc();
+        self.telemetry.counter(&format!("kernel.shed_{lane}")).inc();
+    }
+
     /// Trace + measure acceptance of a thread-targeted event at this
     /// node's delivery point (raise-to-deliver latency).
     fn record_thread_delivery(&self, event: &WireEvent) {
@@ -588,9 +600,10 @@ impl NodeKernel {
             } => {
                 self.handle_deliver_thread(event, target, origin, delivery_id, hops, anchor, hinted)
             }
-            KernelMessage::DeliverReceipt { delivery_id, found } => {
-                self.handle_receipt(delivery_id, found)
-            }
+            KernelMessage::DeliverReceipt {
+                delivery_id,
+                verdict,
+            } => self.handle_receipt(delivery_id, verdict),
             KernelMessage::DeliverObject { event, object } => {
                 self.enqueue_object_event(object, event)
             }
@@ -661,7 +674,7 @@ impl NodeKernel {
                 act.clone()
             }
             None => {
-                let act = Arc::new(Activation::new(attrs));
+                let act = Arc::new(Activation::with_mailbox(attrs, self.config.mailbox));
                 acts.insert(thread, (act.clone(), 1));
                 drop(acts);
                 self.net
@@ -900,6 +913,19 @@ impl NodeKernel {
         self.telemetry
             .trace(seq, Stage::Raise, u64::from(self.node.0), variant);
         self.telemetry.counter("event.raises").inc();
+        let t_raise_ns = self.telemetry.now_ns();
+        // Timer-lane events carry a usefulness deadline: past it the tick
+        // is stale (the next one supersedes it), before it a near-deadline
+        // tick jumps the USER lane at the target's mailbox.
+        let deadline_ns = (Lane::classify(&name) == Lane::Timer).then(|| {
+            t_raise_ns.saturating_add(
+                self.config
+                    .mailbox
+                    .timer_deadline
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64,
+            )
+        });
         let event = WireEvent {
             name,
             payload,
@@ -907,8 +933,9 @@ impl NodeKernel {
             raiser_node: self.node,
             seq,
             sync,
-            t_raise_ns: self.telemetry.now_ns(),
+            t_raise_ns,
             attrs: raiser.map(|a| a.attributes_snapshot()),
+            deadline_ns,
         };
         let ticket = match target {
             RaiseTarget::Object(object) => {
@@ -945,6 +972,18 @@ impl NodeKernel {
             );
         };
         self.trace(event.seq, Stage::Route);
+        // Source shedding: a recent receipt said the home node's mailboxes
+        // are overloaded, so don't even put a sheddable raise on the wire.
+        let lane = Lane::classify(&event.name);
+        if lane.sheddable() && record.home != self.node && self.net.peer_pressured(record.home) {
+            self.record_shed(lane);
+            self.telemetry.counter("kernel.shed_at_source").inc();
+            self.telemetry.counter("delivery.overloaded").inc();
+            return RaiseTicket::immediate(
+                DeliveryStatus::Overloaded(record.home),
+                self.config.delivery_timeout,
+            );
+        }
         if record.home == self.node {
             self.enqueue_object_event(object, event);
         } else {
@@ -995,10 +1034,18 @@ impl NodeKernel {
             if self.tcbs.trail(thread) == Trail::TipHere {
                 if let Some(act) = self.activation(thread) {
                     self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
-                    self.record_thread_delivery(&event);
-                    act.push_event(event.clone());
-                    self.telemetry.counter("delivery.delivered").inc();
-                    let _ = tx.send(DeliveryStatus::Delivered(self.node));
+                    match act.push_event(event.clone()) {
+                        crate::Admission::Stored => {
+                            self.record_thread_delivery(&event);
+                            self.telemetry.counter("delivery.delivered").inc();
+                            let _ = tx.send(DeliveryStatus::Delivered(self.node));
+                        }
+                        crate::Admission::Shed(lane) => {
+                            self.record_shed(lane);
+                            self.telemetry.counter("delivery.overloaded").inc();
+                            let _ = tx.send(DeliveryStatus::Overloaded(self.node));
+                        }
+                    }
                     continue;
                 }
             }
@@ -1184,6 +1231,20 @@ impl NodeKernel {
             cache.invalidate(target);
             return false;
         }
+        // Source shedding: the hinted node recently shed on us. Resolve a
+        // sheddable raise as Overloaded right here instead of feeding the
+        // flood; the hint itself stays valid (the thread is still there).
+        let lane = Lane::classify(&event.name);
+        if lane.sheddable() && self.net.peer_pressured(node) {
+            let removed = self.deliveries.lock().remove(&delivery_id);
+            if let Some(t) = removed {
+                self.record_shed(lane);
+                self.telemetry.counter("kernel.shed_at_source").inc();
+                self.telemetry.counter("delivery.overloaded").inc();
+                let _ = t.result_tx.send(DeliveryStatus::Overloaded(node));
+            }
+            return true;
+        }
         {
             let mut map = self.deliveries.lock();
             let Some(t) = map.get_mut(&delivery_id) else {
@@ -1215,7 +1276,7 @@ impl NodeKernel {
         if !sent {
             // Unreliable transport and the link is down: treat it as an
             // immediate "not here" so the wave fallback runs now.
-            self.handle_receipt(delivery_id, None);
+            self.handle_receipt(delivery_id, ReceiptVerdict::NotHere);
         }
         true
     }
@@ -1233,16 +1294,36 @@ impl NodeKernel {
         anchor: bool,
         hinted: bool,
     ) {
-        let receipt = |found: Option<NodeId>| {
+        let receipt = |verdict: ReceiptVerdict| {
             if origin == self.node {
-                self.handle_receipt(delivery_id, found);
+                self.handle_receipt(delivery_id, verdict);
             } else {
                 let _ = self.net.send(
                     self.node,
                     origin,
-                    KernelMessage::DeliverReceipt { delivery_id, found },
+                    KernelMessage::DeliverReceipt {
+                        delivery_id,
+                        verdict,
+                    },
                     MessageClass::Locate,
                 );
+            }
+        };
+        // Enqueue at this node's activation, turning the mailbox's
+        // admission into the receipt verdict: a shed is *reported*, not
+        // silently dropped, and rides the (coalesced) receipt back to the
+        // origin as the backpressure signal.
+        let admit = |act: &Arc<Activation>, event: WireEvent| -> ReceiptVerdict {
+            self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
+            match act.push_event(event.clone()) {
+                crate::Admission::Stored => {
+                    self.record_thread_delivery(&event);
+                    ReceiptVerdict::Found(self.node)
+                }
+                crate::Admission::Shed(lane) => {
+                    self.record_shed(lane);
+                    ReceiptVerdict::Overloaded(self.node)
+                }
             }
         };
         if anchor {
@@ -1252,25 +1333,19 @@ impl NodeKernel {
             let alive = self.tcbs.trail(target) != Trail::Unknown;
             if alive {
                 if let Some(act) = self.activation(target) {
-                    self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
-                    self.record_thread_delivery(&event);
-                    act.push_event(event);
-                    receipt(Some(self.node));
+                    receipt(admit(&act, event));
                     return;
                 }
             }
-            receipt(None);
+            receipt(ReceiptVerdict::NotHere);
             return;
         }
         match self.tcbs.trail(target) {
             Trail::TipHere => {
                 if let Some(act) = self.activation(target) {
-                    self.stats.thread_events.fetch_add(1, Ordering::Relaxed);
-                    self.record_thread_delivery(&event);
-                    act.push_event(event);
-                    receipt(Some(self.node));
+                    receipt(admit(&act, event));
                 } else {
-                    receipt(None);
+                    receipt(ReceiptVerdict::NotHere);
                 }
             }
             Trail::Forward(next) => {
@@ -1299,25 +1374,27 @@ impl NodeKernel {
                     );
                 } else {
                     // Broadcast/multicast probes cover the tip directly.
-                    receipt(None);
+                    receipt(ReceiptVerdict::NotHere);
                 }
             }
-            Trail::Unknown => receipt(None),
+            Trail::Unknown => receipt(ReceiptVerdict::NotHere),
         }
     }
 
-    fn handle_receipt(self: &Arc<Self>, delivery_id: u64, found: Option<NodeId>) {
+    fn handle_receipt(self: &Arc<Self>, delivery_id: u64, verdict: ReceiptVerdict) {
         let mut retry = false;
         // A resolved tracker's raiser is notified only after the
         // deliveries lock is released (collect-then-send).
         let mut resolved: Option<(Sender<DeliveryStatus>, DeliveryStatus)> = None;
+        // Backpressure to note once the lock is released.
+        let mut pressured: Option<NodeId> = None;
         {
             let mut map = self.deliveries.lock();
             let Some(t) = map.get_mut(&delivery_id) else {
                 return;
             };
-            match found {
-                Some(node) => {
+            match verdict {
+                ReceiptVerdict::Found(node) => {
                     // Learn (or refresh) the target's location for the
                     // next raise from this node; local deliveries go
                     // through the tip fast path, so only cache remotes.
@@ -1331,7 +1408,23 @@ impl NodeKernel {
                         resolved = Some((t.result_tx, DeliveryStatus::Delivered(node)));
                     }
                 }
-                None => {
+                ReceiptVerdict::Overloaded(node) => {
+                    // The mailbox said no: resolve without retrying (a
+                    // retry would feed the flood) and shed future
+                    // sheddable raises toward that node at the source for
+                    // a while. The thread *is* there, so refresh the hint.
+                    if node != self.node {
+                        if let Some(cache) = &self.location_cache {
+                            cache.record(t.target, node);
+                        }
+                        pressured = Some(node);
+                    }
+                    self.telemetry.counter("delivery.overloaded").inc();
+                    if let Some(t) = map.remove(&delivery_id) {
+                        resolved = Some((t.result_tx, DeliveryStatus::Overloaded(node)));
+                    }
+                }
+                ReceiptVerdict::NotHere => {
                     if let Some((_, generation, _)) = t.hint.take() {
                         // The hinted node answered "not here": the cache
                         // entry is stale. Invalidate it and fall back to
@@ -1381,6 +1474,10 @@ impl NodeKernel {
                 }
             }
         }
+        if let Some(node) = pressured {
+            self.net
+                .note_backpressure(node, self.config.mailbox.backpressure_hold);
+        }
         if let Some((tx, status)) = resolved {
             let _ = tx.send(status);
         }
@@ -1396,12 +1493,21 @@ impl NodeKernel {
             };
             if self.tcbs.trail(target) == Trail::TipHere {
                 if let Some(act) = self.activation(target) {
-                    self.record_thread_delivery(&event);
-                    act.push_event(event);
+                    let admission = act.push_event(event.clone());
                     let removed = self.deliveries.lock().remove(&delivery_id);
                     if let Some(t) = removed {
-                        self.telemetry.counter("delivery.delivered").inc();
-                        let _ = t.result_tx.send(DeliveryStatus::Delivered(self.node));
+                        match admission {
+                            crate::Admission::Stored => {
+                                self.record_thread_delivery(&event);
+                                self.telemetry.counter("delivery.delivered").inc();
+                                let _ = t.result_tx.send(DeliveryStatus::Delivered(self.node));
+                            }
+                            crate::Admission::Shed(lane) => {
+                                self.record_shed(lane);
+                                self.telemetry.counter("delivery.overloaded").inc();
+                                let _ = t.result_tx.send(DeliveryStatus::Overloaded(self.node));
+                            }
+                        }
                     }
                     return;
                 }
@@ -1471,6 +1577,27 @@ impl NodeKernel {
             let _ = tx.send(status);
         }
         self.send_probe_wave(&hint_fallbacks);
+        self.sample_mailbox_depths();
+    }
+
+    /// Sample every local activation's mailbox depth into the
+    /// `kernel.mailbox_depth` histogram. Reads the lock-free atomic depth
+    /// mirror, never the activation lock: the sweep can neither observe a
+    /// mailbox mid-resize nor stall delivery under load.
+    fn sample_mailbox_depths(&self) {
+        let acts: Vec<Arc<Activation>> = self
+            .activations
+            .lock()
+            .values()
+            .map(|(a, _)| Arc::clone(a))
+            .collect();
+        if acts.is_empty() {
+            return;
+        }
+        let histogram = self.telemetry.histogram("kernel.mailbox_depth");
+        for act in acts {
+            histogram.record_ns(act.depth_hint() as u64);
+        }
     }
 
     /// Resume a raiser blocked in `raise_and_wait` (facility-facing).

@@ -11,10 +11,11 @@ use crate::{
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Domain tag for the latency-sampling RNG stream (see `crate::seed`).
 const LATENCY_RNG_DOMAIN: u64 = 0x6C61_7465; // "late"
@@ -204,6 +205,12 @@ pub struct Network<M: Send + 'static> {
     latency_rng: Mutex<rand::rngs::StdRng>,
     multicast: MulticastRegistry,
     detector: RwLock<Option<Arc<FailureDetector>>>,
+    /// Peers that recently shed on this fabric's behalf, each with the
+    /// instant its backpressure expires. Senders consult this to shed
+    /// sheddable traffic at the source instead of feeding an overloaded
+    /// peer (the signal itself rides delivery receipts, not extra wire
+    /// traffic).
+    pressure: Mutex<HashMap<NodeId, Instant>>,
 }
 
 impl<M: Send + 'static> fmt::Debug for Network<M> {
@@ -301,6 +308,7 @@ impl<M: WireMessage + Send + 'static> Network<M> {
             )),
             multicast: MulticastRegistry::new(),
             detector: RwLock::new(None),
+            pressure: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -350,6 +358,31 @@ impl<M: Send + 'static> Network<M> {
             Ok(())
         } else {
             Err(NetworkError::UnknownNode(node))
+        }
+    }
+
+    /// Record a backpressure signal from `peer` (it shed a delivery):
+    /// [`Network::peer_pressured`] reports `peer` as pressured for the
+    /// next `hold`. Repeated signals extend the hold.
+    pub fn note_backpressure(&self, peer: NodeId, hold: Duration) {
+        self.path.stats.record_backpressure();
+        let until = Instant::now() + hold;
+        let mut pressure = self.pressure.lock();
+        let entry = pressure.entry(peer).or_insert(until);
+        *entry = (*entry).max(until);
+    }
+
+    /// Whether `peer` signalled backpressure within its hold window.
+    /// Expired entries are pruned on the way out.
+    pub fn peer_pressured(&self, peer: NodeId) -> bool {
+        let mut pressure = self.pressure.lock();
+        match pressure.get(&peer) {
+            Some(&until) if Instant::now() < until => true,
+            Some(_) => {
+                pressure.remove(&peer);
+                false
+            }
+            None => false,
         }
     }
 
@@ -808,6 +841,20 @@ mod tests {
         assert_eq!(env.class, MessageClass::Event);
         assert_eq!(env.seq, 0, "best-effort traffic is unsequenced");
         assert_eq!(env.payload, "x");
+    }
+
+    #[test]
+    fn backpressure_holds_then_expires() {
+        let net = net(3);
+        assert!(!net.peer_pressured(NodeId(1)), "no signal yet");
+        net.note_backpressure(NodeId(1), Duration::from_secs(60));
+        assert!(net.peer_pressured(NodeId(1)));
+        assert!(!net.peer_pressured(NodeId(2)), "per-peer, not global");
+        net.note_backpressure(NodeId(2), Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!net.peer_pressured(NodeId(2)), "hold expired");
+        assert!(net.peer_pressured(NodeId(1)), "longer hold still active");
+        assert_eq!(net.stats().backpressure_signals(), 2);
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct NetStats {
     /// wave. Each also counts a normal per-class send; this series
     /// isolates how often the fast path fires.
     hint_unicasts: Counter,
+    /// Backpressure signals noted from overloaded peers (each starts or
+    /// extends a source-shedding hold toward that peer). The signal rides
+    /// delivery receipts, so this counts observations, not extra wire
+    /// messages.
+    backpressure_signals: Counter,
     dropped: Counter,
     /// Physical transmissions (first sends and retransmissions alike).
     /// A batch counts once however many payloads it carries, so
@@ -90,6 +95,7 @@ impl NetStats {
             broadcasts: registry.counter("net.broadcasts"),
             multicasts: registry.counter("net.multicasts"),
             hint_unicasts: registry.counter("net.hint_unicasts"),
+            backpressure_signals: registry.counter("net.backpressure_signals"),
             dropped: registry.counter("net.dropped"),
             wire_msgs: registry.counter("net.wire_msgs"),
             batches_sent: registry.counter("net.batches_sent"),
@@ -130,6 +136,12 @@ impl NetStats {
     /// [`NetStats::record_broadcast`] for why this is public).
     pub fn record_hint_unicast(&self) {
         self.hint_unicasts.inc();
+    }
+
+    /// Count one backpressure signal noted from an overloaded peer (via
+    /// [`crate::Network::note_backpressure`]).
+    pub fn record_backpressure(&self) {
+        self.backpressure_signals.inc();
     }
 
     pub(crate) fn record_drop(&self) {
@@ -224,6 +236,11 @@ impl NetStats {
         self.hint_unicasts.get()
     }
 
+    /// Backpressure signals noted from overloaded peers.
+    pub fn backpressure_signals(&self) -> u64 {
+        self.backpressure_signals.get()
+    }
+
     /// Messages dropped by cut links or partitions.
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
@@ -298,6 +315,7 @@ impl NetStats {
         self.broadcasts.reset();
         self.multicasts.reset();
         self.hint_unicasts.reset();
+        self.backpressure_signals.reset();
         self.dropped.reset();
         self.wire_msgs.reset();
         self.batches_sent.reset();
@@ -495,6 +513,18 @@ mod tests {
         assert_eq!(registry.snapshot().counters["net.hint_unicasts"], 2);
         s.reset();
         assert_eq!(s.hint_unicasts(), 0);
+    }
+
+    #[test]
+    fn backpressure_signals_are_tracked_and_reset() {
+        let registry = Registry::new();
+        let s = NetStats::bound(&registry);
+        s.record_backpressure();
+        s.record_backpressure();
+        assert_eq!(s.backpressure_signals(), 2);
+        assert_eq!(registry.snapshot().counters["net.backpressure_signals"], 2);
+        s.reset();
+        assert_eq!(s.backpressure_signals(), 0);
     }
 
     #[test]

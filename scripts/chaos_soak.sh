@@ -2,8 +2,8 @@
 # Chaos soak: seeded partition/heal runs over the reliability layer.
 #
 # Drives the same cut -> traffic -> heal cycle as bench experiment E11
-# plus the partition and soak integration tests, all derived from one
-# base seed so failures replay deterministically:
+# plus the partition, soak and overload integration tests, all derived
+# from one base seed so failures replay deterministically:
 #
 #   DOCT_SEED=123 scripts/chaos_soak.sh
 #
@@ -24,9 +24,9 @@ if [[ "${DOCT_LOCKDEP:-0}" == "1" ]]; then
 fi
 echo "=== chaos soak, DOCT_SEED=${SEED} ==="
 
-echo "--- partition + soak integration tests ---"
+echo "--- partition + soak + overload integration tests ---"
 DOCT_SEED="${SEED}" cargo test --release "${FEATURES[@]}" \
-  --test partition --test soak --test lock_order -- --nocapture
+  --test partition --test soak --test overload --test lock_order -- --nocapture
 
 echo "--- E11 partition & heal (with telemetry) ---"
 DOCT_SEED="${SEED}" cargo run --release "${FEATURES[@]}" -p doct-bench --bin experiments -- e11

@@ -34,7 +34,7 @@ fn fast_reliability() -> ReliabilityConfig {
     }
 }
 
-fn delivery_counters(cluster: &Cluster) -> (u64, u64, u64, u64, u64) {
+fn delivery_counters(cluster: &Cluster) -> (u64, u64, u64, u64, u64, u64) {
     let counters = cluster.telemetry().metrics().counters;
     let get = |name: &str| counters.get(name).copied().unwrap_or(0);
     (
@@ -43,16 +43,17 @@ fn delivery_counters(cluster: &Cluster) -> (u64, u64, u64, u64, u64) {
         get("delivery.dead"),
         get("delivery.timeout"),
         get("delivery.lost"),
+        get("delivery.overloaded"),
     )
 }
 
 fn assert_ledger_balances(cluster: &Cluster) {
-    let (requested, delivered, dead, timeout, lost) = delivery_counters(cluster);
+    let (requested, delivered, dead, timeout, lost, overloaded) = delivery_counters(cluster);
     assert_eq!(
         requested,
-        delivered + dead + timeout + lost,
+        delivered + dead + timeout + lost + overloaded,
         "ledger out of balance: requested {requested} != delivered {delivered} \
-         + dead {dead} + timeout {timeout} + lost {lost}"
+         + dead {dead} + timeout {timeout} + lost {lost} + overloaded {overloaded}"
     );
 }
 
@@ -107,7 +108,7 @@ fn isolated_multicast_member_is_not_delivered_and_heal_replays_nothing() {
         "the islanded member must not appear among delivery nodes"
     );
     assert_eq!(
-        summary.delivered + summary.dead + summary.timed_out + summary.lost,
+        summary.delivered + summary.dead + summary.timed_out + summary.lost + summary.overloaded,
         2,
         "both members accounted for: {summary:?}"
     );
@@ -286,7 +287,7 @@ fn kernel_shutdown_mid_raise_resolves_receipts_as_lost() {
         start.elapsed()
     );
 
-    let (_, _, _, _, lost) = delivery_counters(&cluster);
+    let (_, _, _, _, lost, _) = delivery_counters(&cluster);
     assert_eq!(lost, 1, "delivery.lost must record the drained tracker");
     assert_ledger_balances(&cluster);
 

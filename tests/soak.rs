@@ -53,7 +53,8 @@ impl Drop for SeedReport {
 }
 
 /// At quiescence every tracked raise must be accounted for:
-/// requested == delivered + dead + timed out + lost.
+/// requested == delivered + dead + timed out + lost + overloaded.
+/// Shed raises are *typed* outcomes, never silent drops.
 fn assert_delivery_ledger_balances(cluster: &Cluster) {
     let counters = cluster.telemetry().metrics().counters;
     let get = |name: &str| counters.get(name).copied().unwrap_or(0);
@@ -61,16 +62,18 @@ fn assert_delivery_ledger_balances(cluster: &Cluster) {
     let resolved = get("delivery.delivered")
         + get("delivery.dead")
         + get("delivery.timeout")
-        + get("delivery.lost");
+        + get("delivery.lost")
+        + get("delivery.overloaded");
     assert_eq!(
         requested,
         resolved,
         "delivery ledger out of balance: requested {requested} != \
-         delivered {} + dead {} + timeout {} + lost {}",
+         delivered {} + dead {} + timeout {} + lost {} + overloaded {}",
         get("delivery.delivered"),
         get("delivery.dead"),
         get("delivery.timeout"),
-        get("delivery.lost")
+        get("delivery.lost"),
+        get("delivery.overloaded")
     );
     assert!(requested > 0, "soak raised no tracked events");
 }
