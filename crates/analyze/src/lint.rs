@@ -6,7 +6,7 @@
 //!
 //! | rule id               | finding |
 //! |-----------------------|---------|
-//! | `lock-across-blocking`| a `parking_lot` guard is live on a line that performs a blocking operation (`send_probes`, `call_remote`, channel `.send(`/`.recv(`/`recv_timeout(`) |
+//! | `lock-across-blocking`| a `parking_lot` guard — including a `ShardedTable::lock_shard` stripe guard — is live on a line that performs a blocking operation (`send_probes`, `call_remote`, channel `.send(`/`.recv(`/`recv_timeout(`) |
 //! | `unwrap-in-prod`      | `unwrap()` on a lock/recv result outside test code |
 //! | `wall-clock-in-sim`   | `Instant::now()` / `SystemTime::now()` in a file that participates in `DOCT_SEED`-deterministic simulation |
 //! | `missing-must-use`    | a receipt/ticket/delivery-status type without `#[must_use]` |
@@ -262,8 +262,14 @@ const BLOCKING_PATTERNS: &[&str] = &[
 
 const LOCK_CALLS: &[&str] = &[".lock()", ".read()", ".write()"];
 
+/// Striped-lock acquisition (`ShardedTable::lock_shard`): takes the
+/// stripe index as an argument, so the exact-suffix `LOCK_CALLS` match
+/// cannot see it and it gets contains/remainder logic of its own.
+const SHARD_LOCK_CALL: &str = ".lock_shard(";
+
 fn has_lock_call(code: &str) -> bool {
-    LOCK_CALLS.iter().any(|p| code.contains(p)) && !code.contains(".try_lock()")
+    (LOCK_CALLS.iter().any(|p| code.contains(p)) || code.contains(SHARD_LOCK_CALL))
+        && !code.contains(".try_lock()")
 }
 
 fn blocking_pattern(code: &str) -> Option<&'static str> {
@@ -295,7 +301,17 @@ fn let_binding(code: &str) -> Option<String> {
 fn binds_guard(code: &str) -> bool {
     let t = code.trim_end();
     let t = t.strip_suffix(';').unwrap_or(t).trim_end();
-    LOCK_CALLS.iter().any(|p| t.ends_with(p))
+    if LOCK_CALLS.iter().any(|p| t.ends_with(p)) {
+        return true;
+    }
+    // `.lock_shard(idx)` binds a stripe guard iff nothing is chained
+    // after the call — `lock_shard(idx).entries.len()` is a same-statement
+    // temporary, like `.lock().clone()`.
+    if let Some(pos) = t.rfind(SHARD_LOCK_CALL) {
+        let rest = &t[pos + SHARD_LOCK_CALL.len()..];
+        return rest.ends_with(')') && !rest.contains('.');
+    }
+    false
 }
 
 struct LiveGuard {
@@ -565,6 +581,31 @@ mod tests {
         let out = lint_file(Path::new("x.rs"), src);
         assert_eq!(out.len(), 1, "{out:#?}");
         assert_eq!(out[0].rule, RULE_LOCK_ACROSS_BLOCKING);
+    }
+
+    #[test]
+    fn shard_guard_across_send_is_flagged() {
+        let src =
+            "fn f() {\n    let mut shard = self.deliveries.lock_shard(idx);\n    tx.send(1);\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, RULE_LOCK_ACROSS_BLOCKING);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn shard_guard_dropped_before_send_is_clean() {
+        let src = "fn f() {\n    let mut shard = self.deliveries.lock_shard(idx);\n    drop(shard);\n    tx.send(1);\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn chained_shard_access_is_a_statement_temporary_not_a_guard() {
+        let src =
+            "fn f() {\n    let n = self.deliveries.lock_shard(idx).entries.len();\n    tx.send(1);\n}\n";
+        let out = lint_file(Path::new("x.rs"), src);
+        assert!(out.is_empty(), "{out:#?}");
     }
 
     #[test]

@@ -18,8 +18,19 @@
 //! * **typed admission under overload** (bounded mailbox): concurrent
 //!   producers flooding a full lane race a consumer draining at delivery
 //!   points — every push is Stored or Shed in exact agreement with a
-//!   reference occupancy count, control events preempt and pop FIFO, and
-//!   a stored push always wakes a parked consumer (no lost wakeup).
+//!   reference occupancy count, control events preempt and pop FIFO, a
+//!   stored push always wakes a parked consumer (no lost wakeup), and the
+//!   lock-free depth mirror equals the real occupancy after every step;
+//! * **steal-handoff exactly-once** (per-core reactors, §3f): an owner
+//!   popping its `StealQueue` from the front races a thief stealing from
+//!   the back while a router pushes — no event is delivered twice or
+//!   lost, and the notify-on-empty-transition wake protocol never strands
+//!   a parked owner;
+//! * **single-winner drain** (sharded delivery table, §3f): a raiser
+//!   inserting trackers races a receipt-path remove and the shutdown
+//!   drain — every tracker is resolved by exactly one party (removed,
+//!   drained, or refused-at-insert), so the five-term delivery ledger
+//!   cannot double- or zero-count a raise at shutdown.
 //!
 //! Method granularity is the honest yield-point choice here: both
 //! structures confine shared state behind a single internal lock
@@ -27,9 +38,9 @@
 //! interleaving is equivalent to some serialization of whole calls.
 
 use doct_events::{MarkSeen, ThreadRegistry};
-use doct_kernel::{LocationCache, LocationCacheConfig, ThreadId};
+use doct_kernel::{Insert, LocationCache, LocationCacheConfig, ShardedTable, StealQueue, ThreadId};
 use doct_net::NodeId;
-use doct_telemetry::Registry;
+use doct_telemetry::{Counter, Registry};
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -316,6 +327,11 @@ pub fn check_seen_ring_eviction_window() -> ModelReport {
 ///   queued (preemption), and control seqs pop in FIFO order;
 /// * after every step, a parked consumer implies an empty mailbox — a
 ///   queued event alongside a waiting consumer is a lost wakeup;
+/// * after every step, the lock-free depth mirror
+///   ([`Mailbox::depth_handle`]) equals both the mailbox's real length
+///   and the reference occupancy — a shed must never touch the mirror
+///   (the kernel sweep and the per-reactor depth gauges read it without
+///   the activation lock, so any drift miscounts load forever);
 /// * conservation: stored − popped events remain queued, stored + shed
 ///   equals pushes attempted. Shed is a typed outcome, never a silent
 ///   drop.
@@ -356,6 +372,7 @@ pub fn check_mailbox_overload_admission() -> ModelReport {
             user_capacity: LANE_CAP,
             ..MailboxConfig::default()
         });
+        let depth = mailbox.depth_handle();
         let mut pc = [0usize; 3];
         let mut ref_len = [0usize; 3]; // reference occupancy per lane
         let mut waiting = false; // consumer parked at a delivery point
@@ -428,6 +445,14 @@ pub fn check_mailbox_overload_admission() -> ModelReport {
             if waiting && !mailbox.is_empty() {
                 bad("lost wakeup: consumer parked with events queued".into());
             }
+            let mirror = depth.load(std::sync::atomic::Ordering::Relaxed);
+            let occupancy: usize = ref_len.iter().sum();
+            if mirror != mailbox.len() || mailbox.len() != occupancy {
+                bad(format!(
+                    "depth mirror drifted: mirror {mirror}, mailbox {}, reference {occupancy}",
+                    mailbox.len()
+                ));
+            }
         }
 
         if stored - popped != mailbox.len() {
@@ -451,6 +476,172 @@ pub fn check_mailbox_overload_admission() -> ModelReport {
     }
 }
 
+/// Per-core reactors (§3f): a router pushes work onto one reactor's
+/// **real** `StealQueue` while the owning reactor pops from the front and
+/// an idle neighbour steals from the back. The model drives every
+/// interleaving of:
+///
+/// * T0 — router: two pushes. `StealQueue::push` reports whether the
+///   queue was empty, computed inside the queue's lock; the router wakes
+///   the owner exactly on that empty transition (clears the waiting
+///   flag), mirroring `NodeKernel::route`;
+/// * T1 — owner: three front pops, parking (waiting flag) on `None` —
+///   mirroring `run_reactor`'s pop-then-park loop;
+/// * T2 — thief: two back steals of one item each.
+///
+/// Invariants, on all 7!/(2!·3!·2!) = 210 schedules:
+/// * **exactly-once**: each pushed item is obtained by exactly one of
+///   owner-pop and thief-steal — a steal racing a pop never duplicates or
+///   loses an item;
+/// * **no lost wakeup**: after every step, a parked owner implies an
+///   empty queue. This is the load-bearing one: a steal can empty the
+///   queue *between* a push and the next push, and only because
+///   `was_empty` is computed under the queue lock does the next push
+///   re-arm the wake;
+/// * conservation: pushed = popped + stolen + remaining at the end.
+pub fn check_reactor_steal_handoff() -> ModelReport {
+    let counts = [2usize, 3, 2];
+    let schedules = interleavings(&counts);
+    let mut violations = Vec::new();
+
+    for sched in &schedules {
+        let queue: StealQueue<u32> = StealQueue::new();
+        let mut pc = [0usize; 3];
+        let mut waiting = false;
+        let mut popped: Vec<u32> = Vec::new();
+        let mut stolen: Vec<u32> = Vec::new();
+        let mut bad = |msg: String| violations.push(format!("schedule {sched:?}: {msg}"));
+
+        for &t in sched {
+            match t {
+                0 => {
+                    let item = 10 + pc[0] as u32;
+                    if queue.push(item) {
+                        // Empty transition: the router wakes the owner.
+                        waiting = false;
+                    }
+                }
+                1 => match queue.pop() {
+                    Some(item) => popped.push(item),
+                    None => waiting = true,
+                },
+                2 => stolen.extend(queue.steal(1)),
+                _ => unreachable!("schedule exceeds thread script"),
+            }
+            pc[t] += 1;
+            if waiting && !queue.is_empty() {
+                bad("lost wakeup: owner parked with work queued".into());
+            }
+        }
+
+        let mut obtained: Vec<u32> = popped.iter().chain(stolen.iter()).copied().collect();
+        obtained.sort_unstable();
+        if obtained.windows(2).any(|w| w[0] == w[1]) {
+            bad(format!(
+                "double delivery: popped {popped:?}, stolen {stolen:?}"
+            ));
+        }
+        if obtained.len() + queue.len() != counts[0] {
+            bad(format!(
+                "conservation broken: obtained {} + remaining {} != pushed {}",
+                obtained.len(),
+                queue.len(),
+                counts[0]
+            ));
+        }
+    }
+
+    ModelReport {
+        name: "reactor-steal-handoff",
+        schedules: schedules.len() as u64,
+        steps: counts.iter().sum(),
+        violations,
+    }
+}
+
+/// Sharded delivery table shutdown (§3f): a raiser registering trackers
+/// races the receipt path resolving them and the kernel's shutdown drain
+/// — on the **real** `ShardedTable`. Before the drain latch existed, an
+/// insert that lost the race landed in an already-emptied shard and the
+/// raise was stranded (its waiter counted `lost` with no
+/// `delivery.lost` increment — a ledger hole). The model drives every
+/// interleaving of:
+///
+/// * T0 — raiser: `insert(1)`, `insert(2)` (a refused insert hands the
+///   tracker back as [`Insert::Draining`]);
+/// * T1 — receipt path: `remove(1)`, `remove(2)`;
+/// * T2 — shutdown: one `drain`.
+///
+/// Invariant, on all 5!/(2!·2!·1!) = 30 schedules: every tracker is
+/// resolved by **exactly one** party — removed by the receipt path,
+/// swept up by the drain, or refused at insert — and the table is empty
+/// afterwards. Exactly-one is what makes the five-term ledger balance:
+/// each resolution increments exactly one `delivery.*` counter.
+pub fn check_sharded_table_drain() -> ModelReport {
+    let counts = [2usize, 2, 1];
+    let schedules = interleavings(&counts);
+    let mut violations = Vec::new();
+
+    for sched in &schedules {
+        let table: ShardedTable<&'static str> = ShardedTable::new(Counter::new());
+        let mut pc = [0usize; 3];
+        // Per id (1, 2): [removed, drained, refused] resolution tallies.
+        let mut resolved = [[0usize; 3]; 2];
+        let mut drained: Vec<&'static str> = Vec::new();
+
+        for &t in sched {
+            match (t, pc[t]) {
+                (0, step) => {
+                    let (id, tracker) = if step == 0 { (1, "t1") } else { (2, "t2") };
+                    if let Insert::Draining(_) = table.insert(id, tracker) {
+                        resolved[id as usize - 1][2] += 1;
+                    }
+                }
+                (1, step) => {
+                    let id = if step == 0 { 1u64 } else { 2 };
+                    if table.remove(id).is_some() {
+                        resolved[id as usize - 1][0] += 1;
+                    }
+                }
+                (2, _) => drained = table.drain(),
+                _ => unreachable!("schedule exceeds thread script"),
+            }
+            pc[t] += 1;
+        }
+
+        for tracker in &drained {
+            let id = if *tracker == "t1" { 1usize } else { 2 };
+            resolved[id - 1][1] += 1;
+        }
+        for (i, tallies) in resolved.iter().enumerate() {
+            let total: usize = tallies.iter().sum();
+            if total != 1 {
+                violations.push(format!(
+                    "schedule {sched:?}: tracker {} resolved {total} times \
+                     (removed {}, drained {}, refused {})",
+                    i + 1,
+                    tallies[0],
+                    tallies[1],
+                    tallies[2]
+                ));
+            }
+        }
+        if !table.is_empty() {
+            violations.push(format!(
+                "schedule {sched:?}: {} tracker(s) stranded after shutdown",
+                table.len()
+            ));
+        }
+    }
+
+    ModelReport {
+        name: "sharded-table-drain",
+        schedules: schedules.len() as u64,
+        steps: counts.iter().sum(),
+        violations,
+    }
+}
+
 /// Run every model; returns the reports (callers log counts and fail on
 /// any violation).
 pub fn run_all() -> Vec<ModelReport> {
@@ -459,6 +650,8 @@ pub fn run_all() -> Vec<ModelReport> {
         check_seen_ring_exactly_once(),
         check_seen_ring_eviction_window(),
         check_mailbox_overload_admission(),
+        check_reactor_steal_handoff(),
+        check_sharded_table_drain(),
     ]
 }
 
@@ -529,6 +722,30 @@ mod tests {
         let report = check_mailbox_overload_admission();
         assert_eq!(report.schedules, 560, "8!/(2!·3!·3!) interleavings");
         assert_eq!(report.schedules, multinomial(&[2, 3, 3]));
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:#?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn reactor_steal_model_holds_on_every_schedule() {
+        let report = check_reactor_steal_handoff();
+        assert_eq!(report.schedules, 210, "7!/(2!·3!·2!) interleavings");
+        assert_eq!(report.schedules, multinomial(&[2, 3, 2]));
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:#?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn sharded_table_drain_model_holds_on_every_schedule() {
+        let report = check_sharded_table_drain();
+        assert_eq!(report.schedules, 30, "5!/(2!·2!·1!) interleavings");
+        assert_eq!(report.schedules, multinomial(&[2, 2, 1]));
         assert!(
             report.violations.is_empty(),
             "violations: {:#?}",

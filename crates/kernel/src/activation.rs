@@ -346,6 +346,33 @@ mod tests {
     }
 
     #[test]
+    fn depth_mirror_moves_on_stored_only_never_on_shed() {
+        // The sweep and the per-reactor depth gauges read this mirror
+        // without the activation lock; a shed that bumped it would
+        // overstate the thread's load forever (nothing ever pops the
+        // phantom entry). Increment-on-Stored-only is the contract.
+        let attrs = ThreadAttributes::new(ThreadId::new(NodeId(0), 10), NodeId(0));
+        let a = Activation::with_mailbox(
+            attrs,
+            MailboxConfig {
+                timer_capacity: 1,
+                ..MailboxConfig::default()
+            },
+        );
+        assert!(a.push_event(event(1)).is_stored());
+        assert_eq!(a.depth_hint(), 1);
+        for seq in 2..10 {
+            assert_eq!(
+                a.push_event(event(seq)),
+                Admission::Shed(crate::Lane::Timer)
+            );
+            assert_eq!(a.depth_hint(), 1, "a shed must never move the mirror");
+        }
+        let _ = a.take_event();
+        assert_eq!(a.depth_hint(), 0, "mirror equals occupancy after drain");
+    }
+
+    #[test]
     fn handling_flag_masks_delivery() {
         let a = activation();
         assert!(a.push_event(event(1)).is_stored());

@@ -372,4 +372,35 @@ mod tests {
         let _ = m.pop(0);
         assert_eq!(depth.load(Ordering::Relaxed), 2);
     }
+
+    #[test]
+    fn depth_mirror_equals_occupancy_after_every_operation() {
+        // Regression pin for the increment-on-Stored-only contract: a shed
+        // must leave the mirror untouched, and the mirror must equal the
+        // real occupancy after *every* push/pop — the kernel sweep and the
+        // per-reactor depth gauges both trust this atomic without taking
+        // the activation lock.
+        let mut m = Mailbox::new(tiny());
+        let depth = m.depth_handle();
+        let check = |m: &Mailbox, d: &Arc<AtomicUsize>| {
+            assert_eq!(d.load(Ordering::Relaxed), m.len(), "mirror drifted");
+        };
+        let pushes: Vec<WireEvent> = vec![
+            user(1),
+            timer(2, 50),
+            user(3),
+            user(4), // sheds: user lane full at 2
+            terminate(5),
+            timer(6, 10),
+            timer(7, 20), // sheds: timer lane full at 2
+        ];
+        for e in pushes {
+            let _ = m.push(e);
+            check(&m, &depth);
+        }
+        while m.pop(0).is_some() {
+            check(&m, &depth);
+        }
+        assert_eq!(depth.load(Ordering::Relaxed), 0, "drained mailbox");
+    }
 }

@@ -6,6 +6,8 @@ use crate::activation::Activation;
 use crate::config::{KernelConfig, LocatorStrategy, ObjectEventExecution};
 use crate::location_cache::LocationCache;
 use crate::message::ReceiptVerdict;
+use crate::reactor::StealQueue;
+use crate::shard_table::{shard_of, Insert, ShardedTable};
 use crate::tcb::{TcbTable, Trail};
 use crate::{ClassRegistry, DefaultDispatcher};
 use crate::{
@@ -15,8 +17,8 @@ use crate::{
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use doct_dsm::{DsmMessage, DsmNode, DsmTransport};
 use doct_net::{MessageClass, Network, NodeId};
-use doct_telemetry::{RaiseVariant, Stage, Telemetry};
-use parking_lot::{Mutex, RwLock};
+use doct_telemetry::{Gauge, RaiseVariant, Stage, Telemetry};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,6 +76,14 @@ pub struct KernelStats {
 /// Reply channel for one in-flight remote invocation: the entry result
 /// plus the thread's attributes coming home.
 type InvokeReplySender = Sender<(Result<Value, KernelError>, ThreadAttributes)>;
+
+/// One in-flight remote invocation: its reply channel and the peer it is
+/// waiting on, so the death watcher can fail every call to a dead node by
+/// dropping the senders (the callers' `recv` wakes with `Disconnected`).
+struct PendingCall {
+    tx: InvokeReplySender,
+    home: NodeId,
+}
 
 struct DeliveryTracker {
     event: WireEvent,
@@ -189,6 +199,57 @@ impl DsmTransport for KernelDsmTransport {
     }
 }
 
+/// One reactor worker's shared state: its work queue, the park/wake
+/// latch the router pokes on an empty-to-nonempty transition (or to
+/// invite a steal), and its `kernel.reactor_depth.*` gauge.
+struct Reactor {
+    queue: StealQueue<(KernelMessage, NodeId)>,
+    wake_pending: Mutex<bool>,
+    wake: Condvar,
+    depth: Gauge,
+}
+
+impl Reactor {
+    fn new(depth: Gauge) -> Self {
+        Reactor {
+            queue: StealQueue::new(),
+            wake_pending: Mutex::new(false),
+            wake: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Wake the worker if parked; a worker that races past the notify
+    /// still sees the pending flag before it next sleeps, so the wakeup
+    /// cannot be lost.
+    fn wake(&self) {
+        let mut pending = self.wake_pending.lock();
+        *pending = true;
+        self.wake.notify_one();
+    }
+
+    /// Park until woken or `deadline` (bounded at one sweep slice so
+    /// shutdown is always noticed promptly).
+    fn park_until(&self, deadline: Instant) {
+        let mut pending = self.wake_pending.lock();
+        if !*pending {
+            let wait = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(50));
+            let _ = self.wake.wait_for(&mut pending, wait);
+        }
+        *pending = false;
+    }
+}
+
+/// Reactor affinity for a thread: every delivery probing one target lands
+/// on one reactor (absent steals), so that thread's mailbox pushes never
+/// contend across workers.
+fn thread_slot(thread: ThreadId, reactors: usize) -> usize {
+    let key = (u64::from(thread.root.0) << 32) | u64::from(thread.seq);
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % reactors
+}
+
 /// One node of the DO/CT cluster.
 pub struct NodeKernel {
     node: NodeId,
@@ -202,8 +263,8 @@ pub struct NodeKernel {
     dispatcher: RwLock<Arc<dyn EventDispatcher>>,
     activations: Mutex<HashMap<ThreadId, (Arc<Activation>, u32)>>,
     tcbs: TcbTable,
-    pending_calls: Mutex<HashMap<u64, InvokeReplySender>>,
-    deliveries: Mutex<HashMap<u64, DeliveryTracker>>,
+    pending_calls: Mutex<HashMap<u64, PendingCall>>,
+    deliveries: ShardedTable<DeliveryTracker>,
     /// Last known location of recently targeted threads (unicast fast
     /// path for `send_probes`); `None` when disabled by config.
     location_cache: Option<LocationCache>,
@@ -297,7 +358,7 @@ impl NodeKernel {
             activations: Mutex::new(HashMap::new()),
             tcbs: TcbTable::new(),
             pending_calls: Mutex::new(HashMap::new()),
-            deliveries: Mutex::new(HashMap::new()),
+            deliveries: ShardedTable::new(telemetry.counter("kernel.shard_contention")),
             location_cache: config
                 .location_cache
                 .enabled
@@ -467,11 +528,32 @@ impl NodeKernel {
             .net
             .take_mailbox(self.node)
             .expect("node mailbox taken once");
+        // Dead-peer fast-fail for `call_remote`: when the failure detector
+        // declares a peer dead, drop the reply senders of every call
+        // waiting on it, so those callers wake immediately (receipt-style
+        // wait — no poll slices). Fires only if reliability is enabled;
+        // otherwise no heartbeat round ever runs.
+        let weak = Arc::downgrade(self);
+        let me = self.node;
+        self.net.add_death_watcher(move |observer, peer| {
+            if observer == me {
+                if let Some(kernel) = weak.upgrade() {
+                    kernel.fail_pending_calls_to(peer);
+                }
+            }
+        });
+        let reactors = self.config.effective_reactors();
         let k = Arc::clone(self);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("kernel-loop-{}", self.node))
-                .spawn(move || k.run_loop(rx))
+                .spawn(move || {
+                    if reactors <= 1 {
+                        k.run_loop(rx);
+                    } else {
+                        k.run_router(rx, reactors);
+                    }
+                })
                 .expect("spawn kernel loop"),
         );
         if self.config.object_events == ObjectEventExecution::Master {
@@ -526,16 +608,152 @@ impl NodeKernel {
         }
     }
 
+    /// Multi-reactor front end (`reactors > 1`): drain the node's wire
+    /// mailbox and distribute work across `n` reactor workers by shard /
+    /// thread affinity. Order-sensitive traffic (DSM protocol messages,
+    /// invocation replies, object events) is handled inline on this
+    /// thread, exactly as the single-reactor loop would.
+    fn run_router(self: Arc<Self>, rx: Receiver<doct_net::Envelope<KernelMessage>>, n: usize) {
+        const ROUTER_TICK: Duration = Duration::from_millis(50);
+        let reactors: Vec<Arc<Reactor>> = (0..n)
+            .map(|r| {
+                let gauge = self
+                    .telemetry
+                    .gauge(&format!("kernel.reactor_depth.n{}.r{r}", self.node.0));
+                Arc::new(Reactor::new(gauge))
+            })
+            .collect();
+        let mut workers = Vec::with_capacity(n);
+        for r in 0..n {
+            let k = Arc::clone(&self);
+            let rs = reactors.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("reactor-{}-{r}", self.node))
+                    .spawn(move || k.run_reactor(r, &rs))
+                    .expect("spawn reactor"),
+            );
+        }
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match rx.recv_timeout(ROUTER_TICK) {
+                Ok(env) => {
+                    if matches!(env.payload, KernelMessage::Shutdown) {
+                        self.shutdown.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    self.route(&reactors, env.payload, env.src);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    self.shutdown.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        // Stop the workers before draining, so no reactor-side receipt
+        // handler races the drain; raiser threads still inserting race it
+        // too, which is why the table refuses inserts once draining.
+        for r in &reactors {
+            r.wake();
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        self.drain_deliveries_as_lost();
+    }
+
+    /// Route one wire message to its reactor (or handle it inline).
+    fn route(self: &Arc<Self>, reactors: &[Arc<Reactor>], msg: KernelMessage, src: NodeId) {
+        /// Queue depth past which the router invites the neighbour to
+        /// steal even though the owner is already awake.
+        const INVITE_DEPTH: usize = 8;
+        let n = reactors.len();
+        let r = match &msg {
+            // Receipts go to the reactor that owns the delivery's shard,
+            // so shard sweeps and receipt resolution share a home.
+            KernelMessage::DeliverReceipt { delivery_id, .. } => shard_of(*delivery_id) % n,
+            KernelMessage::DeliverThread { target, .. } => thread_slot(*target, n),
+            KernelMessage::SyncResume { raiser, .. } => thread_slot(*raiser, n),
+            KernelMessage::Invoke { call_id, .. } => (*call_id as usize) % n,
+            // DSM protocol traffic, invocation replies and object events
+            // keep their wire order: handled inline on the router thread.
+            KernelMessage::Dsm(_)
+            | KernelMessage::InvokeReply { .. }
+            | KernelMessage::DeliverObject { .. }
+            | KernelMessage::Shutdown => {
+                self.handle(msg, src);
+                return;
+            }
+        };
+        let was_empty = reactors[r].queue.push((msg, src));
+        reactors[r].depth.add(1);
+        if was_empty {
+            reactors[r].wake();
+        } else if reactors[r].queue.len() >= INVITE_DEPTH {
+            reactors[(r + 1) % n].wake();
+        }
+    }
+
+    /// One reactor worker: drain the owned queue in batches, steal from
+    /// the deepest sibling when idle, sweep the owned delivery shards on
+    /// the usual cadence, park otherwise.
+    fn run_reactor(self: Arc<Self>, r: usize, reactors: &[Arc<Reactor>]) {
+        const SWEEP_EVERY: Duration = Duration::from_millis(50);
+        const BATCH: usize = 64;
+        let n = reactors.len();
+        let mut next_sweep = Instant::now() + SWEEP_EVERY;
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let now = Instant::now();
+            if now >= next_sweep {
+                self.sweep_shards(r, n);
+                if r == 0 {
+                    self.sample_mailbox_depths();
+                }
+                next_sweep = now + SWEEP_EVERY;
+            }
+            let batch = reactors[r].queue.pop_batch(BATCH);
+            if !batch.is_empty() {
+                reactors[r].depth.add(-(batch.len() as i64));
+                for (msg, src) in batch {
+                    self.handle(msg, src);
+                }
+                continue;
+            }
+            // Idle: steal the youngest run from the deepest sibling.
+            let victim = (0..n)
+                .filter(|&v| v != r)
+                .max_by_key(|&v| reactors[v].queue.len())
+                .filter(|&v| !reactors[v].queue.is_empty());
+            if let Some(v) = victim {
+                let stolen = reactors[v].queue.steal(BATCH / 2);
+                if !stolen.is_empty() {
+                    reactors[v].depth.add(-(stolen.len() as i64));
+                    self.telemetry.counter("kernel.reactor_steals").inc();
+                    for (msg, src) in stolen {
+                        self.handle(msg, src);
+                    }
+                    continue;
+                }
+            }
+            reactors[r].park_until(next_sweep);
+        }
+    }
+
     /// Resolve every in-flight delivery as [`DeliveryStatus::Lost`] when
     /// the kernel loop exits: nobody will process receipts after this
     /// point, so leaving trackers behind would strand raisers until their
-    /// waiter timeout with a misleading `timed_out` verdict.
+    /// waiter timeout with a misleading `timed_out` verdict. Marks the
+    /// table draining first, so a raiser thread racing this drain has its
+    /// insert refused and resolves the tracker as `Lost` itself instead
+    /// of stranding it (the `sharded-table-drain` model covers the race).
     fn drain_deliveries_as_lost(&self) {
-        let drained: Vec<DeliveryTracker> = {
-            let mut map = self.deliveries.lock();
-            map.drain().map(|(_, t)| t).collect()
-        };
-        for t in drained {
+        for t in self.deliveries.drain() {
             self.telemetry.counter("delivery.lost").inc();
             let _ = t.result_tx.send(DeliveryStatus::Lost);
         }
@@ -583,9 +801,9 @@ impl NodeKernel {
             } => {
                 // Bind before sending: an `if let` scrutinee keeps the
                 // `pending_calls` guard alive for the whole block.
-                let tx = self.pending_calls.lock().remove(&call_id);
-                if let Some(tx) = tx {
-                    let _ = tx.send((result, attrs));
+                let pending = self.pending_calls.lock().remove(&call_id);
+                if let Some(p) = pending {
+                    let _ = p.tx.send((result, attrs));
                 }
             }
             KernelMessage::Dsm(m) => self.dsm.handle_message(m),
@@ -762,7 +980,9 @@ impl NodeKernel {
             .fetch_add(1, Ordering::Relaxed);
         let call_id = self.next_seq();
         let (tx, rx) = bounded(1);
-        self.pending_calls.lock().insert(call_id, tx);
+        self.pending_calls
+            .lock()
+            .insert(call_id, PendingCall { tx, home });
         let sent = self
             .net
             .send(
@@ -786,40 +1006,31 @@ impl NodeKernel {
                 "invoke {object}::{entry}: link to {home} down"
             )));
         }
-        // With the reliability layer on, the failure detector can resolve
-        // this wait early: once it declares `home` dead there is no point
-        // blocking out the full invoke timeout.
+        // With the reliability layer on, the failure detector resolves
+        // this wait early: the death watcher (registered in `start`)
+        // drops our reply sender the moment it declares `home` dead, so
+        // the recv below wakes with `Disconnected` within one heartbeat
+        // round of the verdict — no poll slices, no latency quantization.
+        // The call was registered *before* this check, so a death verdict
+        // landing between the two is seen by exactly one side.
         if self.net.reliability_enabled() {
             if self.net.peer_state(self.node, home) == Some(doct_net::PeerState::Dead) {
                 self.pending_calls.lock().remove(&call_id);
                 return Err(KernelError::NodeUnreachable(home));
             }
-            let deadline = Instant::now() + self.config.invoke_timeout;
-            loop {
-                let now = Instant::now();
-                if now >= deadline {
+            return match rx.recv_timeout(self.config.invoke_timeout) {
+                Ok(pair) => Ok(pair),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     self.pending_calls.lock().remove(&call_id);
-                    return Err(KernelError::Timeout(format!(
+                    Err(KernelError::Timeout(format!(
                         "invoke {object}::{entry} on {home}"
-                    )));
+                    )))
                 }
-                let slice = (deadline - now).min(Duration::from_millis(20));
-                match rx.recv_timeout(slice) {
-                    Ok(pair) => return Ok(pair),
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                        if self.net.peer_state(self.node, home) == Some(doct_net::PeerState::Dead) {
-                            self.pending_calls.lock().remove(&call_id);
-                            return Err(KernelError::NodeUnreachable(home));
-                        }
-                    }
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                        self.pending_calls.lock().remove(&call_id);
-                        return Err(KernelError::Timeout(format!(
-                            "invoke {object}::{entry} on {home}: reply channel gone"
-                        )));
-                    }
+                // Only the death watcher drops a registered sender.
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    Err(KernelError::NodeUnreachable(home))
                 }
-            }
+            };
         }
         match rx.recv_timeout(self.config.invoke_timeout) {
             Ok(pair) => Ok(pair),
@@ -830,6 +1041,29 @@ impl NodeKernel {
                 )))
             }
         }
+    }
+
+    /// Fail every in-flight remote call waiting on `peer`: remove the
+    /// pending entries under the lock, then drop the reply senders after
+    /// it is released so each caller's `recv` wakes with `Disconnected`
+    /// and resolves as `NodeUnreachable` immediately.
+    fn fail_pending_calls_to(&self, peer: NodeId) {
+        let dropped: Vec<InvokeReplySender> = {
+            let mut calls = self.pending_calls.lock();
+            let ids: Vec<u64> = calls
+                .iter()
+                .filter(|(_, p)| p.home == peer)
+                .map(|(id, _)| *id)
+                .collect();
+            ids.into_iter()
+                .filter_map(|id| calls.remove(&id))
+                .map(|p| p.tx)
+                .collect()
+        };
+        self.telemetry
+            .counter("kernel.calls_failed_fast")
+            .add(dropped.len() as u64);
+        drop(dropped);
     }
 
     // ------------------------------------------------------------------
@@ -1061,8 +1295,16 @@ impl NodeKernel {
                 hint_spent: false,
                 result_tx: tx,
             };
-            self.deliveries.lock().insert(delivery_id, tracker);
-            wave.push(delivery_id);
+            match self.deliveries.insert(delivery_id, tracker) {
+                Insert::Admitted => wave.push(delivery_id),
+                // The kernel loop is draining (shutdown): nobody will ever
+                // resolve this tracker, so resolve it as Lost right here —
+                // the other half of the drain-vs-insert race.
+                Insert::Draining(t) => {
+                    self.telemetry.counter("delivery.lost").inc();
+                    let _ = t.result_tx.send(DeliveryStatus::Lost);
+                }
+            }
         }
         if !wave.is_empty() {
             self.send_probe_wave(&wave);
@@ -1089,12 +1331,11 @@ impl NodeKernel {
         let mut inline_root = Vec::new();
         let mut waved = Vec::with_capacity(delivery_ids.len());
         for &delivery_id in delivery_ids {
-            let (event, target, try_hint) = {
-                let map = self.deliveries.lock();
-                let Some(t) = map.get(&delivery_id) else {
-                    continue;
-                };
-                (t.event.clone(), t.target, !t.hint_spent)
+            let Some((event, target, try_hint)) = self
+                .deliveries
+                .with_mut(delivery_id, |t| (t.event.clone(), t.target, !t.hint_spent))
+            else {
+                continue;
             };
             if try_hint && self.send_hint_probe(delivery_id, &event, target) {
                 continue;
@@ -1170,21 +1411,20 @@ impl NodeKernel {
             }
         }
         // Account each wave's fan-out; raisers of unreachable targets are
-        // notified only after the deliveries lock is released.
+        // notified only after the shard lock is released.
         let mut dead = Vec::new();
-        {
-            let mut map = self.deliveries.lock();
-            for &delivery_id in &waved {
-                let sent = sent_counts.get(&delivery_id).copied().unwrap_or(0);
-                if sent == 0 {
-                    // Nobody to ask: the thread left no trace.
-                    if let Some(t) = map.remove(&delivery_id) {
-                        self.telemetry.counter("delivery.dead").inc();
-                        dead.push(t.result_tx);
-                    }
-                } else if let Some(t) = map.get_mut(&delivery_id) {
-                    t.outstanding = sent;
+        for &delivery_id in &waved {
+            let sent = sent_counts.get(&delivery_id).copied().unwrap_or(0);
+            if sent == 0 {
+                // Nobody to ask: the thread left no trace.
+                if let Some(t) = self.deliveries.remove(delivery_id) {
+                    self.telemetry.counter("delivery.dead").inc();
+                    dead.push(t.result_tx);
                 }
+            } else {
+                let _ = self
+                    .deliveries
+                    .with_mut(delivery_id, |t| t.outstanding = sent);
             }
         }
         for tx in dead {
@@ -1194,9 +1434,7 @@ impl NodeKernel {
             // We are the root but the tip is not here: follow our own
             // trail without a network hop. One receipt will come back
             // (possibly inline), so account for it first.
-            if let Some(t) = self.deliveries.lock().get_mut(&delivery_id) {
-                t.outstanding = 1;
-            }
+            let _ = self.deliveries.with_mut(delivery_id, |t| t.outstanding = 1);
             self.handle_deliver_thread(event, target, self.node, delivery_id, 0, false, false);
         }
     }
@@ -1236,7 +1474,7 @@ impl NodeKernel {
         // flood; the hint itself stays valid (the thread is still there).
         let lane = Lane::classify(&event.name);
         if lane.sheddable() && self.net.peer_pressured(node) {
-            let removed = self.deliveries.lock().remove(&delivery_id);
+            let removed = self.deliveries.remove(delivery_id);
             if let Some(t) = removed {
                 self.record_shed(lane);
                 self.telemetry.counter("kernel.shed_at_source").inc();
@@ -1245,11 +1483,7 @@ impl NodeKernel {
             }
             return true;
         }
-        {
-            let mut map = self.deliveries.lock();
-            let Some(t) = map.get_mut(&delivery_id) else {
-                return true;
-            };
+        let armed = self.deliveries.with_mut(delivery_id, |t| {
             t.hint_spent = true;
             t.hint = Some((
                 node,
@@ -1257,6 +1491,9 @@ impl NodeKernel {
                 Instant::now() + cache.config().hint_timeout,
             ));
             t.outstanding = 1;
+        });
+        if armed.is_none() {
+            return true;
         }
         self.trace(event.seq, Stage::Send);
         let msg = KernelMessage::DeliverThread {
@@ -1389,8 +1626,9 @@ impl NodeKernel {
         // Backpressure to note once the lock is released.
         let mut pressured: Option<NodeId> = None;
         {
-            let mut map = self.deliveries.lock();
-            let Some(t) = map.get_mut(&delivery_id) else {
+            let idx = shard_of(delivery_id);
+            let mut shard = self.deliveries.lock_shard(idx);
+            let Some(t) = shard.entries.get_mut(&delivery_id) else {
                 return;
             };
             match verdict {
@@ -1404,7 +1642,7 @@ impl NodeKernel {
                         }
                     }
                     self.telemetry.counter("delivery.delivered").inc();
-                    if let Some(t) = map.remove(&delivery_id) {
+                    if let Some(t) = shard.entries.remove(&delivery_id) {
                         resolved = Some((t.result_tx, DeliveryStatus::Delivered(node)));
                     }
                 }
@@ -1420,7 +1658,7 @@ impl NodeKernel {
                         pressured = Some(node);
                     }
                     self.telemetry.counter("delivery.overloaded").inc();
-                    if let Some(t) = map.remove(&delivery_id) {
+                    if let Some(t) = shard.entries.remove(&delivery_id) {
                         resolved = Some((t.result_tx, DeliveryStatus::Overloaded(node)));
                     }
                 }
@@ -1457,7 +1695,7 @@ impl NodeKernel {
                                 hinted: false,
                             };
                             let root = t.target.root;
-                            drop(map);
+                            drop(shard);
                             if root == self.node {
                                 self.handle(msg, self.node);
                             } else {
@@ -1466,7 +1704,7 @@ impl NodeKernel {
                             return;
                         } else {
                             self.telemetry.counter("delivery.dead").inc();
-                            if let Some(t) = map.remove(&delivery_id) {
+                            if let Some(t) = shard.entries.remove(&delivery_id) {
                                 resolved = Some((t.result_tx, DeliveryStatus::TargetDead));
                             }
                         }
@@ -1484,17 +1722,16 @@ impl NodeKernel {
         if retry {
             // Cover the race where the thread moved mid-probe: check the
             // local fast path again, then resend the wave.
-            let (event, target) = {
-                let map = self.deliveries.lock();
-                match map.get(&delivery_id) {
-                    Some(t) => (t.event.clone(), t.target),
-                    None => return,
-                }
+            let Some((event, target)) = self
+                .deliveries
+                .with_mut(delivery_id, |t| (t.event.clone(), t.target))
+            else {
+                return;
             };
             if self.tcbs.trail(target) == Trail::TipHere {
                 if let Some(act) = self.activation(target) {
                     let admission = act.push_event(event.clone());
-                    let removed = self.deliveries.lock().remove(&delivery_id);
+                    let removed = self.deliveries.remove(delivery_id);
                     if let Some(t) = removed {
                         match admission {
                             crate::Admission::Stored => {
@@ -1516,19 +1753,30 @@ impl NodeKernel {
         }
     }
 
+    /// Single-reactor sweep: every shard, plus the mailbox-depth sample.
     fn sweep_deliveries(self: &Arc<Self>) {
+        self.sweep_shards(0, 1);
+        self.sample_mailbox_depths();
+    }
+
+    /// Sweep the delivery shards owned by reactor `owner` out of `stride`
+    /// (shard `s` belongs to reactor `s % stride`), one shard lock at a
+    /// time — a long sweep never stalls registration or receipts on the
+    /// other shards.
+    fn sweep_shards(self: &Arc<Self>, owner: usize, stride: usize) {
         let now = Instant::now();
         let detector_on = self.net.reliability_enabled();
         // Deliveries whose hint probe expired; probed again (as a full
-        // wave) after the deliveries lock is released — send_probes
-        // re-locks it.
+        // wave) after the shard locks are released — send_probe_wave
+        // re-locks them.
         let mut hint_fallbacks = Vec::new();
         // Trackers the sweep resolves; their raisers are notified only
-        // after the deliveries lock is released (collect-then-send).
+        // after the shard locks are released (collect-then-send).
         let mut resolved: Vec<(Sender<DeliveryStatus>, DeliveryStatus)> = Vec::new();
-        {
-            let mut map = self.deliveries.lock();
-            map.retain(|id, t| {
+        let mut idx = owner;
+        while idx < self.deliveries.shard_count() {
+            let mut shard = self.deliveries.lock_shard(idx);
+            shard.entries.retain(|id, t| {
                 if now >= t.deadline {
                     self.telemetry.counter("delivery.timeout").inc();
                     resolved.push((t.result_tx.clone(), DeliveryStatus::Timeout));
@@ -1572,12 +1820,13 @@ impl NodeKernel {
                 }
                 true
             });
+            drop(shard);
+            idx += stride;
         }
         for (tx, status) in resolved {
             let _ = tx.send(status);
         }
         self.send_probe_wave(&hint_fallbacks);
-        self.sample_mailbox_depths();
     }
 
     /// Sample every local activation's mailbox depth into the

@@ -1,0 +1,118 @@
+//! Per-reactor work queues with an idle-steal path (DESIGN.md §3f).
+//!
+//! With `KernelConfig::reactors > 1` the kernel-loop thread becomes a
+//! *router*: it drains the node's wire mailbox and distributes messages
+//! across N reactor workers, each owning one [`StealQueue`]. Receipts are
+//! routed by delivery-table shard and thread deliveries by target thread,
+//! so a shard's receipt processing and a thread's mailbox pushes stay on
+//! one reactor — and an idle reactor steals from the back of a loaded
+//! sibling's queue instead of spinning, so a skewed workload (every raise
+//! targeting one hot thread) still uses every core.
+//!
+//! The queue is a plain `Mutex<VecDeque>`; pop takes from the front,
+//! steal takes a run from the back, and [`StealQueue::push`] reports
+//! whether the queue was empty so the router only wakes an owner that
+//! might actually be parked (notify-on-empty-transition — the same
+//! lost-wakeup protocol the mailbox model checks). Exactly-once handoff
+//! between a local pop and a concurrent steal, plus the no-lost-wakeup
+//! claim, are proved over every 3-thread interleaving by the
+//! `reactor-steal-handoff` schedule model in `crates/analyze`.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A single-owner work queue that idle siblings may steal from.
+pub struct StealQueue<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for StealQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> StealQueue<T> {
+    /// Fresh, empty queue.
+    pub fn new() -> Self {
+        StealQueue {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Append one item. Returns `true` when the queue was empty before —
+    /// the only case where the owner could be parked, so the only case
+    /// the router must wake it (notify-on-empty-transition).
+    pub fn push(&self, item: T) -> bool {
+        let mut q = self.items.lock();
+        let was_empty = q.is_empty();
+        q.push_back(item);
+        was_empty
+    }
+
+    /// Owner-side dequeue from the front.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.items.lock();
+        q.pop_front()
+    }
+
+    /// Owner-side batch dequeue: up to `max` items from the front, taken
+    /// under one lock hold and processed outside it.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut q = self.items.lock();
+        let n = q.len().min(max);
+        q.drain(..n).collect()
+    }
+
+    /// Thief-side dequeue: up to `max` items from the *back* (the
+    /// youngest work, the least likely to be mid-flight at the owner),
+    /// preserving their relative order.
+    pub fn steal(&self, max: usize) -> Vec<T> {
+        let mut q = self.items.lock();
+        let n = q.len().min(max);
+        let at = q.len() - n;
+        q.split_off(at).into_iter().collect()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// True when the queue holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_reports_the_empty_transition_only() {
+        let q = StealQueue::new();
+        assert!(q.push(1), "first push finds it empty");
+        assert!(!q.push(2), "second push must not re-wake");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.push(3), "empty again after draining");
+    }
+
+    #[test]
+    fn pop_front_steal_back_never_overlap() {
+        let q = StealQueue::new();
+        for i in 0..10 {
+            let _ = q.push(i);
+        }
+        let stolen = q.steal(4);
+        assert_eq!(stolen, vec![6, 7, 8, 9], "thief takes the youngest run");
+        let local = q.pop_batch(4);
+        assert_eq!(local, vec![0, 1, 2, 3], "owner keeps FIFO order");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.steal(10), vec![4, 5], "steal is bounded by depth");
+        assert!(q.is_empty());
+        assert!(q.steal(3).is_empty());
+        assert!(q.pop_batch(3).is_empty());
+    }
+}

@@ -128,9 +128,16 @@ impl FailureDetector {
     /// One heartbeat exchange: every peer whose link towards the observer
     /// is up refreshes `last_heard`; silent peers age towards
     /// suspected/dead. `link_up(src, dst)` answers whether a heartbeat
-    /// can currently travel src→dst.
-    pub fn heartbeat_round(&self, link_up: impl Fn(NodeId, NodeId) -> bool) {
+    /// can currently travel src→dst. Returns the directed
+    /// `(observer, peer)` pairs that transitioned to dead *this round*,
+    /// so the fabric can fan the verdicts out to death watchers (the
+    /// kernel uses them to fail pending calls without polling).
+    pub fn heartbeat_round(
+        &self,
+        link_up: impl Fn(NodeId, NodeId) -> bool,
+    ) -> Vec<(NodeId, NodeId)> {
         let now = Instant::now();
+        let mut newly_dead = Vec::new();
         let mut pairs = self.pairs.lock();
         let n = pairs.len();
         for observer in 0..n {
@@ -156,13 +163,17 @@ impl FailureDetector {
                 if verdict != pair.state {
                     match verdict {
                         PeerState::Suspected => self.suspects.inc(),
-                        PeerState::Dead => self.deaths.inc(),
+                        PeerState::Dead => {
+                            self.deaths.inc();
+                            newly_dead.push((NodeId(observer as u32), NodeId(peer as u32)));
+                        }
                         PeerState::Alive => {}
                     }
                     pair.state = verdict;
                 }
             }
         }
+        newly_dead
     }
 
     /// The observer's current verdict about `peer`. A node is always
@@ -237,13 +248,26 @@ mod tests {
     #[test]
     fn silence_escalates_to_suspected_then_dead() {
         let d = detector(2, 20, 60);
-        d.heartbeat_round(|_, _| false);
+        assert!(d.heartbeat_round(|_, _| false).is_empty());
         assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Alive);
         std::thread::sleep(Duration::from_millis(30));
-        d.heartbeat_round(|_, _| false);
+        assert!(
+            d.heartbeat_round(|_, _| false).is_empty(),
+            "suspicion is not a death"
+        );
         assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Suspected);
         std::thread::sleep(Duration::from_millis(40));
-        d.heartbeat_round(|_, _| false);
+        let mut newly_dead = d.heartbeat_round(|_, _| false);
+        newly_dead.sort();
+        assert_eq!(
+            newly_dead,
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))],
+            "the dead round reports each directed pair exactly once"
+        );
+        assert!(
+            d.heartbeat_round(|_, _| false).is_empty(),
+            "already-dead pairs are not re-reported"
+        );
         assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Dead);
         assert_eq!(d.suspects.get(), 2, "one per directed pair");
         assert_eq!(d.deaths.get(), 2);

@@ -211,7 +211,14 @@ pub struct Network<M: Send + 'static> {
     /// peer (the signal itself rides delivery receipts, not extra wire
     /// traffic).
     pressure: Mutex<HashMap<NodeId, Instant>>,
+    /// Callbacks fired by the maintenance thread for each directed
+    /// `(observer, peer)` pair the failure detector newly declares dead
+    /// (kernels use this to fail pending remote calls without polling).
+    death_watchers: Mutex<Vec<DeathWatcher>>,
 }
+
+/// A callback for newly-dead `(observer, peer)` detector verdicts.
+type DeathWatcher = Box<dyn Fn(NodeId, NodeId) + Send + Sync>;
 
 impl<M: Send + 'static> fmt::Debug for Network<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -309,6 +316,7 @@ impl<M: WireMessage + Send + 'static> Network<M> {
             multicast: MulticastRegistry::new(),
             detector: RwLock::new(None),
             pressure: Mutex::new(HashMap::new()),
+            death_watchers: Mutex::new(Vec::new()),
         })
     }
 }
@@ -414,6 +422,26 @@ impl<M: Send + 'static> Network<M> {
             .read()
             .as_ref()
             .map(|d| d.state(observer, peer))
+    }
+
+    /// Register a callback invoked (from the maintenance thread) for each
+    /// directed `(observer, peer)` pair the failure detector newly
+    /// declares dead. Registration is expected at startup; callbacks run
+    /// under the watcher list's lock, so they must not re-enter the
+    /// fabric. Without reliability enabled no heartbeat round ever runs,
+    /// so the watcher simply never fires.
+    pub fn add_death_watcher(&self, watcher: impl Fn(NodeId, NodeId) + Send + Sync + 'static) {
+        self.death_watchers.lock().push(Box::new(watcher));
+    }
+
+    /// Fan newly-dead detector verdicts out to the registered watchers.
+    fn notify_deaths(&self, newly_dead: &[(NodeId, NodeId)]) {
+        let watchers = self.death_watchers.lock();
+        for &(observer, peer) in newly_dead {
+            for w in watchers.iter() {
+                w(observer, peer);
+            }
+        }
     }
 }
 
@@ -671,7 +699,10 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
                     }
                     if now.saturating_duration_since(last_heartbeat) >= cfg.heartbeat_interval {
                         last_heartbeat = now;
-                        detector.heartbeat_round(|a, b| net.path.link_up(a, b));
+                        let newly_dead = detector.heartbeat_round(|a, b| net.path.link_up(a, b));
+                        if !newly_dead.is_empty() {
+                            net.notify_deaths(&newly_dead);
+                        }
                     }
                 }
             });

@@ -11,6 +11,10 @@
 # feature: runtime lock-order + blocking-point validation runs under the
 # soak, and tests/lock_order.rs turns any cycle into a failure.
 #
+# DOCT_REACTORS=N re-runs the whole soak with every kernel loop split
+# into N work-stealing reactors (KernelConfig::effective_reactors reads
+# the variable in-process, overriding each test's builder).
+#
 # Exits non-zero if any ledger fails to balance, a waiter hangs past its
 # deadline, or a test fails.
 set -euo pipefail
@@ -21,6 +25,9 @@ FEATURES=()
 if [[ "${DOCT_LOCKDEP:-0}" == "1" ]]; then
   FEATURES=(--features parking_lot/lockdep)
   echo "=== lockdep enabled ==="
+fi
+if [[ -n "${DOCT_REACTORS:-}" && "${DOCT_REACTORS}" != "1" ]]; then
+  echo "=== multi-reactor kernels: DOCT_REACTORS=${DOCT_REACTORS} ==="
 fi
 echo "=== chaos soak, DOCT_SEED=${SEED} ==="
 
