@@ -19,3 +19,7 @@ fn seeded_unwrap_in_prod(m: &Mutex<u32>) -> u32 {
 fn seeded_wall_clock() -> Instant {
     Instant::now() // seeded `wall-clock-in-sim` (file mentions DOCT_SEED)
 }
+
+fn seeded_payload_clone(payload: &Payload) -> Payload {
+    payload.clone() // seeded `payload-clone-in-hot-path` (fixtures opt in)
+}

@@ -1,7 +1,7 @@
 //! `doct-lint`: line/token-based scanning for project-specific
 //! concurrency hazards.
 //!
-//! Four rules, each deny-by-default (any un-waived finding fails the
+//! Five rules, each deny-by-default (any un-waived finding fails the
 //! run):
 //!
 //! | rule id               | finding |
@@ -10,6 +10,7 @@
 //! | `unwrap-in-prod`      | `unwrap()` on a lock/recv result outside test code |
 //! | `wall-clock-in-sim`   | `Instant::now()` / `SystemTime::now()` in a file that participates in `DOCT_SEED`-deterministic simulation |
 //! | `missing-must-use`    | a receipt/ticket/delivery-status type without `#[must_use]` |
+//! | `payload-clone-in-hot-path` | `.clone()` on a payload/envelope/transfer value inside the raise/deliver hot-path files — every un-waived occurrence is a potential byte copy per destination; share a `Bytes` buffer (refcount bump) or recycle a pooled chunk instead (DESIGN.md §3g) |
 //!
 //! Exceptions are explicit and audited: either an inline waiver comment
 //! (`// doct-lint: allow(<rule>) <reason>`) on or directly above the
@@ -30,6 +31,7 @@ pub const RULE_LOCK_ACROSS_BLOCKING: &str = "lock-across-blocking";
 pub const RULE_UNWRAP_IN_PROD: &str = "unwrap-in-prod";
 pub const RULE_WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
 pub const RULE_MISSING_MUST_USE: &str = "missing-must-use";
+pub const RULE_PAYLOAD_CLONE_IN_HOT_PATH: &str = "payload-clone-in-hot-path";
 
 /// All rule ids, for waiver validation.
 pub const ALL_RULES: &[&str] = &[
@@ -37,6 +39,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_UNWRAP_IN_PROD,
     RULE_WALL_CLOCK_IN_SIM,
     RULE_MISSING_MUST_USE,
+    RULE_PAYLOAD_CLONE_IN_HOT_PATH,
 ];
 
 /// One finding.
@@ -262,6 +265,26 @@ const BLOCKING_PATTERNS: &[&str] = &[
 
 const LOCK_CALLS: &[&str] = &[".lock()", ".read()", ".write()"];
 
+/// Files on the raise/deliver hot path, where a payload/envelope clone
+/// is a per-destination cost the zero-copy design pays in refcount
+/// bumps — any *byte*-copying clone must be waived with a justification.
+const HOT_PATH_FILES: &[&str] = &[
+    "kernel/src/node.rs",
+    "net/src/network.rs",
+    "net/src/reliable.rs",
+];
+
+/// Receivers whose `.clone()` the hot-path rule flags.
+const PAYLOAD_CLONE_PATTERNS: &[&str] = &[
+    "payload.clone(",
+    "transfer.clone(",
+    "envelope.clone(",
+    "env.clone(",
+    "probe.clone(",
+    "batch.clone(",
+    "event.clone(",
+];
+
 /// Striped-lock acquisition (`ShardedTable::lock_shard`): takes the
 /// stripe index as an argument, so the exact-suffix `LOCK_CALLS` match
 /// cannot see it and it gets contains/remainder logic of its own.
@@ -342,6 +365,10 @@ pub fn lint_file(path: &Path, src: &str) -> Vec<Violation> {
         .components()
         .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "benches");
     let deterministic_sim = src.contains("DOCT_SEED");
+    let path_str = path.to_string_lossy().replace('\\', "/");
+    // Fixture trees opt in so the seeded violation exercises the rule.
+    let hot_path =
+        HOT_PATH_FILES.iter().any(|f| path_str.contains(f)) || path_str.contains("fixtures");
 
     let mut out = Vec::new();
     let mut depth = 0i32;
@@ -427,6 +454,21 @@ pub fn lint_file(path: &Path, src: &str) -> Vec<Violation> {
                         );
                     }
                 }
+            }
+        }
+
+        // R5: payload/envelope clones on the raise/deliver hot path.
+        if !exempt && hot_path {
+            if let Some(pat) = PAYLOAD_CLONE_PATTERNS.iter().find(|p| code.contains(**p)) {
+                push(
+                    RULE_PAYLOAD_CLONE_IN_HOT_PATH,
+                    idx,
+                    format!(
+                        "`{pat}` on the raise/deliver hot path — share a Bytes \
+                         buffer or pool the chunk (DESIGN.md §3g)"
+                    ),
+                    &mut out,
+                );
             }
         }
 
@@ -662,6 +704,30 @@ mod tests {
         let out = lint_file(Path::new("x.rs"), bad);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, RULE_MISSING_MUST_USE);
+    }
+
+    #[test]
+    fn payload_clone_flagged_only_in_hot_path_files() {
+        let src = "fn f(payload: &Value) -> Value {\n    payload.clone()\n}\n";
+        assert!(
+            lint_file(Path::new("crates/kernel/src/ctx.rs"), src).is_empty(),
+            "off the hot path the clone is fine"
+        );
+        let out = lint_file(Path::new("crates/net/src/network.rs"), src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, RULE_PAYLOAD_CLONE_IN_HOT_PATH);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn payload_clone_waiver_and_test_exemptions_apply() {
+        let waived = "fn f() {\n    // doct-lint: allow(payload-clone-in-hot-path) refcount bump\n    let p = payload.clone();\n}\n";
+        assert!(lint_file(Path::new("crates/kernel/src/node.rs"), waived).is_empty());
+        let in_tests = "fn f() {\n    let p = payload.clone();\n}\n";
+        assert!(lint_file(Path::new("crates/net/tests/network.rs"), in_tests).is_empty());
+        let cfg_test =
+            "#[cfg(test)]\nmod tests {\n    fn f() {\n        let p = payload.clone();\n    }\n}\n";
+        assert!(lint_file(Path::new("crates/net/src/reliable.rs"), cfg_test).is_empty());
     }
 
     #[test]

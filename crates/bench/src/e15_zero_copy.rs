@@ -1,0 +1,302 @@
+//! E15 — zero-copy payload fan-out and pooled envelope chunks
+//! (DESIGN.md §3g).
+//!
+//! The raise/deliver hot path used to copy the payload once per
+//! destination (fan-out clones) and allocate a fresh chunk per sealed
+//! batch. With payloads on shared [`Bytes`] buffers and chunk
+//! allocations recycled through the reliability layer's pool, both costs
+//! collapse:
+//!
+//! * **fan-out** — the E12 acceptance workload (8-member group across 2
+//!   hosting nodes, multicast locator) raises a 64 KiB payload; the
+//!   process-wide deep-copy counter must not move — N deliveries are N
+//!   refcount bumps. The measured delta is mirrored into
+//!   `net.bytes_copied` so telemetry snapshots carry it.
+//! * **warm unicast** — the E2c-style hint-cache workload (stationary
+//!   target, cache warm) raises repeatedly; after warmup every sealed
+//!   singleton chunk must come from the pool free list (hit rate ≥99%),
+//!   so the steady-state fast path allocates nothing.
+//!
+//! Both cases assert their acceptance bound and fail the bench run
+//! otherwise — this is the regression gate CI's smoke step runs.
+
+use crate::Table;
+use doct_kernel::{
+    Bytes, Cluster, ClusterBuilder, KernelConfig, KernelError, LocatorStrategy, RaiseTarget,
+    SpawnOptions, SystemEvent, Value,
+};
+use doct_net::{FailureConfig, ReliabilityConfig};
+use std::time::{Duration, Instant};
+
+/// One measured case.
+#[derive(Debug, Clone)]
+pub struct ZeroCopyRow {
+    /// `"fanout"` or `"warm-unicast"`.
+    pub case: &'static str,
+    /// Measured (post-warm-up) raises.
+    pub raises: u64,
+    /// Payload size carried per raise, bytes.
+    pub payload_bytes: usize,
+    /// Payload bytes deep-copied in-process per raise (refcount bumps
+    /// excluded) — the zero-copy invariant is that this stays at 0.
+    pub bytes_copied_per_raise: f64,
+    /// `pool_hits / (pool_hits + pool_misses)` over the measured window.
+    pub pool_hit_rate: f64,
+    /// Chunk buffers recycled to the pool over the measured window.
+    pub pool_recycled: u64,
+    /// Raise→receipt latency, median, microseconds.
+    pub p50_us: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Same tight tuning as E12 so runs finish quickly.
+fn bench_reliability() -> ReliabilityConfig {
+    ReliabilityConfig {
+        max_retries: 60,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        jitter: Duration::from_millis(2),
+        tick: Duration::from_millis(2),
+        heartbeat_interval: Duration::from_millis(50),
+        dedupe_window: 4096,
+        ..ReliabilityConfig::default()
+    }
+}
+
+/// E12's acceptance configuration (8 members on 2 hosting nodes, raiser
+/// on a member-free node) carrying a 64 KiB payload: the fan-out must be
+/// refcount bumps, with at most one copy per destination *node* tolerated
+/// (the acceptance bound; the shared-buffer path does zero).
+fn fanout_case() -> Result<ZeroCopyRow, KernelError> {
+    const MEMBERS: usize = 8;
+    const SPAN: usize = 2;
+    const WARMUP: usize = 3;
+    const MEASURED: usize = 30;
+    const PAYLOAD: usize = 64 * 1024;
+    let cluster: Cluster = ClusterBuilder::new(SPAN + 1)
+        .config(
+            KernelConfig {
+                delivery_timeout: Duration::from_secs(5),
+                ..KernelConfig::with_locator(LocatorStrategy::Multicast)
+            }
+            .without_location_cache(),
+        )
+        .reliable_with(bench_reliability(), FailureConfig::default())
+        .build();
+    let group = cluster.create_group();
+    let handles: Vec<_> = (0..MEMBERS)
+        .map(|i| {
+            let node = 1 + i % SPAN;
+            let opts = SpawnOptions {
+                group: Some(group),
+                ..Default::default()
+            };
+            cluster.spawn_fn_with(node, opts, |ctx| {
+                ctx.sleep(Duration::from_secs(120))?;
+                Ok(Value::Null)
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    std::thread::sleep(Duration::from_millis(80));
+
+    let payload = Value::Bytes(Bytes::from_vec(vec![0xA5; PAYLOAD]));
+    let raise_once = || {
+        let t0 = Instant::now();
+        let summary = cluster
+            .raise_from(
+                0,
+                SystemEvent::Timer,
+                payload.clone(),
+                RaiseTarget::Group(group),
+            )
+            .wait();
+        assert_eq!(summary.delivered, MEMBERS, "fan-out delivery: {summary:?}");
+        t0.elapsed()
+    };
+    for _ in 0..WARMUP {
+        let _ = raise_once();
+    }
+    let copied_before = Bytes::deep_copied_bytes();
+    let before = cluster.net().stats().snapshot();
+    let mut lats_us = Vec::with_capacity(MEASURED);
+    for _ in 0..MEASURED {
+        lats_us.push(raise_once().as_secs_f64() * 1e6);
+    }
+    let copied = Bytes::deep_copied_bytes() - copied_before;
+    // Mirror the process-wide counter into the cluster's net stats so the
+    // telemetry snapshot records `net.bytes_copied` alongside the pool
+    // counters.
+    cluster.net().stats().record_bytes_copied(copied);
+    let delta = before.delta(&cluster.net().stats().snapshot());
+
+    let _ = cluster
+        .raise_from(0, SystemEvent::Quit, Value::Null, RaiseTarget::Group(group))
+        .wait();
+    for h in handles {
+        let _ = h.join_timeout(Duration::from_secs(5));
+    }
+    crate::telemetry_out::record("e15", &cluster);
+
+    let per_raise = copied as f64 / MEASURED as f64;
+    assert!(
+        per_raise <= (SPAN * PAYLOAD) as f64,
+        "fan-out copied {per_raise:.0} payload bytes/raise — more than one \
+         copy per destination node ({SPAN} nodes × {PAYLOAD} B)"
+    );
+    lats_us.sort_by(|x, y| x.partial_cmp(y).expect("finite latency"));
+    let attempts = delta.pool_hits() + delta.pool_misses();
+    Ok(ZeroCopyRow {
+        case: "fanout",
+        raises: MEASURED as u64,
+        payload_bytes: PAYLOAD,
+        bytes_copied_per_raise: per_raise,
+        pool_hit_rate: if attempts > 0 {
+            delta.pool_hits() as f64 / attempts as f64
+        } else {
+            0.0
+        },
+        pool_recycled: delta.pool_recycled(),
+        p50_us: percentile(&lats_us, 0.50),
+    })
+}
+
+/// The E2c-style warm path: a stationary target, hint cache on, so every
+/// raise is one unicast probe — whose sealed singleton chunk must come
+/// from the pool free list once warm (hit rate ≥99%).
+fn warm_unicast_case() -> Result<ZeroCopyRow, KernelError> {
+    const WARMUP: usize = 10;
+    const MEASURED: usize = 200;
+    const PAYLOAD: usize = 4 * 1024;
+    let cluster: Cluster = ClusterBuilder::new(2)
+        .config(KernelConfig {
+            delivery_timeout: Duration::from_secs(5),
+            ..KernelConfig::with_locator(LocatorStrategy::Broadcast)
+        })
+        .reliable_with(bench_reliability(), FailureConfig::default())
+        .build();
+    let handle = cluster.spawn_fn(1, |ctx| {
+        ctx.sleep(Duration::from_secs(120))?;
+        Ok(Value::Null)
+    })?;
+    std::thread::sleep(Duration::from_millis(80));
+
+    let payload = Value::Bytes(Bytes::from_vec(vec![0x5A; PAYLOAD]));
+    let raise_once = || {
+        let t0 = Instant::now();
+        let summary = cluster
+            .raise_from(0, SystemEvent::Timer, payload.clone(), handle.thread())
+            .wait();
+        assert_eq!(summary.delivered, 1, "warm unicast delivery: {summary:?}");
+        t0.elapsed()
+    };
+    for _ in 0..WARMUP {
+        let _ = raise_once();
+    }
+    let copied_before = Bytes::deep_copied_bytes();
+    let before = cluster.net().stats().snapshot();
+    let mut lats_us = Vec::with_capacity(MEASURED);
+    for _ in 0..MEASURED {
+        lats_us.push(raise_once().as_secs_f64() * 1e6);
+    }
+    let copied = Bytes::deep_copied_bytes() - copied_before;
+    cluster.net().stats().record_bytes_copied(copied);
+    let delta = before.delta(&cluster.net().stats().snapshot());
+
+    let _ = cluster
+        .raise_from(0, SystemEvent::Quit, Value::Null, handle.thread())
+        .wait();
+    let _ = handle.join_timeout(Duration::from_secs(5));
+    crate::telemetry_out::record("e15", &cluster);
+
+    let attempts = delta.pool_hits() + delta.pool_misses();
+    let hit_rate = if attempts > 0 {
+        delta.pool_hits() as f64 / attempts as f64
+    } else {
+        0.0
+    };
+    assert!(
+        hit_rate >= 0.99,
+        "warm-unicast pool hit rate {hit_rate:.4} < 0.99 \
+         ({} hits / {} misses) — the steady-state fast path is allocating",
+        delta.pool_hits(),
+        delta.pool_misses()
+    );
+    lats_us.sort_by(|x, y| x.partial_cmp(y).expect("finite latency"));
+    Ok(ZeroCopyRow {
+        case: "warm-unicast",
+        raises: MEASURED as u64,
+        payload_bytes: PAYLOAD,
+        bytes_copied_per_raise: copied as f64 / MEASURED as f64,
+        pool_hit_rate: hit_rate,
+        pool_recycled: delta.pool_recycled(),
+        p50_us: percentile(&lats_us, 0.50),
+    })
+}
+
+/// Run both cases.
+///
+/// # Errors
+///
+/// Cluster construction/spawn failures.
+pub fn run() -> Result<Vec<ZeroCopyRow>, KernelError> {
+    Ok(vec![fanout_case()?, warm_unicast_case()?])
+}
+
+/// Render the measurements.
+pub fn table(rows: &[ZeroCopyRow]) -> Table {
+    let mut t = Table::new(
+        "E15: zero-copy payloads and pooled chunks (copied bytes are deep copies; clones are refcount bumps)",
+        &[
+            "case",
+            "raises",
+            "payload",
+            "copied B/raise",
+            "pool hit rate",
+            "recycled",
+            "p50",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.case.to_string(),
+            r.raises.to_string(),
+            format!("{} KiB", r.payload_bytes / 1024),
+            format!("{:.1}", r.bytes_copied_per_raise),
+            format!("{:.3}", r.pool_hit_rate),
+            r.pool_recycled.to_string(),
+            format!("{:.1?}", Duration::from_secs_f64(r.p50_us / 1e6)),
+        ]);
+    }
+    t
+}
+
+/// The measurements as machine-readable JSON
+/// (`BENCH_e15_zero_copy.json`) — the per-raise copied-bytes and pool
+/// hit-rate numbers future changes are compared against.
+pub fn json(rows: &[ZeroCopyRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"e15_zero_copy\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"case\": \"{}\", \"raises\": {}, \"payload_bytes\": {}, \
+             \"bytes_copied_per_raise\": {:.2}, \"pool_hit_rate\": {:.4}, \
+             \"pool_recycled\": {}, \"p50_raise_us\": {:.1}}}{}\n",
+            r.case,
+            r.raises,
+            r.payload_bytes,
+            r.bytes_copied_per_raise,
+            r.pool_hit_rate,
+            r.pool_recycled,
+            r.p50_us,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

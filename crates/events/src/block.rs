@@ -6,6 +6,7 @@
 
 use doct_kernel::{Ctx, EventName, ObjectId, ThreadId, Value, WireEvent};
 use doct_net::NodeId;
+use std::sync::Arc;
 
 /// Snapshot of the interrupted thread's state — the simulator's analogue
 /// of "state of the registers".
@@ -42,33 +43,49 @@ pub struct EventBlock {
     /// Interrupted-thread state (zeroed for passive-object deliveries).
     pub state: ThreadStateSnapshot,
     /// The underlying wire event, kept so handlers (and the facility) can
-    /// resume the raiser.
-    wire: WireEvent,
+    /// resume the raiser. Shared: chain transforms and block clones bump
+    /// a refcount instead of re-cloning the event (and its payload).
+    wire: Arc<WireEvent>,
 }
 
 impl EventBlock {
     /// Build a block for a thread-targeted delivery interrupting `ctx`.
     pub fn for_thread(ctx: &Ctx, wire: &WireEvent) -> Self {
-        EventBlock {
-            name: wire.name.clone(),
-            payload: wire.payload.clone(),
-            raiser: wire.raiser,
-            raiser_node: wire.raiser_node,
-            seq: wire.seq,
-            sync: wire.sync,
-            target_thread: Some(ctx.thread_id()),
-            state: ThreadStateSnapshot {
+        Self::build(
+            wire,
+            Some(ctx.thread_id()),
+            ThreadStateSnapshot {
                 pc: ctx.pc(),
                 current_object: ctx.current_object(),
                 node: ctx.node_id(),
                 depth: ctx.current_depth(),
             },
-            wire: wire.clone(),
-        }
+        )
     }
 
     /// Build a block for an object-targeted delivery at `node`.
     pub fn for_object(node: NodeId, wire: &WireEvent) -> Self {
+        Self::build(
+            wire,
+            // §6.3: the event block names the thread the event concerns —
+            // for object events that is the raiser.
+            wire.raiser,
+            ThreadStateSnapshot {
+                node,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// The one place the wire event is cloned: every block field is a
+    /// view of that single shared copy (a `Bytes` payload clone is a
+    /// refcount bump, not a byte copy).
+    fn build(
+        wire: &WireEvent,
+        target_thread: Option<ThreadId>,
+        state: ThreadStateSnapshot,
+    ) -> Self {
+        let wire = Arc::new(wire.clone());
         EventBlock {
             name: wire.name.clone(),
             payload: wire.payload.clone(),
@@ -76,14 +93,9 @@ impl EventBlock {
             raiser_node: wire.raiser_node,
             seq: wire.seq,
             sync: wire.sync,
-            // §6.3: the event block names the thread the event concerns —
-            // for object events that is the raiser.
-            target_thread: wire.raiser,
-            state: ThreadStateSnapshot {
-                node,
-                ..Default::default()
-            },
-            wire: wire.clone(),
+            target_thread,
+            state,
+            wire,
         }
     }
 
@@ -162,6 +174,26 @@ mod tests {
         assert_eq!(t.seq, b.seq, "same event instance");
         assert!(t.sync);
         assert_eq!(t.wire().seq, b.wire().seq);
+    }
+
+    #[test]
+    fn block_shares_payload_and_wire_instead_of_copying() {
+        use doct_kernel::Bytes;
+        let payload = Bytes::from_vec(vec![42u8; 2048]);
+        let mut w = wire(false);
+        w.payload = Value::Bytes(payload.clone());
+        let b = EventBlock::for_object(NodeId(0), &w);
+        // The block's payload view and the raiser's buffer are one
+        // allocation — construction copied zero payload bytes.
+        let view = b.payload.as_shared_bytes().unwrap();
+        assert!(Bytes::ptr_eq(view, &payload));
+        // Chain transforms and clones share the wire event too.
+        let t = b.transformed(EventName::user("NEXT"), Value::Null);
+        assert!(std::ptr::eq(b.wire(), t.wire()));
+        assert!(Bytes::ptr_eq(
+            t.wire().payload.as_shared_bytes().unwrap(),
+            &payload
+        ));
     }
 
     #[test]

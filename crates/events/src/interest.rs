@@ -78,6 +78,10 @@ impl InterestRegistry {
     /// Report an event arising in `object` as an *external event* to
     /// every interest holder (one targeted raise each — the fan-out whose
     /// growth E10 measures). Returns the per-holder tickets.
+    ///
+    /// The per-holder `payload.clone()` shares one buffer for
+    /// [`doct_kernel::Bytes`] payloads: N holders cost N refcount bumps,
+    /// zero payload byte copies (DESIGN.md §3g).
     pub fn report_external(
         &self,
         ctx: &mut Ctx,

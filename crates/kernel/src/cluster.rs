@@ -664,6 +664,8 @@ fn run_timer_service(rx: Receiver<TimerCmd>, kernels: Vec<Arc<NodeKernel>>) {
             if t.next_fire <= now {
                 t.next_fire = now + t.period;
                 let kernel = &kernels[t.thread.root.index().min(kernels.len() - 1)];
+                // Re-fires share the registered payload buffer: for
+                // Bytes payloads these clones are refcount bumps.
                 let (ticket, _seq) = kernel.raise_event(
                     t.event.clone(),
                     t.payload.clone(),

@@ -545,6 +545,11 @@ impl Ctx {
 
     /// Register a periodic TIMER event for this thread (§6.2). The timer
     /// chases the thread wherever it executes. Returns the timer id.
+    ///
+    /// The payload is cloned into the thread's attribute ring and the
+    /// timer service, and again at every fire — all refcount bumps for
+    /// [`crate::Bytes`] payloads, so periodic timers with large payloads
+    /// never re-copy them (DESIGN.md §3g).
     pub fn add_timer(&mut self, period: Duration, payload: impl Into<Value>) -> u64 {
         let id = self.kernel.next_seq();
         let payload = payload.into();

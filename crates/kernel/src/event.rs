@@ -370,7 +370,7 @@ mod tests {
             deadline_ns: None,
         };
         let big = WireEvent {
-            payload: Value::Bytes(vec![0; 1000]),
+            payload: Value::from(vec![0u8; 1000]),
             ..small.clone()
         };
         assert!(big.wire_size() > small.wire_size() + 900);

@@ -87,6 +87,10 @@ pub use shard_table::{shard_of, Insert, ShardedTable, SHARDS};
 pub use tcb::{Hop, TcbTable, Trail};
 pub use value::{DecodeError, Value};
 
+/// Shared immutable payload buffer (re-exported from `doct-net`): clones
+/// are refcount bumps, so event payloads fan out without byte copies.
+pub use doct_net::Bytes;
+
 /// The most commonly used kernel types.
 pub mod prelude {
     pub use crate::{

@@ -178,7 +178,7 @@ mod tests {
             reply_to: NodeId(0),
             object: ObjectId::new(NodeId(0), 1),
             entry: "e".into(),
-            args: Value::Bytes(vec![0; 500]),
+            args: Value::from(vec![0u8; 500]),
             attrs: ThreadAttributes::new(ThreadId::new(NodeId(0), 1), NodeId(0)),
             depth: 0,
         };

@@ -4,7 +4,14 @@
 //!
 //! Includes a compact self-describing binary codec ([`Value::encode`] /
 //! [`Value::decode`]) used to store object state in DSM segments.
+//!
+//! Byte payloads are [`Bytes`] — shared immutable buffers whose clones
+//! are refcount bumps. A raised event's payload fans out to N group
+//! members, the timer service, and the retransmit queue without ever
+//! copying payload bytes (DESIGN.md §3g); [`Value::decode_shared`]
+//! extends the zero-copy property through decoding.
 
+use doct_net::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -24,8 +31,8 @@ pub enum Value {
     Float(f64),
     /// UTF-8 string.
     Str(String),
-    /// Raw bytes.
-    Bytes(Vec<u8>),
+    /// Raw bytes: a shared immutable buffer, cloned by refcount bump.
+    Bytes(Bytes),
     /// Ordered list.
     List(Vec<Value>),
     /// String-keyed map (ordered for determinism).
@@ -85,6 +92,15 @@ impl Value {
 
     /// Borrow as byte slice, if this is a [`Value::Bytes`].
     pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Borrow the shared buffer itself, if this is a [`Value::Bytes`].
+    /// Cloning the returned [`Bytes`] shares the allocation.
+    pub fn as_shared_bytes(&self) -> Option<&Bytes> {
         match self {
             Value::Bytes(b) => Some(b),
             _ => None,
@@ -185,7 +201,7 @@ impl Value {
             Value::Bytes(b) => {
                 out.push(6);
                 out.extend_from_slice(&(b.len() as u32).to_le_bytes());
-                out.extend_from_slice(b);
+                out.extend_from_slice(b.as_slice());
             }
             Value::List(l) => {
                 out.push(7);
@@ -208,11 +224,34 @@ impl Value {
 
     /// Decode a value previously produced by [`Value::encode`].
     ///
+    /// Byte payloads are copied out of the borrowed input (charging the
+    /// [`Bytes`] deep-copy counter); use [`Value::decode_shared`] when
+    /// the caller owns the frame as a [`Bytes`] buffer.
+    ///
     /// # Errors
     ///
     /// [`DecodeError`] on truncated or malformed input, or trailing bytes.
     pub fn decode(bytes: &[u8]) -> Result<Value, DecodeError> {
-        let mut cursor = Cursor { bytes, pos: 0 };
+        Self::decode_inner(bytes, None)
+    }
+
+    /// Decode from a shared buffer: every [`Value::Bytes`] in the result
+    /// is a zero-copy slice view into `buf`'s backing allocation, so a
+    /// frame received off the wire decodes without copying payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated or malformed input, or trailing bytes.
+    pub fn decode_shared(buf: &Bytes) -> Result<Value, DecodeError> {
+        Self::decode_inner(buf.as_slice(), Some(buf))
+    }
+
+    fn decode_inner(bytes: &[u8], backing: Option<&Bytes>) -> Result<Value, DecodeError> {
+        let mut cursor = Cursor {
+            bytes,
+            backing,
+            pos: 0,
+        };
         let v = cursor.value()?;
         if cursor.pos != bytes.len() {
             return Err(DecodeError(format!(
@@ -226,6 +265,9 @@ impl Value {
 
 struct Cursor<'a> {
     bytes: &'a [u8],
+    /// When decoding from a shared buffer (`bytes == backing.as_slice()`),
+    /// byte payloads become slice views of it instead of copies.
+    backing: Option<&'a Bytes>,
     pos: usize,
 }
 
@@ -263,7 +305,13 @@ impl Cursor<'_> {
             5 => Value::Str(self.string()?),
             6 => {
                 let len = self.u32()? as usize;
-                Value::Bytes(self.take(len)?.to_vec())
+                let start = self.pos;
+                let backing = self.backing;
+                let raw = self.take(len)?;
+                Value::Bytes(match backing {
+                    Some(b) => b.slice(start..start + len),
+                    None => Bytes::copy_from_slice(raw),
+                })
             }
             7 => {
                 let len = self.u32()? as usize;
@@ -367,6 +415,12 @@ impl From<String> for Value {
 }
 impl From<Vec<u8>> for Value {
     fn from(b: Vec<u8>) -> Self {
+        // Zero-copy: the vector becomes the shared backing store.
+        Value::Bytes(Bytes::from_vec(b))
+    }
+}
+impl From<Bytes> for Value {
+    fn from(b: Bytes) -> Self {
         Value::Bytes(b)
     }
 }
@@ -416,7 +470,7 @@ mod tests {
             Value::Int(i64::MAX),
             Value::Float(-0.0),
             Value::Str(String::new()),
-            Value::Bytes(vec![]),
+            Value::Bytes(Bytes::new()),
             Value::List(vec![]),
             Value::map(),
         ] {
@@ -475,7 +529,43 @@ mod tests {
     fn display_is_readable() {
         let v = Value::List(vec![Value::Int(1), Value::Str("x".into())]);
         assert_eq!(v.to_string(), "[1, \"x\"]");
-        assert_eq!(Value::Bytes(vec![0; 4]).to_string(), "<4 bytes>");
+        assert_eq!(Value::from(vec![0u8; 4]).to_string(), "<4 bytes>");
+    }
+
+    #[test]
+    fn bytes_round_trip_over_shared_buffers() {
+        let mut v = Value::map();
+        v.set("blob", vec![9u8; 256]);
+        v.set(
+            "nested",
+            Value::List(vec![Value::from(vec![1u8, 2, 3]), Value::Int(5)]),
+        );
+        let frame = Bytes::from_vec(v.encode());
+        // Copying decode still round-trips.
+        assert_eq!(Value::decode(frame.as_slice()).unwrap(), v);
+        // Shared decode round-trips too, and every Bytes leaf is a view
+        // into the frame's allocation — zero payload bytes copied.
+        let shared = Value::decode_shared(&frame).unwrap();
+        assert_eq!(shared, v);
+        let blob = shared.get("blob").and_then(Value::as_shared_bytes).unwrap();
+        assert!(Bytes::ptr_eq(blob, &frame), "leaf must view the frame");
+        assert_eq!(blob.as_slice(), &[9u8; 256][..]);
+        let nested = shared.get("nested").and_then(Value::as_list).unwrap();
+        let inner = nested[0].as_shared_bytes().unwrap();
+        assert!(Bytes::ptr_eq(inner, &frame));
+        assert_eq!(inner.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn decode_shared_rejects_malformed_input_like_decode() {
+        let bytes = sample().encode();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            let buf = Bytes::from_vec(bytes[..cut].to_vec());
+            assert!(Value::decode_shared(&buf).is_err(), "cut at {cut}");
+        }
+        let mut trailing = Value::Int(1).encode();
+        trailing.push(0);
+        assert!(Value::decode_shared(&Bytes::from_vec(trailing)).is_err());
     }
 
     #[test]

@@ -693,7 +693,7 @@ fn initial_state_too_large_is_rejected_at_creation() {
     let cluster = Cluster::new(1);
     register_chain_class(&cluster);
     let cfg = ObjectConfig::new("counter", NodeId(0))
-        .with_state(Value::Bytes(vec![0; 4096]))
+        .with_state(Value::from(vec![0u8; 4096]))
         .with_state_size(256);
     let r = cluster.create_object(cfg);
     assert!(matches!(r, Err(KernelError::StateTooLarge { .. })), "{r:?}");

@@ -1,0 +1,247 @@
+//! Shared immutable byte buffers for event payloads (DESIGN.md §3g).
+//!
+//! The paper's raise semantics never mutate a payload after the raise:
+//! once an event is on the wire its bytes are logically frozen. `Bytes`
+//! encodes that discipline in the type — an `Arc`-backed, immutable,
+//! cheaply clonable view of a byte buffer. Cloning (fan-out to N group
+//! members, inflight retransmit copies, timer re-fires) bumps a
+//! refcount; it never copies payload bytes. Slicing produces a view
+//! into the same allocation, which is what lets a decoder hand out
+//! zero-copy sub-buffers of a received frame.
+//!
+//! Every constructor that *does* copy bytes (`copy_from_slice`,
+//! `to_vec`, `From<&[u8]>`) charges a process-wide counter,
+//! [`Bytes::deep_copied_bytes`]. The E15 bench reads the counter's
+//! delta across a raise storm to assert the hot path stays copy-free;
+//! `net.bytes_copied` mirrors it into telemetry.
+
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of payload bytes that were deep-copied (not
+/// refcount-bumped). The zero-copy invariant is "this stays flat while
+/// events fan out".
+static DEEP_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// An immutable, reference-counted byte buffer with cheap clones and
+/// zero-copy slice views.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer. Allocates a zero-length backing vector (no
+    /// bytes), so it is still copy-free.
+    pub fn new() -> Self {
+        Self::from_vec(Vec::new())
+    }
+
+    /// Take ownership of `v` without copying: the vector *becomes* the
+    /// shared backing store. This is the zero-copy entry point — prefer
+    /// it everywhere a payload is built once and then raised.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Copy `s` into a fresh buffer. Charges the deep-copy counter —
+    /// use [`Bytes::from_vec`] when the caller already owns the bytes.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        DEEP_COPIED.fetch_add(s.len() as u64, Ordering::Relaxed);
+        let mut v = Vec::with_capacity(s.len());
+        v.extend_from_slice(s);
+        Bytes {
+            len: v.len(),
+            data: Arc::new(v),
+            off: 0,
+        }
+    }
+
+    /// A zero-copy view of `range` within this buffer, sharing the same
+    /// backing allocation. Panics when the range is out of bounds, like
+    /// slice indexing.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "Bytes::slice range {}..{} out of bounds (len {})",
+            range.start,
+            range.end,
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Length of the view (not the backing allocation).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Extract an owned copy of the viewed bytes. Charges the deep-copy
+    /// counter: this is the escape hatch for callers that genuinely need
+    /// to mutate.
+    pub fn to_vec(&self) -> Vec<u8> {
+        DEEP_COPIED.fetch_add(self.len as u64, Ordering::Relaxed);
+        self.as_slice().to_vec()
+    }
+
+    /// True when both views share one backing allocation — the test
+    /// hook that proves a fan-out was a refcount bump, not a copy.
+    pub fn ptr_eq(a: &Bytes, b: &Bytes) -> bool {
+        Arc::ptr_eq(&a.data, &b.data)
+    }
+
+    /// Total payload bytes deep-copied process-wide since start. Bench
+    /// and test code asserts on deltas of this.
+    pub fn deep_copied_bytes() -> u64 {
+        DEEP_COPIED.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
+
+/// Serializes tests that read or bump the process-wide deep-copy
+/// counter; without it, parallel tests in this binary race on the
+/// "counter stayed flat" assertions.
+#[cfg(test)]
+pub(crate) mod counter_guard {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let _g = counter_guard::lock();
+        let before = Bytes::deep_copied_bytes();
+        let b = Bytes::from_vec(vec![1, 2, 3, 4]);
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(Bytes::deep_copied_bytes(), before);
+    }
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let _g = counter_guard::lock();
+        let before = Bytes::deep_copied_bytes();
+        let a = Bytes::from_vec(vec![0u8; 4096]);
+        let b = a.clone();
+        assert!(Bytes::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        assert_eq!(Bytes::deep_copied_bytes(), before);
+    }
+
+    #[test]
+    fn slice_is_a_view_not_a_copy() {
+        let _g = counter_guard::lock();
+        let before = Bytes::deep_copied_bytes();
+        let a = Bytes::from_vec((0u8..100).collect());
+        let mid = a.slice(10..20);
+        assert_eq!(mid.len(), 10);
+        assert_eq!(mid.as_slice(), &(10u8..20).collect::<Vec<u8>>()[..]);
+        assert!(Bytes::ptr_eq(&a, &mid));
+        // Slicing a slice composes offsets.
+        let inner = mid.slice(2..5);
+        assert_eq!(inner.as_slice(), &[12, 13, 14]);
+        assert_eq!(Bytes::deep_copied_bytes(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = Bytes::from_vec(vec![1, 2, 3]);
+        let _ = a.slice(1..5);
+    }
+
+    #[test]
+    fn copy_constructors_charge_the_counter() {
+        let _g = counter_guard::lock();
+        let before = Bytes::deep_copied_bytes();
+        let b = Bytes::copy_from_slice(&[7u8; 100]);
+        assert_eq!(Bytes::deep_copied_bytes(), before + 100);
+        let v = b.to_vec();
+        assert_eq!(v.len(), 100);
+        assert_eq!(Bytes::deep_copied_bytes(), before + 200);
+    }
+
+    #[test]
+    fn equality_is_by_contents() {
+        let _g = counter_guard::lock();
+        let a = Bytes::from_vec(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert!(!Bytes::ptr_eq(&a, &b));
+    }
+}

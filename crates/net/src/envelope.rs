@@ -73,6 +73,12 @@ impl WireMessage for Vec<u8> {
     }
 }
 
+impl WireMessage for crate::Bytes {
+    fn wire_size(&self) -> usize {
+        64 + self.len()
+    }
+}
+
 impl WireMessage for u64 {}
 impl WireMessage for () {}
 
@@ -182,6 +188,11 @@ mod tests {
     #[test]
     fn vec_wire_size_includes_payload() {
         assert_eq!(vec![0u8; 100].wire_size(), 164);
+    }
+
+    #[test]
+    fn bytes_wire_size_includes_payload() {
+        assert_eq!(crate::Bytes::from_vec(vec![0u8; 100]).wire_size(), 164);
     }
 
     #[test]

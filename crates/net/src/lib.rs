@@ -39,16 +39,19 @@
 //! assert_eq!(net.stats().sent(MessageClass::Data), 1);
 //! ```
 
+mod bytes;
 mod delay;
 mod envelope;
 mod failure;
 mod latency;
 mod multicast;
 mod network;
+mod pool;
 mod reliable;
 mod seed;
 mod stats;
 
+pub use bytes::Bytes;
 pub use envelope::{BatchEnvelope, Envelope, MessageClass, WireMessage};
 pub use failure::{FailureConfig, FailureDetector, PeerState};
 pub use latency::LatencyModel;

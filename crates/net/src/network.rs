@@ -129,6 +129,8 @@ impl<M: Send + 'static> DeliveryPath<M> {
                 // A duplicate means an earlier copy was delivered but its
                 // ack never made it back; re-ack if the path healed.
                 self.ack_back(rel, src, dst, seq);
+                // The suppressed copy's chunk buffer is still good.
+                rel.recycle_transfer(transfer, &self.stats);
                 return true;
             }
         }
@@ -136,9 +138,9 @@ impl<M: Send + 'static> DeliveryPath<M> {
         let pushed = match self.senders.get(dst.index()) {
             Some(tx) => match transfer {
                 Transfer::Single(env) => tx.send(env).is_ok(),
-                Transfer::Batch(batch) => {
+                Transfer::Batch(mut batch) => {
                     let mut ok = true;
-                    for (class, payload) in batch.payloads {
+                    for (class, payload) in batch.payloads.drain(..) {
                         ok &= tx
                             .send(Envelope {
                                 src,
@@ -148,6 +150,12 @@ impl<M: Send + 'static> DeliveryPath<M> {
                                 payload,
                             })
                             .is_ok();
+                    }
+                    // Delivery-unpack recycle point: the payloads moved
+                    // into mailbox envelopes; the drained chunk buffer
+                    // goes back to the pool.
+                    if let Some(rel) = &reliable {
+                        rel.recycle_chunk(batch.payloads, &self.stats);
                     }
                     ok
                 }
@@ -591,6 +599,11 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
             self.transmit(transfer);
         } else {
             self.path.stats.record_drop();
+            // The lost attempt's chunk buffer is recycled; the
+            // retransmit queue owns its own tracked copy.
+            if let Some(rel) = self.path.reliable.read().clone() {
+                rel.recycle_transfer(transfer, &self.path.stats);
+            }
         }
     }
 
@@ -691,11 +704,16 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
                             net.transmit(transfer);
                         } else {
                             net.path.stats.record_drop();
+                            // The undeliverable copy's chunk goes back
+                            // to the pool; the tracked entry survives.
+                            rel.recycle_transfer(transfer, &net.path.stats);
                         }
                     }
                     for transfer in given_up {
                         net.path.stats.record_giveup();
                         detector.note_unreachable(transfer.src(), transfer.dst());
+                        // Abandoned entries retire their chunk buffers.
+                        rel.recycle_transfer(transfer, &net.path.stats);
                     }
                     if now.saturating_duration_since(last_heartbeat) >= cfg.heartbeat_interval {
                         last_heartbeat = now;
@@ -722,6 +740,10 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
     /// it costs `n - 1` messages, all counted in `class`, plus one broadcast
     /// operation in the stats.
     ///
+    /// The last destination takes the payload by move and the rest get
+    /// clones — with [`crate::Bytes`] payloads every destination shares
+    /// one buffer, so the whole fan-out copies zero payload bytes.
+    ///
     /// # Errors
     ///
     /// [`NetworkError::UnknownNode`] if `src` is out of range.
@@ -733,19 +755,14 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
     ) -> Result<usize, NetworkError> {
         self.check_node(src)?;
         self.path.stats.record_broadcast();
-        let mut delivered = 0;
-        for dst in self.nodes() {
-            if dst == src {
-                continue;
-            }
-            if self.send(src, dst, payload.clone(), class)?.is_sent() {
-                delivered += 1;
-            }
-        }
-        Ok(delivered)
+        let dsts: Vec<NodeId> = self.nodes().filter(|&dst| dst != src).collect();
+        self.fan_out(src, dsts, payload, class)
     }
 
     /// Send `payload` to every current member node of `group` except `src`.
+    ///
+    /// Shares one payload buffer across destinations exactly like
+    /// [`Network::broadcast`].
     ///
     /// # Errors
     ///
@@ -759,12 +776,36 @@ impl<M: WireMessage + Clone + Send + 'static> Network<M> {
     ) -> Result<usize, NetworkError> {
         self.check_node(src)?;
         self.path.stats.record_multicast();
+        let dsts: Vec<NodeId> = self
+            .multicast
+            .members(group)
+            .into_iter()
+            .filter(|&dst| dst != src)
+            .collect();
+        self.fan_out(src, dsts, payload, class)
+    }
+
+    /// One payload to many destinations: clones for all but the last,
+    /// which takes the original by move. Clones of a [`crate::Bytes`]
+    /// payload are refcount bumps, so this never copies payload bytes.
+    fn fan_out(
+        &self,
+        src: NodeId,
+        dsts: Vec<NodeId>,
+        payload: M,
+        class: MessageClass,
+    ) -> Result<usize, NetworkError> {
         let mut delivered = 0;
-        for dst in self.multicast.members(group) {
-            if dst == src {
-                continue;
-            }
+        let mut dsts = dsts.into_iter();
+        let last = dsts.next_back();
+        for dst in dsts {
+            // doct-lint: allow(payload-clone-in-hot-path) refcount bump on shared Bytes
             if self.send(src, dst, payload.clone(), class)?.is_sent() {
+                delivered += 1;
+            }
+        }
+        if let Some(dst) = last {
+            if self.send(src, dst, payload, class)?.is_sent() {
                 delivered += 1;
             }
         }
@@ -960,6 +1001,45 @@ mod tests {
         assert!(rx3.recv_timeout(Duration::from_secs(1)).is_ok());
         assert!(rx2.try_recv().is_err());
         assert_eq!(net.stats().multicasts(), 1);
+    }
+
+    #[test]
+    fn broadcast_and_multicast_share_one_payload_buffer() {
+        use crate::Bytes;
+        let _g = crate::bytes::counter_guard::lock();
+        let net: Network<Bytes> = Network::new(4, LatencyModel::Zero);
+        let g = MulticastGroupId(7);
+        net.multicast_registry().join(g, NodeId(1));
+        net.multicast_registry().join(g, NodeId(2));
+        let boxes: Vec<_> = (0..4)
+            .map(|i| net.take_mailbox(NodeId(i)).unwrap())
+            .collect();
+        let payload = Bytes::from_vec(vec![0xAB; 4096]);
+        let before = Bytes::deep_copied_bytes();
+        let delivered = net
+            .broadcast(NodeId(0), payload.clone(), MessageClass::Event)
+            .unwrap();
+        assert_eq!(delivered, 3);
+        for rx in &boxes[1..] {
+            let env = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert!(
+                Bytes::ptr_eq(&payload, &env.payload),
+                "fan-out must be a refcount bump, not a byte copy"
+            );
+        }
+        let delivered = net
+            .multicast(NodeId(0), g, payload.clone(), MessageClass::Event)
+            .unwrap();
+        assert_eq!(delivered, 2);
+        for rx in &boxes[1..3] {
+            let env = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert!(Bytes::ptr_eq(&payload, &env.payload));
+        }
+        assert_eq!(
+            Bytes::deep_copied_bytes(),
+            before,
+            "five deliveries, zero payload bytes copied"
+        );
     }
 
     #[test]
@@ -1414,6 +1494,59 @@ mod reliability_tests {
             "no payload from the duplicate batch surfaced"
         );
         net.set_link_one_way(NodeId(1), NodeId(0), true).unwrap();
+        assert!(await_cond(Duration::from_secs(2), || {
+            net.pending_reliable() == 0
+        }));
+    }
+
+    #[test]
+    fn pool_recycles_across_heal_without_corrupting_retransmits() {
+        use crate::Bytes;
+        let net = Arc::new(Network::<Bytes>::new(3, LatencyModel::Zero));
+        net.enable_reliability(fast_cfg(), fast_failure()).unwrap();
+        let rx1 = net.take_mailbox(NodeId(1)).unwrap();
+        let rx2 = net.take_mailbox(NodeId(2)).unwrap();
+        // A batch to n1 sits inflight across a cut link, retransmitting.
+        net.set_link(NodeId(0), NodeId(1), false).unwrap();
+        let stuck: Vec<(MessageClass, Bytes)> = (0..3)
+            .map(|i| (MessageClass::Event, Bytes::from_vec(vec![i as u8; 64])))
+            .collect();
+        net.send_many(NodeId(0), NodeId(1), stuck).unwrap();
+        // Meanwhile healthy traffic to n2 churns the chunk pool: every
+        // delivered batch recycles its transmitted chunk and every ack
+        // retires the tracked copy.
+        for round in 0..10u8 {
+            let items: Vec<(MessageClass, Bytes)> = (0..4u8)
+                .map(|i| {
+                    (
+                        MessageClass::Data,
+                        Bytes::from_vec(vec![round * 10 + i; 32]),
+                    )
+                })
+                .collect();
+            net.send_many(NodeId(0), NodeId(2), items).unwrap();
+            for _ in 0..4 {
+                rx2.recv_timeout(Duration::from_secs(1)).unwrap();
+            }
+        }
+        assert!(net.stats().pool_hits() > 0, "churn reused pooled chunks");
+        assert!(net.stats().pool_recycled() > 0);
+        // Heal: the stuck batch's retransmit must still carry its
+        // original payloads even though the pool recycled dozens of
+        // buffers in between — a recycled slot never aliases a batch
+        // still awaiting its ack.
+        net.heal();
+        let mut got: Vec<Vec<u8>> = (0..3)
+            .map(|_| {
+                rx1.recv_timeout(Duration::from_secs(2))
+                    .unwrap()
+                    .payload
+                    .as_slice()
+                    .to_vec()
+            })
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![vec![0u8; 64], vec![1u8; 64], vec![2u8; 64]]);
         assert!(await_cond(Duration::from_secs(2), || {
             net.pending_reliable() == 0
         }));

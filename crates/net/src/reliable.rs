@@ -29,6 +29,7 @@
 //! counts the savings).
 
 use crate::envelope::Transfer;
+use crate::pool::BufferPool;
 use crate::{BatchEnvelope, Envelope, MessageClass, NetStats, NodeId};
 use parking_lot::{Condvar, Mutex};
 use rand::{Rng, SeedableRng};
@@ -210,6 +211,11 @@ pub(crate) struct ReliableState<M> {
     /// (batching only; the immediate [`ReliableState::ack`] path is used
     /// when batching is off).
     pending_acks: Mutex<HashMap<(u32, u32), Vec<u64>>>,
+    /// Free-list pool for sealed batch chunks (DESIGN.md §3g). Chunks
+    /// are taken at seal time and recycled on ACK-retire, give-up, and
+    /// delivery-unpack; the free-list mutex is a leaf lock (see
+    /// `crate::pool`).
+    pool: BufferPool<(MessageClass, M)>,
     /// Seeded jitter RNG: retransmit ordering replays under a fixed
     /// session seed (see `crate::seed`).
     rng: Mutex<rand::rngs::StdRng>,
@@ -241,6 +247,7 @@ impl<M> ReliableState<M> {
             seen: Mutex::new(HashMap::new()),
             slots: Mutex::new(HashMap::new()),
             pending_acks: Mutex::new(HashMap::new()),
+            pool: BufferPool::default(),
             rng: Mutex::new(rand::rngs::StdRng::seed_from_u64(seed)),
             wake: Mutex::new(false),
             wake_cond: Condvar::new(),
@@ -302,8 +309,12 @@ impl<M> ReliableState<M> {
     /// reverse link was up): retire the entry and record the ack plus its
     /// end-to-end latency. This is the immediate (non-coalescing) path.
     pub(crate) fn ack(&self, seq: u64, stats: &NetStats) {
-        if let Some(entry) = self.inflight.lock().remove(&seq) {
+        let entry = self.inflight.lock().remove(&seq);
+        if let Some(entry) = entry {
             stats.record_ack(entry.first_sent.elapsed());
+            // The retransmit queue no longer needs this copy: its chunk
+            // (if it was a batch) goes back to the pool.
+            self.recycle_transfer(entry.transfer, stats);
         }
     }
 
@@ -337,22 +348,31 @@ impl<M> ReliableState<M> {
             }
             seqs.sort_unstable();
             seqs.dedup();
-            let mut inflight = self.inflight.lock();
-            let mut run_retired = 0u64;
-            let mut prev: Option<u64> = None;
-            for seq in seqs {
-                if prev.is_some_and(|p| seq != p + 1) && run_retired > 0 {
-                    stats.record_cumulative_ack(run_retired);
-                    run_retired = 0;
+            // Retired transfers are collected under the inflight lock and
+            // recycled after it drops (pool free-list stays a leaf lock).
+            let mut retired = Vec::new();
+            {
+                let mut inflight = self.inflight.lock();
+                let mut run_retired = 0u64;
+                let mut prev: Option<u64> = None;
+                for seq in seqs {
+                    if prev.is_some_and(|p| seq != p + 1) && run_retired > 0 {
+                        stats.record_cumulative_ack(run_retired);
+                        run_retired = 0;
+                    }
+                    prev = Some(seq);
+                    if let Some(entry) = inflight.remove(&seq) {
+                        stats.record_ack_rtt(entry.first_sent.elapsed());
+                        run_retired += 1;
+                        retired.push(entry.transfer);
+                    }
                 }
-                prev = Some(seq);
-                if let Some(entry) = inflight.remove(&seq) {
-                    stats.record_ack_rtt(entry.first_sent.elapsed());
-                    run_retired += 1;
+                if run_retired > 0 {
+                    stats.record_cumulative_ack(run_retired);
                 }
             }
-            if run_retired > 0 {
-                stats.record_cumulative_ack(run_retired);
+            for transfer in retired {
+                self.recycle_transfer(transfer, stats);
             }
         }
     }
@@ -460,6 +480,7 @@ impl<M> ReliableState<M> {
             &self.cfg,
             &self.next_seq,
             &self.inflight,
+            &self.pool,
             slot,
             src,
             dst,
@@ -499,6 +520,7 @@ impl<M> ReliableState<M> {
                 &self.cfg,
                 &self.next_seq,
                 &self.inflight,
+                &self.pool,
                 slot,
                 NodeId(*src),
                 NodeId(*dst),
@@ -538,10 +560,14 @@ impl<M> ReliableState<M> {
     /// Drain the slot into sealed transfers (chunks of at most
     /// `batch_max`), track each for retransmission, and disarm the
     /// window. Single payloads seal as plain envelopes; 2+ as batches.
+    /// Chunk buffers come from the pool, so a warm direction seals
+    /// without allocating.
+    #[allow(clippy::too_many_arguments)]
     fn seal_slot(
         cfg: &ReliabilityConfig,
         next_seq: &AtomicU64,
         inflight: &Mutex<HashMap<u64, Inflight<M>>>,
+        pool: &BufferPool<(MessageClass, M)>,
         slot: &mut BatchSlot<M>,
         src: NodeId,
         dst: NodeId,
@@ -554,10 +580,14 @@ impl<M> ReliableState<M> {
         let now = Instant::now();
         while !slot.buf.is_empty() {
             let take = slot.buf.len().min(cfg.batch_max.max(1));
-            let mut chunk: Vec<(MessageClass, M)> = slot.buf.drain(..take).collect();
+            let mut chunk = pool.take(stats);
+            chunk.extend(slot.buf.drain(..take));
             let seq = next_seq.fetch_add(1, Ordering::Relaxed);
             let transfer = if chunk.len() == 1 {
                 let (class, payload) = chunk.pop().expect("one element");
+                // The chunk's capacity goes straight back: the singleton
+                // fast path is a take → pop → recycle round trip.
+                pool.recycle(chunk, stats);
                 Transfer::Single(Envelope {
                     src,
                     dst,
@@ -590,6 +620,22 @@ impl<M> ReliableState<M> {
         slot.window = None;
         slot.expect = 0;
         out
+    }
+
+    /// Return a retired transfer's chunk buffer (if it was a batch) to
+    /// the pool. Callers own the transfer: the tracked inflight copy
+    /// after its ACK or give-up, or the transmitted copy after the
+    /// delivery path has drained it — never a copy the retransmit queue
+    /// still holds.
+    pub(crate) fn recycle_transfer(&self, transfer: Transfer<M>, stats: &NetStats) {
+        if let Transfer::Batch(batch) = transfer {
+            self.pool.recycle(batch.payloads, stats);
+        }
+    }
+
+    /// Return a drained chunk buffer to the pool (delivery-unpack path).
+    pub(crate) fn recycle_chunk(&self, buf: Vec<(MessageClass, M)>, stats: &NetStats) {
+        self.pool.recycle(buf, stats);
     }
 
     /// The earliest instant at which the maintenance thread has work: the
@@ -948,6 +994,88 @@ mod tests {
         s.flush_acks(|_, _| true, &stats);
         assert_eq!(s.inflight_len(), 0);
         assert_eq!(stats.acks(), 1);
+    }
+
+    #[test]
+    fn warm_singleton_path_reuses_pooled_chunks() {
+        let s = state(ReliabilityConfig::default());
+        let stats = NetStats::new();
+        for i in 0..100u32 {
+            let out = s.enqueue(
+                NodeId(0),
+                NodeId(1),
+                [(MessageClass::Data, i)],
+                Instant::now(),
+                &stats,
+            );
+            assert_eq!(out.len(), 1);
+        }
+        assert_eq!(stats.pool_misses(), 1, "only the cold start allocates");
+        assert_eq!(
+            stats.pool_hits(),
+            99,
+            "the warm path runs off the free list"
+        );
+        assert_eq!(
+            stats.pool_recycled(),
+            100,
+            "every singleton chunk round-trips"
+        );
+    }
+
+    #[test]
+    fn recycled_chunk_never_aliases_a_batch_awaiting_ack() {
+        let s = state(ReliabilityConfig::default());
+        let stats = NetStats::new();
+        let now = Instant::now();
+        // Seal a batch of 1,2,3 toward n1; the tracked inflight copy must
+        // survive until its ack even while the transmitted chunk is
+        // drained and its buffer recycled.
+        let out = s.enqueue(
+            NodeId(0),
+            NodeId(1),
+            (1..=3u32).map(|i| (MessageClass::Locate, i)),
+            now,
+            &stats,
+        );
+        let Some(Transfer::Batch(mut batch)) = out.into_iter().next() else {
+            panic!("expected one sealed batch");
+        };
+        let seq = batch.seq;
+        // Delivery-unpack: drain the transmitted chunk, recycle its buffer.
+        let delivered: Vec<u32> = batch.payloads.drain(..).map(|(_, p)| p).collect();
+        assert_eq!(delivered, [1, 2, 3]);
+        s.recycle_chunk(batch.payloads, &stats);
+        // New traffic reuses the recycled buffer for a different batch.
+        let out = s.enqueue(
+            NodeId(0),
+            NodeId(2),
+            (7..=9u32).map(|i| (MessageClass::Locate, i)),
+            now,
+            &stats,
+        );
+        assert!(stats.pool_hits() >= 1, "the second seal reuses the buffer");
+        drop(out);
+        // The first batch's ack never arrived: its retransmit copy must
+        // still carry the original payloads, untouched by the reuse.
+        let (due, gone) = s.take_due(now + Duration::from_secs(1));
+        assert!(gone.is_empty());
+        let retx: Vec<u32> = due
+            .iter()
+            .filter_map(|t| match t {
+                Transfer::Batch(b) if b.seq == seq => {
+                    Some(b.payloads.iter().map(|(_, p)| *p).collect::<Vec<u32>>())
+                }
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(retx, [1, 2, 3], "inflight batch unchanged by pool reuse");
+        // Retiring the batch recycles the tracked copy too.
+        let recycled_before = stats.pool_recycled();
+        s.ack(seq, &stats);
+        assert_eq!(s.inflight_len(), 1, "only the n2 batch remains tracked");
+        assert!(stats.pool_recycled() > recycled_before);
     }
 
     #[test]

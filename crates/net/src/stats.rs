@@ -77,6 +77,17 @@ pub struct NetStats {
     suspects: Counter,
     deaths: Counter,
     ack_latency: Histogram,
+    /// Payload bytes deep-copied in-process (mirrored from
+    /// [`crate::Bytes::deep_copied_bytes`] by benches; zero while the
+    /// raise/deliver hot path stays on shared buffers, DESIGN.md §3g).
+    bytes_copied: Counter,
+    /// Envelope-pool takes served from the free list (no allocation).
+    pool_hits: Counter,
+    /// Envelope-pool takes that had to allocate a fresh buffer.
+    pool_misses: Counter,
+    /// Buffers returned to the pool free list on ACK-retire or
+    /// delivery-unpack.
+    pool_recycled: Counter,
 }
 
 impl NetStats {
@@ -109,6 +120,10 @@ impl NetStats {
             suspects: registry.counter("net.suspects"),
             deaths: registry.counter("net.deaths"),
             ack_latency: registry.histogram("net.ack_latency"),
+            bytes_copied: registry.counter("net.bytes_copied"),
+            pool_hits: registry.counter("net.pool_hits"),
+            pool_misses: registry.counter("net.pool_misses"),
+            pool_recycled: registry.counter("net.pool_recycled"),
         }
     }
 
@@ -184,6 +199,25 @@ impl NetStats {
 
     pub(crate) fn record_dup_drop(&self) {
         self.dup_drops.inc();
+    }
+
+    /// Record `n` payload bytes deep-copied in-process. Public so
+    /// benches can mirror the process-wide [`crate::Bytes`] copy counter
+    /// into this registry's `net.bytes_copied` series.
+    pub fn record_bytes_copied(&self, n: u64) {
+        self.bytes_copied.add(n);
+    }
+
+    pub(crate) fn record_pool_hit(&self) {
+        self.pool_hits.inc();
+    }
+
+    pub(crate) fn record_pool_miss(&self) {
+        self.pool_misses.inc();
+    }
+
+    pub(crate) fn record_pool_recycle(&self) {
+        self.pool_recycled.inc();
     }
 
     pub(crate) fn record_giveup(&self) {
@@ -306,6 +340,26 @@ impl NetStats {
         &self.ack_latency
     }
 
+    /// Payload bytes deep-copied in-process (bench-mirrored).
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied.get()
+    }
+
+    /// Envelope-pool takes served from the free list.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits.get()
+    }
+
+    /// Envelope-pool takes that allocated a fresh buffer.
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses.get()
+    }
+
+    /// Buffers recycled back into the envelope pool.
+    pub fn pool_recycled(&self) -> u64 {
+        self.pool_recycled.get()
+    }
+
     /// Zero all counters.
     pub fn reset(&self) {
         for i in 0..6 {
@@ -329,6 +383,10 @@ impl NetStats {
         self.suspects.reset();
         self.deaths.reset();
         self.ack_latency.reset();
+        self.bytes_copied.reset();
+        self.pool_hits.reset();
+        self.pool_misses.reset();
+        self.pool_recycled.reset();
     }
 
     /// A point-in-time copy of all counters.
@@ -343,6 +401,10 @@ impl NetStats {
             wire_msgs: self.wire_msgs(),
             batches_sent: self.batches_sent(),
             acks_coalesced: self.acks_coalesced(),
+            bytes_copied: self.bytes_copied(),
+            pool_hits: self.pool_hits(),
+            pool_misses: self.pool_misses(),
+            pool_recycled: self.pool_recycled(),
         }
     }
 }
@@ -360,6 +422,10 @@ pub struct StatsSnapshot {
     wire_msgs: u64,
     batches_sent: u64,
     acks_coalesced: u64,
+    bytes_copied: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+    pool_recycled: u64,
 }
 
 impl StatsSnapshot {
@@ -418,6 +484,26 @@ impl StatsSnapshot {
         self.acks_coalesced
     }
 
+    /// Payload bytes deep-copied in-process.
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied
+    }
+
+    /// Envelope-pool takes served from the free list.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits
+    }
+
+    /// Envelope-pool takes that allocated a fresh buffer.
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses
+    }
+
+    /// Buffers recycled back into the envelope pool.
+    pub fn pool_recycled(&self) -> u64 {
+        self.pool_recycled
+    }
+
     /// Traffic between this snapshot (earlier) and `later`.
     ///
     /// # Panics
@@ -438,6 +524,10 @@ impl StatsSnapshot {
         out.wire_msgs = later.wire_msgs - self.wire_msgs;
         out.batches_sent = later.batches_sent - self.batches_sent;
         out.acks_coalesced = later.acks_coalesced - self.acks_coalesced;
+        out.bytes_copied = later.bytes_copied - self.bytes_copied;
+        out.pool_hits = later.pool_hits - self.pool_hits;
+        out.pool_misses = later.pool_misses - self.pool_misses;
+        out.pool_recycled = later.pool_recycled - self.pool_recycled;
         out
     }
 }
@@ -598,6 +688,42 @@ mod tests {
         s.reset();
         assert_eq!(s.wire_msgs() + s.batches_sent() + s.acks_coalesced(), 0);
         assert_eq!(s.batch_fill().count(), 0);
+    }
+
+    #[test]
+    fn pool_and_copy_counters_bind_snapshot_and_reset() {
+        let registry = Registry::new();
+        let s = NetStats::bound(&registry);
+        let before = s.snapshot();
+        s.record_bytes_copied(4096);
+        s.record_pool_hit();
+        s.record_pool_hit();
+        s.record_pool_miss();
+        s.record_pool_recycle();
+        assert_eq!(s.bytes_copied(), 4096);
+        assert_eq!(s.pool_hits(), 2);
+        assert_eq!(s.pool_misses(), 1);
+        assert_eq!(s.pool_recycled(), 1);
+        let d = before.delta(&s.snapshot());
+        assert_eq!(
+            (
+                d.bytes_copied(),
+                d.pool_hits(),
+                d.pool_misses(),
+                d.pool_recycled()
+            ),
+            (4096, 2, 1, 1)
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["net.bytes_copied"], 4096);
+        assert_eq!(snap.counters["net.pool_hits"], 2);
+        assert_eq!(snap.counters["net.pool_misses"], 1);
+        assert_eq!(snap.counters["net.pool_recycled"], 1);
+        s.reset();
+        assert_eq!(
+            s.bytes_copied() + s.pool_hits() + s.pool_misses() + s.pool_recycled(),
+            0
+        );
     }
 
     #[test]

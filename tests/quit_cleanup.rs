@@ -131,6 +131,117 @@ fn quit_delivered_mid_batch_runs_cleanup_handlers_exactly_once() {
 }
 
 #[test]
+fn quit_mid_batch_recycles_pool_chunks_and_keeps_the_ledger_balanced() {
+    // Pool-recycle correctness under QUIT mid-batch (DESIGN.md §3g): warm
+    // group raises churn chunk buffers through the reliability pool, then
+    // a QUIT batch is forced into retransmission while its targets die.
+    // The recycled chunks must never corrupt the inflight QUIT batch
+    // (every thread still dies exactly once) and at quiescence the
+    // delivery ledger must balance — no raise silently lost to a stale or
+    // aliased buffer.
+    const MEMBERS: usize = 4;
+    let cluster = ClusterBuilder::new(2)
+        .config(KernelConfig {
+            delivery_timeout: Duration::from_secs(5),
+            ..KernelConfig::default()
+        })
+        .reliable_with(
+            ReliabilityConfig {
+                max_retries: 60,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(20),
+                jitter: Duration::from_millis(2),
+                tick: Duration::from_millis(2),
+                heartbeat_interval: Duration::from_millis(5),
+                ..ReliabilityConfig::default()
+            },
+            FailureConfig {
+                suspect_after: Duration::from_millis(500),
+                dead_after: Duration::from_secs(10),
+            },
+        )
+        .build();
+    let _facility = EventFacility::install(&cluster);
+    let group = cluster.create_group();
+    let handles: Vec<_> = (0..MEMBERS)
+        .map(|_| {
+            let opts = SpawnOptions {
+                group: Some(group),
+                ..Default::default()
+            };
+            cluster
+                .spawn_fn_with(1, opts, move |ctx| loop {
+                    ctx.sleep(Duration::from_millis(5))?;
+                })
+                .unwrap()
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Warm raises with a shared Bytes payload: the batched probe waves
+    // take chunk buffers from the pool and recycle them on ACK-retire.
+    let payload = Value::from(doct_kernel::Bytes::from_vec(vec![0xC3u8; 2048]));
+    for _ in 0..8 {
+        let summary = cluster
+            .raise_from(
+                0,
+                SystemEvent::Timer,
+                payload.clone(),
+                RaiseTarget::Group(group),
+            )
+            .wait();
+        assert_eq!(summary.delivered, MEMBERS, "warm raise: {summary:?}");
+    }
+    let warm = cluster.net().stats().snapshot();
+    assert!(
+        warm.pool_recycled() > 0 && warm.pool_hits() > 0,
+        "warm batched raises must churn the chunk pool \
+         (hits {}, recycled {})",
+        warm.pool_hits(),
+        warm.pool_recycled()
+    );
+
+    // Cut the ack path so the QUIT batch retransmits mid-death, then heal.
+    cluster
+        .net()
+        .set_link_one_way(NodeId(1), NodeId(0), false)
+        .unwrap();
+    let ticket = cluster.raise_from(0, SystemEvent::Quit, Value::Null, RaiseTarget::Group(group));
+    std::thread::sleep(Duration::from_millis(150));
+    cluster
+        .net()
+        .set_link_one_way(NodeId(1), NodeId(0), true)
+        .unwrap();
+    let _ = ticket.wait();
+
+    for h in handles {
+        let r = h.join_timeout(Duration::from_secs(10)).expect("dead");
+        assert!(matches!(r, Err(KernelError::Terminated)), "{r:?}");
+    }
+    assert!(
+        cluster.net().stats().dup_drops() > 0,
+        "the unacked QUIT batch must have been retransmitted and suppressed"
+    );
+
+    // Quiescence: every tracked raise accounted for, none lost to a
+    // recycled buffer.
+    std::thread::sleep(Duration::from_millis(300));
+    let counters = cluster.telemetry().metrics().counters;
+    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+    let requested = get("delivery.requested");
+    let resolved = get("delivery.delivered")
+        + get("delivery.dead")
+        + get("delivery.timeout")
+        + get("delivery.lost")
+        + get("delivery.overloaded");
+    assert!(requested > 0, "no tracked raises recorded");
+    assert_eq!(
+        requested, resolved,
+        "delivery ledger out of balance after QUIT mid-batch"
+    );
+}
+
+#[test]
 fn quit_cannot_be_masked_by_a_resume_handler() {
     // A TERMINATE handler that Resumes can rescue the thread from
     // TERMINATE — but on QUIT it runs for side effects only and the

@@ -41,7 +41,7 @@ fn arb_value(rng: &mut StdRng, depth: usize) -> Value {
         // and the codec is allowed to require that).
         3 => Value::Float(rng.gen_range(-1_000_000_000i64..1_000_000_000) as f64 / 64.0),
         4 => Value::Str(arb_string(rng, 40)),
-        5 => Value::Bytes(arb_bytes(rng, 64)),
+        5 => Value::from(arb_bytes(rng, 64)),
         6 => Value::List(
             (0..rng.gen_range(0..8usize))
                 .map(|_| arb_value(rng, depth - 1))
