@@ -1,0 +1,26 @@
+//! Seeded fixture for the telemetry-coverage pass: one dead counter
+//! (registered, handle-bound, never written) and one live-but-
+//! undocumented counter (this fixture root has no DESIGN.md /
+//! EXPERIMENTS.md). CI asserts this fixture FAILS doct-lint.
+
+pub struct Probe {
+    orphan: Counter,
+}
+
+impl Probe {
+    pub fn new(t: &Registry) -> Self {
+        // dead-counter: `orphan` is never inc'd/add'd/set anywhere.
+        Self {
+            orphan: t.counter("kernel.fixture_orphan"),
+        }
+    }
+
+    pub fn tick(&self, t: &Registry) {
+        // undocumented-counter: written here, documented nowhere.
+        t.counter("net.fixture_undocumented").inc();
+    }
+
+    pub fn read(&self) -> u64 {
+        self.orphan.value()
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeded fixture for stale-waiver detection: this file is completely
+//! clean, so both exceptions pointing at it — the allowlist entry in
+//! this directory's `.doct-lint-allow` and the inline waiver below —
+//! suppress nothing and must fail the run. CI asserts that.
+
+pub fn tidy(v: u32) -> u32 {
+    // doct-lint: allow(unwrap-in-prod) this waiver matches nothing and must be flagged stale
+    v + 1
+}

@@ -1,0 +1,31 @@
+//! Seeded fixture: the caller's guard is live across a call to a helper
+//! that wraps `net::send` two calls deep. Only the interprocedural
+//! may-block pass can see this — no blocking token appears under the
+//! guard directly. CI asserts this fixture FAILS doct-lint.
+
+/// Depth 2: the actual blocking primitive.
+fn wire_send(tx: &Sender<u32>, v: u32) {
+    tx.send(v);
+}
+
+/// Depth 1: innocent-looking wrapper.
+fn notify_peer(tx: &Sender<u32>, v: u32) {
+    wire_send(tx, v);
+}
+
+/// The violation: `state` is a live parking_lot guard at the call to
+/// `notify_peer`, which may transitively block in `wire_send`.
+pub fn flush_with_guard(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let state = m.lock();
+    notify_peer(tx, *state);
+}
+
+/// Clean twin: same helper, guard released first (collect-under-lock /
+/// send-after-release, the PR 4 pattern).
+pub fn flush_after_release(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let state = m.lock();
+        *state
+    };
+    notify_peer(tx, v);
+}

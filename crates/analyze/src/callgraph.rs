@@ -1,0 +1,652 @@
+//! Workspace-wide call graph and the transitive **may-block** pass.
+//!
+//! Built on the [`crate::lexer`] token stream: every `fn` item in every
+//! non-test file becomes a node; call sites inside its body become
+//! edges. Resolution is best-effort and name-based:
+//!
+//! * a *method* call (`recv.name(…)`) resolves to every `fn name` defined
+//!   inside an `impl` block anywhere in the workspace;
+//! * a *free* call (`name(…)` / `path::name(…)`) resolves to every
+//!   non-impl `fn name`; a path qualifier narrows candidates to
+//!   definitions whose module path ends with it, when any match.
+//!
+//! This over-approximates (two unrelated `fn flush` methods alias), which
+//! is the sound direction for may-block: a guard held across a call that
+//! *might* resolve to a blocking function is worth a human look, and the
+//! audited waiver channel absorbs deliberate false positives. The
+//! soundness gaps that remain are documented in DESIGN.md §3h: calls
+//! through function pointers/closures, trait-object dispatch to an
+//! unnamed impl, and macro-generated bodies are invisible.
+//!
+//! **Seeds.** A function *directly* blocks if its body contains one of
+//! the known blocking primitives: channel `send`/`recv`/`recv_timeout`,
+//! `Condvar` waits (`wait`/`wait_timeout`/`wait_while`/`wait_until`),
+//! `call_remote`, `send_probe_wave`, or `RaiseTicket::wait` (covered by
+//! the `wait` method seed). May-block then propagates up the call graph
+//! to a fixpoint, and each may-block function records a witness edge so
+//! findings can print the chain down to the primitive.
+//!
+//! Closures handed to `spawn`/`Builder::spawn` run on another thread, so
+//! their bodies neither seed nor propagate into the spawning function.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Method names that block by themselves (channel ops, condvar waits,
+/// the kernel's remote primitives).
+pub const BLOCKING_METHODS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "wait_until",
+    "call_remote",
+    "send_probe_wave",
+];
+
+/// Spawn-like callees whose closure argument runs on another thread.
+const SPAWN_CALLEES: &[&str] = &["spawn", "spawn_named"];
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "as", "move", "else",
+    "unsafe", "drop",
+];
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.name(…)` — resolves against impl methods.
+    Method,
+    /// `Type::name(…)` / `path::name(…)` — associated functions and
+    /// path-qualified free fns; resolves against both tables.
+    Qualified,
+    /// Bare `name(…)` — resolves against free fns only.
+    Free,
+}
+
+/// One `fn` item found in the workspace.
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// `Some("Network")` when defined in `impl Network { … }`.
+    pub impl_type: Option<String>,
+    /// Module path inside the file (`mod` nesting), innermost last.
+    pub module: Vec<String>,
+    pub file: PathBuf,
+    pub line: u32,
+    /// Token index range of the body (inside the braces), in the file's
+    /// token stream. Empty for bodiless trait-method declarations.
+    pub body: std::ops::Range<usize>,
+    /// Whether the def sits inside `#[cfg(test)]` or a tests/ file.
+    pub in_test: bool,
+}
+
+/// Why a function may block: the terminal primitive, or the callee it
+/// reaches one through.
+#[derive(Debug, Clone)]
+enum Witness {
+    /// Direct use of a blocking primitive (`.send(`, `.wait(`, …).
+    Primitive { method: String, line: u32 },
+    /// Calls another may-block function.
+    Call { callee: usize },
+}
+
+/// The workspace call graph plus may-block facts.
+pub struct CallGraph {
+    pub fns: Vec<FnDef>,
+    /// fn index → why it may block (None = does not block).
+    witness: Vec<Option<Witness>>,
+    /// method name → fn indices defined in impl blocks.
+    methods: HashMap<String, Vec<usize>>,
+    /// free fn name → fn indices defined outside impl blocks.
+    free: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph over `files` (path + lexed tokens + per-token
+    /// test-region flags) and run the may-block fixpoint.
+    pub fn build(files: &[(PathBuf, Lexed, Vec<bool>)]) -> Self {
+        let mut fns = Vec::new();
+        for (path, lexed, in_test) in files {
+            collect_fns(path, &lexed.tokens, in_test, &mut fns);
+        }
+        let mut methods: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut free: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            if f.impl_type.is_some() {
+                methods.entry(f.name.clone()).or_default().push(i);
+            } else {
+                free.entry(f.name.clone()).or_default().push(i);
+            }
+        }
+        let mut graph = CallGraph {
+            witness: vec![None; fns.len()],
+            fns,
+            methods,
+            free,
+        };
+        graph.propagate(files);
+        graph
+    }
+
+    /// Whether any candidate for a call to `name` (of `kind`) may block.
+    /// Returns the resolved fn index for chain printing.
+    pub fn call_may_block(&self, name: &str, kind: CallKind) -> Option<usize> {
+        let tables: &[&HashMap<String, Vec<usize>>] = match kind {
+            CallKind::Method => &[&self.methods],
+            CallKind::Free => &[&self.free],
+            CallKind::Qualified => &[&self.free, &self.methods],
+        };
+        tables
+            .iter()
+            .filter_map(|t| t.get(name))
+            .flatten()
+            .copied()
+            .find(|&i| self.witness[i].is_some())
+    }
+
+    /// Human-readable chain from `fn_idx` down to the blocking
+    /// primitive: `flush_batch → Network::send → .send( (network.rs:88)`.
+    pub fn chain(&self, fn_idx: usize) -> String {
+        let mut parts = Vec::new();
+        let mut cur = fn_idx;
+        // Cycle guard: the witness graph is acyclic by construction (a
+        // witness is recorded before dependents observe it), but cap the
+        // walk anyway.
+        for _ in 0..32 {
+            let f = &self.fns[cur];
+            parts.push(match &f.impl_type {
+                Some(t) => format!("{t}::{}", f.name),
+                None => f.name.clone(),
+            });
+            match &self.witness[cur] {
+                Some(Witness::Primitive { method, line }) => {
+                    let file = self.fns[cur]
+                        .file
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    parts.push(format!(".{method}( ({file}:{line})"));
+                    break;
+                }
+                Some(Witness::Call { callee }) => cur = *callee,
+                None => break,
+            }
+        }
+        parts.join(" → ")
+    }
+
+    /// May-block fixpoint: seed from primitives, then propagate through
+    /// resolved calls until nothing changes.
+    fn propagate(&mut self, files: &[(PathBuf, Lexed, Vec<bool>)]) {
+        // Pre-extract each fn's call list + primitive seeds.
+        struct Body {
+            seeds: Vec<(String, u32)>,
+            calls: Vec<(String, CallKind, u32)>,
+        }
+        let mut bodies = Vec::with_capacity(self.fns.len());
+        for f in &self.fns {
+            let toks = files
+                .iter()
+                .find(|(p, _, _)| *p == f.file)
+                .map(|(_, l, _)| &l.tokens[..])
+                .unwrap_or(&[]);
+            let mut seeds = Vec::new();
+            let mut calls = Vec::new();
+            if !f.in_test {
+                scan_body(toks, f.body.clone(), &mut seeds, &mut calls);
+            }
+            bodies.push(Body { seeds, calls });
+        }
+        // Seed pass.
+        for (i, b) in bodies.iter().enumerate() {
+            if let Some((method, line)) = b.seeds.first() {
+                self.witness[i] = Some(Witness::Primitive {
+                    method: method.clone(),
+                    line: *line,
+                });
+            }
+        }
+        // Fixpoint.
+        loop {
+            let mut changed = false;
+            for (i, body) in bodies.iter().enumerate() {
+                if self.witness[i].is_some() {
+                    continue;
+                }
+                for (name, kind, _line) in &body.calls {
+                    if let Some(callee) = self.call_may_block(name, *kind) {
+                        self.witness[i] = Some(Witness::Call { callee });
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Whether `fn_idx` may (transitively) block.
+    pub fn may_block(&self, fn_idx: usize) -> bool {
+        self.witness[fn_idx].is_some()
+    }
+}
+
+/// Walk one file's tokens collecting `fn` items with their impl/mod
+/// context and body ranges.
+fn collect_fns(path: &Path, toks: &[Token], in_test: &[bool], out: &mut Vec<FnDef>) {
+    let file_is_test = path
+        .components()
+        .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "benches");
+    // (brace depth at which the context ends, kind)
+    enum Ctx {
+        Mod(String),
+        Impl(String),
+    }
+    let mut ctx: Vec<(i32, Ctx)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            ctx.retain(|(d, _)| *d > depth);
+            i += 1;
+            continue;
+        }
+        if t.is_ident("mod") {
+            if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                // `mod name {` opens a module scope; `mod name;` does not.
+                if toks.get(i + 2).is_some_and(|b| b.is_punct('{')) {
+                    ctx.push((depth, Ctx::Mod(name.text.clone())));
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("trait") && impl_in_item_position(toks, i) {
+            // `trait Name … { … }`: default methods are methods for
+            // resolution purposes. Scan to the block's `{` at angle 0.
+            if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                let mut angle = 0i32;
+                let mut j = i + 2;
+                while j < toks.len() {
+                    let u = &toks[j];
+                    if u.is_punct('<') {
+                        angle += 1;
+                    } else if u.is_punct('>') {
+                        angle -= 1;
+                    } else if angle <= 0 && u.is_punct('{') {
+                        ctx.push((depth, Ctx::Impl(name.text.clone())));
+                        break;
+                    } else if angle <= 0 && u.is_punct(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+        }
+        if t.is_ident("impl") && impl_in_item_position(toks, i) {
+            if let Some((ty, brace)) = impl_target(toks, i + 1) {
+                ctx.push((depth, Ctx::Impl(ty)));
+                // Fall through: the `{` is consumed by the depth tracking.
+                i = brace;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                let (body, after) = fn_body_range(toks, i + 2);
+                let module = ctx
+                    .iter()
+                    .filter_map(|(_, c)| match c {
+                        Ctx::Mod(m) => Some(m.clone()),
+                        Ctx::Impl(_) => None,
+                    })
+                    .collect();
+                let impl_type = ctx.iter().rev().find_map(|(_, c)| match c {
+                    Ctx::Impl(t) => Some(t.clone()),
+                    Ctx::Mod(_) => None,
+                });
+                let def_in_test = file_is_test
+                    || in_test.get(i).copied().unwrap_or(false)
+                    || ctx
+                        .iter()
+                        .any(|(_, c)| matches!(c, Ctx::Mod(m) if m == "tests"));
+                out.push(FnDef {
+                    name: name.text.clone(),
+                    impl_type,
+                    module,
+                    file: path.to_path_buf(),
+                    line: name.line,
+                    body: body.clone(),
+                    in_test: def_in_test,
+                });
+                // Skip past the signature but NOT the body: nested fns
+                // and the depth tracking need to see body tokens. We
+                // continue from the token after the name; the body range
+                // was computed non-destructively.
+                let _ = after;
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Whether the `impl` at `i` starts an impl *block*, as opposed to an
+/// `impl Trait` type (`-> impl Iterator`, `x: impl Fn()`). Item-position
+/// `impl` follows nothing, a block/item boundary, an attribute close, or
+/// `unsafe`.
+fn impl_in_item_position(toks: &[Token], i: usize) -> bool {
+    match i.checked_sub(1).and_then(|p| toks.get(p)) {
+        None => true,
+        Some(prev) => {
+            prev.is_punct('{')
+                || prev.is_punct('}')
+                || prev.is_punct(';')
+                || prev.is_punct(']')
+                || prev.is_ident("unsafe")
+        }
+    }
+}
+
+/// After `impl`, skip generics and read the target type name: for
+/// `impl<T> Foo<T> { … }` → `Foo`; `impl Trait for Foo { … }` → `Foo`.
+/// Returns (type name, index of the opening `{`).
+fn impl_target(toks: &[Token], mut i: usize) -> Option<(String, usize)> {
+    // Skip `<…>` generic params (balanced).
+    if toks.get(i)?.is_punct('<') {
+        let mut angle = 0i32;
+        while i < toks.len() {
+            if toks[i].is_punct('<') {
+                angle += 1;
+            } else if toks[i].is_punct('>') {
+                angle -= 1;
+                if angle == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // The target is the last path segment seen at angle depth 0 before
+    // the `{`; `for` resets (the trait name was not the target) and
+    // `where` freezes it (bound types must not overwrite it).
+    let mut ty: Option<String> = None;
+    let mut angle = 0i32;
+    let mut frozen = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 {
+            if t.is_punct('{') {
+                return ty.map(|t| (t, i));
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+            if t.is_ident("for") {
+                ty = None;
+            } else if t.is_ident("where") {
+                frozen = true;
+            } else if !frozen && t.kind == TokenKind::Ident && !t.is_ident("dyn") {
+                // Path segments: `net::Network` keeps overwriting so the
+                // last segment wins.
+                ty = Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// From just after `fn name`, find the body token range (exclusive of
+/// braces). Returns (range, index after the body). A `;` before any `{`
+/// at bracket-depth 0 means a bodiless declaration.
+fn fn_body_range(toks: &[Token], mut i: usize) -> (std::ops::Range<usize>, usize) {
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0); // `->` lexes as `-`,`>`: clamp
+        } else if paren == 0 {
+            if t.is_punct(';') {
+                return (i..i, i + 1);
+            }
+            if t.is_punct('{') && angle <= 0 {
+                // Walk to the matching close brace.
+                let start = i + 1;
+                let mut depth = 1i32;
+                let mut j = start;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                return (start..j.saturating_sub(1), j);
+            }
+        }
+        i += 1;
+    }
+    (i..i, i)
+}
+
+/// Scan a fn body for blocking-primitive uses and call sites. Skips the
+/// arguments of spawn-like calls (those run on another thread).
+fn scan_body(
+    toks: &[Token],
+    range: std::ops::Range<usize>,
+    seeds: &mut Vec<(String, u32)>,
+    calls: &mut Vec<(String, CallKind, u32)>,
+) {
+    let mut i = range.start;
+    while i < range.end {
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            let name = t.text.as_str();
+            let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+            let kind = if prev.is_some_and(|p| p.is_punct('.')) {
+                CallKind::Method
+            } else if prev.is_some_and(|p| p.is_punct(':')) {
+                CallKind::Qualified
+            } else {
+                CallKind::Free
+            };
+            if SPAWN_CALLEES.contains(&name) {
+                // Skip the whole argument list: the closure body runs on
+                // another thread.
+                i = skip_balanced(toks, i + 1, range.end);
+                continue;
+            }
+            if !NON_CALL_KEYWORDS.contains(&name) {
+                if BLOCKING_METHODS.contains(&name) {
+                    seeds.push((name.to_string(), t.line));
+                } else {
+                    calls.push((name.to_string(), kind, t.line));
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// From the index of an opening `(`, return the index just past its
+/// matching `)` (clamped to `end`).
+pub fn skip_balanced(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn graph_of(src: &str) -> CallGraph {
+        let lexed = lex(src);
+        let flags = vec![false; lexed.tokens.len()];
+        CallGraph::build(&[(PathBuf::from("x.rs"), lexed, flags)])
+    }
+
+    #[test]
+    fn direct_seed_marks_fn_may_block() {
+        let g = graph_of("fn f(tx: &Sender<u32>) { tx.send(1); }\nfn g() {}\n");
+        let f = g.fns.iter().position(|d| d.name == "f").unwrap();
+        let gi = g.fns.iter().position(|d| d.name == "g").unwrap();
+        assert!(g.may_block(f));
+        assert!(!g.may_block(gi));
+    }
+
+    #[test]
+    fn transitive_two_calls_deep() {
+        let src = "
+            fn leaf(tx: &Sender<u32>) { tx.send(1); }
+            fn middle(tx: &Sender<u32>) { leaf(tx); }
+            fn top(tx: &Sender<u32>) { middle(tx); }
+            fn unrelated() { let x = 1; }
+        ";
+        let g = graph_of(src);
+        let top = g.fns.iter().position(|d| d.name == "top").unwrap();
+        assert!(g.may_block(top));
+        let chain = g.chain(top);
+        assert!(chain.contains("top") && chain.contains("middle") && chain.contains("leaf"));
+        assert!(
+            chain.contains(".send("),
+            "chain ends at the primitive: {chain}"
+        );
+        let u = g.fns.iter().position(|d| d.name == "unrelated").unwrap();
+        assert!(!g.may_block(u));
+    }
+
+    #[test]
+    fn method_calls_resolve_to_impl_fns() {
+        let src = "
+            struct Net;
+            impl Net {
+                fn wire_send(&self, tx: &Sender<u32>) { tx.send(1); }
+            }
+            struct K;
+            impl K {
+                fn helper(&self, n: &Net, tx: &Sender<u32>) { n.wire_send(tx); }
+            }
+        ";
+        let g = graph_of(src);
+        let h = g.fns.iter().position(|d| d.name == "helper").unwrap();
+        assert!(g.may_block(h));
+        assert!(g.call_may_block("helper", CallKind::Method).is_some());
+        assert!(g.call_may_block("helper", CallKind::Free).is_none());
+    }
+
+    #[test]
+    fn spawn_closures_do_not_propagate() {
+        let src = "
+            fn starts_thread(rx: Receiver<u32>) {
+                thread::spawn(move || {
+                    let v = rx.recv();
+                });
+            }
+        ";
+        let g = graph_of(src);
+        let f = g
+            .fns
+            .iter()
+            .position(|d| d.name == "starts_thread")
+            .unwrap();
+        assert!(
+            !g.may_block(f),
+            "recv inside a spawned closure is not the spawner's block"
+        );
+    }
+
+    #[test]
+    fn test_code_is_outside_the_graph() {
+        let lexed = lex("fn prod() {}\nfn helper(tx: &Sender<u32>) { tx.send(1); }\n");
+        let mut flags = vec![false; lexed.tokens.len()];
+        // Mark the helper's tokens as test-region.
+        let helper_at = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("helper"))
+            .unwrap();
+        for f in flags.iter_mut().skip(helper_at - 1) {
+            *f = true;
+        }
+        let g = CallGraph::build(&[(PathBuf::from("x.rs"), lexed, flags)]);
+        assert!(g.call_may_block("helper", CallKind::Free).is_none());
+    }
+
+    #[test]
+    fn impl_for_target_is_recorded() {
+        let src = "
+            trait Flush { fn flush(&self); }
+            impl Flush for Pipe {
+                fn flush(&self) { self.tx.send(1); }
+            }
+        ";
+        let g = graph_of(src);
+        let f = g
+            .fns
+            .iter()
+            .find(|d| d.name == "flush" && !d.body.is_empty())
+            .unwrap();
+        assert_eq!(f.impl_type.as_deref(), Some("Pipe"));
+    }
+
+    #[test]
+    fn bodiless_trait_decl_is_not_a_seed() {
+        let src = "trait T { fn send_probe_wave(&self); }\nfn clean() {}";
+        let g = graph_of(src);
+        let d = g
+            .fns
+            .iter()
+            .position(|d| d.name == "send_probe_wave")
+            .unwrap();
+        assert!(!g.may_block(d), "empty body has no seeds");
+    }
+}

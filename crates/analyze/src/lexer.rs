@@ -1,0 +1,512 @@
+//! A real (if small) Rust lexer for the doct-lint passes.
+//!
+//! PR 4's linter matched patterns against raw source lines, which meant
+//! string literals, comments, and multi-line expressions could all fool
+//! it. This lexer turns a file into a token stream the passes can trust:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, any hash depth) and byte/C strings;
+//! * char literals vs lifetimes (`'a'` is a char, `'a` in `Vec<'a, T>` is
+//!   not, `'\''` and `b'x'` both lex);
+//! * nested block comments (`/* /* */ */`) and line comments, collected
+//!   separately so waiver comments stay visible without polluting the
+//!   code stream;
+//! * numeric literals including floats, exponents, and `0..n` ranges
+//!   (the `..` is punctuation, not part of the number);
+//! * single-char punctuation tokens — passes that care about `::` or
+//!   `->` look at adjacent tokens, which keeps the lexer trivial.
+//!
+//! Nested generics need no special casing at this layer: `<` and `>` are
+//! punctuation, and the call-graph builder balances them only where
+//! generics can legally appear (fn signatures, impl headers).
+//!
+//! Every token and comment carries a 1-based line number so findings
+//! point at real source lines.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `let`, `send_probe_wave`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`). The text excludes the quote.
+    Lifetime,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`). The text
+    /// is the *content*, without quotes/prefix, so passes that read
+    /// metric names get the name itself.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`). Text excludes quotes.
+    Char,
+    /// Numeric literal (`42`, `0xff`, `1.5e-3`, `16usize`).
+    Num,
+    /// One punctuation character (`{`, `.`, `:`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// Whether this token is the identifier/keyword `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// A comment, kept out of the code stream but available to the waiver
+/// scanner. `text` includes the `//` / `/*` markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the code tokens and the comments, both line-stamped.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`. The lexer never fails: malformed input (unterminated
+/// strings, stray bytes) degrades to best-effort tokens rather than an
+/// error, because lint input may be a fixture or mid-edit file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    let s = self.string_body(false, 0);
+                    self.push(TokenKind::Str, s, line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed(line),
+                _ => {
+                    let c = self.bump().unwrap_or_default();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Body of a quoted string: consumes up to and including the closing
+    /// delimiter. In a `raw` string `\"` has no escape power and the
+    /// closer is `"` followed by `hashes` `#`s (0 for `r"…"`).
+    fn string_body(&mut self, raw: bool, hashes: usize) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if !raw && c == '\\' {
+                s.push(self.bump().unwrap_or_default());
+                if let Some(e) = self.bump() {
+                    s.push(e);
+                }
+                continue;
+            }
+            if c == '"' {
+                let closes = (1..=hashes).all(|k| self.peek(k) == Some('#'));
+                if closes {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return s;
+                }
+            }
+            s.push(c);
+            self.bump();
+        }
+        s // unterminated: best effort
+    }
+
+    /// `'` starts either a char literal or a lifetime. A lifetime is `'`
+    /// followed by an ident *not* closed by another `'`.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: '\n', '\'', '\u{…}'. The char
+                // right after the backslash is part of the escape even
+                // when it is a quote.
+                let mut s = String::new();
+                s.push(self.bump().unwrap_or_default());
+                if let Some(e) = self.bump() {
+                    s.push(e);
+                }
+                while let Some(c) = self.peek(0) {
+                    if c == '\'' {
+                        self.bump();
+                        break;
+                    }
+                    s.push(c);
+                    self.bump();
+                }
+                self.push(TokenKind::Char, s, line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let mut name = String::new();
+                let mut ahead = 0;
+                while let Some(n) = self.peek(ahead) {
+                    if n.is_alphanumeric() || n == '_' {
+                        name.push(n);
+                        ahead += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(ahead) == Some('\'') && name.chars().count() == 1 {
+                    // 'x' — a char literal.
+                    for _ in 0..=ahead {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Char, name, line);
+                } else {
+                    // 'a, 'static — a lifetime (possibly 'a' where a is
+                    // multi-char — impossible, idents of len >1 followed
+                    // by ' are still lifetimes in valid Rust positions).
+                    for _ in 0..ahead {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, name, line);
+                }
+            }
+            Some(other) => {
+                // '(' etc — a punctuation char literal.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, other.to_string(), line);
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut s = String::new();
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+                // 1e-3 / 1E+3 exponents.
+                if (c == 'e' || c == 'E')
+                    && !s.starts_with("0x")
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    s.push(self.bump().unwrap_or_default());
+                }
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // 1.5 — but not 1..5 (range) or 1.method().
+                seen_dot = true;
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, s, line);
+    }
+
+    /// Identifier, or a string/char with a prefix (`r"…"`, `b'…'`,
+    /// `r#"…"#`, `br#"…"#`, `r#ident`).
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_str_prefix = matches!(name.as_str(), "r" | "b" | "br" | "c" | "cr");
+        if is_str_prefix {
+            match self.peek(0) {
+                Some('"') => {
+                    self.bump();
+                    let raw = name.contains('r');
+                    let s = self.string_body(raw, 0);
+                    self.push(TokenKind::Str, s, line);
+                    return;
+                }
+                Some('#') => {
+                    // r#"…"# (any hash depth) or r#ident (raw ident).
+                    let mut hashes = 0;
+                    while self.peek(hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(hashes) == Some('"') {
+                        for _ in 0..=hashes {
+                            self.bump();
+                        }
+                        let s = self.string_body(true, hashes);
+                        self.push(TokenKind::Str, s, line);
+                        return;
+                    }
+                    if name == "r" && hashes == 1 {
+                        // raw ident r#type
+                        self.bump(); // '#'
+                        let mut id = String::new();
+                        while let Some(c) = self.peek(0) {
+                            if c.is_alphanumeric() || c == '_' {
+                                id.push(c);
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        self.push(TokenKind::Ident, id, line);
+                        return;
+                    }
+                }
+                Some('\'') if name == "b" => {
+                    self.char_or_lifetime(line);
+                    // Re-tag the lifetime/char as a byte char: the last
+                    // token pushed is the literal.
+                    if let Some(t) = self.out.tokens.last_mut() {
+                        t.kind = TokenKind::Char;
+                    }
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Ident, name, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("fn foo(x: u32) -> u32 { x }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "foo".into()));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Punct && t.1 == "{"));
+    }
+
+    #[test]
+    fn plain_string_with_escapes() {
+        let toks = kinds(r#"let s = "a\"b{c}";"#);
+        let s = toks.iter().find(|t| t.0 == TokenKind::Str).unwrap();
+        assert_eq!(s.1, r#"a\"b{c}"#);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let toks = kinds(r###"let s = r#"He said "hi" // not a comment"#;"###);
+        let s = toks.iter().find(|t| t.0 == TokenKind::Str).unwrap();
+        assert_eq!(s.1, r#"He said "hi" // not a comment"#);
+        // Nothing inside the raw string leaked as code or comments.
+        assert!(!toks.iter().any(|t| t.1 == "hi"));
+    }
+
+    #[test]
+    fn raw_string_deeper_hashes() {
+        let src = "r##\"contains \"# inside\"##";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, "contains \"# inside");
+    }
+
+    #[test]
+    fn byte_string_and_byte_char() {
+        let toks = kinds(r#"let b = b"raw"; let c = b'x';"#);
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Str && t.1 == "raw"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == "x"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Lifetime && t.1 == "a"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == "x"));
+        let toks = kinds("let s: &'static str = \"y\"; let c = '\\n';");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Lifetime && t.1 == "static"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == "\\n"));
+    }
+
+    #[test]
+    fn quote_char_literal() {
+        let toks = kinds(r"let q = '\''; let p = '(';");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == "\\'"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == "("));
+    }
+
+    #[test]
+    fn line_and_nested_block_comments() {
+        let out =
+            lex("let a = 1; // trailing note\n/* outer /* inner */ still outer */ let b = 2;");
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].text.contains("trailing note"));
+        assert!(out.comments[1].text.contains("inner"));
+        // Code on both sides of the block comment still lexes.
+        assert!(out.tokens.iter().any(|t| t.is_ident("a")));
+        assert!(out.tokens.iter().any(|t| t.is_ident("b")));
+        // Nothing from the comments leaked into the code stream.
+        assert!(!out.tokens.iter().any(|t| t.is_ident("outer")));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_not_comments() {
+        let out = lex(r#"let s = "// not a comment /* nor this */";"#);
+        assert!(out.comments.is_empty());
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn numbers_floats_ranges() {
+        let toks = kinds("let x = 1.5e-3; for i in 0..16 { } let h = 0xff_u32;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Num && t.1 == "1.5e-3"));
+        // 0..16 lexes as Num(0) .. Num(16), not a malformed float.
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Num && t.1 == "0"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Num && t.1 == "16"));
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Num && t.1 == "0xff_u32"));
+    }
+
+    #[test]
+    fn nested_generics_lex_as_punct() {
+        let toks = kinds("let m: HashMap<u64, Vec<Arc<Mutex<T>>>> = HashMap::new();");
+        let gt = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Punct && t.1 == ">")
+            .count();
+        assert_eq!(gt, 4);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "Mutex"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let out = lex("let a = 1;\nlet s = \"x\ny\";\nlet b = 2;\n");
+        let b = out.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4, "string spans lines 2-3, so `b` is on line 4");
+    }
+
+    #[test]
+    fn raw_ident_lexes_as_ident() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "type"));
+    }
+}

@@ -3,17 +3,25 @@
 //! Two tools live here, both reachable through the `doct-lint` binary
 //! (`cargo run -p doct-analyze`):
 //!
-//! * [`lint`] — a self-contained, line/token-based linter for
-//!   project-specific concurrency hazards (lock guards live across
-//!   blocking calls, `unwrap()` on lock/recv results in production code,
-//!   wall-clock reads inside `DOCT_SEED`-deterministic simulation paths,
-//!   receipt/ticket types missing `#[must_use]`). Deliberately *not*
-//!   built on a parser crate: the build environment is offline, and the
-//!   rules only need token + brace-depth tracking.
+//! * the linter — a dependency-free static-analysis pipeline
+//!   ([`lexer`] → [`callgraph`] → [`lint`]/[`coverage`]) for
+//!   project-specific concurrency hazards: lock guards live across
+//!   blocking calls *including transitive may-block callees resolved
+//!   through the workspace call graph*, `unwrap()` on lock/recv results
+//!   in production code, wall-clock reads inside `DOCT_SEED`-
+//!   deterministic simulation paths, receipt/ticket types missing
+//!   `#[must_use]`, payload clones on the hot path, stale waivers, and
+//!   dead/undocumented telemetry counters. Deliberately *not* built on a
+//!   parser crate: the build environment is offline, and the rules need
+//!   only tokens, scopes, and name-based call resolution (soundness
+//!   caveats in DESIGN.md §3h).
 //! * [`model`] — a miniature schedule-exploration model checker that
 //!   drives the *real* `LocationCache` and `ThreadRegistry` seen-ring
 //!   through every interleaving of small multi-thread scripts, asserting
 //!   exactly-once dedupe and generation-checked invalidation on each.
 
+pub mod callgraph;
+pub mod coverage;
+pub mod lexer;
 pub mod lint;
 pub mod model;

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! cargo run -p doct-analyze                 # lint the workspace (deny-by-default)
+//! cargo run -p doct-analyze -- --json       # machine-readable findings (one JSON array)
 //! cargo run -p doct-analyze -- --models     # exhaustive schedule exploration
 //! cargo run -p doct-analyze -- --root DIR   # lint a different tree (fixtures, CI checks)
 //! cargo run -p doct-analyze -- --allowlist F  # non-default allowlist file
 //! ```
 //!
-//! Exit code 0 only when every check passes; any surviving violation,
-//! malformed allowlist entry, or model-invariant breach exits 1, so CI
-//! can gate on it directly.
+//! Exit code 0 only when every check passes; any surviving violation
+//! (including `stale-waiver` findings for exceptions that no longer
+//! match anything), malformed allowlist entry, or model-invariant
+//! breach exits 1, so CI can gate on it directly.
 
 use doct_analyze::{lint, model};
 use std::path::PathBuf;
@@ -18,12 +20,14 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut run_models = false;
+    let mut json = false;
     let mut root = PathBuf::from(".");
     let mut allowlist_path: Option<PathBuf> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--models" => run_models = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage("--root needs a path"),
@@ -43,31 +47,79 @@ fn main() -> ExitCode {
 
     let allowlist_path = allowlist_path.unwrap_or_else(|| root.join(".doct-lint-allow"));
     let allow = lint::Allowlist::load(&allowlist_path);
-    let mut failed = false;
-    for err in &allow.errors {
-        eprintln!("doct-lint: {err}");
-        failed = true;
-    }
+    let report = lint::lint_workspace(&root, &allow);
 
-    let files = lint::workspace_files(&root);
-    let (violations, waived) = lint::lint_paths(&files, &allow);
-    for v in &violations {
-        println!("{v}");
-    }
-    println!(
-        "doct-lint: {} file(s), {} violation(s), {} allowlisted",
-        files.len(),
-        violations.len(),
-        waived
-    );
-    if !violations.is_empty() {
-        failed = true;
-    }
-    if failed {
-        ExitCode::FAILURE
+    if json {
+        println!("{}", to_json(&report));
     } else {
-        ExitCode::SUCCESS
+        for err in &report.errors {
+            eprintln!("doct-lint: {err}");
+        }
+        for v in &report.violations {
+            println!("{v}");
+        }
+        println!(
+            "doct-lint: {} file(s), {} violation(s), {} waived",
+            report.files,
+            report.violations.len(),
+            report.waived
+        );
     }
+    if report.violations.is_empty() && report.errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Render the report as one JSON object. Hand-rolled (the workspace is
+/// dependency-free by design); strings go through [`json_escape`].
+fn to_json(report: &lint::Report) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"detail\": \"{}\", \"text\": \"{}\", \"waived\": false}}",
+            json_escape(&v.file.to_string_lossy()),
+            v.line,
+            v.rule,
+            json_escape(&v.detail),
+            json_escape(&v.text),
+        ));
+    }
+    s.push_str("\n  ],\n  \"errors\": [");
+    for (i, e) in report.errors.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\"", json_escape(e)));
+    }
+    s.push_str(&format!(
+        "\n  ],\n  \"files\": {},\n  \"waived\": {},\n  \"ok\": {}\n}}",
+        report.files,
+        report.waived,
+        report.violations.is_empty() && report.errors.is_empty()
+    ));
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn models() -> ExitCode {
@@ -104,10 +156,11 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("doct-lint: {err}");
     }
     eprintln!(
-        "usage: doct-lint [--root DIR] [--allowlist FILE] [--models]\n\
+        "usage: doct-lint [--root DIR] [--allowlist FILE] [--json] [--models]\n\
          \n\
          Lints the workspace for concurrency hazards (default), or runs\n\
-         the exhaustive schedule-exploration models (--models)."
+         the exhaustive schedule-exploration models (--models). --json\n\
+         emits findings as one JSON object for CI annotation tooling."
     );
     if err.is_empty() {
         ExitCode::SUCCESS
