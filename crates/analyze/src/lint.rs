@@ -279,6 +279,11 @@ pub struct FileLint {
     pub test_flags: Vec<bool>,
     pub file_is_test: bool,
     pub deterministic_sim: bool,
+    /// Net-crate clock discipline: every wall-clock read must go through
+    /// `crate::clock::now()` — the one blessed site shared by the sim and
+    /// UDP fabrics — so R3 also fires on direct `Instant::now()` in
+    /// `net/src/` regardless of `DOCT_SEED` mentions.
+    pub clock_discipline: bool,
     pub hot_path: bool,
 }
 
@@ -293,6 +298,7 @@ impl FileLint {
         FileLint {
             lines: src.lines().map(str::to_string).collect(),
             deterministic_sim: src.contains("DOCT_SEED"),
+            clock_discipline: path_str.contains("net/src/") && !path_str.ends_with("clock.rs"),
             hot_path: HOT_PATH_FILES.iter().any(|f| path_str.contains(f))
                 || path_str.contains("fixtures"),
             path,
@@ -577,8 +583,10 @@ pub fn scan_file(fl: &FileLint, graph: Option<&CallGraph>) -> Vec<Violation> {
         }
 
         // R3: wall clock in DOCT_SEED-deterministic files (applies to
-        // tests too: determinism is the point there).
-        if fl.deterministic_sim
+        // tests too: determinism is the point there) and anywhere in the
+        // net crate outside clock.rs (both fabrics must share one
+        // monotonic clock source).
+        if (fl.deterministic_sim || fl.clock_discipline)
             && name == "now"
             && next_is_paren
             && is_qualified
@@ -1380,6 +1388,22 @@ fn caller(m: &Mutex<u32>, tx: &Sender<u32>) {
         let out = lint_file(Path::new("x.rs"), seeded);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, RULE_WALL_CLOCK_IN_SIM);
+    }
+
+    #[test]
+    fn wall_clock_flagged_anywhere_in_net_crate_except_clock_rs() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let out = lint_file(Path::new("crates/net/src/udp.rs"), src);
+        assert_eq!(out.len(), 1, "net crate holds the clock discipline");
+        assert_eq!(out[0].rule, RULE_WALL_CLOCK_IN_SIM);
+        assert!(
+            lint_file(Path::new("crates/net/src/clock.rs"), src).is_empty(),
+            "clock.rs is the one blessed wall-clock site"
+        );
+        assert!(
+            lint_file(Path::new("crates/kernel/src/node.rs"), src).is_empty(),
+            "discipline is scoped to net/src/"
+        );
     }
 
     #[test]

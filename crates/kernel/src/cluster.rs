@@ -3,14 +3,15 @@
 
 use crate::node::{IoHub, NodeKernel, RaiseTicket, TimerCmd};
 use crate::{
-    ClassRegistry, Ctx, DeliveryStatus, EventDispatcher, EventName, GroupRegistry, KernelConfig,
-    KernelError, KernelMessage, ObjectBehavior, ObjectConfig, ObjectDirectory, ObjectId,
-    ObjectRecord, RaiseTarget, ThreadAttributes, ThreadGroupId, ThreadId, Value,
+    ClassRegistry, Ctx, DeliveryStatus, EventDispatcher, EventName, FabricChoice, GroupRegistry,
+    KernelConfig, KernelError, KernelMessage, ObjectBehavior, ObjectConfig, ObjectDirectory,
+    ObjectId, ObjectRecord, RaiseTarget, ThreadAttributes, ThreadGroupId, ThreadId, Value,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use doct_dsm::Backing;
 use doct_net::{
-    FailureConfig, LatencyModel, MessageClass, NetStats, Network, NodeId, ReliabilityConfig,
+    FabricSpec, FailureConfig, LatencyModel, MessageClass, NetStats, Network, NodeId,
+    ReliabilityConfig, UdpConfig,
 };
 use doct_telemetry::Telemetry;
 use std::collections::HashMap;
@@ -145,13 +146,22 @@ impl ClusterBuilder {
     }
 
     /// Build and start the cluster.
+    ///
+    /// The transport is chosen by [`KernelConfig::effective_fabric`]
+    /// (`DOCT_FABRIC=udp` flips the whole cluster onto real loopback
+    /// sockets; the latency model only applies to the simulated fabric).
     pub fn build(self) -> Cluster {
         let telemetry = Telemetry::shared();
-        let net = Arc::new(Network::with_stats(
-            self.nodes,
-            self.latency,
-            Arc::new(NetStats::bound(telemetry.registry())),
-        ));
+        let stats = Arc::new(NetStats::bound(telemetry.registry()));
+        let spec = match self.config.effective_fabric() {
+            FabricChoice::Sim => FabricSpec::Sim(self.latency),
+            FabricChoice::Udp => {
+                FabricSpec::Udp(UdpConfig::loopback(self.nodes).expect("bind loopback udp sockets"))
+            }
+        };
+        let net = Arc::new(
+            Network::try_with_fabric(self.nodes, spec, stats).expect("spawn fabric worker threads"),
+        );
         if let Some((rel, failure)) = self.reliability {
             net.enable_reliability(rel, failure)
                 .expect("reliability config must validate");

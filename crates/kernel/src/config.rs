@@ -49,6 +49,19 @@ pub enum ObjectEventExecution {
     Master,
 }
 
+/// Which transport fabric carries inter-node kernel messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FabricChoice {
+    /// The in-process simulated fabric (delay-line latency injection,
+    /// deterministic, no serialization).
+    #[default]
+    Sim,
+    /// Real loopback UDP sockets: every message is encoded to a datagram
+    /// and decoded on receive, heartbeats are real probe datagrams, and
+    /// the cluster can span OS processes (the `doct-node` binary).
+    Udp,
+}
+
 /// Kernel configuration, shared by every node of a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
@@ -80,6 +93,12 @@ pub struct KernelConfig {
     /// `DOCT_REACTORS` environment variable overrides this cluster-wide
     /// (see [`KernelConfig::effective_reactors`]).
     pub reactors: usize,
+    /// Transport fabric for inter-node messages. The `DOCT_FABRIC`
+    /// environment variable (`sim` | `udp`) overrides this cluster-wide
+    /// (see [`KernelConfig::effective_fabric`]), which is how the E11
+    /// suite and the chaos-soak matrix flip a whole run onto real
+    /// sockets without touching each test's builder.
+    pub fabric: FabricChoice,
 }
 
 impl Default for KernelConfig {
@@ -95,6 +114,7 @@ impl Default for KernelConfig {
             location_cache: LocationCacheConfig::default(),
             mailbox: MailboxConfig::default(),
             reactors: 1,
+            fabric: FabricChoice::default(),
         }
     }
 }
@@ -158,6 +178,22 @@ impl KernelConfig {
             .unwrap_or(self.reactors)
             .max(1)
     }
+
+    /// This config with the given transport fabric.
+    pub fn with_fabric(self, fabric: FabricChoice) -> Self {
+        KernelConfig { fabric, ..self }
+    }
+
+    /// The fabric a cluster should actually ride: the configured value
+    /// unless the `DOCT_FABRIC` environment variable overrides it
+    /// (`sim` or `udp`; anything else is ignored).
+    pub fn effective_fabric(&self) -> FabricChoice {
+        match std::env::var("DOCT_FABRIC").as_deref() {
+            Ok("sim") => FabricChoice::Sim,
+            Ok("udp") => FabricChoice::Udp,
+            _ => self.fabric,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +239,21 @@ mod tests {
             1,
             "zero reactors clamps to inline"
         );
+    }
+
+    #[test]
+    fn fabric_defaults_to_sim_and_flips_by_builder() {
+        let c = KernelConfig::default();
+        assert_eq!(c.fabric, FabricChoice::Sim);
+        let udp = c.with_fabric(FabricChoice::Udp);
+        assert_eq!(udp.fabric, FabricChoice::Udp);
+        assert_eq!(udp.locator, LocatorStrategy::PathTrace, "rest untouched");
+        // Without the DOCT_FABRIC override the configured value rules.
+        // (The env-var path is exercised by the E11 suite and the CI udp
+        // smoke leg; setting process-wide env vars here would race with
+        // parallel tests that build clusters.)
+        if std::env::var("DOCT_FABRIC").is_err() {
+            assert_eq!(udp.effective_fabric(), FabricChoice::Udp);
+        }
     }
 }

@@ -204,9 +204,11 @@ impl From<ObjectId> for RaiseTarget {
 
 /// An event instance in flight.
 ///
-/// Not serializable: the attribute snapshot may carry per-thread handler
-/// procedures (closures); the simulated cluster ships them in-process,
-/// modelling the mapping of per-thread memory (§7.2).
+/// The attribute snapshot may carry per-thread handler procedures
+/// (closures); the simulated cluster ships them in-process, modelling the
+/// mapping of per-thread memory (§7.2). On the real-socket UDP fabric the
+/// wire codec ([`crate::wire`], DESIGN.md §3i) encodes the portable slice
+/// of the snapshot and drops closure-typed extensions at the boundary.
 #[derive(Debug, Clone)]
 pub struct WireEvent {
     /// Event name.

@@ -62,11 +62,14 @@ mod reactor;
 mod shard_table;
 mod tcb;
 mod value;
+mod wire;
 
 pub use activation::{Activation, ActivationInner, Frame, SleepOutcome, SyncWait};
 pub use attributes::{Extension, ThreadAttributes, TimerSpec};
 pub use cluster::{Cluster, ClusterBuilder, ObjectImage, SpawnOptions, ThreadHandle};
-pub use config::{InvocationMode, KernelConfig, LocatorStrategy, ObjectEventExecution};
+pub use config::{
+    FabricChoice, InvocationMode, KernelConfig, LocatorStrategy, ObjectEventExecution,
+};
 pub use ctx::{AsyncInvocation, Ctx};
 pub use error::KernelError;
 pub use event::{

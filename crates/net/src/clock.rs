@@ -1,0 +1,33 @@
+//! The single blessed monotonic clock read for the fabric.
+//!
+//! Every deadline computation in this crate — retransmit backoff, batch
+//! windows, heartbeat aging, delay-line scheduling, backpressure holds —
+//! goes through [`now`] so both backends (the simulated crossbeam fabric
+//! and the UDP socket fabric) share one time source and their timing can
+//! never silently diverge cross-process. The `wall-clock-in-sim` lint
+//! enforces this: `Instant::now()` appears in `crates/net` only here.
+//!
+//! `Instant` is monotonic by contract (it never goes backwards, and is
+//! immune to wall-clock adjustments), which is exactly the property the
+//! reliability layer's deadline math needs; routing every read through
+//! one function is what keeps that contract auditable as backends
+//! multiply.
+
+use std::time::Instant;
+
+/// Read the monotonic clock.
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+    }
+}

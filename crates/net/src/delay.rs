@@ -99,7 +99,7 @@ impl<T: Send + 'static> DelayLine<T> {
             if state.shutdown {
                 return;
             }
-            let now = Instant::now();
+            let now = crate::clock::now();
             match state.queue.peek() {
                 None => {
                     shared.cond.wait(&mut state);
@@ -162,7 +162,7 @@ mod tests {
     fn delivers_after_deadline() {
         let (tx, rx) = unbounded();
         let line = line_into(tx);
-        let start = Instant::now();
+        let start = crate::clock::now();
         line.schedule(env(1), start + Duration::from_millis(20));
         let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(got.payload, 1);
@@ -173,7 +173,7 @@ mod tests {
     fn delivers_in_deadline_order_not_submit_order() {
         let (tx, rx) = unbounded();
         let line = line_into(tx);
-        let now = Instant::now();
+        let now = crate::clock::now();
         line.schedule(env(2), now + Duration::from_millis(40));
         line.schedule(env(1), now + Duration::from_millis(10));
         let a = rx.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -185,7 +185,7 @@ mod tests {
     fn equal_deadlines_keep_fifo() {
         let (tx, rx) = unbounded();
         let line = line_into(tx);
-        let due = Instant::now() + Duration::from_millis(5);
+        let due = crate::clock::now() + Duration::from_millis(5);
         for i in 0..10 {
             line.schedule(env(i), due);
         }

@@ -1,0 +1,140 @@
+//! The pluggable transport seam.
+//!
+//! [`Network`](crate::Network) owns everything transport-independent —
+//! mailboxes, link matrix, reliability (sequencing/ACK/dedupe/retransmit),
+//! statistics, the failure detector — and delegates the one physical
+//! transmission attempt to a [`Fabric`]. Two backends implement it:
+//!
+//! * [`SimFabric`] — the original in-process crossbeam fabric: optional
+//!   seeded-latency delay line, then straight into the destination
+//!   mailbox. Liveness is *derived* (heartbeats are simulated from the
+//!   link matrix, never materialized as messages).
+//! * [`crate::udp::UdpFabric`] — loopback UDP sockets, one datagram per
+//!   transfer, real heartbeat probes. Selected via
+//!   [`FabricSpec::Udp`].
+//!
+//! The reliability layer runs unchanged above either backend: it hands
+//! transfers down through `Network::transmit` and sees deliveries come
+//! back through the shared `DeliveryPath`, wherever the bytes travelled.
+
+use crate::delay::DelayLine;
+use crate::envelope::Transfer;
+use crate::network::{DeliveryPath, NetworkError, SendOutcome};
+use crate::{LatencyModel, NodeId};
+use parking_lot::Mutex;
+use rand::SeedableRng;
+
+/// Domain tag for the latency-sampling RNG stream (see `crate::seed`).
+const LATENCY_RNG_DOMAIN: u64 = 0x6C61_7465; // "late"
+
+/// Which transport backend a [`crate::Network`] should ride.
+///
+/// One flag flip switches a whole cluster: `ClusterBuilder` consults
+/// `KernelConfig::effective_fabric()`, which honours the `DOCT_FABRIC`
+/// environment variable (`sim` | `udp`).
+pub enum FabricSpec {
+    /// The in-process simulated fabric with the given latency model.
+    Sim(LatencyModel),
+    /// Loopback UDP sockets (the latency model does not apply — real
+    /// kernel scheduling and socket buffers provide the jitter).
+    Udp(crate::udp::UdpConfig),
+}
+
+impl std::fmt::Debug for FabricSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricSpec::Sim(l) => f.debug_tuple("Sim").field(l).finish(),
+            FabricSpec::Udp(c) => f.debug_tuple("Udp").field(c).finish(),
+        }
+    }
+}
+
+/// A transport backend: one physical transmission attempt per call.
+///
+/// Implementations receive the transfer *after* the transport-independent
+/// layers (link admission, sequencing, retransmit tracking, wire-message
+/// counting) have run.
+pub(crate) trait Fabric<M: Send + 'static>: Send + Sync {
+    /// Backend name for `Debug` output.
+    fn name(&self) -> &'static str;
+
+    /// Attempt one physical transmission of `transfer`.
+    fn transmit(&self, transfer: Transfer<M>) -> SendOutcome;
+
+    /// `Some(local_nodes)` when this fabric carries real liveness
+    /// datagrams — the maintenance thread then ages the detector from
+    /// actual receive timestamps ([`crate::FailureDetector::wire_round`])
+    /// for exactly those observers, instead of simulating heartbeats from
+    /// the link matrix. `None` for the simulated fabric.
+    fn wire_liveness(&self) -> Option<Vec<NodeId>>;
+
+    /// Emit one round of heartbeat probes (wire-liveness fabrics only).
+    fn send_heartbeats(&self) {}
+}
+
+/// The original in-process backend: seeded-latency delay line or a direct
+/// mailbox push.
+pub(crate) struct SimFabric<M: Send + 'static> {
+    path: DeliveryPath<M>,
+    latency: LatencyModel,
+    delay: Option<DelayLine<Transfer<M>>>,
+    /// Seeded RNG for latency sampling, so simulated delays replay under
+    /// the session seed (see `crate::seed`) instead of leaking wall-clock
+    /// entropy into ordering.
+    latency_rng: Mutex<rand::rngs::StdRng>,
+}
+
+impl<M: Send + 'static> SimFabric<M> {
+    /// Build the simulated backend; spawns the delay-line worker when the
+    /// latency model is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::SpawnFailed`] if the delay-line worker thread
+    /// cannot be spawned.
+    pub(crate) fn new(path: DeliveryPath<M>, latency: LatencyModel) -> Result<Self, NetworkError> {
+        let delay = if latency.is_zero() {
+            None
+        } else {
+            let worker_path = path.clone();
+            Some(DelayLine::new(move |transfer| {
+                worker_path.deliver(transfer);
+            })?)
+        };
+        Ok(SimFabric {
+            path,
+            latency,
+            delay,
+            latency_rng: Mutex::new(rand::rngs::StdRng::seed_from_u64(
+                crate::seed::derived_seed(LATENCY_RNG_DOMAIN),
+            )),
+        })
+    }
+}
+
+impl<M: Send + 'static> Fabric<M> for SimFabric<M> {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn transmit(&self, transfer: Transfer<M>) -> SendOutcome {
+        match &self.delay {
+            None => {
+                if self.path.deliver(transfer) {
+                    SendOutcome::Sent
+                } else {
+                    SendOutcome::DroppedDeadNode
+                }
+            }
+            Some(line) => {
+                let delay = self.latency.sample(&mut *self.latency_rng.lock());
+                line.schedule(transfer, crate::clock::now() + delay);
+                SendOutcome::Sent
+            }
+        }
+    }
+
+    fn wire_liveness(&self) -> Option<Vec<NodeId>> {
+        None
+    }
+}

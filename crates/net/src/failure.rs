@@ -13,6 +13,7 @@
 //! do. Verdicts recover — a healed link revives the peer to
 //! [`PeerState::Alive`] on the next heartbeat round.
 
+use crate::clock;
 use crate::NodeId;
 use doct_telemetry::Counter;
 use parking_lot::Mutex;
@@ -100,7 +101,7 @@ impl FailureDetector {
         suspects: Counter,
         deaths: Counter,
     ) -> Self {
-        let now = Instant::now();
+        let now = clock::now();
         let pairs = (0..nodes)
             .map(|_| {
                 (0..nodes)
@@ -136,7 +137,7 @@ impl FailureDetector {
         &self,
         link_up: impl Fn(NodeId, NodeId) -> bool,
     ) -> Vec<(NodeId, NodeId)> {
-        let now = Instant::now();
+        let now = clock::now();
         let mut newly_dead = Vec::new();
         let mut pairs = self.pairs.lock();
         let n = pairs.len();
@@ -152,28 +153,114 @@ impl FailureDetector {
                     pair.state = PeerState::Alive;
                     continue;
                 }
-                let silent = now.saturating_duration_since(pair.last_heard);
-                let verdict = if silent >= self.cfg.dead_after {
-                    PeerState::Dead
-                } else if silent >= self.cfg.suspect_after {
-                    PeerState::Suspected
-                } else {
-                    pair.state
-                };
-                if verdict != pair.state {
-                    match verdict {
-                        PeerState::Suspected => self.suspects.inc(),
-                        PeerState::Dead => {
-                            self.deaths.inc();
-                            newly_dead.push((NodeId(observer as u32), NodeId(peer as u32)));
-                        }
-                        PeerState::Alive => {}
-                    }
-                    pair.state = verdict;
-                }
+                Self::age(
+                    pair,
+                    now,
+                    self.cfg,
+                    &self.suspects,
+                    &self.deaths,
+                    (NodeId(observer as u32), NodeId(peer as u32)),
+                    &mut newly_dead,
+                );
             }
         }
         newly_dead
+    }
+
+    /// Shared aging step: escalate one silent pair towards
+    /// suspected/dead, recording transitions.
+    fn age(
+        pair: &mut PairState,
+        now: Instant,
+        cfg: FailureConfig,
+        suspects: &Counter,
+        deaths: &Counter,
+        ids: (NodeId, NodeId),
+        newly_dead: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        let silent = now.saturating_duration_since(pair.last_heard);
+        let verdict = if silent >= cfg.dead_after {
+            PeerState::Dead
+        } else if silent >= cfg.suspect_after {
+            PeerState::Suspected
+        } else {
+            pair.state
+        };
+        if verdict != pair.state {
+            match verdict {
+                PeerState::Suspected => suspects.inc(),
+                PeerState::Dead => {
+                    deaths.inc();
+                    newly_dead.push(ids);
+                }
+                PeerState::Alive => {}
+            }
+            pair.state = verdict;
+        }
+    }
+
+    /// A real liveness datagram (heartbeat probe or payload traffic)
+    /// from `peer` just arrived at `observer`: refresh the pair. Used by
+    /// wire-liveness fabrics, where hearing *is* receiving — there is no
+    /// simulated refresh. Out-of-range ids are ignored (the receive path
+    /// rejects them before stamping, but a detector must never trust a
+    /// datagram enough to panic).
+    pub fn note_heard(&self, observer: NodeId, peer: NodeId) {
+        if observer == peer {
+            return;
+        }
+        let mut pairs = self.pairs.lock();
+        let Some(pair) = pairs
+            .get_mut(observer.index())
+            .and_then(|row| row.get_mut(peer.index()))
+        else {
+            return;
+        };
+        pair.last_heard = clock::now();
+        pair.state = PeerState::Alive;
+    }
+
+    /// One aging round for wire-liveness fabrics: no link matrix is
+    /// consulted and nothing is refreshed — [`FailureDetector::note_heard`]
+    /// already stamped every real arrival — so pairs simply age from
+    /// their last genuine receive timestamp. Only pairs whose observer is
+    /// locally hosted are aged: a process cannot observe silence between
+    /// two *other* nodes, and aging those pairs would fire false death
+    /// verdicts at the watchers. Returns the directed pairs that
+    /// transitioned to dead this round, like
+    /// [`FailureDetector::heartbeat_round`].
+    pub fn wire_round(&self, local_observers: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+        let now = clock::now();
+        let mut newly_dead = Vec::new();
+        let mut pairs = self.pairs.lock();
+        let n = pairs.len();
+        for &observer in local_observers {
+            let Some(row) = pairs.get_mut(observer.index()) else {
+                continue;
+            };
+            for (peer, pair) in row.iter_mut().enumerate().take(n) {
+                if peer == observer.index() {
+                    continue;
+                }
+                Self::age(
+                    pair,
+                    now,
+                    self.cfg,
+                    &self.suspects,
+                    &self.deaths,
+                    (observer, NodeId(peer as u32)),
+                    &mut newly_dead,
+                );
+            }
+        }
+        newly_dead
+    }
+
+    /// Count one emitted heartbeat probe. Wire-liveness fabrics send
+    /// real probe datagrams and charge them here, so `net.heartbeats`
+    /// means "probes exchanged" on both backends.
+    pub(crate) fn count_heartbeat(&self) {
+        self.heartbeats.inc();
     }
 
     /// The observer's current verdict about `peer`. A node is always
@@ -206,7 +293,7 @@ impl FailureDetector {
         else {
             return;
         };
-        let aged = Instant::now() - self.cfg.suspect_after;
+        let aged = clock::now() - self.cfg.suspect_after;
         if pair.last_heard > aged {
             pair.last_heard = aged;
         }
@@ -302,6 +389,39 @@ mod tests {
         assert_eq!(d.suspects.get(), 1);
         // The other direction is untouched.
         assert_eq!(d.state(NodeId(1), NodeId(0)), PeerState::Alive);
+    }
+
+    #[test]
+    fn wire_round_ages_only_local_observers() {
+        let d = detector(3, 5, 15);
+        std::thread::sleep(Duration::from_millis(20));
+        let newly_dead = d.wire_round(&[NodeId(0)]);
+        assert!(newly_dead.contains(&(NodeId(0), NodeId(1))));
+        assert!(newly_dead.contains(&(NodeId(0), NodeId(2))));
+        assert!(newly_dead.iter().all(|&(obs, _)| obs == NodeId(0)));
+        assert_eq!(
+            d.state(NodeId(1), NodeId(2)),
+            PeerState::Alive,
+            "silence between two nodes this process does not host is unobservable"
+        );
+    }
+
+    #[test]
+    fn note_heard_revives_and_resets_aging() {
+        let d = detector(2, 5, 15);
+        std::thread::sleep(Duration::from_millis(20));
+        d.wire_round(&[NodeId(0)]);
+        assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Dead);
+        d.note_heard(NodeId(0), NodeId(1));
+        assert_eq!(d.state(NodeId(0), NodeId(1)), PeerState::Alive);
+        assert!(
+            d.wire_round(&[NodeId(0)]).is_empty(),
+            "a fresh arrival restarts the silence clock"
+        );
+        // Hostile datagrams can carry any ids: out-of-range stamps are
+        // ignored, never a panic.
+        d.note_heard(NodeId(0), NodeId(99));
+        d.note_heard(NodeId(99), NodeId(0));
     }
 
     #[test]

@@ -40,8 +40,11 @@
 //! ```
 
 mod bytes;
+pub mod clock;
+mod codec;
 mod delay;
 mod envelope;
+mod fabric;
 mod failure;
 mod latency;
 mod multicast;
@@ -50,9 +53,12 @@ mod pool;
 mod reliable;
 mod seed;
 mod stats;
+mod udp;
 
 pub use bytes::Bytes;
+pub use codec::{CodecError, WireCodec, MAX_FRAME};
 pub use envelope::{BatchEnvelope, Envelope, MessageClass, WireMessage};
+pub use fabric::FabricSpec;
 pub use failure::{FailureConfig, FailureDetector, PeerState};
 pub use latency::LatencyModel;
 pub use multicast::{MulticastGroupId, MulticastRegistry};
@@ -60,6 +66,7 @@ pub use network::{Network, NetworkError, SendOutcome};
 pub use reliable::ReliabilityConfig;
 pub use seed::{derived_seed, doct_seed};
 pub use stats::{NetStats, StatsSnapshot};
+pub use udp::UdpConfig;
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

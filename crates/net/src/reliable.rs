@@ -288,7 +288,7 @@ impl<M> ReliableState<M> {
     /// Start tracking `transfer` for retransmission.
     pub(crate) fn track(&self, transfer: Transfer<M>) {
         debug_assert_ne!(transfer.seq(), 0, "reliable transfers carry non-zero seqs");
-        let now = Instant::now();
+        let now = crate::clock::now();
         let backoff = self.cfg.base_backoff;
         self.inflight.lock().insert(
             transfer.seq(),
@@ -311,7 +311,7 @@ impl<M> ReliableState<M> {
     pub(crate) fn ack(&self, seq: u64, stats: &NetStats) {
         let entry = self.inflight.lock().remove(&seq);
         if let Some(entry) = entry {
-            stats.record_ack(entry.first_sent.elapsed());
+            stats.record_ack(crate::clock::now().saturating_duration_since(entry.first_sent));
             // The retransmit queue no longer needs this copy: its chunk
             // (if it was a batch) goes back to the pool.
             self.recycle_transfer(entry.transfer, stats);
@@ -362,7 +362,9 @@ impl<M> ReliableState<M> {
                     }
                     prev = Some(seq);
                     if let Some(entry) = inflight.remove(&seq) {
-                        stats.record_ack_rtt(entry.first_sent.elapsed());
+                        stats.record_ack_rtt(
+                            crate::clock::now().saturating_duration_since(entry.first_sent),
+                        );
                         run_retired += 1;
                         retired.push(entry.transfer);
                     }
@@ -577,7 +579,7 @@ impl<M> ReliableState<M> {
         M: Clone,
     {
         let mut out = Vec::new();
-        let now = Instant::now();
+        let now = crate::clock::now();
         while !slot.buf.is_empty() {
             let take = slot.buf.len().min(cfg.batch_max.max(1));
             let mut chunk = pool.take(stats);
@@ -790,7 +792,7 @@ mod tests {
         let s = state(cfg);
         let seq = s.alloc_seq();
         s.track(single(seq));
-        let t0 = Instant::now();
+        let t0 = crate::clock::now();
 
         // Not due before base_backoff.
         let (due, gone) = s.take_due(t0);
@@ -820,7 +822,7 @@ mod tests {
         };
         let schedule = |cfg: ReliabilityConfig| {
             let s = state(cfg);
-            let t0 = Instant::now();
+            let t0 = crate::clock::now();
             for _ in 0..8 {
                 s.track(single(s.alloc_seq()));
             }
@@ -848,7 +850,7 @@ mod tests {
             NodeId(0),
             NodeId(1),
             [(MessageClass::Data, 1u32)],
-            Instant::now(),
+            crate::clock::now(),
             &stats,
         );
         assert_eq!(out.len(), 1);
@@ -862,7 +864,7 @@ mod tests {
         let s = state(ReliabilityConfig::default());
         let stats = NetStats::new();
         let items = (0..5u32).map(|i| (MessageClass::Locate, i));
-        let out = s.enqueue(NodeId(0), NodeId(1), items, Instant::now(), &stats);
+        let out = s.enqueue(NodeId(0), NodeId(1), items, crate::clock::now(), &stats);
         assert_eq!(out.len(), 1);
         let Transfer::Batch(b) = &out[0] else {
             panic!("expected a batch");
@@ -883,7 +885,7 @@ mod tests {
         let s = state(cfg);
         let stats = NetStats::new();
         let items = (0..10u32).map(|i| (MessageClass::Locate, i));
-        let out = s.enqueue(NodeId(0), NodeId(1), items, Instant::now(), &stats);
+        let out = s.enqueue(NodeId(0), NodeId(1), items, crate::clock::now(), &stats);
         let fills: Vec<usize> = out.iter().map(Transfer::payload_count).collect();
         assert_eq!(fills, [4, 4, 2]);
         assert_eq!(s.inflight_len(), 3);
@@ -893,7 +895,7 @@ mod tests {
     fn response_window_buffers_until_expect_then_flushes() {
         let s = state(ReliabilityConfig::default());
         let stats = NetStats::new();
-        let now = Instant::now();
+        let now = crate::clock::now();
         s.arm_response_window(NodeId(1), NodeId(0), 3, now);
         // The first two wait; the third completes the expected set.
         for i in 0..2u32 {
@@ -935,7 +937,7 @@ mod tests {
         };
         let s = state(cfg);
         let stats = NetStats::new();
-        let now = Instant::now();
+        let now = crate::clock::now();
         s.arm_response_window(NodeId(1), NodeId(0), 10, now);
         let out = s.enqueue(
             NodeId(1),
@@ -1005,7 +1007,7 @@ mod tests {
                 NodeId(0),
                 NodeId(1),
                 [(MessageClass::Data, i)],
-                Instant::now(),
+                crate::clock::now(),
                 &stats,
             );
             assert_eq!(out.len(), 1);
@@ -1027,7 +1029,7 @@ mod tests {
     fn recycled_chunk_never_aliases_a_batch_awaiting_ack() {
         let s = state(ReliabilityConfig::default());
         let stats = NetStats::new();
-        let now = Instant::now();
+        let now = crate::clock::now();
         // Seal a batch of 1,2,3 toward n1; the tracked inflight copy must
         // survive until its ack even while the transmitted chunk is
         // drained and its buffer recycled.
@@ -1084,6 +1086,6 @@ mod tests {
         assert_eq!(s.earliest_deadline(), None);
         s.track(single(s.alloc_seq()));
         let d = s.earliest_deadline().expect("one entry pending");
-        assert!(d <= Instant::now() + ReliabilityConfig::default().base_backoff);
+        assert!(d <= crate::clock::now() + ReliabilityConfig::default().base_backoff);
     }
 }

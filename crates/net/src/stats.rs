@@ -81,6 +81,15 @@ pub struct NetStats {
     /// [`crate::Bytes::deep_copied_bytes`] by benches; zero while the
     /// raise/deliver hot path stays on shared buffers, DESIGN.md §3g).
     bytes_copied: Counter,
+    /// Datagrams rejected at delivery/receive admission: a transfer
+    /// claiming the best-effort `seq: 0` while reliability is on, or a
+    /// frame misaddressed / naming out-of-range node ids on the socket
+    /// backend. A hostile peer shows up here, never as a panic.
+    wire_rejects: Counter,
+    /// Received datagrams that failed the wire codec (truncated,
+    /// oversized, bad magic/kind/class, zero-seq batch) plus transfers
+    /// the codec refused to encode; socket backend only.
+    codec_errors: Counter,
     /// Envelope-pool takes served from the free list (no allocation).
     pool_hits: Counter,
     /// Envelope-pool takes that had to allocate a fresh buffer.
@@ -121,6 +130,8 @@ impl NetStats {
             deaths: registry.counter("net.deaths"),
             ack_latency: registry.histogram("net.ack_latency"),
             bytes_copied: registry.counter("net.bytes_copied"),
+            wire_rejects: registry.counter("net.wire_rejects"),
+            codec_errors: registry.counter("net.codec_errors"),
             pool_hits: registry.counter("net.pool_hits"),
             pool_misses: registry.counter("net.pool_misses"),
             pool_recycled: registry.counter("net.pool_recycled"),
@@ -206,6 +217,14 @@ impl NetStats {
     /// into this registry's `net.bytes_copied` series.
     pub fn record_bytes_copied(&self, n: u64) {
         self.bytes_copied.add(n);
+    }
+
+    pub(crate) fn record_wire_reject(&self) {
+        self.wire_rejects.inc();
+    }
+
+    pub(crate) fn record_codec_error(&self) {
+        self.codec_errors.inc();
     }
 
     pub(crate) fn record_pool_hit(&self) {
@@ -345,6 +364,18 @@ impl NetStats {
         self.bytes_copied.get()
     }
 
+    /// Datagrams rejected at delivery/receive admission (zero-seq
+    /// reliable traffic, misaddressed or out-of-range frames).
+    pub fn wire_rejects(&self) -> u64 {
+        self.wire_rejects.get()
+    }
+
+    /// Received datagrams that failed the wire codec, plus transfers the
+    /// codec refused to encode (socket backend).
+    pub fn codec_errors(&self) -> u64 {
+        self.codec_errors.get()
+    }
+
     /// Envelope-pool takes served from the free list.
     pub fn pool_hits(&self) -> u64 {
         self.pool_hits.get()
@@ -384,6 +415,8 @@ impl NetStats {
         self.deaths.reset();
         self.ack_latency.reset();
         self.bytes_copied.reset();
+        self.wire_rejects.reset();
+        self.codec_errors.reset();
         self.pool_hits.reset();
         self.pool_misses.reset();
         self.pool_recycled.reset();
@@ -724,6 +757,22 @@ mod tests {
             s.bytes_copied() + s.pool_hits() + s.pool_misses() + s.pool_recycled(),
             0
         );
+    }
+
+    #[test]
+    fn wire_reject_and_codec_error_counters_bind_and_reset() {
+        let registry = Registry::new();
+        let s = NetStats::bound(&registry);
+        s.record_wire_reject();
+        s.record_codec_error();
+        s.record_codec_error();
+        assert_eq!(s.wire_rejects(), 1);
+        assert_eq!(s.codec_errors(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["net.wire_rejects"], 1);
+        assert_eq!(snap.counters["net.codec_errors"], 2);
+        s.reset();
+        assert_eq!(s.wire_rejects() + s.codec_errors(), 0);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 # into N work-stealing reactors (KernelConfig::effective_reactors reads
 # the variable in-process, overriding each test's builder).
 #
+# The E11 partition suite runs once per transport backend (DOCT_FABRIC=
+# sim, then udp — real loopback sockets; KernelConfig::effective_fabric
+# reads the variable in-process), and a real kill -9 leg
+# (scripts/udp_smoke.sh) asserts the heartbeat detector marks a killed
+# node process Dead with the delivery ledger balanced.
+#
 # Exits non-zero if any ledger fails to balance, a waiter hangs past its
 # deadline, or a test fails.
 set -euo pipefail
@@ -35,7 +41,13 @@ echo "--- partition + soak + overload integration tests ---"
 DOCT_SEED="${SEED}" cargo test --release "${FEATURES[@]}" \
   --test partition --test soak --test overload --test lock_order -- --nocapture
 
-echo "--- E11 partition & heal (with telemetry) ---"
-DOCT_SEED="${SEED}" cargo run --release "${FEATURES[@]}" -p doct-bench --bin experiments -- e11
+for fabric in sim udp; do
+  echo "--- E11 partition & heal, DOCT_FABRIC=${fabric} (with telemetry) ---"
+  DOCT_SEED="${SEED}" DOCT_FABRIC="${fabric}" \
+    cargo run --release "${FEATURES[@]}" -p doct-bench --bin experiments -- e11
+done
+
+echo "--- multi-process kill -9 round (real UDP sockets) ---"
+scripts/udp_smoke.sh
 
 echo "=== chaos soak passed (seed ${SEED}) ==="

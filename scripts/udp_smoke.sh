@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Multi-process UDP smoke: a 2-process doct-node cluster over real
+# loopback sockets, including the kill -9 round.
+#
+#   scripts/udp_smoke.sh
+#
+# Process A ("target") hosts node 1 with two sleeper threads; process B
+# ("driver") hosts node 0 and:
+#   phase A  raises TIMER and QUIT at sleeper 1 (both must deliver),
+#   phase B  kill -9's process A, raises TIMER at sleeper 2, and
+#            requires the heartbeat detector to mark the node Dead and
+#            the raise to resolve as a dead-target verdict.
+# The driver exits 0 only if its five-term delivery ledger balances:
+# requested = delivered + dead + timeout + lost + overloaded.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/doct-node
+if [[ ! -x "$BIN" ]]; then
+  cargo build --release -p doct-bench --bin doct-node
+fi
+
+# OS-assigned-ish ports in the dynamic range, offset by PID to let
+# parallel CI jobs coexist.
+BASE=$((20000 + $$ % 20000))
+PEERS="127.0.0.1:${BASE},127.0.0.1:$((BASE + 1))"
+
+WORKDIR="$(mktemp -d)"
+TARGET_PID=""
+cleanup() {
+  [[ -n "$TARGET_PID" ]] && kill -9 "$TARGET_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "=== udp smoke: 2-process cluster on ${PEERS} ==="
+"$BIN" --role target --me 1 --peers "$PEERS" > "$WORKDIR/target.out" 2>&1 &
+TARGET_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q '^READY' "$WORKDIR/target.out" 2>/dev/null && break
+  kill -0 "$TARGET_PID" 2>/dev/null || { cat "$WORKDIR/target.out"; echo "target died before READY"; exit 1; }
+  sleep 0.1
+done
+grep -q '^READY' "$WORKDIR/target.out" || { cat "$WORKDIR/target.out"; echo "target never became READY"; exit 1; }
+echo "target up: $(cat "$WORKDIR/target.out")"
+
+"$BIN" --role driver --me 0 --peers "$PEERS" --victim-pid "$TARGET_PID"
+
+echo "=== udp smoke passed ==="
